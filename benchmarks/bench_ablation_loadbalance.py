@@ -1,0 +1,71 @@
+"""ABL-CLD — pluggable seed load-balancing strategies (paper section 3.3.1).
+
+Design claim: seeds for placeable work "can float around the system until
+they take root"; "there are a large number of load balancing modules
+supported in Converse.  Each one is often useful in a different
+situation."
+
+The workload spawns a complete task tree entirely from PE 0 via
+``CldEnqueue``.  Expected shape: with ``direct`` (no balancing) PE 0 does
+everything and the makespan is about the serial time; the distributing
+strategies (random / spray / neighbor / central) cut the makespan by
+several-fold on 8 PEs and roughly equalize per-PE busy time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, comparison_rows, emit_report, expectation_block
+from repro.bench.workloads import SeedTreeWorkload
+
+STRATEGIES = ("direct", "random", "spray", "neighbor", "central")
+
+
+def _regenerate():
+    wl = SeedTreeWorkload(num_pes=8, depth=8, fanout=2, grain_us=40.0)
+    return wl, {s: wl.run(s) for s in STRATEGIES}
+
+
+def test_ablation_loadbalance(benchmark):
+    wl, results = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    rows = {
+        s: {
+            "makespan_us": r.makespan_us,
+            "imbalance": r.imbalance,
+            "efficiency": r.efficiency,
+        }
+        for s, r in results.items()
+    }
+    text = "\n".join(
+        [
+            banner(
+                f"Ablation: Cld strategies, {wl.total_tasks} tasks from "
+                f"PE0 on {wl.num_pes} PEs"
+            ),
+            expectation_block(
+                [
+                    "direct: all work roots on PE0 (imbalance ~ P);",
+                    "distributing strategies spread seeds and cut the",
+                    "makespan several-fold; different strategies win by",
+                    "modest margins in different situations.",
+                ]
+            ),
+            comparison_rows(rows, ["makespan_us", "imbalance", "efficiency"]),
+        ]
+    )
+    emit_report("ablation_loadbalance", text)
+    direct = results["direct"]
+    # Without balancing, PE0 runs everything.
+    assert direct.rooted[0] == wl.total_tasks
+    assert direct.imbalance > wl.num_pes * 0.9
+    for s in ("random", "spray", "neighbor", "central"):
+        r = results[s]
+        assert sum(r.rooted) == wl.total_tasks, f"{s}: seeds lost"
+        # Distribution beats no-balancing by at least 2x makespan.
+        assert r.makespan_us * 2 < direct.makespan_us, (
+            f"{s} makespan {r.makespan_us:.0f}us not clearly better than "
+            f"direct {direct.makespan_us:.0f}us"
+        )
+        assert r.imbalance < direct.imbalance
+    # Spray (round robin) equalizes seed *counts* essentially perfectly.
+    spray = results["spray"]
+    assert max(spray.rooted) - min(spray.rooted) <= max(2, wl.total_tasks // 50)

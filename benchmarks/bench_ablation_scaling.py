@@ -1,0 +1,66 @@
+"""ABL-SCALE — speedup of a seed-balanced task tree as PEs grow.
+
+Not one of the paper's figures, but the implicit promise behind all of
+them: a runtime whose per-message and scheduling costs are "a few tens of
+instructions" must let a balanced fine-grained computation actually
+scale.  This sweep runs the recursive seed-tree workload (spray balancer)
+on 1..16 PEs of the T3D model and reports speedup and efficiency.
+
+Expected shape: near-linear speedup while grain (40 us) dominates
+per-message cost (~10 us), tapering as the fixed spawn-tree critical path
+and communication overheads grow relative to per-PE work.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, emit_report, expectation_block
+from repro.bench.workloads import SeedTreeWorkload
+from repro.sim.models import T3D
+
+PE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _regenerate():
+    results = {}
+    for pes in PE_COUNTS:
+        wl = SeedTreeWorkload(num_pes=pes, depth=9, fanout=2, grain_us=40.0,
+                              model=T3D)
+        results[pes] = wl.run("spray")
+    return results
+
+
+def test_ablation_scaling(benchmark):
+    results = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    base = results[1].makespan_us
+    rows = []
+    for pes in PE_COUNTS:
+        r = results[pes]
+        speedup = base / r.makespan_us
+        rows.append(
+            f"  {pes:>4} PEs | makespan {r.makespan_us:>10.0f} us | "
+            f"speedup {speedup:>6.2f} | efficiency {speedup / pes:>5.2f}"
+        )
+    text = "\n".join(
+        [
+            banner("Ablation: seed-tree speedup vs PE count (T3D model, "
+                   "1023 tasks, 40us grain, spray balancer)"),
+            expectation_block(
+                [
+                    "low runtime overheads => near-linear speedup while",
+                    "grain dominates message cost; efficiency tapers as",
+                    "the spawn tree's critical path starts to matter.",
+                ]
+            ),
+            *rows,
+        ]
+    )
+    emit_report("ablation_scaling", text)
+    speedups = {pes: base / results[pes].makespan_us for pes in PE_COUNTS}
+    assert speedups[1] == 1.0
+    # Monotone speedup across the sweep.
+    ordered = [speedups[p] for p in PE_COUNTS]
+    assert all(b > a for a, b in zip(ordered, ordered[1:]))
+    # Strong efficiency at moderate scale, reasonable at 16.
+    assert speedups[4] > 3.0
+    assert speedups[8] > 5.5
+    assert speedups[16] > 8.0

@@ -1,0 +1,59 @@
+"""FIG6 — Myrinet/FM message passing + the scheduling-overhead experiment.
+
+Paper quotes reproduced here:
+
+* "the FM library using Myrinet switches delivers messages up to 128
+  bytes in 25 microseconds, whereas Converse messages need about 31
+  microseconds."
+* "The scheduling is seen to add about 9 to 15 microseconds for short
+  messages.  For large messages, the relative difference becomes
+  negligible."  (The queueing experiment "was done only on one machine
+  (Sun workstations connected by Myrinet switches — Figure 6)".)
+"""
+
+from __future__ import annotations
+
+from conftest import FIGURE_SIZES, assert_monotone, report_figure
+
+from repro.bench.roundtrip import figure_series
+from repro.sim.models import MYRINET_FM
+
+
+def _regenerate():
+    return figure_series(MYRINET_FM, sizes=FIGURE_SIZES, reps=3,
+                         include_queued=True)
+
+
+def test_fig6_myrinet_fm_roundtrip(benchmark):
+    series = benchmark.pedantic(_regenerate, rounds=2, iterations=1)
+    nat, conv, qd = (series[k].as_dict() for k in ("native", "converse", "queued"))
+    report_figure(
+        "fig6_myrinet_fm",
+        "Figure 6: FM (Myrinet) Message Passing Performance"
+        " + scheduling overhead",
+        [
+            "native FM: <=128B messages in ~25us; Converse: ~31us.",
+            "Routing through the Csd queue adds ~9-15us for short",
+            "messages; relatively negligible for large ones.",
+        ],
+        series,
+        notes=[
+            f"measured @128B: native {nat[128]:.1f}us, converse "
+            f"{conv[128]:.1f}us, queued {qd[128]:.1f}us",
+            f"queueing overhead @16B: {qd[16] - conv[16]:.1f}us; relative "
+            f"@64KB: {(qd[65536] - conv[65536]) / conv[65536] * 100:.2f}%",
+        ],
+    )
+    for s in series.values():
+        assert_monotone(s)
+    # The paper's two headline numbers, within tight tolerance.
+    assert abs(nat[128] - 25.0) < 3.0, f"native @128B {nat[128]:.1f}us != ~25us"
+    assert abs(conv[128] - 31.0) < 3.0, f"converse @128B {conv[128]:.1f}us != ~31us"
+    # Queueing adds 9..15us for short messages...
+    for size in (16, 32, 64, 128, 256):
+        extra = qd[size] - conv[size]
+        assert 9.0 <= extra <= 15.0, (
+            f"queueing overhead {extra:.1f}us at {size}B outside 9..15us"
+        )
+    # ... and is relatively negligible for large ones.
+    assert (qd[65536] - conv[65536]) / conv[65536] < 0.05

@@ -1,0 +1,46 @@
+"""FIG8 — message-passing performance on the Intel Paragon (SUNMOS).
+
+Paper: Figure 8 plots Paragon one-way latency vs size; the port runs on
+SUNMOS, the lightweight kernel whose messaging overheads were a fraction
+of OSF/1's on the same hardware.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    FIGURE_SIZES,
+    assert_converse_close_to_native,
+    assert_monotone,
+    one_way_overhead,
+    report_figure,
+)
+
+from repro.bench.roundtrip import figure_series
+from repro.sim.models import PARAGON
+
+
+def _regenerate():
+    return figure_series(PARAGON, sizes=FIGURE_SIZES, reps=3)
+
+
+def test_fig8_paragon_roundtrip(benchmark):
+    series = benchmark.pedantic(_regenerate, rounds=2, iterations=1)
+    report_figure(
+        "fig8_paragon",
+        "Figure 8: Paragon (SUNMOS) Message Passing Performance",
+        [
+            "Converse on SUNMOS tracks the native layer: ~6us of header",
+            "cost over ~25us small-message latency, fading with size as",
+            "the Paragon's high-bandwidth mesh dominates transfer time.",
+        ],
+        series,
+        notes=[
+            f"Converse-native gap at 16B: {one_way_overhead(series, 16):.2f}us",
+        ],
+    )
+    assert_monotone(series["native"])
+    assert_monotone(series["converse"])
+    assert_converse_close_to_native(series, max_abs_us=8.0)
+    # SUNMOS small messages: ~20-30us one-way; 64KB rides ~160MB/s links.
+    assert 15.0 < series["native"].us[0] < 40.0
+    assert series["native"].us[-1] < 1000.0

@@ -1,0 +1,90 @@
+"""Shared fixtures/helpers for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's section 5:
+it sweeps message sizes on that figure's machine model, prints (and saves
+under ``benchmarks/reports/``) a paper-vs-measured block, asserts the
+qualitative shape the paper reports, and times the regeneration harness
+itself with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bench.reporting import (
+    banner,
+    emit_report,
+    expectation_block,
+    series_table,
+)
+from repro.bench.roundtrip import RoundTripResult
+
+#: sweep used by every latency figure: 16 B .. 64 KB.
+FIGURE_SIZES = [16 << i for i in range(13)]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every saved paper-vs-measured report after the run, past
+    pytest's capture, so ``bench_output.txt`` contains the tables."""
+    import pathlib
+
+    reports = sorted((pathlib.Path.cwd() / "benchmarks" / "reports").glob("*.txt"))
+    if not reports:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("paper-vs-measured reports "
+                                "(also saved under benchmarks/reports/):")
+    for path in reports:
+        terminalreporter.write_line(path.read_text(encoding="utf-8"))
+
+
+def report_figure(name: str, title: str, expectations: Sequence[str],
+                  series: Dict[str, RoundTripResult],
+                  notes: Sequence[str] = ()) -> None:
+    sizes = next(iter(series.values())).sizes
+    text = "\n".join(
+        [
+            banner(title),
+            expectation_block(expectations),
+            series_table(sizes, {k: v.us for k, v in series.items()}),
+            *(f"  note  | {n}" for n in notes),
+        ]
+    )
+    emit_report(name, text)
+
+
+def one_way_overhead(series: Dict[str, RoundTripResult], size: int) -> float:
+    """Converse-minus-native latency at one message size (microseconds)."""
+    conv = series["converse"].as_dict()[size]
+    nat = series["native"].as_dict()[size]
+    return conv - nat
+
+
+def relative_overhead(series: Dict[str, RoundTripResult], size: int) -> float:
+    conv = series["converse"].as_dict()[size]
+    nat = series["native"].as_dict()[size]
+    return (conv - nat) / nat
+
+
+def assert_monotone(result: RoundTripResult) -> None:
+    """Latency must not decrease with message size."""
+    for a, b in zip(result.us, result.us[1:]):
+        assert b >= a, f"{result.mode} latency decreased: {a} -> {b}"
+
+
+def assert_converse_close_to_native(series: Dict[str, RoundTripResult],
+                                    max_abs_us: float,
+                                    large_rel: float = 0.05) -> None:
+    """The paper's headline: Converse costs a small constant over the
+    native layer, and the relative difference fades for large messages."""
+    sizes = series["native"].sizes
+    for size in sizes:
+        over = one_way_overhead(series, size)
+        assert 0.0 <= over <= max_abs_us, (
+            f"Converse overhead {over:.2f}us at {size}B outside "
+            f"[0, {max_abs_us}]us"
+        )
+    assert relative_overhead(series, sizes[-1]) <= large_rel, (
+        "Converse overhead did not become relatively negligible for "
+        "large messages"
+    )

@@ -1,0 +1,120 @@
+"""Prioritized state-space search with bit-vector priorities (section 2.3).
+
+The paper motivates pluggable prioritized queueing with "state space
+search problems, where bit-vector priorities are needed to ensure
+consistent and monotonic speedups".  This example searches a synthetic
+binary decision tree for its best leaf three times on the same 4-PE
+machine configuration:
+
+* with plain FIFO queueing (full sweep),
+* with bit-vector priorities, where each node's priority is its path from
+  the root (better-looking branch = ``0`` bit), so the search front
+  expands in left-to-right "most promising prefix first" order, and
+* as a full branch-and-bound: bit-vector priorities **plus** a
+  *monotonic* shared incumbent (Charm's information-sharing abstraction)
+  that lets every PE prune subtrees whose bound cannot beat the best
+  leaf seen anywhere.
+
+Work spreads over PEs with the spray seed balancer.  Prioritization finds
+the optimum after a tiny fraction of FIFO's expansions; adding the
+monotonic incumbent then prunes most of the remaining sweep.
+
+Run:  python examples/prioritized_search.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BitVector, Machine, Message, api
+from repro.langs.charm_shared import SharedVars
+from repro.sim.models import T3D
+
+DEPTH = 11
+NUM_PES = 4
+GRAIN_US = 4.0
+
+# ----------------------------------------------------------------------
+# a deterministic synthetic search tree
+# ----------------------------------------------------------------------
+_rng = random.Random(2024)
+_NLEAVES = 1 << DEPTH
+LEAF_SCORES = [_rng.random() for _ in range(_NLEAVES)]
+# Exact subtree maxima guide the "which child looks better" heuristic.
+BOUNDS = [0.0] * (2 * _NLEAVES)
+for i in range(_NLEAVES):
+    BOUNDS[_NLEAVES + i] = LEAF_SCORES[i]
+for i in range(_NLEAVES - 1, 0, -1):
+    BOUNDS[i] = max(BOUNDS[2 * i], BOUNDS[2 * i + 1])
+BEST = BOUNDS[1]
+
+
+def run_search(prioritized: bool, bounded: bool = False) -> dict:
+    stats = {"expanded": 0, "pruned": 0, "to_best": None}
+    incumbent = {}
+
+    def main() -> None:
+        sv = SharedVars.get() if bounded else None
+        if bounded and api.CmiMyPe() == 0:
+            incumbent["var"] = sv.new_monotonic(max, init=-1.0)
+
+        def expand(msg):
+            nid, prio_bits = msg.payload
+            if bounded and BOUNDS[nid] <= incumbent["var"].value:
+                stats["pruned"] += 1
+                return
+            api.CmiCharge(GRAIN_US * 1e-6)
+            stats["expanded"] += 1
+            if nid >= _NLEAVES:
+                score = LEAF_SCORES[nid - _NLEAVES]
+                if bounded:
+                    incumbent["var"].update(score)
+                if score == BEST and stats["to_best"] is None:
+                    stats["to_best"] = stats["expanded"]
+                return
+            better_first = BOUNDS[2 * nid] >= BOUNDS[2 * nid + 1]
+            for child, bit in ((2 * nid, "0" if better_first else "1"),
+                               (2 * nid + 1, "1" if better_first else "0")):
+                bits = prio_bits + bit
+                seed = Message(
+                    h_expand, (child, bits), size=16,
+                    prio=BitVector(bits) if prioritized else None,
+                )
+                api.CldEnqueue(seed)
+
+        h_expand = api.CmiRegisterHandler(expand, "search.expand")
+        if api.CmiMyPe() == 0:
+            api.CldEnqueue(Message(h_expand, (1, ""), size=16,
+                                   prio=BitVector("") if prioritized else None))
+        api.CsdScheduler(-1)
+
+    queue = "bitvector" if prioritized else "fifo"
+    with Machine(NUM_PES, model=T3D, queue=queue, ldb="spray") as machine:
+        if bounded:
+            SharedVars.attach(machine)
+        machine.launch(main)
+        machine.run()
+        stats["virtual_us"] = machine.now * 1e6
+    return stats
+
+
+if __name__ == "__main__":
+    fifo = run_search(prioritized=False)
+    prio = run_search(prioritized=True)
+    bnb = run_search(prioritized=True, bounded=True)
+    total_nodes = 2 * _NLEAVES - 1
+    print(f"search tree: depth {DEPTH}, {total_nodes} nodes, best leaf {BEST:.4f}")
+    print(f"{'':>16} | {'to best':>8} | {'expanded':>8} | {'virtual us':>10}")
+    for name, s in (("fifo", fifo), ("bitvector", prio),
+                    ("bitvector+bound", bnb)):
+        print(f"{name:>16} | {s['to_best']:>8} | {s['expanded']:>8} | "
+              f"{s['virtual_us']:>10.0f}")
+    speedup = fifo["to_best"] / prio["to_best"]
+    print(f"\nbitvector priorities reach the optimum {speedup:.1f}x sooner;")
+    print(f"the monotonic incumbent then prunes the sweep from "
+          f"{prio['expanded']} to {bnb['expanded']} expansions")
+    assert prio["to_best"] * 3 < fifo["to_best"], "prioritization should win big"
+    assert fifo["expanded"] == prio["expanded"] == total_nodes  # full sweep
+    assert bnb["expanded"] * 2 < total_nodes, "bounding should prune hard"
+    assert bnb["virtual_us"] < prio["virtual_us"]
+    print("prioritized_search OK")

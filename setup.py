@@ -1,0 +1,6 @@
+"""Legacy shim so editable installs work offline (no `wheel` package in
+this environment; `pip install -e .` falls back to setup.py develop)."""
+
+from setuptools import setup
+
+setup()

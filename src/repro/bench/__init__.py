@@ -1,0 +1,2 @@
+"""Benchmark harness: round-trip latency drivers, synthetic workloads,
+and paper-vs-measured reporting."""

@@ -1,0 +1,99 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Every benchmark prints (a) the paper's qualitative expectation, (b) the
+measured table/series, and (c) the shape checks it asserts — so the
+terminal output of ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction record copied into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "format_size",
+    "format_us",
+    "series_table",
+    "banner",
+    "expectation_block",
+    "ratio",
+    "comparison_rows",
+]
+
+
+def emit_report(name: str, text: str) -> None:
+    """Persist a benchmark report and echo it to the real stdout.
+
+    Echoing via ``sys.__stdout__`` bypasses pytest's capture so the
+    paper-vs-measured tables land in ``bench_output.txt`` even for
+    passing benchmarks; the copy under ``benchmarks/reports/`` feeds
+    ``EXPERIMENTS.md``.
+    """
+    import pathlib
+    import sys
+
+    out_dir = pathlib.Path.cwd() / "benchmarks" / "reports"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    stream = sys.__stdout__ or sys.stdout
+    stream.write(text + "\n")
+    stream.flush()
+
+
+def format_size(nbytes: int) -> str:
+    """16 -> '16B', 16384 -> '16KB'."""
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def format_us(us: float) -> str:
+    """Fixed-width rendering of a microseconds value."""
+    if us >= 10000:
+        return f"{us:9.0f}"
+    return f"{us:9.2f}"
+
+
+def banner(title: str) -> str:
+    """A boxed section title for reports."""
+    line = "=" * max(64, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"
+
+
+def expectation_block(lines: Iterable[str]) -> str:
+    """The 'paper |'-prefixed expectation lines."""
+    body = "\n".join(f"  paper | {ln}" for ln in lines)
+    return f"{body}\n"
+
+
+def series_table(sizes: Sequence[int], series: Mapping[str, Sequence[float]],
+                 unit: str = "us one-way") -> str:
+    """Render latency-vs-size series as an aligned text table."""
+    names: List[str] = list(series)
+    header = f"  {'size':>8} | " + " | ".join(f"{n:>12}" for n in names)
+    sep = "  " + "-" * (len(header) - 2)
+    rows = [header, sep]
+    for i, size in enumerate(sizes):
+        cells = " | ".join(f"{format_us(series[n][i]):>12}" for n in names)
+        rows.append(f"  {format_size(size):>8} | {cells}")
+    rows.append(f"  ({unit})")
+    return "\n".join(rows)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe a/b for report strings."""
+    return a / b if b else float("inf")
+
+
+def comparison_rows(rows: Mapping[str, Mapping[str, float]],
+                    columns: Sequence[str]) -> str:
+    """Render a dict-of-dicts as a small table (ablation reports)."""
+    header = f"  {'variant':>12} | " + " | ".join(f"{c:>14}" for c in columns)
+    out = [header, "  " + "-" * (len(header) - 2)]
+    for name, vals in rows.items():
+        cells = " | ".join(
+            f"{vals[c]:>14.2f}" if isinstance(vals[c], float) else f"{vals[c]:>14}"
+            for c in columns
+        )
+        out.append(f"  {name:>12} | {cells}")
+    return "\n".join(out)

@@ -1,0 +1,359 @@
+"""Synthetic workloads for the design-claim ablation benchmarks.
+
+Three workloads, each exercising one of the paper's design arguments:
+
+* :class:`BranchAndBound` — prioritized queueing (section 2.3: "the
+  lower-bound of a node must be used as a priority to get good
+  speedups").  A deterministic synthetic maximization tree is searched
+  under different Csd queueing strategies; best-first (integer priority =
+  negated bound) prunes far more than FIFO/LIFO.
+* :class:`SeedTreeWorkload` — seed load balancing (section 3.3.1).  A
+  recursive task tree is spawned entirely from PE 0 through
+  ``CldEnqueue``; placement strategy determines the makespan and the
+  busy-time imbalance.
+* :class:`InteropWorkload` — implicit-control overlap (sections 2.2, 4).
+  An SPMD stencil module with real communication waits is combined with a
+  backlog of local message-driven work; run *phased* (SPM recv blocks the
+  PE) versus *overlapped* (the stencil runs as a tSM thread, so the Csd
+  scheduler fills its waits with the backlog).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.message import BitVector, Message
+from repro.langs.common import LanguageRuntime
+from repro.langs.sm import SM
+from repro.langs.tsm import TSM
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC, MachineModel
+
+__all__ = [
+    "BranchAndBound",
+    "BnBResult",
+    "SeedTreeWorkload",
+    "SeedTreeResult",
+    "InteropWorkload",
+    "InteropResult",
+]
+
+US = 1e-6
+
+
+# ======================================================================
+# 1. branch & bound under different queueing strategies
+# ======================================================================
+
+@dataclass
+class BnBResult:
+    """Outcome of one branch-and-bound run."""
+    strategy: str
+    expansions: int
+    pruned: int
+    best: float
+    virtual_time_us: float
+
+
+class BranchAndBound:
+    """Deterministic synthetic branch-and-bound maximization.
+
+    The search tree is a complete binary tree of ``depth`` levels; each
+    leaf has a pseudo-random value and each internal node's *bound* is the
+    exact maximum of its subtree (idealized bounding, which maximizes the
+    contrast between expansion orders).  A node is expanded only if its
+    bound exceeds the incumbent; expansion of a leaf updates the
+    incumbent.  Every expansion charges ``grain_us`` of virtual CPU time.
+
+    Runs on one PE: prioritization is a *per-PE scheduling* question, and
+    a single queue keeps the comparison exact.
+    """
+
+    def __init__(self, depth: int = 12, grain_us: float = 5.0, seed: int = 42) -> None:
+        self.depth = depth
+        self.grain_us = grain_us
+        rng = random.Random(seed)
+        # leaf values for ids in [2^depth, 2^(depth+1))
+        self.nleaves = 1 << depth
+        self.leaf_values = [rng.random() for _ in range(self.nleaves)]
+        # exact subtree maxima, bottom-up
+        self.bounds: List[float] = [0.0] * (2 * self.nleaves)
+        for i in range(self.nleaves):
+            self.bounds[self.nleaves + i] = self.leaf_values[i]
+        for i in range(self.nleaves - 1, 0, -1):
+            self.bounds[i] = max(self.bounds[2 * i], self.bounds[2 * i + 1])
+
+    def _is_leaf(self, nid: int) -> bool:
+        return nid >= self.nleaves
+
+    def _path_bits(self, nid: int) -> str:
+        """Bits of the path from the root to ``nid`` (for bitvector prio),
+        greedily preferring the better child first (0-bit = better)."""
+        bits = []
+        n = nid
+        while n > 1:
+            parent = n // 2
+            better = 2 * parent if self.bounds[2 * parent] >= self.bounds[2 * parent + 1] \
+                else 2 * parent + 1
+            bits.append("0" if n == better else "1")
+            n = parent
+        return "".join(reversed(bits))
+
+    def _prio_for(self, strategy: str, nid: int) -> Any:
+        if strategy == "int":
+            # Smaller = more urgent; best bound first.
+            return -int(self.bounds[nid] * 1_000_000)
+        if strategy == "bitvector":
+            return BitVector(self._path_bits(nid))
+        return None
+
+    def run(self, strategy: str) -> BnBResult:
+        """Search to completion under one queueing strategy; returns the
+        expansion/prune counts and the virtual time consumed."""
+        result: Dict[str, Any] = {}
+        bnb = self
+
+        def main() -> None:
+            from repro.core import api
+
+            state = {"best": -1.0, "expansions": 0, "pruned": 0}
+
+            def expand(msg: Message) -> None:
+                nid = msg.payload
+                if bnb.bounds[nid] <= state["best"]:
+                    state["pruned"] += 1
+                    return
+                api.CmiCharge(bnb.grain_us * US)
+                state["expansions"] += 1
+                if bnb._is_leaf(nid):
+                    value = bnb.leaf_values[nid - bnb.nleaves]
+                    if value > state["best"]:
+                        state["best"] = value
+                    return
+                for child in (2 * nid, 2 * nid + 1):
+                    api.CsdEnqueue(Message(
+                        h_expand, child, size=8,
+                        prio=bnb._prio_for(strategy, child),
+                    ))
+
+            h_expand = api.CmiRegisterHandler(expand, "bnb.expand")
+            t0 = api.CmiTimer()
+            api.CsdEnqueue(Message(h_expand, 1, size=8,
+                                   prio=bnb._prio_for(strategy, 1)))
+            api.CsdScheduleUntilIdle()
+            result.update(state, elapsed=(api.CmiTimer() - t0) * 1e6)
+
+        queue = strategy if strategy in ("fifo", "lifo", "int", "bitvector") else "fifo"
+        with Machine(1, model=GENERIC, queue=queue) as m:
+            m.launch_on(0, main)
+            m.run()
+        return BnBResult(
+            strategy=strategy,
+            expansions=result["expansions"],
+            pruned=result["pruned"],
+            best=result["best"],
+            virtual_time_us=result["elapsed"],
+        )
+
+
+# ======================================================================
+# 2. imbalanced seed tree under different Cld strategies
+# ======================================================================
+
+@dataclass
+class SeedTreeResult:
+    """Outcome of one seed-tree run."""
+    strategy: str
+    makespan_us: float
+    busy_us: List[float]
+    rooted: List[int]
+
+    @property
+    def imbalance(self) -> float:
+        """max(busy)/mean(busy): 1.0 is perfect balance."""
+        mean = sum(self.busy_us) / len(self.busy_us)
+        return max(self.busy_us) / mean if mean else float("inf")
+
+    @property
+    def efficiency(self) -> float:
+        """total work / (P * makespan)."""
+        total = sum(self.busy_us)
+        denom = len(self.busy_us) * self.makespan_us
+        return total / denom if denom else 0.0
+
+
+class _SeedTreeLang(LanguageRuntime):
+    """Tiny language: one handler that burns time and spawns children."""
+
+    lang_name = "seedtree"
+
+    def __init__(self, runtime: Any, depth: int, fanout: int,
+                 grain_us: float) -> None:
+        super().__init__(runtime)
+        self.depth = depth
+        self.fanout = fanout
+        self.grain_us = grain_us
+        self.handler_id = runtime.register_handler(self._on_task, "seedtree.task")
+        self.tasks_run = 0
+
+    def _on_task(self, msg: Message) -> None:
+        level = msg.payload
+        self.runtime.node.charge(self.grain_us * US)
+        self.tasks_run += 1
+        if level < self.depth:
+            for _ in range(self.fanout):
+                seed = Message(self.handler_id, level + 1, size=16)
+                self.runtime.cld.enqueue(seed)
+
+    def kickoff(self) -> None:
+        self.runtime.cld.enqueue(Message(self.handler_id, 0, size=16))
+
+
+class SeedTreeWorkload:
+    """Recursive task tree spawned from PE 0, placed by the Cld strategy."""
+
+    def __init__(self, num_pes: int = 8, depth: int = 7, fanout: int = 2,
+                 grain_us: float = 40.0, model: MachineModel = GENERIC,
+                 seed: int = 1) -> None:
+        self.num_pes = num_pes
+        self.depth = depth
+        self.fanout = fanout
+        self.grain_us = grain_us
+        self.model = model
+        self.seed = seed
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of tasks the spawn tree will create."""
+        f, d = self.fanout, self.depth
+        return (f ** (d + 1) - 1) // (f - 1) if f > 1 else d + 1
+
+    def run(self, strategy: str) -> SeedTreeResult:
+        """Execute the workload variant; returns its result record."""
+        with Machine(self.num_pes, model=self.model, ldb=strategy,
+                     seed=self.seed) as m:
+            insts = _SeedTreeLang.attach(
+                m, depth=self.depth, fanout=self.fanout, grain_us=self.grain_us
+            )
+            m.launch_schedulers()
+            m.launch_on(0, insts[0].kickoff, name="kickoff")
+            m.run()
+            total_run = sum(i.tasks_run for i in insts)
+            assert total_run == self.total_tasks, (
+                f"lost tasks: ran {total_run} of {self.total_tasks}"
+            )
+            return SeedTreeResult(
+                strategy=strategy,
+                makespan_us=m.now * 1e6,
+                busy_us=[n.stats.busy_time * 1e6 for n in m.nodes],
+                rooted=[rt.cld.stats.rooted for rt in m.runtimes],
+            )
+
+
+# ======================================================================
+# 3. phased vs overlapped interoperation
+# ======================================================================
+
+@dataclass
+class InteropResult:
+    """Outcome of one interop-workload run."""
+    variant: str
+    total_us: float
+    stencil_us: float
+    backlog_msgs: int
+
+
+class InteropWorkload:
+    """An SPMD stencil module + a backlog of local message-driven work.
+
+    * ``phased``     — the stencil runs as plain SPM code (blocking SM
+      receives idle the whole PE), then the backlog drains.
+    * ``overlapped`` — the stencil runs as a tSM thread; while it waits
+      for its neighbour exchange, the Csd scheduler executes backlog
+      messages — "when a thread in one module blocks, code from another
+      module can be executed during that otherwise idle time"
+      (section 2.2).
+    """
+
+    def __init__(self, num_pes: int = 4, rounds: int = 20,
+                 compute_us: float = 50.0, backlog: int = 60,
+                 backlog_grain_us: float = 30.0,
+                 model: Optional[MachineModel] = None) -> None:
+        from repro.sim.models import ATM_HP
+
+        self.num_pes = num_pes
+        self.rounds = rounds
+        self.compute_us = compute_us
+        self.backlog = backlog
+        self.backlog_grain_us = backlog_grain_us
+        self.model = model if model is not None else ATM_HP
+
+    #: int priority for backlog work — less urgent than thread resumes
+    #: (which carry the default priority 0), so the stencil is never
+    #: starved behind the backlog; backlog runs exactly in the gaps.
+    BACKLOG_PRIO = 100
+
+    def _enqueue_backlog(self, api: Any, grain: float, count: int) -> int:
+        def burn(msg: Message) -> None:
+            api.CmiCharge(grain * US)
+
+        h = api.CmiRegisterHandler(burn, "interop.backlog")
+        for _ in range(count):
+            api.CsdEnqueue(Message(h, None, size=0, prio=self.BACKLOG_PRIO))
+        return h
+
+    def run(self, variant: str) -> InteropResult:
+        """Execute the workload variant; returns its result record."""
+        results: Dict[int, Tuple[float, float]] = {}
+        wl = self
+
+        def main() -> None:
+            from repro.core import api
+
+            me, num = api.CmiMyPe(), api.CmiNumPes()
+            right = (me + 1) % num
+            left = (me - 1) % num
+            wl._enqueue_backlog(api, wl.backlog_grain_us, wl.backlog)
+
+            if variant == "phased":
+                sm = SM.get()
+                t0 = api.CmiTimer()
+                for r in range(wl.rounds):
+                    api.CmiCharge(wl.compute_us * US)
+                    sm.send(right, r, me)
+                    sm.recv(tag=r, source=left)
+                stencil = api.CmiTimer() - t0
+                api.CsdScheduleUntilIdle()  # now drain the backlog
+                results[me] = (api.CmiTimer() - t0, stencil)
+            elif variant == "overlapped":
+                tsm = TSM.get()
+                t0 = api.CmiTimer()
+                done = {}
+
+                def stencil_thread() -> None:
+                    for r in range(wl.rounds):
+                        api.CmiCharge(wl.compute_us * US)
+                        tsm.send(right, r, me)
+                        tsm.receive(tag=r, source=left)
+                    done["t"] = api.CmiTimer() - t0
+                    api.CsdExitScheduler()
+
+                tsm.create(stencil_thread)
+                api.CsdScheduler(-1)
+                api.CsdScheduleUntilIdle()  # any backlog remainder
+                results[me] = (api.CmiTimer() - t0, done["t"])
+            else:
+                raise ValueError(f"unknown interop variant {variant!r}")
+
+        # The int-priority queue lets thread resumes (priority 0) preempt
+        # queued backlog (priority BACKLOG_PRIO) — section 2.3 in action.
+        with Machine(self.num_pes, model=self.model, queue="int") as m:
+            SM.attach(m)
+            TSM.attach(m)
+            m.launch(main)
+            m.run()
+        total = max(v[0] for v in results.values()) * 1e6
+        stencil = max(v[1] for v in results.values()) * 1e6
+        return InteropResult(variant, total, stencil, self.backlog)

@@ -1,0 +1,3 @@
+"""Converse core: generalized messages, handler table, queueing
+strategies, the unified Csd scheduler, the per-PE runtime, and the
+C-flavoured API veneer."""

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the Converse reproduction.
+
+All library-raised exceptions derive from :class:`ConverseError` so callers
+can catch framework failures without masking ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ConverseError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ConverseError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class TaskletKilled(BaseException):
+    """Injected into a parked tasklet to unwind it during shutdown.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so that
+    user code which catches ``Exception`` does not accidentally swallow the
+    shutdown signal.
+    """
+
+
+class NotInTaskletError(SimulationError):
+    """A blocking primitive was called from outside any tasklet."""
+
+
+class DeadlockError(SimulationError):
+    """The machine ran out of events while tasklets were still blocked and
+    the caller asked for that situation to be treated as an error."""
+
+
+class HandlerError(ConverseError):
+    """Problems with the generalized-message handler table."""
+
+
+class UnknownHandlerError(HandlerError):
+    """A message named a handler index that was never registered."""
+
+
+class MessageError(ConverseError):
+    """Malformed generalized message or misuse of the buffer protocol."""
+
+
+class BufferOwnershipError(MessageError):
+    """A handler touched a CMI-owned buffer after its handler returned
+    without calling ``CmiGrabBuffer`` (paper section 3.1.3)."""
+
+
+class SchedulerError(ConverseError):
+    """Misuse of the Csd scheduler (e.g. exiting a scheduler that is not
+    running)."""
+
+
+class QueueingError(ConverseError):
+    """Invalid priority or queueing-strategy misuse."""
+
+
+class ThreadError(ConverseError):
+    """Misuse of Cth thread objects (resuming a dead thread, suspending
+    outside a thread, ...)."""
+
+
+class SyncError(ConverseError):
+    """Misuse of Cts synchronization objects (unlocking a lock not held,
+    re-initializing a barrier with waiters, ...)."""
+
+
+class MessageManagerError(ConverseError):
+    """Misuse of the Cmm message manager."""
+
+
+class LoadBalanceError(ConverseError):
+    """Misuse of the Cld seed load balancer."""
+
+
+class GroupError(ConverseError):
+    """Misuse of processor groups (EMI)."""
+
+
+class GlobalPointerError(ConverseError):
+    """Misuse of EMI global pointers / get / put."""
+
+
+class LanguageError(ConverseError):
+    """Errors raised by the language runtimes layered on Converse."""
+
+
+class PvmError(LanguageError):
+    """PVM-subset runtime errors."""
+
+
+class NxError(LanguageError):
+    """NXLib-subset runtime errors."""
+
+
+class CharmError(LanguageError):
+    """Charm-subset runtime errors."""

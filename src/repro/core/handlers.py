@@ -1,0 +1,93 @@
+"""The handler registration table (``CmiRegisterHandler``).
+
+"Any function that is used for handling messages must first be registered
+with the scheduler" (paper section 3.1.1).  Registration returns a small
+integer index; messages carry the index, and delivery looks the function
+up in the table — which works across heterogeneous PEs as long as every PE
+registers the same handlers in the same order.
+
+Each PE owns one table, but in SPMD-style programs all PEs register
+identical handlers; :meth:`HandlerTable.check_consistent` lets the machine
+verify that assumption when asked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.errors import HandlerError, UnknownHandlerError
+
+__all__ = ["HandlerTable", "HandlerFn"]
+
+#: A message handler: takes the message, returns nothing of interest.
+HandlerFn = Callable[[object], None]
+
+#: Index 0 is reserved so that a zeroed header is caught as an error.
+_FIRST_INDEX = 1
+
+
+class HandlerTable:
+    """Per-PE mapping from handler index to handler function."""
+
+    def __init__(self) -> None:
+        self._fns: List[Optional[HandlerFn]] = [None] * _FIRST_INDEX
+        self._names: List[Optional[str]] = [None] * _FIRST_INDEX
+
+    def register(self, fn: HandlerFn, name: Optional[str] = None) -> int:
+        """Register ``fn`` and return its index (``CmiRegisterHandler``)."""
+        if not callable(fn):
+            raise HandlerError(f"handler must be callable, got {fn!r}")
+        idx = len(self._fns)
+        self._fns.append(fn)
+        self._names.append(name or getattr(fn, "__qualname__", repr(fn)))
+        return idx
+
+    def register_at(self, idx: int, fn: HandlerFn, name: Optional[str] = None) -> int:
+        """Register ``fn`` at a specific index (used by language runtimes
+        that fix their handler numbering across PEs)."""
+        if not callable(fn):
+            raise HandlerError(f"handler must be callable, got {fn!r}")
+        if idx < _FIRST_INDEX:
+            raise HandlerError(f"handler index {idx} is reserved")
+        while len(self._fns) <= idx:
+            self._fns.append(None)
+            self._names.append(None)
+        if self._fns[idx] is not None and self._fns[idx] is not fn:
+            raise HandlerError(f"handler index {idx} already registered")
+        self._fns[idx] = fn
+        self._names[idx] = name or getattr(fn, "__qualname__", repr(fn))
+        return idx
+
+    def lookup(self, idx: int) -> HandlerFn:
+        """``CmiGetHandlerFunction``: resolve an index to its function."""
+        if 0 <= idx < len(self._fns):
+            fn = self._fns[idx]
+            if fn is not None:
+                return fn
+        raise UnknownHandlerError(
+            f"no handler registered at index {idx} "
+            f"(table has {len(self._fns)} slots)"
+        )
+
+    def name_of(self, idx: int) -> str:
+        """Human-readable name registered for a handler index."""
+        if 0 <= idx < len(self._names) and self._names[idx] is not None:
+            return self._names[idx]  # type: ignore[return-value]
+        return f"<unregistered #{idx}>"
+
+    def __len__(self) -> int:
+        return sum(1 for fn in self._fns if fn is not None)
+
+    def signature(self) -> tuple:
+        """A comparable summary of the table (names in index order), used
+        to check that all PEs registered the same handlers."""
+        return tuple(self._names)
+
+    @staticmethod
+    def check_consistent(tables: List["HandlerTable"]) -> bool:
+        """True when every table registered the same handler names in the
+        same slots — the SPMD assumption behind index-based dispatch."""
+        if not tables:
+            return True
+        sig = tables[0].signature()
+        return all(t.signature() == sig for t in tables[1:])

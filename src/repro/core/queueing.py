@@ -1,0 +1,214 @@
+"""Pluggable scheduler queueing strategies (paper sections 2.3, 3.1.2).
+
+"The scheduler's queue is implemented as a separate module so that [the]
+user can plug in different queuing strategies."  Applications that need
+prioritization (branch-and-bound, state-space search, discrete-event
+simulation, critical paths) link a priority queue; everybody else gets a
+plain FIFO and pays nothing — the *need-based cost* design rule.
+
+All strategies share one interface (:class:`SchedulingQueue`): ``push``
+takes an optional priority, ``pop`` returns the next item or ``None`` when
+empty.  Strategies are registered by name in :data:`QUEUE_STRATEGIES` so a
+machine can be configured with ``queue="bitvector"`` etc.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import QueueingError
+from repro.core.message import BitVector, Priority, _prio_sort_key
+
+__all__ = [
+    "SchedulingQueue",
+    "FifoQueue",
+    "LifoQueue",
+    "IntPriorityQueue",
+    "BitvectorPriorityQueue",
+    "TwoLevelQueue",
+    "QUEUE_STRATEGIES",
+    "make_queue",
+]
+
+
+class SchedulingQueue:
+    """Interface for scheduler queues.
+
+    Implementations must be deterministic: equal priorities break ties in
+    insertion order (FIFO within a priority level) unless the strategy's
+    whole point is otherwise (LIFO).
+    """
+
+    def push(self, item: Any, prio: Priority = None) -> None:
+        """Insert ``item``; priority handling per the class docstring."""
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next item, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Any]:
+        """Return the next item without removing it (``None`` when empty)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoQueue(SchedulingQueue):
+    """Plain first-in first-out; priorities are accepted and ignored."""
+
+    def __init__(self) -> None:
+        self._q: Deque[Any] = deque()
+
+    def push(self, item: Any, prio: Priority = None) -> None:
+        """Insert ``item``; priority handling per the class docstring."""
+        self._q.append(item)
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next item, or ``None`` when empty."""
+        return self._q.popleft() if self._q else None
+
+    def peek(self) -> Optional[Any]:
+        """Return the next item without removing it (``None`` when empty)."""
+        return self._q[0] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LifoQueue(SchedulingQueue):
+    """Last-in first-out — depth-first processing order, useful to bound
+    memory in tree-structured computations."""
+
+    def __init__(self) -> None:
+        self._q: List[Any] = []
+
+    def push(self, item: Any, prio: Priority = None) -> None:
+        """Insert ``item``; priority handling per the class docstring."""
+        self._q.append(item)
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next item, or ``None`` when empty."""
+        return self._q.pop() if self._q else None
+
+    def peek(self) -> Optional[Any]:
+        """Return the next item without removing it (``None`` when empty)."""
+        return self._q[-1] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class _HeapQueue(SchedulingQueue):
+    """Shared heap machinery: orders by a priority key, FIFO within key."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Any, int, Any]] = []
+        self._seq = 0
+
+    def _key(self, prio: Priority) -> Any:
+        raise NotImplementedError
+
+    def push(self, item: Any, prio: Priority = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._key(prio), self._seq, item))
+
+    def pop(self) -> Optional[Any]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Optional[Any]:
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class IntPriorityQueue(_HeapQueue):
+    """Integer priorities; *smaller values are more urgent*.  ``None``
+    counts as 0.  Branch-and-bound uses a node's lower bound here."""
+
+    def _key(self, prio: Priority) -> int:
+        if prio is None:
+            return 0
+        if isinstance(prio, bool) or not isinstance(prio, int):
+            raise QueueingError(
+                f"IntPriorityQueue needs int priorities, got {type(prio).__name__}"
+            )
+        return prio
+
+
+class BitvectorPriorityQueue(_HeapQueue):
+    """Bit-vector priorities compared as binary fractions (smaller first).
+
+    The strategy state-space search needs for consistent speedups
+    (section 2.3).  ``None`` counts as the empty vector (most urgent
+    root priority)."""
+
+    def _key(self, prio: Priority) -> str:
+        if prio is None:
+            return ""
+        if not isinstance(prio, BitVector):
+            raise QueueingError(
+                f"BitvectorPriorityQueue needs BitVector priorities, "
+                f"got {type(prio).__name__}"
+            )
+        return prio._key()
+
+
+class TwoLevelQueue(SchedulingQueue):
+    """A general queue accepting *any* priority kind, like Charm's CQS.
+
+    Items order by the total priority order of
+    :func:`repro.core.message._prio_sort_key` (``None`` == int 0; ints
+    among ints, bit-vectors among bit-vectors), FIFO within equal keys.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[int, Any], int, Any]] = []
+        self._seq = 0
+
+    def push(self, item: Any, prio: Priority = None) -> None:
+        """Insert ``item``; priority handling per the class docstring."""
+        self._seq += 1
+        heapq.heappush(self._heap, (_prio_sort_key(prio), self._seq, item))
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next item, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Optional[Any]:
+        """Return the next item without removing it (``None`` when empty)."""
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+QUEUE_STRATEGIES: Dict[str, Callable[[], SchedulingQueue]] = {
+    "fifo": FifoQueue,
+    "lifo": LifoQueue,
+    "int": IntPriorityQueue,
+    "bitvector": BitvectorPriorityQueue,
+    "general": TwoLevelQueue,
+}
+
+
+def make_queue(strategy: str) -> SchedulingQueue:
+    """Instantiate a queueing strategy by name."""
+    try:
+        return QUEUE_STRATEGIES[strategy]()
+    except KeyError:
+        raise QueueingError(
+            f"unknown queueing strategy {strategy!r}; "
+            f"choose from {sorted(QUEUE_STRATEGIES)}"
+        ) from None

@@ -1,0 +1,172 @@
+"""Distributed quiescence detection — a Converse library.
+
+Charm-family runtimes detect quiescence ("no PE is executing application
+work and no application message is in flight") with a counter-wave
+algorithm in the style of Sinha–Kale–Ramkumar: an initiator periodically
+runs a wave over a spanning tree; every PE reports its application
+send/receive counters and whether they changed since the previous wave;
+quiescence is declared after **two consecutive clean waves** with equal
+global send and receive totals.  Unlike
+:meth:`repro.sim.machine.Machine.register_quiescence` (which peeks at the
+simulator's event heap), this module uses *only* messages and counters —
+it is the algorithm a real machine would run.
+
+Counting rules: QD subtracts its own probe/report/tick traffic, so only
+application messages participate in the balance.  Host-injected
+deliveries that have no sending side (e.g. the async-scanf reply) are not
+application messages either — avoid mixing them with an active detector.
+
+Usage::
+
+    QD.attach(machine)
+    def main():
+        ...
+        if api.CmiMyPe() == 0:
+            QD.get().start(lambda: api.CsdExitAll())
+        api.CsdScheduler(-1)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.errors import ConverseError
+from repro.core.message import Message
+from repro.langs.common import LanguageRuntime
+
+__all__ = ["QD"]
+
+#: virtual seconds between waves while quiescence has not been reached.
+DEFAULT_WAVE_INTERVAL = 50e-6
+
+
+class QD(LanguageRuntime):
+    """Per-PE quiescence-detection module."""
+
+    lang_name = "qd"
+
+    def __init__(self, runtime: Any, interval: float = DEFAULT_WAVE_INTERVAL) -> None:
+        super().__init__(runtime)
+        self.interval = interval
+        self._h_probe = runtime.register_handler(self._on_probe, "qd.probe")
+        self._h_report = runtime.register_handler(self._on_report, "qd.report")
+        #: QD's own traffic, subtracted from the node counters.
+        self._qd_sent = 0
+        self._qd_recv = 0
+        #: (app_sent, app_recv) at the previous wave's report.
+        self._snapshot: Tuple[int, int] = (0, 0)
+        # per-wave aggregation state on this PE.
+        self._wave_id = -1
+        self._agg: List[Tuple[int, int, bool]] = []
+        self._kids_expected = 0
+        self._kids_seen = 0
+        self._initiator: Optional[int] = None
+        # initiator-only state.
+        self._callbacks: List[Callable[[], None]] = []
+        self._prev_wave_clean = False
+        self._active = False
+        self.waves_run = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def start(self, callback: Callable[[], None]) -> None:
+        """Begin detection; ``callback()`` runs on this PE (in handler
+        context) once the machine is quiescent.  Multiple callbacks may
+        be registered before detection completes."""
+        if not callable(callback):
+            raise ConverseError(f"QD callback must be callable, got {callback!r}")
+        self._callbacks.append(callback)
+        if not self._active:
+            self._active = True
+            self._prev_wave_clean = False
+            self._launch_wave()
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def _app_counts(self) -> Tuple[int, int]:
+        stats = self.runtime.node.stats
+        return (stats.msgs_sent - self._qd_sent,
+                stats.msgs_received - self._qd_recv)
+
+    def _qd_send(self, dest: int, handler: int, payload: Any) -> None:
+        self._qd_sent += 1
+        self.cmi.sync_send(dest, Message(handler, payload, size=24))
+
+    # ------------------------------------------------------------------
+    # the wave
+    # ------------------------------------------------------------------
+    def _tree_children(self, initiator: int) -> List[int]:
+        num = self.num_pes
+        rel = (self.my_pe - initiator) % num
+        return [(initiator + k) % num for k in (2 * rel + 1, 2 * rel + 2)
+                if k < num]
+
+    def _tree_parent(self, initiator: int) -> Optional[int]:
+        num = self.num_pes
+        rel = (self.my_pe - initiator) % num
+        if rel == 0:
+            return None
+        return (initiator + ((rel - 1) >> 1)) % num
+
+    def _launch_wave(self) -> None:
+        self.waves_run += 1
+        self._begin_wave(self.waves_run, self.my_pe)
+
+    def _begin_wave(self, wave_id: int, initiator: int) -> None:
+        self._wave_id = wave_id
+        self._initiator = initiator
+        self._agg = []
+        self._kids_expected = len(self._tree_children(initiator))
+        self._kids_seen = 0
+        for child in self._tree_children(initiator):
+            self._qd_send(child, self._h_probe, (wave_id, initiator))
+        self._maybe_report()
+
+    def _on_probe(self, msg: Message) -> None:
+        self._qd_recv += 1
+        wave_id, initiator = msg.payload
+        self._begin_wave(wave_id, initiator)
+
+    def _on_report(self, msg: Message) -> None:
+        self._qd_recv += 1
+        wave_id, sent, recv, dirty = msg.payload
+        if wave_id != self._wave_id:
+            return  # stale report from an aborted wave
+        self._agg.append((sent, recv, dirty))
+        self._kids_seen += 1
+        self._maybe_report()
+
+    def _maybe_report(self) -> None:
+        if self._kids_seen < self._kids_expected:
+            return
+        own = self._app_counts()
+        dirty = own != self._snapshot
+        self._snapshot = own
+        total_sent = own[0] + sum(s for s, _, _ in self._agg)
+        total_recv = own[1] + sum(r for _, r, _ in self._agg)
+        any_dirty = dirty or any(d for _, _, d in self._agg)
+        initiator = self._initiator
+        assert initiator is not None
+        parent = self._tree_parent(initiator)
+        if parent is not None:
+            self._qd_send(parent, self._h_report,
+                          (self._wave_id, total_sent, total_recv, any_dirty))
+            return
+        # Initiator: judge the wave.
+        clean = (total_sent == total_recv) and not any_dirty
+        if clean and self._prev_wave_clean:
+            self._active = False
+            callbacks, self._callbacks = self._callbacks, []
+            for cb in callbacks:
+                cb()
+            return
+        self._prev_wave_clean = clean
+        self.runtime.ccd_call_fn_after(self.interval, self._launch_wave)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QD pe={self.my_pe} waves={self.waves_run} "
+            f"active={self._active}>"
+        )

@@ -1,0 +1,246 @@
+"""The per-PE Converse runtime (``ConverseInit`` .. ``ConverseExit``).
+
+A :class:`ConverseRuntime` is the software stack living on one simulated
+PE: the handler table, the unified Csd scheduler, the CMI machine
+interface, the Cth thread module and the Cld seed balancer.  The
+:class:`~repro.sim.machine.Machine` constructs one per node; user code
+reaches the *current* runtime either through an explicit reference or the
+C-flavoured functions in :mod:`repro.core.api`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.core.errors import ConverseError
+from repro.core.handlers import HandlerTable
+from repro.core.message import Message
+from repro.core.scheduler import CsdScheduler
+
+__all__ = ["ConverseRuntime"]
+
+
+class ConverseRuntime:
+    """Everything Converse keeps per processor.
+
+    Parameters
+    ----------
+    node:
+        The simulated PE this runtime runs on.
+    machine:
+        The owning machine (for the network, console, tracer, peers).
+    queue:
+        Scheduler queueing strategy (name or instance), default FIFO.
+    """
+
+    def __init__(self, node: Any, machine: Any, queue: Any = "fifo") -> None:
+        self.node = node
+        self.machine = machine
+        self.model = machine.model
+        self.handlers = HandlerTable()
+        self.scheduler = CsdScheduler(self, queue)
+        #: messages received while an SPM module waited inside
+        #: ``CmiGetSpecificMsg`` for a different handler; drained ahead of
+        #: the inbox by the scheduler.
+        self._buffered: Deque[Message] = deque()
+        #: intake filters (e.g. EMI scatter advance-receives): each gets a
+        #: chance to consume an incoming message before normal delivery.
+        self._intake_filters: list = []
+        self.exited = False
+        #: per-language runtime instances ("each language runtime can be
+        #: part of an object by itself, with encapsulated data of its
+        #: own" — section 3.3), keyed by language name.
+        self.lang_instances: dict = {}
+        node.runtime = self
+        #: built-in handler: a broadcastable scheduler-exit request, so
+        #: message-driven programs can stop every PE's Csd loop.
+        self._h_exit_sched = self.handlers.register(
+            lambda _msg: self.scheduler.exit(), "csd.exit"
+        )
+        #: built-in handler backing Ccd timed callbacks.
+        self._h_ccd = self.handlers.register(self._on_ccd, "ccd.timer")
+        # The machine interface and thread module are built lazily to keep
+        # import edges one-directional; see the properties below.
+        self._cmi: Any = None
+        self._cth: Any = None
+        #: the Cld seed balancer; installed by the machine once all
+        #: runtimes exist (strategies need the full PE set).
+        self.cld: Any = None
+
+    # ------------------------------------------------------------------
+    # subsystem access
+    # ------------------------------------------------------------------
+    @property
+    def cmi(self) -> Any:
+        """The machine interface (MMI + EMI entry points) for this PE."""
+        if self._cmi is None:
+            from repro.machine.cmi import CMI
+
+            self._cmi = CMI(self)
+        return self._cmi
+
+    @property
+    def cth(self) -> Any:
+        """The thread-object module (``Cth*``) for this PE."""
+        if self._cth is None:
+            from repro.threads.thread_object import CthModule
+
+            self._cth = CthModule(self)
+        return self._cth
+
+    @property
+    def my_pe(self) -> int:
+        """This PE's logical processor number."""
+        return self.node.pe
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of PEs in the machine."""
+        return self.machine.num_pes
+
+    def peer(self, pe: int) -> "ConverseRuntime":
+        """The runtime on another PE (used by runtime-internal protocols,
+        never to bypass the network from user code)."""
+        return self.machine.nodes[pe].runtime
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def register_handler(self, fn: Callable[[Message], None],
+                         name: Optional[str] = None) -> int:
+        """``CmiRegisterHandler``: register and return the handler index."""
+        return self.handlers.register(fn, name)
+
+    # ------------------------------------------------------------------
+    # message intake
+    # ------------------------------------------------------------------
+    def add_intake_filter(self, fn: Callable[[Message], bool]) -> None:
+        """Register a filter that may consume incoming messages (returns
+        True when it swallowed the message)."""
+        self._intake_filters.append(fn)
+
+    def next_network_msg(self) -> Optional[Message]:
+        """The next undelivered network message: side-buffered messages
+        (from ``CmiGetSpecificMsg`` waits) first, then the inbox.  Intake
+        filters (scatter advance-receives) may consume fresh arrivals."""
+        if self._buffered:
+            return self._buffered.popleft()
+        return self.poll_network_filtered()
+
+    def poll_network_filtered(self) -> Optional[Message]:
+        """Pop the next *fresh* arrival (never the side buffer), applying
+        intake filters.  Selective-receive loops use this so that
+        messages they just side-buffered are not handed straight back to
+        them (which would spin forever)."""
+        while True:
+            msg = self.node.poll()
+            if msg is None:
+                return None
+            if self._intake_filters and any(f(msg) for f in self._intake_filters):
+                continue
+            return msg
+
+    def take_buffered(self, handler_id: int) -> Optional[Message]:
+        """Remove and return the oldest side-buffered message for
+        ``handler_id``, if any."""
+        for i, msg in enumerate(self._buffered):
+            if msg.handler == handler_id:
+                del self._buffered[i]
+                return msg
+        return None
+
+    def buffer_msg(self, msg: Message) -> None:
+        """Stash a message for later delivery (``CmiGetSpecificMsg``)."""
+        self._buffered.append(msg)
+
+    @property
+    def has_pending_network(self) -> bool:
+        """True when undelivered network input exists."""
+        return bool(self._buffered) or bool(self.node.inbox)
+
+    def deliver_from_network(self, msg: Message) -> None:
+        """Charge receive-side costs and run the message's handler — the
+        path taken by ``CmiDeliverMsgs`` and the scheduler's network
+        drain."""
+        self.node.charge(self.model.recv_overhead + self.model.cvs_dispatch_extra)
+        self.invoke_handler(msg, from_queue=False)
+
+    def invoke_handler(self, msg: Message, from_queue: bool) -> None:
+        """Look the handler up and call it, enforcing the CMI buffer
+        ownership protocol: the buffer is recycled unless the handler
+        grabbed it."""
+        fn = self.handlers.lookup(msg.handler)
+        self.node.stats.handlers_run += 1
+        self.trace_event(
+            "handler_begin",
+            handler=msg.handler,
+            name=self.handlers.name_of(msg.handler),
+            from_queue=from_queue,
+            src=msg.src_pe,
+            size=msg.size,
+        )
+        msg.mark_cmi_owned()
+        try:
+            fn(msg)
+        finally:
+            msg.recycle()
+            self.trace_event("handler_end", handler=msg.handler)
+
+    # ------------------------------------------------------------------
+    # Ccd: timed callbacks (Converse's conditional/periodic callback
+    # module — ``CcdCallFnAfter``)
+    # ------------------------------------------------------------------
+    def ccd_call_fn_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on this PE, in scheduler (handler) context, after
+        ``delay`` seconds of virtual time — the timer-interrupt service
+        every Converse port provides.  The callback arrives as a local
+        generalized message, so a PE idling in ``CsdScheduler`` wakes for
+        it."""
+        if delay < 0:
+            raise ConverseError(f"Ccd delay must be >= 0, got {delay}")
+        msg = Message(self._h_ccd, fn, size=0)
+        self.node.engine.schedule(delay, self.node.deliver, msg)
+
+    def _on_ccd(self, msg: Message) -> None:
+        # A Ccd tick is a timer interrupt, not a message: undo the
+        # delivery count so message-conservation invariants (used by
+        # quiescence detection) stay exact.
+        self.node.stats.msgs_received -= 1
+        msg.payload()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def exit_all_schedulers(self) -> None:
+        """Stop the Csd scheduler on every PE: exits the local one and
+        broadcasts an exit request to all others (``CsdExitAll``)."""
+        self.cmi.sync_broadcast(Message(self._h_exit_sched, None, size=0))
+        self.scheduler.exit()
+
+    def converse_exit(self) -> None:
+        """``ConverseExit``: mark this PE's runtime finished.  No Converse
+        call may follow on this PE (enforced loosely: the flag is checked
+        by the C-style API layer)."""
+        self.exited = True
+        self.trace_event("converse_exit")
+
+    def check_active(self) -> None:
+        """Raise if ConverseExit already ran on this PE."""
+        if self.exited:
+            raise ConverseError(
+                f"Converse call on PE {self.node.pe} after ConverseExit"
+            )
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def trace_event(self, kind: str, **fields: Any) -> None:
+        """Forward an event to the machine's tracer (no-op when tracing is
+        disabled — need-based cost applies to instrumentation too)."""
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.record(self.node.pe, self.node.now, kind, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConverseRuntime pe={self.node.pe} handlers={len(self.handlers)}>"

@@ -1,0 +1,224 @@
+"""The unified Csd scheduler (paper sections 3.1.2 and the API appendix).
+
+One scheduler serves every concurrent entity on a PE — messages from the
+network, ready threads, and delayed local work — because all of them are
+generalized messages.  The loop matches the paper's Figure 3 pseudo-code:
+
+.. code-block:: c
+
+    while (not done) {
+        DeliverMsgs();                       // drain the network first
+        message = Dequeue(SchedulerQueue);   // then one local message
+        (HandlerOf(message))(message);
+    }
+
+Crucially the scheduler is *exposed to the user program*: an SPM module
+calls :meth:`CsdScheduler.run` (``CsdScheduler(n)`` / ``-1`` /
+``run_until_idle``) to donate its idle time to concurrent modules, which
+is the mechanism that lets explicit and implicit control regimes coexist.
+
+Cost accounting (used by the Figure 6 experiment): draining a network
+message charges the model's receive overhead plus the Converse dispatch
+cost; a queue round-trip additionally charges ``enqueue_cost`` at
+``CsdEnqueue`` and ``dequeue_cost`` at dequeue.  Languages that do not
+queue never pay the queueing costs — need-based cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.message import Message, Priority
+from repro.core.queueing import SchedulingQueue, make_queue
+
+__all__ = ["CsdScheduler"]
+
+
+class CsdScheduler:
+    """Per-PE scheduler instance.
+
+    Parameters
+    ----------
+    runtime:
+        The owning :class:`~repro.core.runtime.ConverseRuntime`; supplies
+        the node (for time charging and inbox access), the handler table
+        and the cost model.
+    queue:
+        A :class:`SchedulingQueue` or a strategy name.
+    """
+
+    def __init__(self, runtime: Any, queue: Any = "fifo") -> None:
+        self.runtime = runtime
+        self.queue: SchedulingQueue = (
+            queue if isinstance(queue, SchedulingQueue) else make_queue(queue)
+        )
+        #: pending CsdExitScheduler requests; each one terminates the
+        #: innermost running scheduler invocation (CsdStopFlag semantics).
+        self._stop_requests = 0
+        #: nesting depth of scheduler invocations (SPM code may call the
+        #: scheduler from inside a handler).
+        self._depth = 0
+        #: total messages delivered to handlers via this scheduler.
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # queue side
+    # ------------------------------------------------------------------
+    def enqueue(self, msg: Message, prio: Priority = None) -> None:
+        """``CsdEnqueue``: queue a generalized message for later dispatch.
+
+        The message's own priority is used unless ``prio`` overrides it.
+        The buffer is grabbed on the caller's behalf (a queued message
+        outlives the current handler, so ownership must leave the CMI —
+        on real machines this is the handler's explicit ``CmiGrabBuffer``;
+        here the queue does it as a documented convenience).
+
+        Charges ``enqueue_cost`` — this is the cost the Figure 6
+        experiment isolates.
+        """
+        node = self.runtime.node
+        if msg.cmi_owned:
+            msg.grab()
+        self.queue.push(msg, msg.prio if prio is None else prio)
+        node.charge(self.runtime.model.enqueue_cost)
+        self.runtime.trace_event("enqueue", handler=msg.handler)
+        # Another tasklet on this PE may be idling inside the scheduler.
+        node.kick()
+
+    def enqueue_free(self, msg: Message, prio: Priority = None) -> None:
+        """Queue without charging (used for bookkeeping messages created
+        by the runtime itself, e.g. thread-awakening entries, so that the
+        queueing-cost ablation isolates exactly the user-visible path)."""
+        if msg.cmi_owned:
+            msg.grab()
+        self.queue.push(msg, msg.prio if prio is None else prio)
+        self.runtime.node.kick()
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def exit(self) -> None:
+        """``CsdExitScheduler``: stop the (innermost) scheduler loop when
+        control next returns to it."""
+        self._stop_requests += 1
+        self.runtime.node.kick()
+
+    @property
+    def running(self) -> bool:
+        """True while a scheduler invocation is on this PE's stack."""
+        return self._depth > 0
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def deliver_network_msgs(self, limit: Optional[int] = None) -> int:
+        """``CmiDeliverMsgs``: drain the network inbox, invoking the
+        handler of each message directly.  Returns the number delivered."""
+        n = 0
+        while limit is None or n < limit:
+            msg = self.runtime.next_network_msg()
+            if msg is None:
+                break
+            self.runtime.deliver_from_network(msg)
+            n += 1
+            self.delivered += 1
+        return n
+
+    def _dispatch_queued(self) -> bool:
+        """Dequeue one local message and run its handler.  Returns False
+        when the queue is empty."""
+        msg = self.queue.pop()
+        if msg is None:
+            return False
+        node = self.runtime.node
+        node.charge(self.runtime.model.dequeue_cost)
+        self.runtime.trace_event("dequeue", handler=msg.handler)
+        self.runtime.invoke_handler(msg, from_queue=True)
+        self.delivered += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, nmsgs: int = -1) -> int:
+        """``CsdScheduler(n)``.
+
+        ``nmsgs == -1``: loop (blocking when idle) until :meth:`exit` is
+        called from a handler or another tasklet.
+        ``nmsgs >= 0``: process exactly that many messages, blocking while
+        idle — the ``ScheduleFor(n)`` variant SPM modules use "to allow a
+        certain amount of concurrent execution while they wait for data".
+        An :meth:`exit` request ends either variant early.
+
+        For donation of idle time *without* blocking, use
+        :meth:`run_until_idle` or :meth:`poll`.
+
+        Returns the number of messages delivered to handlers.
+        """
+        node = self.runtime.node
+        self._depth += 1
+        count = 0
+        try:
+            while True:
+                if self._stop_requests > 0:
+                    self._stop_requests -= 1
+                    break
+                if nmsgs >= 0 and count >= nmsgs:
+                    break
+                budget = None if nmsgs < 0 else nmsgs - count
+                count += self.deliver_network_msgs(limit=budget)
+                if self._stop_requests > 0:
+                    self._stop_requests -= 1
+                    break
+                if nmsgs >= 0 and count >= nmsgs:
+                    break
+                if self._dispatch_queued():
+                    count += 1
+                    continue
+                if self.runtime.has_pending_network:
+                    continue
+                # Idle: block until something arrives, is enqueued, or an
+                # exit request lands.
+                node.wait_until(
+                    lambda: self.runtime.has_pending_network
+                    or len(self.queue)
+                    or self._stop_requests > 0
+                )
+        finally:
+            self._depth -= 1
+        return count
+
+    def run_until_idle(self) -> int:
+        """``ScheduleUntilIdle()``: loop until both the network inbox and
+        the scheduler queue are empty, then return (never blocks)."""
+        count = 0
+        self._depth += 1
+        try:
+            while True:
+                if self._stop_requests > 0:
+                    self._stop_requests -= 1
+                    break
+                count += self.deliver_network_msgs()
+                if self._dispatch_queued():
+                    count += 1
+                    continue
+                if not self.runtime.has_pending_network:
+                    break
+        finally:
+            self._depth -= 1
+        return count
+
+    def poll(self) -> int:
+        """Process everything currently available exactly once (a single
+        DeliverMsgs + queue drain pass), never blocking.  Handy for SPM
+        code that wants to stay responsive inside a compute loop."""
+        count = self.deliver_network_msgs()
+        while self._dispatch_queued():
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CsdScheduler pe={self.runtime.node.pe} queued={len(self.queue)} "
+            f"delivered={self.delivered}>"
+        )

@@ -1,0 +1,3 @@
+"""Language runtimes layered on Converse: SM, threaded SM, a PVM subset,
+an NXLib subset, Charm-style message-driven objects, a data-parallel
+layer, and the paper's section-4 coordination language."""

@@ -1,0 +1,677 @@
+"""Charm-style message-driven objects on Converse (paper sections 1, 2.1,
+3.3, 5).
+
+Implements the concurrent-object category of the paper's computational
+model: *chares* with asynchronous entry-method invocation ("the caller is
+not made to wait"), seed-based creation through the Cld balancer ("the
+seeds for such objects can float around the system until they take root"),
+branch-office (group) chares with one branch per PE, spanning-tree
+reductions, and quiescence detection.
+
+Two Converse mechanisms from the paper are used exactly as described:
+
+* **Priorities** — entry invocations may carry int or bitvector
+  priorities; they take effect when the machine uses a priority queueing
+  strategy (section 2.3).
+* **The second-handler trick** (section 3.3) — the network handler
+  *changes the message's handler index* to the from-queue handler before
+  ``CsdEnqueue``-ing it, so the dequeued message is not re-enqueued:
+  "to avoid infinite regress, the handler stored in the message may be
+  changed to point to a second handler defined by the language runtime."
+
+Chare addressing is home-based (like Charm's): a chare id is
+``(home_pe, seq)``; method messages route via the home PE, which learns
+the rooting location when the seed lands and forwards (buffering any
+invocations that raced ahead of the seed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.errors import CharmError
+from repro.core.message import Message, Priority, estimate_size
+from repro.langs.common import LanguageRuntime
+
+__all__ = ["Chare", "ChareProxy", "GroupProxy", "ArrayProxy", "Charm"]
+
+
+class Chare:
+    """Base class for user chares.
+
+    Entry methods are ordinary methods; any of them may be invoked
+    asynchronously through a proxy.  The runtime injects:
+
+    * ``self.thisProxy`` — a proxy to this chare,
+    * ``self.charm``    — the local :class:`Charm` runtime,
+    * ``self.mype``     — the PE this chare rooted on.
+    """
+
+    thisProxy: "ChareProxy"
+    charm: "Charm"
+    mype: int
+
+
+class _EntryCall:
+    """Bound entry-method sender: ``proxy.method(*args, prio=...)``."""
+
+    __slots__ = ("_proxy", "_method")
+
+    def __init__(self, proxy: Any, method: str) -> None:
+        self._proxy = proxy
+        self._method = method
+
+    def __call__(self, *args: Any, prio: Priority = None) -> None:
+        self._proxy._invoke(self._method, args, prio)
+
+
+class ChareProxy:
+    """A location-independent handle to one chare — plain data, safe to
+    embed in messages and pass between PEs."""
+
+    __slots__ = ("cid",)
+
+    def __init__(self, cid: Tuple[int, int]) -> None:
+        self.cid = cid
+
+    def _invoke(self, method: str, args: tuple, prio: Priority) -> None:
+        Charm.get()._send_invocation(self.cid, method, args, prio)
+
+    def __getattr__(self, name: str) -> _EntryCall:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _EntryCall(self, name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChareProxy) and other.cid == self.cid
+
+    def __hash__(self) -> int:
+        return hash(("ChareProxy", self.cid))
+
+    def __repr__(self) -> str:
+        return f"ChareProxy{self.cid}"
+
+
+class _GroupEntryCall:
+    __slots__ = ("_proxy", "_method")
+
+    def __init__(self, proxy: "GroupProxy", method: str) -> None:
+        self._proxy = proxy
+        self._method = method
+
+    def __call__(self, *args: Any, prio: Priority = None) -> None:
+        Charm.get()._send_group_invocation(
+            self._proxy.gid, self._proxy.pe, self._method, args, prio
+        )
+
+
+class GroupProxy:
+    """Handle to a branch-office (group) chare: one branch per PE.
+
+    ``proxy.method(...)`` broadcasts to every branch;
+    ``proxy[pe].method(...)`` targets one branch.
+    """
+
+    __slots__ = ("gid", "pe")
+
+    def __init__(self, gid: Tuple[int, int], pe: Optional[int] = None) -> None:
+        self.gid = gid
+        self.pe = pe
+
+    def __getitem__(self, pe: int) -> "GroupProxy":
+        return GroupProxy(self.gid, pe)
+
+    def __getattr__(self, name: str) -> _GroupEntryCall:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _GroupEntryCall(self, name)
+
+    def __repr__(self) -> str:
+        target = "all" if self.pe is None else f"pe{self.pe}"
+        return f"GroupProxy{self.gid}[{target}]"
+
+
+class _ArrayElemCall:
+    __slots__ = ("_proxy", "_method")
+
+    def __init__(self, proxy: "ArrayProxy", method: str) -> None:
+        self._proxy = proxy
+        self._method = method
+
+    def __call__(self, *args: Any, prio: Priority = None) -> None:
+        Charm.get()._send_array_invocation(
+            self._proxy.aid, self._proxy.index, self._method, args, prio
+        )
+
+
+class ArrayProxy:
+    """Handle to a chare array (a Charm++-style indexed collection).
+
+    ``proxy.method(...)`` broadcasts to every element;
+    ``proxy[i].method(...)`` targets element ``i``.
+    """
+
+    __slots__ = ("aid", "n", "index")
+
+    def __init__(self, aid: Tuple[int, int], n: int,
+                 index: Optional[int] = None) -> None:
+        self.aid = aid
+        self.n = n
+        self.index = index
+
+    def __getitem__(self, index: int) -> "ArrayProxy":
+        if not 0 <= index < self.n:
+            raise CharmError(f"array index {index} out of range [0, {self.n})")
+        return ArrayProxy(self.aid, self.n, index)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getattr__(self, name: str) -> _ArrayElemCall:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _ArrayElemCall(self, name)
+
+    def __repr__(self) -> str:
+        target = "all" if self.index is None else f"[{self.index}]"
+        return f"ArrayProxy{self.aid}{target} n={self.n}"
+
+
+class Charm(LanguageRuntime):
+    """Per-PE Charm runtime."""
+
+    lang_name = "charm"
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        # --- handlers (the second-handler trick needs two per path) ----
+        self._h_create_net = runtime.register_handler(
+            self._on_create_net, "charm.create.net"
+        )
+        self._h_create_q = runtime.register_handler(
+            self._on_create_q, "charm.create.q"
+        )
+        self._h_invoke_net = runtime.register_handler(
+            self._on_invoke_net, "charm.invoke.net"
+        )
+        self._h_invoke_q = runtime.register_handler(
+            self._on_invoke_q, "charm.invoke.q"
+        )
+        self._h_rooted = runtime.register_handler(self._on_rooted, "charm.rooted")
+        self._h_route = runtime.register_handler(self._on_route, "charm.route")
+        self._h_migrate = runtime.register_handler(self._on_migrate, "charm.migrate")
+        self._h_group = runtime.register_handler(self._on_group, "charm.group")
+        self._h_reduce = runtime.register_handler(self._on_reduce, "charm.reduce")
+        self._h_array = runtime.register_handler(self._on_array, "charm.array")
+        self._h_exit = runtime.register_handler(self._on_exit, "charm.exit")
+        # --- local state ------------------------------------------------
+        self._next_seq = 0
+        #: chares living on this PE: cid -> instance.
+        self.local_chares: Dict[Tuple[int, int], Chare] = {}
+        #: home directory: cid -> rooted PE (for cids homed here).
+        self._locations: Dict[Tuple[int, int], int] = {}
+        #: invocations that raced ahead of their seed, buffered at home.
+        self._pending_routes: Dict[Tuple[int, int], List[tuple]] = {}
+        #: forwarding pointers left behind by migrated chares ("queues
+        #: for forwarding messages to migrated objects", section 3.3.1
+        #: footnote): cid -> the PE the chare moved to.
+        self._forwarding: Dict[Tuple[int, int], int] = {}
+        #: per-chare activity (entry invocations executed here), the load
+        #: metric quasi-dynamic rebalancing uses.
+        self.chare_activity: Dict[Tuple[int, int], int] = {}
+        #: group branches on this PE: gid -> instance.
+        self.local_groups: Dict[Tuple[int, int], Chare] = {}
+        #: invocations for groups whose branch has not arrived yet.
+        self._pending_group: Dict[Tuple[int, int], List[tuple]] = {}
+        #: chare-array elements resident here: aid -> {index: instance}.
+        self.local_array_elems: Dict[Tuple[int, int], Dict[int, Chare]] = {}
+        #: array sizes, learned at creation: aid -> n.
+        self._array_sizes: Dict[Tuple[int, int], int] = {}
+        #: invocations for arrays whose create has not arrived yet.
+        self._pending_array: Dict[Tuple[int, int], List[tuple]] = {}
+        #: array-reduction collection state on the array's home PE.
+        self._array_red: Dict[Tuple[Any, Any], Dict[str, Any]] = {}
+        #: reduction state: (gid, seq) -> {contribs, expected-from-children}
+        self._red_state: Dict[Tuple[Any, int], Dict[str, Any]] = {}
+        self._red_seq: Dict[Any, int] = {}
+        self.stats_invocations = 0
+        self.stats_chares_created = 0
+
+    # ==================================================================
+    # chare creation (seeds through Cld)
+    # ==================================================================
+    def create(self, cls: Type[Chare], *args: Any, prio: Priority = None,
+               on_pe: Optional[int] = None) -> ChareProxy:
+        """Create a chare asynchronously; returns its proxy immediately.
+
+        Without ``on_pe`` the creation message is a *seed* handed to the
+        configured Cld strategy; with it, placement is explicit.
+        """
+        if not (isinstance(cls, type) and issubclass(cls, Chare)):
+            raise CharmError(f"chares must subclass Chare, got {cls!r}")
+        self._next_seq += 1
+        cid = (self.my_pe, self._next_seq)
+        self.stats_chares_created += 1
+        payload = (cls, args, cid)
+        msg = Message(self._h_create_net, payload,
+                      size=estimate_size(args) + 32, prio=prio)
+        self.runtime.trace_event("object_create", cid=str(cid), cls=cls.__name__)
+        if on_pe is None:
+            self.runtime.cld.enqueue(msg)
+        elif on_pe == self.my_pe:
+            msg.handler = self._h_create_q
+            self.runtime.scheduler.enqueue(msg)
+        else:
+            self.cmi.sync_send(on_pe, msg)
+        return ChareProxy(cid)
+
+    def _on_create_net(self, msg: Message) -> None:
+        # Second-handler trick: route through the queue exactly once.
+        msg.handler = self._h_create_q
+        self.runtime.scheduler.enqueue(msg)
+
+    def _on_create_q(self, msg: Message) -> None:
+        cls, args, cid = msg.payload
+        obj = cls.__new__(cls)
+        obj.thisProxy = ChareProxy(cid)
+        obj.charm = self
+        obj.mype = self.my_pe
+        self.local_chares[cid] = obj
+        home = cid[0]
+        if home == self.my_pe:
+            self._record_location(cid, self.my_pe)
+        else:
+            note = Message(self._h_rooted, (cid, self.my_pe), size=16)
+            self.cmi.sync_send(home, note)
+        obj.__init__(*args)
+
+    def _on_rooted(self, msg: Message) -> None:
+        cid, pe = msg.payload
+        self._record_location(cid, pe)
+
+    def _record_location(self, cid: Tuple[int, int], pe: int) -> None:
+        self._locations[cid] = pe
+        for route in self._pending_routes.pop(cid, []):
+            self._forward_route(cid, pe, route)
+
+    # ==================================================================
+    # entry-method invocation
+    # ==================================================================
+    def _send_invocation(self, cid: Tuple[int, int], method: str,
+                         args: tuple, prio: Priority) -> None:
+        self.stats_invocations += 1
+        route = (method, args, prio)
+        if cid in self.local_chares:
+            payload = (cid, method, args)
+            msg = Message(self._h_invoke_q, payload,
+                          size=estimate_size(args) + 24, prio=prio)
+            self.runtime.scheduler.enqueue(msg)
+            return
+        home = cid[0]
+        if home == self.my_pe:
+            loc = self._locations.get(cid)
+            if loc is None:
+                self._pending_routes.setdefault(cid, []).append(route)
+            else:
+                self._forward_route(cid, loc, route)
+            return
+        # Ask the home PE to route it.
+        msg = Message(self._h_route, (cid, route),
+                      size=estimate_size(args) + 24, prio=prio)
+        self.cmi.sync_send(home, msg)
+
+    def _forward_route(self, cid: Tuple[int, int], pe: int, route: tuple) -> None:
+        method, args, prio = route
+        if pe == self.my_pe:
+            payload = (cid, method, args)
+            msg = Message(self._h_invoke_q, payload,
+                          size=estimate_size(args) + 24, prio=prio)
+            self.runtime.scheduler.enqueue(msg)
+            return
+        msg = Message(self._h_invoke_net, (cid, method, args),
+                      size=estimate_size(args) + 24, prio=prio)
+        self.cmi.sync_send(pe, msg)
+
+    def _on_route(self, msg: Message) -> None:
+        cid, route = msg.payload
+        loc = self._locations.get(cid)
+        if cid in self.local_chares:
+            loc = self.my_pe
+        if loc is None:
+            self._pending_routes.setdefault(cid, []).append(route)
+        else:
+            self._forward_route(cid, loc, route)
+
+    def _on_invoke_net(self, msg: Message) -> None:
+        # Second-handler trick again: one pass through the Csd queue.
+        msg.handler = self._h_invoke_q
+        self.runtime.scheduler.enqueue(msg)
+
+    def _on_invoke_q(self, msg: Message) -> None:
+        cid, method, args = msg.payload
+        obj = self.local_chares.get(cid)
+        if obj is None:
+            forward_to = self._forwarding.get(cid)
+            if forward_to is not None:
+                # The chare migrated away; chase it (possibly a chain).
+                fwd = Message(self._h_invoke_net, (cid, method, args),
+                              size=msg.size, prio=msg.prio)
+                self.cmi.sync_send(forward_to, fwd)
+                return
+            raise CharmError(
+                f"invocation of {method!r} on unknown chare {cid} on "
+                f"PE {self.my_pe}"
+            )
+        self.chare_activity[cid] = self.chare_activity.get(cid, 0) + 1
+        self._call_entry(obj, method, args)
+
+    def _call_entry(self, obj: Chare, method: str, args: tuple) -> None:
+        fn = getattr(obj, method, None)
+        if fn is None or not callable(fn):
+            raise CharmError(
+                f"{type(obj).__name__} has no entry method {method!r}"
+            )
+        self.runtime.trace_event(
+            "user", event="entry", cls=type(obj).__name__, method=method
+        )
+        fn(*args)
+
+    # ==================================================================
+    # chare migration (the section-3.3.1 footnote's object migration,
+    # built "on top of Converse as [a] Converse librar[y]")
+    # ==================================================================
+    def migrate(self, cid: Tuple[int, int], dest_pe: int) -> None:
+        """Move a chare living on this PE to ``dest_pe``.
+
+        The departing PE leaves a forwarding pointer so in-flight
+        invocations chase the chare; the home PE's directory is updated
+        when the chare lands, after which new invocations route directly.
+        """
+        obj = self.local_chares.pop(cid, None)
+        if obj is None:
+            raise CharmError(
+                f"cannot migrate chare {cid}: not resident on PE {self.my_pe}"
+            )
+        if dest_pe == self.my_pe:
+            self.local_chares[cid] = obj
+            return
+        self._forwarding[cid] = dest_pe
+        activity = self.chare_activity.pop(cid, 0)
+        self.runtime.trace_event(
+            "user", event="migrate", cid=str(cid), dest=dest_pe
+        )
+        msg = Message(self._h_migrate, (cid, obj, activity), size=64)
+        self.cmi.sync_send(dest_pe, msg)
+
+    def _on_migrate(self, msg: Message) -> None:
+        cid, obj, activity = msg.payload
+        obj.charm = self
+        obj.mype = self.my_pe
+        self.local_chares[cid] = obj
+        self.chare_activity[cid] = activity
+        # If it ever lived here before, drop the stale pointer.
+        self._forwarding.pop(cid, None)
+        home = cid[0]
+        if home == self.my_pe:
+            self._record_location(cid, self.my_pe)
+        else:
+            note = Message(self._h_rooted, (cid, self.my_pe), size=16)
+            self.cmi.sync_send(home, note)
+
+    # ==================================================================
+    # branch-office (group) chares
+    # ==================================================================
+    def create_group(self, cls: Type[Chare], *args: Any) -> GroupProxy:
+        """Create a group chare: one branch of ``cls`` on every PE."""
+        if not (isinstance(cls, type) and issubclass(cls, Chare)):
+            raise CharmError(f"groups must subclass Chare, got {cls!r}")
+        self._next_seq += 1
+        gid = (self.my_pe, self._next_seq)
+        msg = Message(self._h_group, ("create", gid, cls, args, None),
+                      size=estimate_size(args) + 32)
+        self.cmi.sync_broadcast_all(msg)
+        return GroupProxy(gid)
+
+    def _on_group(self, msg: Message) -> None:
+        kind, gid, a, b, prio = msg.payload
+        if kind == "create":
+            cls, args = a, b
+            obj = cls.__new__(cls)
+            obj.thisProxy = GroupProxy(gid, self.my_pe)
+            obj.charm = self
+            obj.mype = self.my_pe
+            self.local_groups[gid] = obj
+            obj.__init__(*args)
+            for method, args2, prio2 in self._pending_group.pop(gid, []):
+                self._queue_group_call(gid, method, args2, prio2)
+        else:  # "invoke"
+            method, args = a, b
+            obj = self.local_groups.get(gid)
+            if obj is None:
+                self._pending_group.setdefault(gid, []).append((method, args, prio))
+            else:
+                self._queue_group_call(gid, method, args, prio)
+
+    def _queue_group_call(self, gid: Tuple[int, int], method: str,
+                          args: tuple, prio: Priority) -> None:
+        # Group calls dispatch eagerly on arrival (they already paid the
+        # network path); per-branch work that needs prioritization can
+        # itself enqueue via CsdEnqueue.
+        obj = self.local_groups[gid]
+        self._call_entry(obj, method, args)
+
+    def _send_group_invocation(self, gid: Tuple[int, int], pe: Optional[int],
+                               method: str, args: tuple, prio: Priority) -> None:
+        self.stats_invocations += 1
+        msg = Message(self._h_group, ("invoke", gid, method, args, prio),
+                      size=estimate_size(args) + 24, prio=prio)
+        if pe is None:
+            self.cmi.sync_broadcast_all(msg)
+        else:
+            # Self-sends loop back through the machine layer too: entry
+            # methods are always asynchronous, never direct calls.
+            self.cmi.sync_send(pe, msg)
+
+    # ==================================================================
+    # chare arrays (Charm++-style indexed collections)
+    # ==================================================================
+    def _array_home(self, index: int) -> int:
+        """Default element mapping: round robin over PEs."""
+        return index % self.num_pes
+
+    def create_array(self, cls: Type[Chare], n: int, *args: Any) -> ArrayProxy:
+        """Create an n-element chare array of ``cls``; element ``i`` is
+        constructed with ``cls(*args)`` on PE ``i % P`` and sees
+        ``self.thisIndex`` and ``self.thisArray``.  Returns the proxy."""
+        if not (isinstance(cls, type) and issubclass(cls, Chare)):
+            raise CharmError(f"array elements must subclass Chare, got {cls!r}")
+        if n < 1:
+            raise CharmError(f"a chare array needs n >= 1, got {n}")
+        self._next_seq += 1
+        aid = (self.my_pe, self._next_seq)
+        msg = Message(self._h_array, ("create", aid, n, cls, args, None),
+                      size=estimate_size(args) + 32)
+        self.cmi.sync_broadcast_all(msg)
+        return ArrayProxy(aid, n)
+
+    def _on_array(self, msg: Message) -> None:
+        kind, aid, a, b, c, prio = msg.payload
+        if kind == "create":
+            n, cls, args = a, b, c
+            self._array_sizes[aid] = n
+            elems = self.local_array_elems.setdefault(aid, {})
+            for index in range(self.my_pe, n, self.num_pes):
+                obj = cls.__new__(cls)
+                obj.thisIndex = index
+                obj.thisArray = ArrayProxy(aid, n)
+                obj.thisProxy = ArrayProxy(aid, n, index)
+                obj.charm = self
+                obj.mype = self.my_pe
+                elems[index] = obj
+                self.runtime.trace_event(
+                    "object_create", aid=str(aid), index=index, cls=cls.__name__
+                )
+                obj.__init__(*args)
+            for pending in self._pending_array.pop(aid, []):
+                self._deliver_array_invoke(aid, *pending)
+            return
+        if kind == "invoke":
+            index, method, args = a, b, c
+            if aid not in self._array_sizes:
+                # Raced ahead of the create broadcast on another channel.
+                self._pending_array.setdefault(aid, []).append(
+                    (index, method, args)
+                )
+                return
+            self._deliver_array_invoke(aid, index, method, args)
+            return
+        # kind == "red": an element contribution reaching the home PE.
+        tag, value, op, target = a, b, c, prio
+        self._array_red_deposit(aid, tag, value, op, target)
+
+    def _deliver_array_invoke(self, aid: Tuple[int, int], index: Optional[int],
+                              method: str, args: tuple) -> None:
+        elems = self.local_array_elems.get(aid, {})
+        targets = elems.values() if index is None else (
+            [elems[index]] if index in elems else []
+        )
+        if index is not None and index not in elems:
+            raise CharmError(
+                f"array {aid} element {index} not resident on PE "
+                f"{self.my_pe} (array elements do not migrate)"
+            )
+        for obj in list(targets):
+            self._call_entry(obj, method, args)
+
+    def _send_array_invocation(self, aid: Tuple[int, int],
+                               index: Optional[int], method: str,
+                               args: tuple, prio: Priority) -> None:
+        self.stats_invocations += 1
+        msg = Message(self._h_array, ("invoke", aid, index, method, args, prio),
+                      size=estimate_size(args) + 24, prio=prio)
+        if index is None:
+            self.cmi.sync_broadcast_all(msg)
+        else:
+            self.cmi.sync_send(self._array_home(index), msg)
+
+    def array_contribute(self, element: Chare, tag: Any, value: Any,
+                         op: Callable[[Any, Any], Any],
+                         target: Callable[[Any], None] | tuple) -> None:
+        """Reduction over a chare array: every element contributes once
+        per ``tag``; when all ``n`` contributions are in, ``target``
+        fires on the array's home PE (callable or (proxy, method))."""
+        aid = element.thisArray.aid
+        msg = Message(self._h_array, ("red", aid, tag, value, op, target),
+                      size=estimate_size(value) + 24)
+        home = aid[0]
+        if home == self.my_pe:
+            self._array_red_deposit(aid, tag, value, op, target)
+        else:
+            self.cmi.sync_send(home, msg)
+
+    def _array_red_deposit(self, aid: Tuple[int, int], tag: Any, value: Any,
+                           op: Callable, target: Any) -> None:
+        key = (aid, tag)
+        st = self._array_red.setdefault(key, {"acc": None, "count": 0})
+        st["acc"] = value if st["count"] == 0 else op(st["acc"], value)
+        st["count"] += 1
+        if st["count"] == self._array_sizes[aid]:
+            del self._array_red[key]
+            self._fire_target(target, st["acc"])
+
+    # ==================================================================
+    # reductions (spanning tree over all PEs)
+    # ==================================================================
+    def contribute(self, tag: Any, value: Any, op: Callable[[Any, Any], Any],
+                   target: Callable[[Any], None] | tuple) -> None:
+        """Contribute this PE's value to reduction ``tag``.
+
+        Every PE must contribute exactly once per tag.  When the tree
+        completes, ``target`` fires on PE 0: either a Python callable
+        (invoked with the result) or ``(proxy, "method")`` which sends the
+        result as an entry invocation.
+        """
+        self._red_seq[tag] = self._red_seq.get(tag, 0)
+        self._reduce_deposit(tag, value, op, target, own=True)
+
+    def _tree_children(self, pe: int) -> List[int]:
+        num = self.num_pes
+        kids = [c for c in (2 * pe + 1, 2 * pe + 2) if c < num]
+        return kids
+
+    def _tree_parent(self, pe: int) -> Optional[int]:
+        return None if pe == 0 else (pe - 1) // 2
+
+    def _reduce_deposit(self, tag: Any, value: Any, op: Callable,
+                        target: Any, own: bool) -> None:
+        key = ("red", tag)
+        st = self._red_state.setdefault(
+            key, {"vals": [], "own": False, "kids": 0}
+        )
+        st["vals"].append(value)
+        if own:
+            st["own"] = True
+        else:
+            st["kids"] += 1
+        expected = len(self._tree_children(self.my_pe)) + 1
+        if st["own"] and st["kids"] + 1 == expected:
+            acc = st["vals"][0]
+            for v in st["vals"][1:]:
+                acc = op(acc, v)
+            del self._red_state[key]
+            parent = self._tree_parent(self.my_pe)
+            if parent is None:
+                self._fire_target(target, acc)
+            else:
+                msg = Message(self._h_reduce, (tag, acc, op, target),
+                              size=estimate_size(acc) + 16)
+                self.cmi.sync_send(parent, msg)
+
+    def _on_reduce(self, msg: Message) -> None:
+        tag, value, op, target = msg.payload
+        self._reduce_deposit(tag, value, op, target, own=False)
+
+    def _fire_target(self, target: Any, result: Any) -> None:
+        if callable(target):
+            target(result)
+        else:
+            proxy, method = target
+            getattr(proxy, method)(result)
+
+    # ==================================================================
+    # program control
+    # ==================================================================
+    def exit_all(self) -> None:
+        """Stop the Csd scheduler on every PE (``CkExit`` analogue)."""
+        msg = Message(self._h_exit, None, size=0)
+        self.cmi.sync_broadcast_all(msg)
+
+    def _on_exit(self, msg: Message) -> None:
+        self.runtime.scheduler.exit()
+
+    def start_quiescence(self, callback: Callable[[], None] | tuple) -> None:
+        """Quiescence detection: fire ``callback`` (callable, or
+        ``(proxy, "method")`` entry invocation) when no messages remain in
+        flight anywhere and all PEs are idle."""
+        machine = self.runtime.machine
+        node = self.runtime.node
+
+        if callable(callback):
+            def qd() -> None:
+                # Inject a message so the callback runs in PE context.
+                def run_cb(_msg: Message) -> None:
+                    callback()
+
+                hid = self.runtime.register_handler(run_cb, "charm.qd.cb")
+                node.engine.schedule(0.0, node.deliver, Message(hid, None, size=0))
+        else:
+            proxy, method = callback
+
+            def qd() -> None:
+                def run_cb(_msg: Message) -> None:
+                    getattr(proxy, method)()
+
+                hid = self.runtime.register_handler(run_cb, "charm.qd.cb")
+                node.engine.schedule(0.0, node.deliver, Message(hid, None, size=0))
+
+        machine.register_quiescence(qd)

@@ -1,0 +1,363 @@
+"""Charm's information-sharing abstractions, as a Converse library.
+
+The Charm language (the paper's flagship client, section 1) pairs its
+message-driven objects with *specifically shared variables* — abstractions
+chosen so each can be implemented with the cheapest mechanism its
+semantics allows, instead of generic shared memory:
+
+* **read-only** — initialized once, then read locally anywhere (a
+  broadcast at creation, zero cost per read);
+* **write-once** — created dynamically by any PE, immutable afterwards;
+* **accumulator** — commutative-associative contributions accumulate in a
+  *local* partial (zero messages per ``add``); a collection pass combines
+  partials over the machine's spanning tree;
+* **monotonic** — a value that only improves (e.g. the best bound in
+  branch-and-bound); improvements broadcast, reads are local, and stale
+  updates are simply ignored;
+* **distributed table** — key-hashed entries with insert / find / delete,
+  replies delivered as asynchronous callbacks.
+
+Everything here is plain Converse: handlers, broadcasts, and the binomial
+tree — no help from the simulator.  Attach with
+``SharedVars.attach(machine)`` like any language runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import LanguageError
+from repro.core.message import Message, estimate_size
+from repro.langs.common import LanguageRuntime
+
+__all__ = ["SharedVars", "Accumulator", "Monotonic", "DistTable"]
+
+VarId = Tuple[int, int]
+
+
+class Accumulator:
+    """Handle to an accumulator variable (valid on any PE)."""
+
+    __slots__ = ("vid",)
+
+    def __init__(self, vid: VarId) -> None:
+        self.vid = vid
+
+    def add(self, value: Any) -> None:
+        """Contribute locally — no communication (the abstraction's whole
+        point: commutativity lets contributions stay local)."""
+        SharedVars.get()._acc_add(self.vid, value)
+
+    def collect(self, callback: Callable[[Any], None]) -> None:
+        """Combine all PEs' partials; ``callback(total)`` fires on the
+        calling PE.  Resets the partials for the next accumulation."""
+        SharedVars.get()._acc_collect(self.vid, callback)
+
+
+class Monotonic:
+    """Handle to a monotonic variable."""
+
+    __slots__ = ("vid",)
+
+    def __init__(self, vid: VarId) -> None:
+        self.vid = vid
+
+    def update(self, value: Any) -> bool:
+        """Propose an improvement; returns True if it was one (and is now
+        being broadcast)."""
+        return SharedVars.get()._mono_update(self.vid, value)
+
+    @property
+    def value(self) -> Any:
+        """The best value this PE has heard of — a purely local read."""
+        return SharedVars.get()._mono_read(self.vid)
+
+
+class DistTable:
+    """Handle to a distributed (key-hashed) table."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Store ``value`` under ``key`` on the key's owner PE."""
+        SharedVars.get()._tbl_send("insert", self.tid, key, value, None)
+
+    def find(self, key: Any, callback: Callable[[Optional[Any]], None]) -> None:
+        """Asynchronous lookup; ``callback(value-or-None)`` fires on the
+        calling PE."""
+        SharedVars.get()._tbl_send("find", self.tid, key, None, callback)
+
+    def delete(self, key: Any,
+               callback: Optional[Callable[[Optional[Any]], None]] = None) -> None:
+        """Remove a key; the optional callback receives the removed value
+        (or None)."""
+        SharedVars.get()._tbl_send("delete", self.tid, key, None, callback)
+
+
+class SharedVars(LanguageRuntime):
+    """Per-PE runtime for the shared-variable abstractions."""
+
+    lang_name = "charm_shared"
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        self._h_ro = runtime.register_handler(self._on_readonly, "shv.ro")
+        self._h_acc = runtime.register_handler(self._on_acc, "shv.acc")
+        self._h_mono = runtime.register_handler(self._on_mono, "shv.mono")
+        self._h_tbl = runtime.register_handler(self._on_tbl, "shv.tbl")
+        self._h_reply = runtime.register_handler(self._on_reply, "shv.reply")
+        self._seq = 0
+        # read-only / write-once values by name or vid.
+        self._frozen: Dict[Any, Any] = {}
+        # accumulator state: vid -> {op, partial, has}, plus collection
+        # state on the collecting PE.
+        self._acc: Dict[VarId, Dict[str, Any]] = {}
+        self._acc_pending: Dict[Tuple[VarId, int], Dict[str, Any]] = {}
+        self._collect_seq = 0
+        # monotonic state: vid -> {better, value}.
+        self._mono: Dict[VarId, Dict[str, Any]] = {}
+        # distributed tables: tid -> {key: value} (this PE's shard).
+        self._tables: Dict[int, Dict[Any, Any]] = {}
+        # outstanding table callbacks: token -> callable.
+        self._callbacks: Dict[int, Callable] = {}
+        self._cb_seq = 0
+
+    def _new_vid(self) -> VarId:
+        self._seq += 1
+        return (self.my_pe, self._seq)
+
+    # ==================================================================
+    # read-only / write-once
+    # ==================================================================
+    def readonly_create(self, name: str, value: Any) -> None:
+        """Publish a named read-only value (typically from PE 0 during
+        startup); every PE can then read it locally."""
+        if name in self._frozen:
+            raise LanguageError(f"read-only {name!r} already initialized")
+        # Locally visible immediately; remote PEs learn by broadcast.
+        self._frozen[name] = value
+        msg = Message(self._h_ro, (name, value), size=estimate_size(value) + 16)
+        self.cmi.sync_broadcast(msg)
+
+    def readonly_get(self, name: str) -> Any:
+        """Read a named read-only value (local, free)."""
+        try:
+            return self._frozen[name]
+        except KeyError:
+            raise LanguageError(
+                f"read-only {name!r} not (yet) initialized on PE {self.my_pe}"
+            ) from None
+
+    def readonly_ready(self, name: str) -> bool:
+        """True once the named read-only value is visible here."""
+        return name in self._frozen
+
+    def _on_readonly(self, msg: Message) -> None:
+        name, value = msg.payload
+        if name in self._frozen:
+            raise LanguageError(f"read-only {name!r} written twice")
+        self._frozen[name] = value
+
+    def writeonce_create(self, value: Any) -> VarId:
+        """Dynamically create an immutable value; the returned id can be
+        shipped in messages and read on any PE once distribution lands."""
+        vid = self._new_vid()
+        self._frozen[vid] = value
+        msg = Message(self._h_ro, (vid, value), size=estimate_size(value) + 16)
+        self.cmi.sync_broadcast(msg)
+        return vid
+
+    def writeonce_get(self, vid: VarId) -> Any:
+        """Read a write-once value by id (local, free)."""
+        try:
+            return self._frozen[vid]
+        except KeyError:
+            raise LanguageError(
+                f"write-once {vid} not (yet) visible on PE {self.my_pe}"
+            ) from None
+
+    # ==================================================================
+    # accumulator
+    # ==================================================================
+    def new_accumulator(self, op: Callable[[Any, Any], Any],
+                        init: Any = None) -> Accumulator:
+        """Create an accumulator (collective registration by broadcast).
+        ``init`` seeds the *creating* PE's partial only."""
+        vid = self._new_vid()
+        self._acc[vid] = {"op": op, "partial": init, "has": init is not None}
+        msg = Message(self._h_acc, ("create", vid, op, init, None, None), size=32)
+        self.cmi.sync_broadcast(msg)
+        return Accumulator(vid)
+
+    def _acc_state(self, vid: VarId) -> Dict[str, Any]:
+        st = self._acc.get(vid)
+        if st is None:
+            raise LanguageError(f"unknown accumulator {vid} on PE {self.my_pe}")
+        return st
+
+    def _acc_add(self, vid: VarId, value: Any) -> None:
+        st = self._acc_state(vid)
+        st["partial"] = value if not st["has"] else st["op"](st["partial"], value)
+        st["has"] = True
+
+    def _tree_children(self, pe: int) -> List[int]:
+        return [c for c in (2 * pe + 1, 2 * pe + 2) if c < self.num_pes]
+
+    def _acc_collect(self, vid: VarId, callback: Callable[[Any], None]) -> None:
+        self._collect_seq += 1
+        token = self._collect_seq
+        # Ask every PE to drain its partial up the binary tree rooted at
+        # PE 0, then ship the grand total back to us.
+        msg = Message(self._h_acc, ("drain", vid, None, None, token, self.my_pe),
+                      size=16)
+        self.cmi.sync_broadcast_all(msg)
+        self._cb_seq += 1
+        self._callbacks[("acc", vid, token)] = callback  # type: ignore[index]
+
+    def _on_acc(self, msg: Message) -> None:
+        kind, vid, op, init, token, origin = msg.payload
+        if kind == "create":
+            # Non-creator PEs: partial starts empty (init seeds only the
+            # creating PE, which set its state synchronously).
+            self._acc[vid] = {"op": op, "partial": None, "has": False}
+            return
+        if kind == "drain":
+            st = self._acc_state(vid)
+            self._acc_up(vid, token, origin,
+                         st["partial"] if st["has"] else None, own=True)
+            st["partial"], st["has"] = None, False
+            return
+        if kind == "up":
+            self._acc_up(vid, token, origin, init, own=False)
+            return
+        # kind == "total": the grand total reaching the collector.
+        cb = self._callbacks.pop(("acc", vid, token), None)
+        if cb is not None:
+            cb(init)
+
+    def _acc_up(self, vid: VarId, token: int, origin: int,
+                value: Any, own: bool) -> None:
+        key = (vid, token)
+        st = self._acc_pending.setdefault(
+            key, {"vals": [], "got_own": False, "kids": 0}
+        )
+        if value is not None:
+            st["vals"].append(value)
+        if own:
+            st["got_own"] = True
+        else:
+            st["kids"] += 1
+        if st["got_own"] and st["kids"] == len(self._tree_children(self.my_pe)):
+            op = self._acc_state(vid)["op"]
+            total: Any = None
+            for v in st["vals"]:
+                total = v if total is None else op(total, v)
+            del self._acc_pending[key]
+            if self.my_pe == 0:
+                out = Message(self._h_acc, ("total", vid, None, total, token, origin),
+                              size=estimate_size(total) + 16)
+                self.cmi.sync_send(origin, out)
+            else:
+                parent = (self.my_pe - 1) // 2
+                up = Message(self._h_acc, ("up", vid, None, total, token, origin),
+                             size=estimate_size(total) + 16)
+                self.cmi.sync_send(parent, up)
+
+    # ==================================================================
+    # monotonic
+    # ==================================================================
+    def new_monotonic(self, better: Callable[[Any, Any], Any],
+                      init: Any) -> Monotonic:
+        """Create a monotonic variable; ``better(a, b)`` returns the
+        preferred of two values (e.g. ``max``)."""
+        vid = self._new_vid()
+        self._mono[vid] = {"better": better, "value": init}
+        msg = Message(self._h_mono, ("create", vid, better, init), size=32)
+        self.cmi.sync_broadcast(msg)
+        return Monotonic(vid)
+
+    def _mono_state(self, vid: VarId) -> Dict[str, Any]:
+        st = self._mono.get(vid)
+        if st is None:
+            raise LanguageError(f"unknown monotonic {vid} on PE {self.my_pe}")
+        return st
+
+    def _mono_update(self, vid: VarId, value: Any) -> bool:
+        st = self._mono_state(vid)
+        if st["better"](value, st["value"]) == st["value"]:
+            return False  # not an improvement; no traffic
+        st["value"] = value
+        msg = Message(self._h_mono, ("improve", vid, None, value),
+                      size=estimate_size(value) + 16)
+        self.cmi.sync_broadcast(msg)
+        return True
+
+    def _mono_read(self, vid: VarId) -> Any:
+        return self._mono_state(vid)["value"]
+
+    def _on_mono(self, msg: Message) -> None:
+        kind, vid, better, value = msg.payload
+        if kind == "create":
+            self._mono[vid] = {"better": better, "value": value}
+            return
+        st = self._mono_state(vid)
+        # Stale improvements (crossed on the wire) are simply ignored.
+        if st["better"](value, st["value"]) != st["value"]:
+            st["value"] = value
+
+    # ==================================================================
+    # distributed table
+    # ==================================================================
+    def new_table(self) -> DistTable:
+        """Create a distributed table (ids assigned from the creating
+        PE's sequence; shards exist implicitly on every PE)."""
+        vid = self._new_vid()
+        tid = hash(("table", vid))
+        return DistTable(tid)
+
+    def _tbl_owner(self, key: Any) -> int:
+        return hash(key) % self.num_pes
+
+    def _tbl_send(self, op: str, tid: int, key: Any, value: Any,
+                  callback: Optional[Callable]) -> None:
+        token = None
+        if callback is not None:
+            self._cb_seq += 1
+            token = self._cb_seq
+            self._callbacks[token] = callback
+        owner = self._tbl_owner(key)
+        payload = (op, tid, key, value, token, self.my_pe)
+        if owner == self.my_pe:
+            self._tbl_apply(payload)
+        else:
+            msg = Message(self._h_tbl, payload,
+                          size=estimate_size(key) + estimate_size(value) + 24)
+            self.cmi.sync_send(owner, msg)
+
+    def _on_tbl(self, msg: Message) -> None:
+        self._tbl_apply(msg.payload)
+
+    def _tbl_apply(self, payload: tuple) -> None:
+        op, tid, key, value, token, origin = payload
+        shard = self._tables.setdefault(tid, {})
+        result: Any = None
+        if op == "insert":
+            shard[key] = value
+        elif op == "find":
+            result = shard.get(key)
+        elif op == "delete":
+            result = shard.pop(key, None)
+        if token is not None:
+            if origin == self.my_pe:
+                self._callbacks.pop(token)(result)
+            else:
+                reply = Message(self._h_reply, (token, result),
+                                size=estimate_size(result) + 16)
+                self.cmi.sync_send(origin, reply)
+
+    def _on_reply(self, msg: Message) -> None:
+        token, result = msg.payload
+        self._callbacks.pop(token)(result)

@@ -1,0 +1,393 @@
+"""DP — a small data-parallel layer (the paper's DP-Charm stand-in).
+
+The paper lists DP-Charm, "a data parallel language", among the initial
+Converse clients.  This module provides the data-parallel *runtime* such a
+language compiles to: block-distributed one-dimensional arrays with
+elementwise operations, halo/shift communication, global reductions and
+gathers — all layered on the SM messaging runtime and the EMI spanning
+tree, so DP modules interoperate with every other Converse language in
+one program.
+
+All DArray operations are SPMD collectives: every PE must execute the
+same sequence of calls (the usual loosely synchronous data-parallel
+contract, paper section 2.2).
+
+    DP.attach(machine)
+    def main():
+        dp = DP.get()
+        x = dp.array(1_000, init=lambda i: float(i))
+        y = x.map(lambda v: v * v)
+        total = y.reduce()          # same value on every PE
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import LanguageError
+from repro.langs.common import LanguageRuntime
+from repro.langs.sm import SM
+from repro.machine.emi_groups import world_group
+
+__all__ = ["DP", "DArray", "DArray2D"]
+
+#: SM tag space reserved for DP traffic (shift/gather protocols).
+_DP_TAG_BASE = 1 << 20
+
+
+class DArray:
+    """One PE's block of a distributed 1-D array.
+
+    The global array of ``global_size`` elements is block-distributed:
+    PE ``p`` of ``P`` owns indices ``[p*n//P, (p+1)*n//P)``.
+    """
+
+    def __init__(self, dp: "DP", global_size: int, local: np.ndarray,
+                 lo: int, hi: int) -> None:
+        self.dp = dp
+        self.global_size = global_size
+        self.local = local
+        self.lo = lo
+        self.hi = hi
+
+    # -- construction helpers ------------------------------------------
+    def _like(self, local: np.ndarray) -> "DArray":
+        return DArray(self.dp, self.global_size, local, self.lo, self.hi)
+
+    def _check_conformant(self, other: "DArray") -> None:
+        if other.global_size != self.global_size:
+            raise LanguageError(
+                f"conformance error: arrays of global sizes "
+                f"{self.global_size} and {other.global_size}"
+            )
+
+    # -- elementwise ----------------------------------------------------
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "DArray":
+        """Elementwise transform (purely local, perfectly parallel)."""
+        out = np.asarray(fn(self.local))
+        if out.shape != self.local.shape:
+            raise LanguageError("map function changed the block shape")
+        return self._like(out)
+
+    def _binop(self, other: Union["DArray", float, int], op: Callable) -> "DArray":
+        if isinstance(other, DArray):
+            self._check_conformant(other)
+            return self._like(op(self.local, other.local))
+        return self._like(op(self.local, other))
+
+    def __add__(self, other: Any) -> "DArray":
+        return self._binop(other, np.add)
+
+    def __sub__(self, other: Any) -> "DArray":
+        return self._binop(other, np.subtract)
+
+    def __mul__(self, other: Any) -> "DArray":
+        return self._binop(other, np.multiply)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- communication ----------------------------------------------------
+    def reduce(self, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Global reduction over all elements; every PE gets the result.
+
+        Default op is addition over the block-sums.
+        """
+        local_val = float(np.sum(self.local)) if op is None else None
+        if op is None:
+            return self.dp._allreduce(local_val, lambda a, b: a + b)
+        # General op: fold the local block first, then the tree.
+        acc: Any = None
+        for v in self.local:
+            acc = v if acc is None else op(acc, v)
+        return self.dp._allreduce(acc, op)
+
+    def shift(self, offset: int, fill: float = 0.0) -> "DArray":
+        """The data-parallel shift: result[i] = self[i + offset], with
+        ``fill`` beyond the edges.  Boundary elements cross PEs via SM."""
+        if abs(offset) >= max(1, len(self.local)) and self.dp.num_pes > 1:
+            raise LanguageError(
+                f"shift offset {offset} exceeds the local block size "
+                f"({len(self.local)}); re-block or shift in steps"
+            )
+        sm = self.dp.sm
+        tag = self.dp._next_tag()
+        me, num = self.dp.my_pe, self.dp.num_pes
+        n = len(self.local)
+        out = np.full_like(self.local, fill)
+        if offset == 0:
+            out[:] = self.local
+            return self._like(out)
+        k = abs(offset)
+        if offset > 0:
+            # result[i] = self[i+k]: each PE passes its first k elements
+            # to the left neighbour and takes k from the right.
+            if n > k:
+                out[: n - k] = self.local[k:]
+            if me > 0:
+                sm.send(me - 1, tag, self.local[:min(k, n)].copy(),
+                        size=int(self.local[:min(k, n)].nbytes))
+            if me < num - 1:
+                _, _, incoming = sm.recv(tag=tag, source=me + 1)
+                m = len(incoming)
+                out[n - k: n - k + m] = incoming
+        else:
+            # result[i] = self[i-k]: pass last k to the right, take from left.
+            if n > k:
+                out[k:] = self.local[: n - k]
+            if me < num - 1:
+                sm.send(me + 1, tag, self.local[max(0, n - k):].copy(),
+                        size=int(self.local[max(0, n - k):].nbytes))
+            if me > 0:
+                _, _, incoming = sm.recv(tag=tag, source=me - 1)
+                m = len(incoming)
+                out[k - m: k] = incoming
+        return self._like(out)
+
+    def gather(self, root: int = 0) -> Optional[np.ndarray]:
+        """Collect the full array at ``root`` (``None`` elsewhere)."""
+        sm = self.dp.sm
+        tag = self.dp._next_tag()
+        me = self.dp.my_pe
+        if me != root:
+            sm.send(root, tag, (self.lo, self.local.copy()),
+                    size=int(self.local.nbytes))
+            return None
+        full = np.empty(self.global_size, dtype=self.local.dtype)
+        full[self.lo: self.hi] = self.local
+        for _ in range(self.dp.num_pes - 1):
+            _, _, (lo, block) = sm.recv(tag=tag)
+            full[lo: lo + len(block)] = block
+        return full
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DArray global={self.global_size} block=[{self.lo},{self.hi}) "
+            f"pe={self.dp.my_pe}>"
+        )
+
+
+class DArray2D:
+    """One PE's row-block of a distributed 2-D array.
+
+    A global ``(rows, cols)`` array is distributed by contiguous row
+    blocks; columns are never split, so column-wise operations are local
+    and only row-boundary (north/south) communication exists — the
+    standard 1-D decomposition for 2-D stencils.
+    """
+
+    def __init__(self, dp: "DP", shape: tuple, local: np.ndarray,
+                 lo: int, hi: int) -> None:
+        self.dp = dp
+        self.shape = shape
+        self.local = local
+        self.lo = lo
+        self.hi = hi
+
+    def _like(self, local: np.ndarray) -> "DArray2D":
+        return DArray2D(self.dp, self.shape, local, self.lo, self.hi)
+
+    def _check_conformant(self, other: "DArray2D") -> None:
+        if other.shape != self.shape:
+            raise LanguageError(
+                f"conformance error: shapes {self.shape} and {other.shape}"
+            )
+
+    # -- elementwise ----------------------------------------------------
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "DArray2D":
+        """Elementwise transform of the local block (no communication)."""
+        out = np.asarray(fn(self.local))
+        if out.shape != self.local.shape:
+            raise LanguageError("map function changed the block shape")
+        return self._like(out)
+
+    def _binop(self, other: Any, op: Callable) -> "DArray2D":
+        if isinstance(other, DArray2D):
+            self._check_conformant(other)
+            return self._like(op(self.local, other.local))
+        return self._like(op(self.local, other))
+
+    def __add__(self, other: Any) -> "DArray2D":
+        return self._binop(other, np.add)
+
+    def __sub__(self, other: Any) -> "DArray2D":
+        return self._binop(other, np.subtract)
+
+    def __mul__(self, other: Any) -> "DArray2D":
+        return self._binop(other, np.multiply)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- communication ----------------------------------------------------
+    def reduce(self, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
+        """Global reduction over all elements (default: sum), everywhere."""
+        if op is None:
+            return self.dp._allreduce(float(np.sum(self.local)),
+                                      lambda a, b: a + b)
+        acc: Any = None
+        for v in self.local.ravel():
+            acc = v if acc is None else op(acc, v)
+        return self.dp._allreduce(acc, op)
+
+    def row_halo(self, fill: float = 0.0) -> tuple:
+        """Exchange boundary rows with the north/south neighbours.
+
+        Returns ``(north_ghost, south_ghost)`` — the neighbour rows just
+        outside this block (filled with ``fill`` at the global edges).
+        """
+        if self.shape[0] < self.dp.num_pes:
+            raise LanguageError(
+                f"row halo needs at least one row per PE "
+                f"({self.shape[0]} rows on {self.dp.num_pes} PEs)"
+            )
+        sm = self.dp.sm
+        tag = self.dp._next_tag()
+        me, num = self.dp.my_pe, self.dp.num_pes
+        cols = self.shape[1]
+        north = np.full(cols, fill)
+        south = np.full(cols, fill)
+        nonempty = len(self.local) > 0
+        if me > 0 and nonempty:
+            sm.send(me - 1, tag, self.local[0].copy(),
+                    size=int(self.local[0].nbytes))
+        if me < num - 1 and nonempty:
+            sm.send(me + 1, tag + 1, self.local[-1].copy(),
+                    size=int(self.local[-1].nbytes))
+        if me < num - 1 and nonempty:
+            _, _, south = sm.recv(tag=tag, source=me + 1)
+        if me > 0 and nonempty:
+            _, _, north = sm.recv(tag=tag + 1, source=me - 1)
+        return north, south
+
+    def stencil5(self, fill: float = 0.0) -> "DArray2D":
+        """One 5-point average step (the Jacobi kernel): each element
+        becomes the mean of its four neighbours, ``fill`` beyond edges."""
+        north, south = self.row_halo(fill)
+        rows, cols = self.local.shape
+        framed = np.full((rows + 2, cols + 2), fill)
+        framed[1:-1, 1:-1] = self.local
+        framed[0, 1:-1] = north
+        framed[-1, 1:-1] = south
+        out = 0.25 * (framed[:-2, 1:-1] + framed[2:, 1:-1]
+                      + framed[1:-1, :-2] + framed[1:-1, 2:])
+        return self._like(out)
+
+    def gather(self, root: int = 0) -> Optional[np.ndarray]:
+        """Assemble the full 2-D array at ``root`` (None elsewhere)."""
+        sm = self.dp.sm
+        tag = self.dp._next_tag()
+        me = self.dp.my_pe
+        if me != root:
+            sm.send(root, tag, (self.lo, self.local.copy()),
+                    size=int(self.local.nbytes))
+            return None
+        full = np.empty(self.shape, dtype=self.local.dtype)
+        full[self.lo: self.hi] = self.local
+        for _ in range(self.dp.num_pes - 1):
+            _, _, (lo, block) = sm.recv(tag=tag)
+            full[lo: lo + len(block)] = block
+        return full
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DArray2D global={self.shape} rows=[{self.lo},{self.hi}) "
+            f"pe={self.dp.my_pe}>"
+        )
+
+
+class DP(LanguageRuntime):
+    """Per-PE data-parallel runtime."""
+
+    lang_name = "dp"
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        sm = runtime.lang_instances.get(SM.lang_name)
+        if sm is None:
+            sm = SM(runtime)
+            runtime.lang_instances[SM.lang_name] = sm
+        self.sm = sm
+        self._tag = _DP_TAG_BASE
+
+    def _next_tag(self) -> int:
+        """Collective tag allocation: identical call sequences on all PEs
+        yield identical tags (the SPMD contract makes this safe)."""
+        self._tag += 1
+        return self._tag
+
+    def _allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return self.cmi.groups.reduce(world_group(self.runtime.machine), value, op)
+
+    # ------------------------------------------------------------------
+    # constructors (collective)
+    # ------------------------------------------------------------------
+    def block_bounds(self, global_size: int) -> tuple:
+        """This PE's [lo, hi) row/element range for a global size."""
+        p, num = self.my_pe, self.num_pes
+        lo = p * global_size // num
+        hi = (p + 1) * global_size // num
+        return lo, hi
+
+    def array(self, global_size: int,
+              init: Union[None, float, Callable[[np.ndarray], np.ndarray]] = None,
+              dtype: Any = np.float64) -> DArray:
+        """Create a block-distributed array.
+
+        ``init`` may be a scalar fill, or a vectorized function of the
+        global index array (e.g. ``lambda i: np.sin(i)``).
+        """
+        if global_size < 0:
+            raise LanguageError(f"invalid array size {global_size}")
+        lo, hi = self.block_bounds(global_size)
+        if init is None:
+            local = np.zeros(hi - lo, dtype=dtype)
+        elif callable(init):
+            local = np.asarray(init(np.arange(lo, hi)), dtype=dtype)
+        else:
+            local = np.full(hi - lo, init, dtype=dtype)
+        return DArray(self, global_size, local, lo, hi)
+
+    def from_full(self, full: np.ndarray) -> DArray:
+        """Distribute an existing (replicated) array by taking the local
+        block — handy in tests and when loading replicated input."""
+        full = np.asarray(full)
+        lo, hi = self.block_bounds(len(full))
+        return DArray(self, len(full), full[lo:hi].copy(), lo, hi)
+
+    # ------------------------------------------------------------------
+    # 2-D constructors (collective)
+    # ------------------------------------------------------------------
+    def array2d(self, rows: int, cols: int,
+                init: Union[None, float,
+                            Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+                dtype: Any = np.float64) -> DArray2D:
+        """Create a row-block-distributed 2-D array.
+
+        ``init`` may be a scalar fill or a vectorized function of global
+        (row, col) index grids, e.g. ``lambda i, j: np.sin(i) * j``.
+        """
+        if rows < 0 or cols < 0:
+            raise LanguageError(f"invalid 2-D shape ({rows}, {cols})")
+        lo, hi = self.block_bounds(rows)
+        if init is None:
+            local = np.zeros((hi - lo, cols), dtype=dtype)
+        elif callable(init):
+            i, j = np.meshgrid(np.arange(lo, hi), np.arange(cols), indexing="ij")
+            local = np.asarray(init(i, j), dtype=dtype).reshape(hi - lo, cols)
+        else:
+            local = np.full((hi - lo, cols), init, dtype=dtype)
+        return DArray2D(self, (rows, cols), local, lo, hi)
+
+    def from_full2d(self, full: np.ndarray) -> DArray2D:
+        """Row-block-distribute an existing 2-D array."""
+        full = np.asarray(full)
+        if full.ndim != 2:
+            raise LanguageError(f"from_full2d needs a 2-D array, got {full.ndim}-D")
+        lo, hi = self.block_bounds(full.shape[0])
+        return DArray2D(self, full.shape, full[lo:hi].copy(), lo, hi)

@@ -1,0 +1,115 @@
+"""tSM — the threaded simple-messaging package (paper section 3.2.2).
+
+"``tSMCreate()``: create a new thread, and schedule it for execution via
+the converse scheduler.  ``tSMReceive()``: block the thread waiting for a
+particular (tagged) message.  The low level calls to [the] thread object
+are not exposed to the users of tSM."
+
+This is the canonical *implicit control regime* language built from three
+Converse components: the thread object (suspend/resume), the message
+manager (tagged storage), and the unified scheduler (threads awaken as
+generalized messages in the Csd queue).  Each PE must be running the Csd
+scheduler (e.g. ``machine.launch_schedulers()`` or an SPM main donating
+time) for tSM threads to execute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import LanguageError
+from repro.core.message import Message, estimate_size
+from repro.langs.common import LanguageRuntime
+from repro.msgmgr.message_manager import CMM_WILDCARD, MessageManager
+
+__all__ = ["TSM", "TSM_ANY"]
+
+TSM_ANY = CMM_WILDCARD
+
+
+class TSM(LanguageRuntime):
+    """Per-PE threaded-SM instance."""
+
+    lang_name = "tsm"
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        self.mailbox = MessageManager()
+        self.handler_id = runtime.register_handler(self._on_message, "tsm.recv")
+        #: threads blocked in receive: list of (tag, source, thread).
+        self._waiting: List[Tuple[Any, Any, Any]] = []
+        self.threads_spawned = 0
+
+    # ------------------------------------------------------------------
+    # thread creation
+    # ------------------------------------------------------------------
+    def create(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """``tSMCreate``: make a thread and schedule it via the Converse
+        scheduler (its awakening is a generalized message in the Csd
+        queue)."""
+        cth = self.runtime.cth
+        thr = cth.create(lambda _: fn(*args), None)
+        cth.use_scheduler_strategy(thr)
+        cth.awaken(thr)
+        self.threads_spawned += 1
+        return thr
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, dest_pe: int, tag: int, data: Any,
+             size: Optional[int] = None) -> None:
+        """``tSMSend``: tagged send to a PE; any thread there may claim it."""
+        if isinstance(tag, bool) or not isinstance(tag, int):
+            raise LanguageError(f"tSM tags must be ints, got {type(tag).__name__}")
+        msg = Message(
+            self.handler_id, (tag, data),
+            size=size if size is not None else estimate_size(data),
+        )
+        self.cmi.sync_send(dest_pe, msg)
+
+    def _on_message(self, msg: Message) -> None:
+        """Converse handler: file the message; wake one matching waiter."""
+        tag, data = msg.payload
+        self.mailbox.put(data, tag, msg.src_pe, size=msg.size)
+        self._wake_one_matching(tag, msg.src_pe)
+
+    def _wake_one_matching(self, tag: int, source: Optional[int]) -> None:
+        for i, (wtag, wsrc, thr) in enumerate(self._waiting):
+            tag_ok = wtag is TSM_ANY or wtag == tag
+            src_ok = wsrc is TSM_ANY or wsrc == source
+            if tag_ok and src_ok:
+                del self._waiting[i]
+                # Awakening goes through the thread's strategy — for tSM
+                # threads that is the Csd queue.
+                self.runtime.cth.awaken(thr)
+                return
+
+    def receive(self, tag: Any = TSM_ANY, source: Any = TSM_ANY
+                ) -> Tuple[int, int, Any]:
+        """``tSMReceive``: block the *thread* (not the PE!) until a
+        matching message is available; other threads and handlers run
+        meanwhile.  Returns (tag, source, data)."""
+        cth = self.runtime.cth
+        while True:
+            entry = self.mailbox.get(tag, source)
+            if entry is not None:
+                return entry.tag1, entry.tag2, entry.payload
+            me = cth.self_thread()
+            if me.is_main:
+                raise LanguageError(
+                    "tSMReceive called outside a tSM thread; create the "
+                    "caller with tSMCreate (or use SM for SPM receives)"
+                )
+            self._waiting.append((tag, source, me))
+            cth.suspend()
+
+    def probe(self, tag: Any = TSM_ANY, source: Any = TSM_ANY) -> int:
+        """Size of the oldest matching filed message, or -1 (does not
+        drain the network: delivery is the scheduler's job here)."""
+        return self.mailbox.probe(tag, source)
+
+    @property
+    def blocked_threads(self) -> int:
+        """Threads currently suspended in a tagged receive."""
+        return len(self._waiting)

@@ -1,0 +1,1 @@
+"""Seed-based dynamic load balancing (Cld) strategies."""

@@ -1,0 +1,143 @@
+"""Seed-based dynamic load balancing — the Cld module (paper §3.3.1).
+
+When a program creates "a piece of work or a task that can be executed on
+any processor" (e.g. a new chare in Charm), the creation message is a
+*seed*.  "The seeds for such objects can float around the system until
+they take root on a particular processor" — the Cld module decides where,
+by monitoring load and forwarding seeds between its per-PE instances.
+
+The strategy interface is fully defined here; "a large number of load
+balancing modules [are] supported ... the user is able to link in a
+different load balancing strategy" — concrete strategies live in
+:mod:`repro.loadbalance.strategies`.
+
+Modelling note: strategies read peer queue lengths directly as their load
+telemetry.  A real implementation piggybacks load gossip on application
+messages; reading the live value is the zero-lag idealization of that and
+keeps the comparison between strategies about *placement policy*, which is
+what the ablation benchmark studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.errors import LoadBalanceError
+from repro.core.message import Message, Priority
+
+__all__ = ["CldStats", "CldBalancer"]
+
+#: A seed that has been forwarded this many times roots where it stands.
+MAX_HOPS = 4
+
+
+@dataclass
+class CldStats:
+    """Per-PE seed accounting, used by tests to check conservation."""
+
+    created: int = 0     # seeds handed to this PE's CldEnqueue
+    forwarded: int = 0   # seeds this PE pushed to another PE
+    rooted: int = 0      # seeds that took root (entered the Csd queue) here
+    received: int = 0    # seed wrappers that arrived from the network
+
+
+class CldBalancer:
+    """Base class: owns the seed-forwarding protocol; subclasses provide
+    the placement policy via :meth:`choose_initial` and
+    :meth:`choose_forward`."""
+
+    #: strategy name, set by subclasses (used in reports and registry).
+    name = "abstract"
+
+    def __init__(self, runtime: Any) -> None:
+        self.runtime = runtime
+        self.stats = CldStats()
+        self.handler_id = runtime.register_handler(
+            self._on_seed_arrival, f"cld.{self.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # load metric
+    # ------------------------------------------------------------------
+    def local_load(self) -> int:
+        """This PE's load: queued messages plus undelivered arrivals."""
+        rt = self.runtime
+        return len(rt.scheduler.queue) + len(rt.node.inbox)
+
+    def load_of(self, pe: int) -> int:
+        """A peer's load (idealized zero-lag telemetry; see module doc)."""
+        return self.runtime.peer(pe).cld.local_load()
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def choose_initial(self, msg: Message) -> int:
+        """Destination PE for a freshly created seed.  Default: stay."""
+        return self.runtime.my_pe
+
+    def choose_forward(self, msg: Message, hops: int) -> Optional[int]:
+        """Called when a seed arrives from the network: return a PE to
+        forward to, or ``None`` to root here.  Default: root."""
+        return None
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    def enqueue(self, msg: Message, prio: Priority = None) -> None:
+        """``CldEnqueue``: hand over a seed on the creation PE."""
+        if not isinstance(msg, Message):
+            raise LoadBalanceError(f"CldEnqueue needs a Message, got {type(msg).__name__}")
+        self.stats.created += 1
+        if prio is not None:
+            msg.prio = prio
+        dest = self.choose_initial(msg)
+        if dest == self.runtime.my_pe:
+            self._root(msg)
+        else:
+            self._forward(msg, dest, hops=1)
+
+    def _root(self, msg: Message) -> None:
+        self.stats.rooted += 1
+        self.runtime.trace_event("user", event="seed_root", handler=msg.handler)
+        self.runtime.scheduler.enqueue(msg)
+
+    def _forward(self, msg: Message, dest: int, hops: int) -> None:
+        if dest == self.runtime.my_pe:
+            self._root(msg)
+            return
+        if msg.cmi_owned:
+            msg.grab()
+        self.stats.forwarded += 1
+        self.runtime.trace_event(
+            "user", event="seed_forward", dest=dest, hops=hops
+        )
+        wrapper = Message(
+            handler=self.handler_id,
+            payload=(msg, hops),
+            size=msg.size,
+            prio=msg.prio,
+        )
+        self.runtime.cmi.sync_send(dest, wrapper)
+
+    def _on_seed_arrival(self, wrapper: Message) -> None:
+        inner, hops = wrapper.payload
+        self.stats.received += 1
+        if hops >= MAX_HOPS:
+            self._root(inner)
+            return
+        dest = self.choose_forward(inner, hops)
+        if dest is None or dest == self.runtime.my_pe:
+            self._root(inner)
+        else:
+            self._forward(inner, dest, hops + 1)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"<Cld[{self.name}] pe={self.runtime.my_pe} created={s.created} "
+            f"fwd={s.forwarded} rooted={s.rooted}>"
+        )

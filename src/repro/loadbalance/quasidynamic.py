@@ -1,0 +1,126 @@
+"""Quasi-dynamic load balancing (paper section 3.3.1, footnote 2).
+
+"In quasi-dynamic load balancing, after a phase or period of computation
+has completed, the load and communication patterns in that phase are
+analyzed, and a new global distribution of entities to processors is
+derived.  After moving the entities to their new destinations and
+updating their addresses with all acquaintances, the computation proceeds
+to the next stage.  [This] can be implemented on top of Converse as
+Converse libraries."
+
+This module is that library for Charm-style chares: at a phase boundary
+(the machine quiescent), it reads each chare's measured activity, derives
+a new placement with the classic LPT (longest-processing-time-first)
+greedy heuristic, and issues :meth:`~repro.langs.charm.Charm.migrate`
+calls.  Addresses update through the home-directory + forwarding protocol
+the Charm runtime already implements.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.errors import LoadBalanceError
+
+__all__ = ["RebalancePlan", "plan_lpt", "rebalance"]
+
+Cid = Tuple[int, int]
+
+
+@dataclass
+class RebalancePlan:
+    """The outcome of a planning pass."""
+
+    #: cid -> (current PE, target PE); only entries that actually move.
+    moves: Dict[Cid, Tuple[int, int]] = field(default_factory=dict)
+    #: predicted per-PE load after the moves.
+    predicted: List[float] = field(default_factory=list)
+    #: measured per-PE load before the moves.
+    measured: List[float] = field(default_factory=list)
+
+    @property
+    def imbalance_before(self) -> float:
+        """max/mean PE load as measured (1.0 = balanced)."""
+        return _imbalance(self.measured)
+
+    @property
+    def imbalance_after(self) -> float:
+        """max/mean PE load the plan predicts."""
+        return _imbalance(self.predicted)
+
+
+def _imbalance(loads: List[float]) -> float:
+    mean = sum(loads) / len(loads) if loads else 0.0
+    return (max(loads) / mean) if mean else 1.0
+
+
+def _collect_loads(machine: Any) -> Tuple[Dict[Cid, float], Dict[Cid, int]]:
+    """Per-chare activity and residence, from every PE's Charm runtime."""
+    loads: Dict[Cid, float] = {}
+    residence: Dict[Cid, int] = {}
+    for rt in machine.runtimes:
+        charm = rt.lang_instances.get("charm")
+        if charm is None:
+            raise LoadBalanceError(
+                "quasi-dynamic rebalancing needs the Charm runtime "
+                "attached (Charm.attach(machine))"
+            )
+        for cid in charm.local_chares:
+            residence[cid] = rt.my_pe
+            loads[cid] = float(charm.chare_activity.get(cid, 0)) + 1.0
+    return loads, residence
+
+
+def plan_lpt(machine: Any) -> RebalancePlan:
+    """Greedy LPT placement: heaviest chares first onto the currently
+    lightest PE.  Deterministic (ties break on cid)."""
+    loads, residence = _collect_loads(machine)
+    num = machine.num_pes
+    plan = RebalancePlan()
+    plan.measured = [0.0] * num
+    for cid, load in loads.items():
+        plan.measured[residence[cid]] += load
+    # (current load, pe) heap of bins.
+    bins = [(0.0, pe) for pe in range(num)]
+    heapq.heapify(bins)
+    order = sorted(loads, key=lambda c: (-loads[c], c))
+    placement: Dict[Cid, int] = {}
+    for cid in order:
+        total, pe = heapq.heappop(bins)
+        placement[cid] = pe
+        heapq.heappush(bins, (total + loads[cid], pe))
+    plan.predicted = [0.0] * num
+    for cid, pe in placement.items():
+        plan.predicted[pe] += loads[cid]
+        if pe != residence[cid]:
+            plan.moves[cid] = (residence[cid], pe)
+    return plan
+
+
+def rebalance(machine: Any, plan: RebalancePlan | None = None) -> RebalancePlan:
+    """Execute a rebalancing phase on a quiescent machine.
+
+    Plans (unless given), launches a migration tasklet on every PE that
+    owns outgoing chares, and runs the machine until the moves (and their
+    directory updates) complete.  Returns the plan.
+    """
+    if plan is None:
+        plan = plan_lpt(machine)
+    by_source: Dict[int, List[Tuple[Cid, int]]] = {}
+    for cid, (src, dst) in plan.moves.items():
+        by_source.setdefault(src, []).append((cid, dst))
+
+    def mover(pe: int):
+        def body() -> None:
+            charm = machine.runtime(pe).lang_instances["charm"]
+            for cid, dst in sorted(by_source[pe]):
+                charm.migrate(cid, dst)
+
+        return body
+
+    for pe in by_source:
+        machine.node(pe).spawn(mover(pe), name="rebalance")
+    machine.run()
+    return plan

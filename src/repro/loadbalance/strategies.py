@@ -1,0 +1,185 @@
+"""Concrete Cld strategies.
+
+"Each one is often useful in a different situation.  Depending on the
+application, the user is able to link in a different load balancing
+strategy" (paper section 3.3.1).  The ablation benchmark
+(``benchmarks/bench_ablation_loadbalance.py``) compares them on an
+imbalanced tree workload.
+
+* ``direct``   — no balancing: seeds root where created.  The zero-overhead
+  choice for already-balanced programs (need-based cost).
+* ``random``   — each seed goes to a uniformly random PE.  Simple, stateless,
+  good expected balance for many fine-grained seeds.
+* ``spray``    — round-robin over PEs (the classic Converse "spray" module).
+  Deterministic, perfectly even in seed *count*.
+* ``neighbor`` — keep work local unless this PE is loaded; then push to the
+  least-loaded topology neighbour.  Seeds hop at most
+  :data:`~repro.loadbalance.base.MAX_HOPS` times before rooting.
+* ``central``  — a manager on PE 0 places every seed on the currently
+  least-loaded PE.  Best information, but the manager is a bottleneck and
+  every seed pays an extra network hop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import LoadBalanceError
+from repro.core.message import Message
+from repro.loadbalance.base import CldBalancer
+
+__all__ = [
+    "CldDirect",
+    "CldRandom",
+    "CldSpray",
+    "CldNeighbor",
+    "CldCentral",
+    "BALANCERS",
+    "make_balancer",
+]
+
+
+class CldDirect(CldBalancer):
+    """Seeds always root on the creating PE."""
+
+    name = "direct"
+
+
+class CldRandom(CldBalancer):
+    """Seeds go to a uniformly random PE (possibly the creator).
+
+    Uses the machine's seeded RNG, so runs are reproducible.
+    """
+
+    name = "random"
+
+    def choose_initial(self, msg: Message) -> int:
+        """Placement policy hook: destination PE for a new seed."""
+        return self.runtime.machine.rng.randrange(self.runtime.num_pes)
+
+
+class CldSpray(CldBalancer):
+    """Round-robin spraying, starting just past the creating PE."""
+
+    name = "spray"
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        self._next = (runtime.my_pe + 1) % runtime.num_pes
+
+    def choose_initial(self, msg: Message) -> int:
+        """Placement policy hook: destination PE for a new seed."""
+        dest = self._next
+        self._next = (self._next + 1) % self.runtime.num_pes
+        return dest
+
+
+class CldNeighbor(CldBalancer):
+    """Push excess work to the least-loaded neighbour.
+
+    A seed stays local while this PE's load is at or below
+    ``threshold``; otherwise it moves to the lightest neighbour, provided
+    that neighbour is strictly lighter.  Arriving seeds re-run the test,
+    so a seed can ride a load gradient several hops before rooting.
+    """
+
+    name = "neighbor"
+
+    #: local queue length above which we try to shed seeds.
+    threshold = 2
+
+    def _neighbors(self) -> List[int]:
+        topo = self.runtime.machine.topology
+        pe, num = self.runtime.my_pe, self.runtime.num_pes
+        if num == 1:
+            return []
+        if hasattr(topo, "neighbors"):
+            return topo.neighbors(pe)
+        # Default: ring neighbours.
+        left, right = (pe - 1) % num, (pe + 1) % num
+        return [left] if left == right else [left, right]
+
+    def _lightest_neighbor(self) -> Optional[int]:
+        neighbors = self._neighbors()
+        if not neighbors:
+            return None
+        # min() with the PE number as tie-break keeps this deterministic.
+        return min(neighbors, key=lambda pe: (self.load_of(pe), pe))
+
+    def _shed_target(self) -> Optional[int]:
+        if self.local_load() <= self.threshold:
+            return None
+        best = self._lightest_neighbor()
+        if best is not None and self.load_of(best) < self.local_load():
+            return best
+        return None
+
+    def choose_initial(self, msg: Message) -> int:
+        """Placement policy hook: destination PE for a new seed."""
+        target = self._shed_target()
+        return self.runtime.my_pe if target is None else target
+
+    def choose_forward(self, msg: Message, hops: int) -> Optional[int]:
+        """Policy hook on arrival: forward target or None to root."""
+        return self._shed_target()
+
+
+class CldCentral(CldBalancer):
+    """A central manager on PE 0 assigns every seed.
+
+    Creation PEs ship seeds to the manager; the manager places each on
+    the PE minimizing (current load + seeds already assigned there but
+    possibly still in flight), then the seed roots at its destination
+    with no further hops.
+    """
+
+    name = "central"
+    MANAGER = 0
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        # Only meaningful on the manager PE: seeds routed but maybe not
+        # yet rooted, so rapid-fire seeds do not all hit one PE.
+        self._pending: Dict[int, int] = {}
+
+    def choose_initial(self, msg: Message) -> int:
+        """Placement policy hook: destination PE for a new seed."""
+        if self.runtime.my_pe == self.MANAGER:
+            return self._place()
+        return self.MANAGER
+
+    def choose_forward(self, msg: Message, hops: int) -> Optional[int]:
+        """Policy hook on arrival: forward target or None to root."""
+        if self.runtime.my_pe != self.MANAGER:
+            # Already placed by the manager: root here.
+            return None
+        return self._place()
+
+    def _place(self) -> int:
+        best = min(
+            range(self.runtime.num_pes),
+            key=lambda pe: (self.load_of(pe) + self._pending.get(pe, 0), pe),
+        )
+        self._pending[best] = self._pending.get(best, 0) + 1
+        return best
+
+
+BALANCERS: Dict[str, Callable[[Any], CldBalancer]] = {
+    "direct": CldDirect,
+    "random": CldRandom,
+    "spray": CldSpray,
+    "neighbor": CldNeighbor,
+    "central": CldCentral,
+}
+
+
+def make_balancer(name: str, runtime: Any) -> CldBalancer:
+    """Instantiate a Cld strategy by name for one PE's runtime."""
+    try:
+        cls = BALANCERS[name]
+    except KeyError:
+        raise LoadBalanceError(
+            f"unknown load-balancing strategy {name!r}; "
+            f"choose from {sorted(BALANCERS)}"
+        ) from None
+    return cls(runtime)

@@ -1,0 +1,3 @@
+"""The Converse Machine Interface: the minimal MMI core plus the EMI
+extensions (vector sends, scatter advance-receives, processor groups,
+global pointers)."""

@@ -1,0 +1,339 @@
+"""The Converse Machine Interface — MMI core (paper section 3.1.3 + API
+appendix).
+
+"The MMI layer defines a minimal interface between the machine independent
+part of the runtime such as the scheduler and the machine dependent part."
+Portability layers such as PVM/MPI "represent an overkill for our
+requirements": the MMI deliberately offers no tag-based retrieval and no
+per-pair ordering bookkeeping beyond what the hardware gives — retrieval
+is by *handler*, and anything richer (tags, sources, wildcards) is built
+on top (see :mod:`repro.msgmgr.message_manager`).
+
+One :class:`CMI` instance exists per PE, owned by its
+:class:`~repro.core.runtime.ConverseRuntime`.  The EMI extensions (vector
+sends, scatter, groups, global pointers) hang off it as lazily built
+sub-objects, so programs that never touch them never construct them —
+need-based cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.errors import MessageError
+from repro.core.message import HEADER_BYTES, Message
+from repro.sim.network import SendHandle
+
+__all__ = ["CMI"]
+
+
+class CMI:
+    """Per-PE machine interface."""
+
+    def __init__(self, runtime: Any) -> None:
+        self.runtime = runtime
+        self.node = runtime.node
+        self.network = runtime.machine.network
+        self.model = runtime.model
+        self._emi_groups: Any = None
+        self._emi_gptr: Any = None
+        self._emi_scatter: Any = None
+
+    # ------------------------------------------------------------------
+    # identity & timers
+    # ------------------------------------------------------------------
+    def my_pe(self) -> int:
+        """``CmiMyPe()``."""
+        return self.node.pe
+
+    def num_pes(self) -> int:
+        """``CmiNumPe()``."""
+        return self.runtime.machine.num_pes
+
+    def timer(self) -> float:
+        """``CmiTimer()``: seconds of virtual time since ConverseInit."""
+        return self.node.now
+
+    def wall_timer(self) -> float:
+        """``CmiWallTimer()``: identical to :meth:`timer` here — on the
+        simulated machine the highest-resolution timer *is* the virtual
+        clock ("timers with different resolutions", section 3.1.3)."""
+        return self.node.now
+
+    def cpu_timer(self) -> float:
+        """``CmiCpuTimer()``: CPU time consumed by this PE — charged
+        compute, not wall time spent idle."""
+        return self.node.stats.busy_time
+
+    # ------------------------------------------------------------------
+    # message header manipulation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def msg_header_size_bytes() -> int:
+        """``CmiMsgHeaderSizeBytes()``."""
+        return HEADER_BYTES
+
+    @staticmethod
+    def set_handler(msg: Message, handler_id: int) -> None:
+        """``CmiSetHandler``."""
+        if not isinstance(handler_id, int) or handler_id < 0:
+            raise MessageError(f"invalid handler id {handler_id!r}")
+        msg.handler = handler_id
+
+    def get_handler_function(self, msg: Message) -> Callable[[Message], None]:
+        """``CmiGetHandlerFunction``: resolve the message's handler index
+        against this PE's table."""
+        return self.runtime.handlers.lookup(msg.handler)
+
+    def register_handler(self, fn: Callable[[Message], None],
+                         name: Optional[str] = None) -> int:
+        """``CmiRegisterHandler``."""
+        return self.runtime.register_handler(fn, name)
+
+    # ------------------------------------------------------------------
+    # point-to-point sends
+    # ------------------------------------------------------------------
+    def _wire_copy(self, msg: Message) -> Message:
+        """The message instance that crosses the wire.  A fresh object so
+        the sender's buffer and the receiver's buffer have independent
+        ownership state (payload objects are shared and treated as
+        immutable by convention, like registered send buffers)."""
+        return Message(
+            msg.handler, msg.payload, size=msg.size, prio=msg.prio,
+            src_pe=self.node.pe,
+        )
+
+    def _check_dest(self, dest_pe: int) -> None:
+        if not 0 <= dest_pe < self.num_pes():
+            raise MessageError(
+                f"destination PE {dest_pe} out of range [0, {self.num_pes()})"
+            )
+
+    def sync_send(self, dest_pe: int, msg: Message) -> None:
+        """``CmiSyncSend``: blocking send; the caller may reuse ``msg``
+        (and its buffer) as soon as this returns."""
+        self._check_dest(dest_pe)
+        self.runtime.check_active()
+        self.node.stats.msgs_sent += 1
+        self.node.stats.bytes_sent += msg.size
+        self.runtime.trace_event("send", dest=dest_pe, size=msg.size, handler=msg.handler)
+        self.network.sync_send(
+            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            extra_send_cost=self.model.cvs_send_extra,
+        )
+
+    def async_send(self, dest_pe: int, msg: Message) -> SendHandle:
+        """``CmiAsyncSend``: returns a handle; ``msg`` must not be reused
+        until :meth:`async_msg_sent` reports completion."""
+        self._check_dest(dest_pe)
+        self.runtime.check_active()
+        self.node.stats.msgs_sent += 1
+        self.node.stats.bytes_sent += msg.size
+        self.runtime.trace_event(
+            "send", dest=dest_pe, size=msg.size, handler=msg.handler, asynchronous=True
+        )
+        return self.network.async_send(
+            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            extra_send_cost=self.model.cvs_send_extra,
+        )
+
+    def immediate_send(self, dest_pe: int, msg: Message) -> None:
+        """Extension (paper section 6 future work: "preemptive messages
+        (interrupt messages) will be investigated"): like
+        :meth:`sync_send` but the destination runs the handler at arrival
+        time, bypassing the scheduler — even if the PE is computing or
+        blocked in an SPM receive.  Handlers delivered this way should be
+        short and must not assume scheduler context."""
+        self._check_dest(dest_pe)
+        self.runtime.check_active()
+        self.node.stats.msgs_sent += 1
+        self.node.stats.bytes_sent += msg.size
+        self.runtime.trace_event(
+            "send", dest=dest_pe, size=msg.size, handler=msg.handler, immediate=True
+        )
+        self.network.sync_send(
+            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            extra_send_cost=self.model.cvs_send_extra, immediate=True,
+        )
+
+    @staticmethod
+    def async_msg_sent(handle: SendHandle) -> bool:
+        """``CmiAsyncMsgSent``."""
+        return handle.done
+
+    @staticmethod
+    def release_comm_handle(handle: SendHandle) -> None:
+        """``CmiReleaseCommHandle``: frees the handle, not the buffer."""
+        handle.release()
+
+    def vector_send(self, dest_pe: int, handler_id: int,
+                    pieces: Sequence[bytes]) -> SendHandle:
+        """``CmiVectorSend`` (EMI gather-send): logically concatenates the
+        pieces into one message for ``handler_id`` on ``dest_pe``.  The
+        pieces must stay untouched until the returned handle completes."""
+        self._check_dest(dest_pe)
+        for i, p in enumerate(pieces):
+            if not isinstance(p, (bytes, bytearray, memoryview)):
+                raise MessageError(
+                    f"vector_send piece {i} must be bytes-like, got {type(p).__name__}"
+                )
+        payload = b"".join(bytes(p) for p in pieces)
+        msg = Message(handler_id, payload, size=len(payload), src_pe=self.node.pe)
+        self.node.stats.msgs_sent += 1
+        self.node.stats.bytes_sent += msg.size
+        self.runtime.trace_event(
+            "send", dest=dest_pe, size=msg.size, handler=handler_id, vector=len(pieces)
+        )
+        return self.network.async_send(
+            self.node, dest_pe, msg.size, msg,
+            extra_send_cost=self.model.cvs_send_extra,
+        )
+
+    # ------------------------------------------------------------------
+    # broadcasts ("our broadcast is not a barrier")
+    # ------------------------------------------------------------------
+    def _bcast(self, msg: Message, include_self: bool, asynchronous: bool) -> Optional[SendHandle]:
+        self.runtime.check_active()
+        dests = self.num_pes() - (0 if include_self else 1)
+        self.node.stats.msgs_sent += dests
+        self.node.stats.bytes_sent += msg.size * dests
+        self.runtime.trace_event(
+            "broadcast", size=msg.size, handler=msg.handler, include_self=include_self
+        )
+        return self.network.broadcast(
+            self.node, msg.size, lambda dst: self._wire_copy(msg),
+            include_self=include_self,
+            extra_send_cost=self.model.cvs_send_extra,
+            asynchronous=asynchronous,
+        )
+
+    def sync_broadcast(self, msg: Message) -> None:
+        """``CmiSyncBroadcast``: everyone but the caller."""
+        self._bcast(msg, include_self=False, asynchronous=False)
+
+    def sync_broadcast_all(self, msg: Message) -> None:
+        """``CmiSyncBroadcastAll``: everyone including the caller."""
+        self._bcast(msg, include_self=True, asynchronous=False)
+
+    def sync_broadcast_all_and_free(self, msg: Message) -> None:
+        """``CmiSyncBroadcastAllAndFree``: broadcast to all and release the
+        caller's buffer (the message object is poisoned afterwards)."""
+        self._bcast(msg, include_self=True, asynchronous=False)
+        msg.mark_cmi_owned()
+        msg.recycle()
+
+    def async_broadcast(self, msg: Message) -> Optional[SendHandle]:
+        """``CmiAsyncBroadcast``."""
+        return self._bcast(msg, include_self=False, asynchronous=True)
+
+    def async_broadcast_all(self, msg: Message) -> Optional[SendHandle]:
+        """``CmiAsyncBroadcastAll``."""
+        return self._bcast(msg, include_self=True, asynchronous=True)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def get_msg(self) -> Optional[Message]:
+        """``CmiGetMsg``: non-blocking; returns the next received message
+        (CMI retains buffer ownership — grab to keep) or ``None``."""
+        msg = self.runtime.next_network_msg()
+        if msg is None:
+            return None
+        self.node.charge(self.model.recv_overhead)
+        msg.mark_cmi_owned()
+        return msg
+
+    def deliver_msgs(self, limit: Optional[int] = None) -> int:
+        """``CmiDeliverMsgs``: invoke the handler of every message
+        currently available from the machine layer."""
+        return self.runtime.scheduler.deliver_network_msgs(limit=limit)
+
+    def get_specific_msg(self, handler_id: int) -> Message:
+        """``CmiGetSpecificMsg``: block until a message for ``handler_id``
+        arrives, side-buffering messages meant for other handlers (the
+        no-concurrency / SPM receive primitive)."""
+        rt = self.runtime
+        # A matching message may already sit in the side buffer.
+        msg = rt.take_buffered(handler_id)
+        if msg is not None:
+            self.node.charge(self.model.recv_overhead)
+            msg.mark_cmi_owned()
+            return msg
+        # Otherwise scan fresh arrivals only — messages we side-buffer
+        # below must not be handed straight back to this very loop.
+        while True:
+            msg = rt.poll_network_filtered()
+            if msg is None:
+                rt.node.wait_until(lambda: bool(rt.node.inbox))
+                continue
+            if msg.handler == handler_id:
+                self.node.charge(self.model.recv_overhead)
+                msg.mark_cmi_owned()
+                return msg
+            rt.buffer_msg(msg)
+
+    @staticmethod
+    def grab_buffer(msg: Message) -> Message:
+        """``CmiGrabBuffer``: take ownership of a delivered buffer."""
+        return msg.grab()
+
+    # ------------------------------------------------------------------
+    # console I/O
+    # ------------------------------------------------------------------
+    def printf(self, fmt: str, *args: Any) -> None:
+        """``CmiPrintf``: atomic formatted write to the job's stdout."""
+        self.runtime.machine.console.printf(self.node.pe, fmt, *args)
+
+    def error(self, fmt: str, *args: Any) -> None:
+        """``CmiError``: atomic formatted write to the job's stderr."""
+        self.runtime.machine.console.error(self.node.pe, fmt, *args)
+
+    def scanf(self, fmt: str) -> List[Any]:
+        """``CmiScanf``: blocking, serialized formatted read."""
+        return self.runtime.machine.console.scanf(fmt)
+
+    def scanf_async(self, fmt: str, handler_id: int) -> None:
+        """Non-blocking scanf variant (paper section 3.1.3): when a line of
+        input is available it is sent to ``handler_id`` on this PE as a
+        formatted-string message, which the handler can re-scan (e.g. with
+        :func:`repro.sim.console.sscanf`)."""
+        console = self.runtime.machine.console
+        node = self.node
+
+        def waiter() -> None:
+            line = console.read_line()
+            reply = Message(handler_id, line, size=len(line), src_pe=node.pe)
+            # Host-to-PE delivery: modelled as free local injection.
+            node.engine.schedule(0.0, node.deliver, reply)
+
+        node.spawn(waiter, name="scanf")
+
+    # ------------------------------------------------------------------
+    # EMI sub-interfaces (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> Any:
+        """Processor groups + spanning-tree operations (EMI)."""
+        if self._emi_groups is None:
+            from repro.machine.emi_groups import GroupInterface
+
+            self._emi_groups = GroupInterface(self)
+        return self._emi_groups
+
+    @property
+    def gptr(self) -> Any:
+        """Global pointers and get/put (EMI)."""
+        if self._emi_gptr is None:
+            from repro.machine.emi_globalptr import GlobalPointerInterface
+
+            self._emi_gptr = GlobalPointerInterface(self)
+        return self._emi_gptr
+
+    @property
+    def scatter(self) -> Any:
+        """Advance-receive scatter registrations (EMI)."""
+        if self._emi_scatter is None:
+            from repro.machine.emi_scatter import ScatterInterface
+
+            self._emi_scatter = ScatterInterface(self)
+        return self._emi_scatter

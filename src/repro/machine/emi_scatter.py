@@ -1,0 +1,141 @@
+"""EMI scatter "advance-receive" calls (paper section 3.1.3).
+
+"The scatter-related calls are 'advance receive' calls, in that it is
+expected (although not required) that these calls are made before the
+actual message arrives.  The calls specify how to identify their target
+with offsets and values.  They also specify which parts of matching
+messages must be copied to which of the user data areas.  Two variants of
+this call are provided, one of which simply scatters the data on receipt
+of the message, while the other queues a short empty message in addition"
+— the notification variant.
+
+A :class:`ScatterSpec` is an intake filter: incoming bytes messages are
+matched against registered specs *before* normal handler delivery; a
+matching message is consumed, its pieces copied straight into the user's
+buffers (avoiding the intermediate queueing a normal receive would do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.errors import MessageError
+from repro.core.message import Message
+
+__all__ = ["ScatterSpec", "ScatterInterface"]
+
+
+@dataclass
+class ScatterSpec:
+    """One advance-receive registration.
+
+    ``matchers``  — (offset, value-bytes) pairs; a message matches when
+    every value appears at its offset in the payload.
+    ``copies``    — (src_offset, length, destination bytearray, dst_offset)
+    tuples: which parts of a matching message go where.
+    ``notify_handler`` — optional handler id: on a match, a short empty
+    message for this handler is queued so the recipient learns the data
+    has arrived (the second variant in the paper).
+    ``once``      — deregister after the first match (default True, the
+    normal advance-receive pattern).
+    """
+
+    matchers: Sequence[Tuple[int, bytes]]
+    copies: Sequence[Tuple[int, int, bytearray, int]]
+    notify_handler: Optional[int] = None
+    once: bool = True
+    matched: int = 0
+
+    def matches(self, payload: bytes) -> bool:
+        """True when every matcher value appears at its payload offset."""
+        for offset, value in self.matchers:
+            if offset < 0 or offset + len(value) > len(payload):
+                return False
+            if payload[offset:offset + len(value)] != value:
+                return False
+        return True
+
+    def apply(self, payload: bytes) -> None:
+        """Copy the matched message's pieces into the user buffers."""
+        for src_off, length, dest, dst_off in self.copies:
+            if src_off < 0 or src_off + length > len(payload):
+                raise MessageError(
+                    f"scatter copy [{src_off}, {src_off + length}) outside "
+                    f"message of {len(payload)} bytes"
+                )
+            if dst_off < 0 or dst_off + length > len(dest):
+                raise MessageError(
+                    f"scatter copy into [{dst_off}, {dst_off + length}) "
+                    f"outside destination of {len(dest)} bytes"
+                )
+            dest[dst_off:dst_off + length] = payload[src_off:src_off + length]
+        self.matched += 1
+
+
+class ScatterInterface:
+    """Per-PE registry of advance-receive scatter specs."""
+
+    def __init__(self, cmi: Any) -> None:
+        self.cmi = cmi
+        self.runtime = cmi.runtime
+        self._specs: List[ScatterSpec] = []
+        self.runtime.add_intake_filter(self._filter)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, matchers: Sequence[Tuple[int, bytes]],
+                 copies: Sequence[Tuple[int, int, bytearray, int]],
+                 once: bool = True) -> ScatterSpec:
+        """The silent variant: scatter the data on receipt."""
+        spec = ScatterSpec(list(matchers), list(copies), None, once)
+        self._specs.append(spec)
+        return spec
+
+    def register_with_notify(self, matchers: Sequence[Tuple[int, bytes]],
+                             copies: Sequence[Tuple[int, int, bytearray, int]],
+                             notify_handler: int, once: bool = True) -> ScatterSpec:
+        """The notifying variant: additionally queue a short empty message
+        for ``notify_handler`` when the data has been scattered."""
+        spec = ScatterSpec(list(matchers), list(copies), notify_handler, once)
+        self._specs.append(spec)
+        return spec
+
+    def cancel(self, spec: ScatterSpec) -> None:
+        """Remove a registration that has not (or should no longer) fire."""
+        try:
+            self._specs.remove(spec)
+        except ValueError:
+            pass
+
+    @property
+    def pending(self) -> int:
+        """Number of registrations still armed."""
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    # the intake filter
+    # ------------------------------------------------------------------
+    def _filter(self, msg: Message) -> bool:
+        if not self._specs:
+            return False
+        payload = msg.payload
+        if not isinstance(payload, (bytes, bytearray)):
+            return False
+        payload = bytes(payload)
+        for spec in self._specs:
+            if spec.matches(payload):
+                # Receive cost is paid here: the data goes straight from
+                # the wire into user buffers (no intermediate queueing).
+                self.runtime.node.charge(self.runtime.model.recv_overhead)
+                spec.apply(payload)
+                if spec.once:
+                    self._specs.remove(spec)
+                if spec.notify_handler is not None:
+                    note = Message(
+                        spec.notify_handler, b"", size=0, src_pe=msg.src_pe
+                    )
+                    self.runtime.scheduler.enqueue_free(note)
+                return True
+        return False

@@ -1,0 +1,1 @@
+"""The Cmm message manager: tag-indexed mailboxes with wildcards."""

@@ -1,0 +1,174 @@
+"""The message manager — ``Cmm*`` (paper sections 3.2.1, API appendix 4).
+
+"A message manager is simply a container for storing messages ... serving
+as an indexed mailbox."  Messages are stored with one or two integer tags
+and retrieved (or probed) by exact tag or wildcard; among matching
+messages, retrieval is FIFO by insertion order.  The MMI itself offers no
+tagged retrieval — this module is how tag-based languages (PVM, NXLib,
+tSM) build their receives *on top of* Converse without everyone else
+paying for tag indexing (need-based cost).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import MessageManagerError
+
+__all__ = ["CMM_WILDCARD", "StoredMessage", "MessageManager"]
+
+
+class _Wildcard:
+    """Singleton wildcard tag (``CmmWildcard``)."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "CMM_WILDCARD"
+
+
+CMM_WILDCARD = _Wildcard()
+
+
+class StoredMessage:
+    """One entry: payload + its tags + modelled size + arrival order."""
+
+    __slots__ = ("payload", "tag1", "tag2", "size", "order")
+
+    def __init__(self, payload: Any, tag1: int, tag2: Optional[int],
+                 size: int, order: int) -> None:
+        self.payload = payload
+        self.tag1 = tag1
+        self.tag2 = tag2
+        self.size = size
+        self.order = order
+
+    @property
+    def tags(self) -> Tuple[int, Optional[int]]:
+        """The entry's (tag1, tag2) pair."""
+        return (self.tag1, self.tag2)
+
+
+def _check_tag(tag: Any, allow_wildcard: bool) -> None:
+    if tag is CMM_WILDCARD:
+        if not allow_wildcard:
+            raise MessageManagerError("wildcard tags are not allowed in put()")
+        return
+    if tag is not None and (isinstance(tag, bool) or not isinstance(tag, int)):
+        raise MessageManagerError(f"tags must be ints, got {type(tag).__name__}")
+
+
+class MessageManager:
+    """An indexed mailbox (``CmmNew``).
+
+    Internally an exact-tag index (dict of deques) plus a monotone order
+    counter gives O(1) exact retrieval and deterministic oldest-first
+    wildcard retrieval.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Tuple[int, Optional[int]], Deque[StoredMessage]] = {}
+        self._order = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def put(self, payload: Any, tag1: int, tag2: Optional[int] = None,
+            size: Optional[int] = None) -> None:
+        """``CmmPut`` / ``CmmPut2``: store a message under its tag(s)."""
+        _check_tag(tag1, allow_wildcard=False)
+        _check_tag(tag2, allow_wildcard=False)
+        if size is None:
+            size = len(payload) if isinstance(payload, (bytes, bytearray, str)) else 0
+        self._order += 1
+        entry = StoredMessage(payload, tag1, tag2, size, self._order)
+        self._index.setdefault((tag1, tag2), deque()).append(entry)
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    # matching machinery
+    # ------------------------------------------------------------------
+    def _matching_keys(self, tag1: Any, tag2: Any) -> Iterator[Tuple[int, Optional[int]]]:
+        if tag1 is not CMM_WILDCARD and tag2 is not CMM_WILDCARD:
+            key = (tag1, tag2)
+            if key in self._index:
+                yield key
+            return
+        for key in self._index:
+            k1, k2 = key
+            if tag1 is not CMM_WILDCARD and k1 != tag1:
+                continue
+            if tag2 is not CMM_WILDCARD and k2 != tag2:
+                continue
+            yield key
+
+    def _find(self, tag1: Any, tag2: Any) -> Optional[StoredMessage]:
+        _check_tag(tag1, allow_wildcard=True)
+        _check_tag(tag2, allow_wildcard=True)
+        best: Optional[StoredMessage] = None
+        for key in self._matching_keys(tag1, tag2):
+            q = self._index[key]
+            if q and (best is None or q[0].order < best.order):
+                best = q[0]
+        return best
+
+    # ------------------------------------------------------------------
+    # probe / get
+    # ------------------------------------------------------------------
+    def probe(self, tag1: Any, tag2: Any = None) -> int:
+        """``CmmProbe``: size of the oldest matching message, or -1."""
+        entry = self._find(tag1, tag2)
+        return entry.size if entry is not None else -1
+
+    def probe_tags(self, tag1: Any, tag2: Any = None) -> Optional[Tuple[int, Optional[int]]]:
+        """Like probe but returns the actual tags (the C API's ``rettag``
+        out-parameters), or ``None`` when nothing matches."""
+        entry = self._find(tag1, tag2)
+        return entry.tags if entry is not None else None
+
+    def get(self, tag1: Any, tag2: Any = None) -> Optional[StoredMessage]:
+        """``CmmGet`` / ``CmmGetPtr``: remove and return the oldest
+        matching entry (payload, actual tags and size on the entry), or
+        ``None`` — the C distinction between copy-out and pointer-out
+        collapses in Python, where every payload is a reference."""
+        entry = self._find(tag1, tag2)
+        if entry is None:
+            return None
+        q = self._index[entry.tags]
+        q.popleft()
+        if not q:
+            del self._index[entry.tags]
+        self._count -= 1
+        return entry
+
+    def get_copy(self, tag1: Any, tag2: Any = None,
+                 max_bytes: Optional[int] = None) -> Optional[Tuple[Any, int]]:
+        """The C ``CmmGet`` calling convention: returns (payload possibly
+        truncated to ``max_bytes`` for bytes payloads, full length)."""
+        entry = self.get(tag1, tag2)
+        if entry is None:
+            return None
+        payload = entry.payload
+        if max_bytes is not None and isinstance(payload, (bytes, bytearray)):
+            payload = bytes(payload[:max_bytes])
+        return payload, entry.size
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def tags_present(self) -> List[Tuple[int, Optional[int]]]:
+        """All (tag1, tag2) pairs with at least one stored message."""
+        return sorted(self._index, key=lambda k: (k[0], -1 if k[1] is None else k[1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MessageManager {self._count} stored, {len(self._index)} tag pairs>"

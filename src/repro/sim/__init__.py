@@ -1,0 +1,3 @@
+"""The hardware substrate: a deterministic discrete-event-simulated
+multiprocessor (engine, tasklets, nodes, network, topologies, cost
+models, machine assembly, console)."""

@@ -1,0 +1,177 @@
+"""Atomic console I/O (``CmiPrintf`` / ``CmiScanf`` / ``CmiError``).
+
+The MMI "guarantees that data from two separate printfs is not
+interleaved" and that "scanf calls from different sources are effectively
+serialized" (paper section 3.1.3).  In the simulator atomicity is natural
+— one tasklet runs at a time — so the console's job is to *record* output
+with its PE and virtual timestamp, optionally echo it to real stdout, and
+to serve a pre-fed (or machine-fed) input queue for scanf.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+
+__all__ = ["ConsoleRecord", "Console", "sscanf"]
+
+
+@dataclass(frozen=True)
+class ConsoleRecord:
+    """One atomic write: when, who, which stream, what."""
+
+    time: float
+    pe: int
+    stream: str  # "out" or "err"
+    text: str
+
+
+#: scanf conversion -> regex fragment + Python converter
+_SCANF_CONVERSIONS = {
+    "d": (r"[-+]?\d+", int),
+    "i": (r"[-+]?\d+", int),
+    "u": (r"\d+", int),
+    "f": (r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?", float),
+    "g": (r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?", float),
+    "e": (r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?", float),
+    "s": (r"\S+", str),
+    "c": (r".", str),
+}
+
+
+def sscanf(text: str, fmt: str) -> List[Any]:
+    """A small C-``sscanf`` for the conversions the paper's API needs
+    (``%d %i %u %f %g %e %s %c``).  Returns the converted values; raises
+    :class:`SimulationError` when the input does not match."""
+    pattern_parts: List[str] = []
+    converters: List[Any] = []
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch == "%":
+            if i + 1 >= len(fmt):
+                raise SimulationError(f"dangling %% in scanf format {fmt!r}")
+            conv = fmt[i + 1]
+            if conv == "%":
+                pattern_parts.append(re.escape("%"))
+            else:
+                try:
+                    frag, pyconv = _SCANF_CONVERSIONS[conv]
+                except KeyError:
+                    raise SimulationError(
+                        f"unsupported scanf conversion %{conv} in {fmt!r}"
+                    ) from None
+                pattern_parts.append(f"({frag})")
+                converters.append(pyconv)
+            i += 2
+        elif ch.isspace():
+            pattern_parts.append(r"\s+")
+            while i < len(fmt) and fmt[i].isspace():
+                i += 1
+        else:
+            pattern_parts.append(re.escape(ch))
+            i += 1
+    pattern = r"\s*" + "".join(pattern_parts)
+    m = re.match(pattern, text)
+    if m is None:
+        raise SimulationError(f"scanf: input {text!r} does not match format {fmt!r}")
+    return [conv(g) for conv, g in zip(converters, m.groups())]
+
+
+class Console:
+    """The machine's shared console.
+
+    Output is appended atomically as :class:`ConsoleRecord` entries.
+    Input is a line queue: tests pre-feed lines with :meth:`feed`;
+    blocking reads park the calling tasklet until a line is available.
+    """
+
+    def __init__(self, machine: Any, echo: bool = False) -> None:
+        self.machine = machine
+        self.echo = echo
+        self.records: List[ConsoleRecord] = []
+        self._input: Deque[str] = deque()
+        self._waiters: Deque[Any] = deque()
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def write(self, pe: int, text: str, stream: str = "out") -> None:
+        """Append one atomic record to the console output."""
+        rec = ConsoleRecord(self.machine.engine.now, pe, stream, text)
+        self.records.append(rec)
+        if self.echo:
+            target = sys.stderr if stream == "err" else sys.stdout
+            target.write(f"[{rec.time * 1e6:12.2f}us pe{pe}] {text}")
+            if not text.endswith("\n"):
+                target.write("\n")
+
+    def printf(self, pe: int, fmt: str, *args: Any) -> None:
+        """C-style formatted atomic write (``%``-formatting)."""
+        self.write(pe, (fmt % args) if args else fmt, "out")
+
+    def error(self, pe: int, fmt: str, *args: Any) -> None:
+        """Atomic formatted write to the job's stderr stream."""
+        self.write(pe, (fmt % args) if args else fmt, "err")
+
+    # ------------------------------------------------------------------
+    # inspection helpers (tests use these heavily)
+    # ------------------------------------------------------------------
+    def lines(self, stream: Optional[str] = None, pe: Optional[int] = None) -> List[str]:
+        """Recorded output texts, optionally filtered by stream/PE."""
+        return [
+            r.text
+            for r in self.records
+            if (stream is None or r.stream == stream)
+            and (pe is None or r.pe == pe)
+        ]
+
+    def output(self) -> str:
+        """All stdout text concatenated."""
+        return "".join(self.lines("out"))
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+    def feed(self, *lines: str) -> None:
+        """Queue input lines for scanf (callable before or during a run)."""
+        self._input.extend(lines)
+        # Wake any tasklet blocked in a scanf.
+        engine = self.machine.engine
+        while self._waiters:
+            engine.make_ready(self._waiters.popleft())
+
+    def read_line(self) -> str:
+        """Blocking line read: parks the calling tasklet until input is
+        fed.  Reads are serialized by engine determinism."""
+        from repro.sim import context
+
+        t = context.require_tasklet()
+        while not self._input:
+            self._waiters.append(t)
+            self.machine.engine.suspend()
+        return self._input.popleft()
+
+    def try_read_line(self) -> Optional[str]:
+        """Non-blocking read; ``None`` when no input is queued."""
+        return self._input.popleft() if self._input else None
+
+    def scanf(self, fmt: str) -> List[Any]:
+        """Blocking formatted read from the input queue."""
+        return sscanf(self.read_line(), fmt)
+
+    @property
+    def pending_input(self) -> int:
+        """Lines queued for scanf that have not been read yet."""
+        return len(self._input)
+
+    @property
+    def ordered(self) -> List[Tuple[float, int, str]]:
+        """(time, pe, text) triples in emission order — handy for asserting
+        that output is atomic and ordered."""
+        return [(r.time, r.pe, r.text) for r in self.records]

@@ -1,0 +1,66 @@
+"""Tracking of the currently-executing tasklet.
+
+Because exactly one tasklet runs at any moment (see
+:mod:`repro.sim.tasklet`), a single module-level slot suffices to answer
+"which simulated PE is executing right now?" — the question behind every
+C-flavoured API call (``CmiMyPe()``, ``CthSelf()``, ...).  The engine
+updates the slot on every baton hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.errors import NotInTaskletError
+
+__all__ = [
+    "current_tasklet",
+    "require_tasklet",
+    "current_node",
+    "current_runtime",
+]
+
+_CURRENT: Optional[Any] = None
+
+
+def _set_current(tasklet: Optional[Any]) -> None:
+    """Engine-internal: record the tasklet now holding the baton."""
+    global _CURRENT
+    _CURRENT = tasklet
+
+
+def current_tasklet() -> Optional[Any]:
+    """The running tasklet, or ``None`` outside simulated user code."""
+    return _CURRENT
+
+
+def require_tasklet() -> Any:
+    """The running tasklet, or NotInTaskletError outside one."""
+    t = _CURRENT
+    if t is None:
+        raise NotInTaskletError(
+            "this call must run inside simulated user code (launch it on a "
+            "Machine); it was invoked from the driver thread"
+        )
+    return t
+
+
+def current_node() -> Any:
+    """The PE of the running tasklet."""
+    t = require_tasklet()
+    if t.node is None:
+        raise NotInTaskletError(
+            f"tasklet {t.name!r} is not bound to a PE"
+        )
+    return t.node
+
+
+def current_runtime() -> Any:
+    """The Converse runtime of the running tasklet's PE."""
+    node = current_node()
+    rt = node.runtime
+    if rt is None:
+        raise NotInTaskletError(
+            f"PE {node.pe} has no Converse runtime attached"
+        )
+    return rt

@@ -1,0 +1,331 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine owns a virtual clock and an event heap.  Events are ordered by
+``(time, sequence-number)`` which makes every run exactly reproducible: two
+events scheduled for the same instant fire in the order they were scheduled.
+
+User code does not run inside engine callbacks; it runs in
+:class:`~repro.sim.tasklet.Tasklet` objects (real threads of which exactly
+one is ever runnable).  The engine and the tasklets pass a *baton* back and
+forth: the engine resumes a tasklet, the tasklet runs until it parks
+(sleeps, suspends, or finishes) and hands the baton back.  This mirrors the
+structure of the original Converse runtime, where the machine layer and the
+user program share a single processor per PE.
+
+The engine is deliberately unaware of nodes, networks or Converse; those
+live in sibling modules and are built on the three primitives here:
+
+* :meth:`SimEngine.schedule` — run a callback at a later virtual time,
+* :meth:`SimEngine.sleep` — park the current tasklet for a virtual duration,
+* :meth:`SimEngine.suspend` / :meth:`SimEngine.make_ready` — park the
+  current tasklet indefinitely / mark a parked tasklet runnable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.core.errors import NotInTaskletError, SimulationError
+from repro.sim.tasklet import Tasklet
+
+__all__ = ["ScheduledEvent", "SimEngine"]
+
+
+class ScheduledEvent:
+    """A cancellable entry in the engine's event heap.
+
+    Instances are returned by :meth:`SimEngine.schedule`; calling
+    :meth:`cancel` before the event fires prevents the callback from
+    running.  Cancellation is O(1): the heap entry is left in place and
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.9f} seq={self.seq} {state}>"
+
+
+class SimEngine:
+    """Virtual-clock event loop with deterministic tasklet scheduling.
+
+    The engine must be driven from a single *driver* thread (normally the
+    thread that constructed it) via :meth:`run`.  Tasklets are created with
+    :meth:`spawn` and interact with the engine only through the parking
+    primitives; they never touch the heap directly.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._seq: int = 0
+        #: tasklets runnable at the current instant, in FIFO order.
+        self._ready: Deque[Tasklet] = deque()
+        self._current: Optional[Tasklet] = None
+        self._tasklets: List[Tasklet] = []
+        self._running = False
+        #: active `until` bound of the current run() — the sleep fast
+        #: path must not advance the clock beyond it.
+        self._run_until: Optional[float] = None
+        self._failure: Optional[BaseException] = None
+        #: total number of events fired; exposed for tests/diagnostics.
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_tasklet(self) -> Optional[Tasklet]:
+        """The tasklet currently holding the baton (``None`` when the
+        engine itself is running)."""
+        return self._current
+
+    def require_tasklet(self) -> Tasklet:
+        """Return the current tasklet or raise :class:`NotInTaskletError`."""
+        t = self._current
+        if t is None:
+            raise NotInTaskletError(
+                "this primitive must be called from inside simulated user "
+                "code (a tasklet), not from the driver thread"
+            )
+        return t
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def live_tasklets(self) -> List[Tasklet]:
+        """Tasklets that have been spawned and have not yet finished."""
+        return [t for t in self._tasklets if not t.finished]
+
+    # ------------------------------------------------------------------
+    # event scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        ``delay`` may be zero (fires after already-ready work at the same
+        instant) but not negative.  Returns a cancellable handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        self._seq += 1
+        ev = ScheduledEvent(self.now + delay, self._seq, callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    # ------------------------------------------------------------------
+    # tasklet lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable[[], Any], name: str = "tasklet",
+              node: Any = None, start: bool = True) -> Tasklet:
+        """Create a tasklet running ``fn``.
+
+        When ``start`` is true the tasklet becomes ready immediately (it
+        will first run when the engine next looks at the ready queue);
+        otherwise it stays parked until :meth:`make_ready` or a direct
+        transfer resumes it — this is how ``CthCreate`` builds threads that
+        are not yet awakened.
+        """
+        t = Tasklet(self, fn, name=name, node=node)
+        self._tasklets.append(t)
+        if start:
+            self.make_ready(t)
+        return t
+
+    def make_ready(self, tasklet: Tasklet, front: bool = False) -> None:
+        """Mark a parked tasklet runnable at the current instant.
+
+        ``front=True`` puts it at the head of the ready queue, which is how
+        ``CthResume`` achieves an (almost) immediate context switch.
+        """
+        if tasklet.finished:
+            raise SimulationError(f"cannot ready finished tasklet {tasklet.name!r}")
+        if tasklet.ready:
+            return
+        tasklet.ready = True
+        if front:
+            self._ready.appendleft(tasklet)
+        else:
+            self._ready.append(tasklet)
+
+    # ------------------------------------------------------------------
+    # parking primitives (called from inside tasklets)
+    # ------------------------------------------------------------------
+    def sleep(self, duration: float) -> None:
+        """Park the current tasklet for ``duration`` of virtual time.
+
+        Fast path: when no other tasklet is ready and no event is due
+        before the wake-up time, the clock simply advances in place — the
+        outcome is observationally identical (nothing else could have run
+        in between) and it avoids two thread context switches.
+        """
+        t = self.require_tasklet()
+        if duration < 0:
+            raise SimulationError(f"cannot sleep a negative duration ({duration})")
+        wake = self.now + duration
+        if not self._ready and (self._run_until is None or wake <= self._run_until):
+            head = self._heap[0] if self._heap else None
+            if head is None or head.time >= wake:
+                self.now = wake
+                return
+        self.schedule(duration, self.make_ready, t)
+        t.park()
+
+    def suspend(self) -> None:
+        """Park the current tasklet until somebody calls
+        :meth:`make_ready` on it (or transfers to it)."""
+        t = self.require_tasklet()
+        t.park()
+
+    def transfer(self, target: Tasklet) -> None:
+        """Park the current tasklet and run ``target`` next.
+
+        This is the primitive beneath ``CthResume``: control moves to
+        ``target`` at the same virtual instant, ahead of anything else that
+        is ready.
+        """
+        t = self.require_tasklet()
+        if target is t:
+            return
+        if target.finished:
+            raise SimulationError(f"cannot transfer to finished tasklet {target.name!r}")
+        self.make_ready(target, front=True)
+        t.park()
+
+    def yield_now(self) -> None:
+        """Park the current tasklet and re-ready it behind everything else
+        currently ready (a cooperative yield at the same instant)."""
+        t = self.require_tasklet()
+        self.make_ready(t)
+        # make_ready marked it ready; park() will hand the baton back and
+        # the engine will resume it after the rest of the ready queue.
+        t.park()
+
+    # ------------------------------------------------------------------
+    # failure propagation
+    # ------------------------------------------------------------------
+    def report_failure(self, exc: BaseException) -> None:
+        """Record the first exception escaping a tasklet; :meth:`run`
+        re-raises it once control returns to the driver."""
+        if self._failure is None:
+            self._failure = exc
+
+    # ------------------------------------------------------------------
+    # the driver loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> str:
+        """Drive the simulation.
+
+        Runs ready tasklets and fires events in deterministic order until
+        one of the stop conditions holds.  Returns the reason:
+
+        * ``"quiescent"`` — no events pending and no tasklets ready,
+        * ``"until"`` — the clock reached ``until``,
+        * ``"max_events"`` — ``max_events`` events fired.
+
+        Any exception that escaped a tasklet is re-raised here.
+        """
+        if self._running:
+            raise SimulationError("SimEngine.run() is not reentrant")
+        if self._current is not None:
+            raise SimulationError("SimEngine.run() must not be called from a tasklet")
+        self._running = True
+        self._run_until = until
+        try:
+            fired = 0
+            while True:
+                # Drain tasklets that are runnable at this instant first;
+                # events only fire when the instant's work is finished.
+                while self._ready:
+                    if self._failure is not None:
+                        raise self._failure
+                    t = self._ready.popleft()
+                    if t.finished:
+                        continue
+                    t.ready = False
+                    self._run_tasklet(t)
+                if self._failure is not None:
+                    raise self._failure
+                # Find the next real event.
+                ev: Optional[ScheduledEvent] = None
+                while self._heap:
+                    candidate = heapq.heappop(self._heap)
+                    if not candidate.cancelled:
+                        ev = candidate
+                        break
+                if ev is None:
+                    return "quiescent"
+                if until is not None and ev.time > until:
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(self._heap, ev)
+                    self.now = until
+                    return "until"
+                if ev.time < self.now:
+                    raise SimulationError(
+                        f"event heap corrupted: event at {ev.time} < now {self.now}"
+                    )
+                self.now = ev.time
+                self.events_fired += 1
+                fired += 1
+                ev.callback(*ev.args)
+                if max_events is not None and fired >= max_events:
+                    return "max_events"
+        finally:
+            self._running = False
+            self._run_until = None
+
+    def _run_tasklet(self, t: Tasklet) -> None:
+        """Hand the baton to ``t`` and wait for it to come back."""
+        from repro.sim import context
+
+        self._current = t
+        context._set_current(t)
+        try:
+            t.resume_from_engine()
+        finally:
+            self._current = None
+            context._set_current(None)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Kill every live tasklet and join its backing thread.
+
+        Used by :class:`~repro.sim.machine.Machine` teardown so that test
+        suites do not leak parked OS threads.  Safe to call repeatedly.
+        """
+        if self._current is not None:
+            raise SimulationError("shutdown() must not be called from a tasklet")
+        for t in list(self._tasklets):
+            if not t.finished:
+                t.kill()
+        for t in self._tasklets:
+            t.join()
+        self._tasklets.clear()
+        self._ready.clear()
+        self._heap.clear()

@@ -1,0 +1,257 @@
+"""The simulated parallel machine: N PEs + network + Converse runtimes.
+
+This is the user's entry point.  A :class:`Machine` plays the role of the
+job launcher plus ``ConverseInit``: it builds the engine, the topology and
+network from a :class:`~repro.sim.models.MachineModel`, one
+:class:`~repro.sim.node.Node` and one
+:class:`~repro.core.runtime.ConverseRuntime` per PE, the shared console,
+an optional tracer, and the seed load balancer.
+
+Typical SPMD use::
+
+    from repro import Machine, api
+    from repro.sim.models import MYRINET_FM
+
+    def main():
+        if api.CmiMyPe() == 0:
+            ...
+
+    with Machine(4, model=MYRINET_FM) as m:
+        m.launch(main)
+        m.run()
+
+Message-driven use starts scheduler loops instead of (or in addition to)
+SPMD mains with :meth:`Machine.launch_schedulers`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.core.errors import SimulationError
+from repro.core.runtime import ConverseRuntime
+from repro.sim.console import Console
+from repro.sim.engine import SimEngine
+from repro.sim.models import GENERIC, MachineModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.topology import make_topology
+from repro.tracing.tracer import make_tracer
+
+__all__ = ["Machine", "run_spmd"]
+
+
+class Machine:
+    """An N-PE simulated parallel computer running Converse.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements.
+    model:
+        Communication cost model (default: the round-numbers test model).
+    queue:
+        Csd queueing strategy for every PE (name or factory-made
+        instance per PE via a callable).
+    ldb:
+        Seed load-balancing strategy name (default ``"direct"``).
+    trace:
+        ``False`` (default), ``True``/``"memory"``, ``"count"``, or a
+        path/file for JSONL (see :func:`repro.tracing.tracer.make_tracer`).
+    echo:
+        Echo ``CmiPrintf`` output to the real stdout.
+    seed:
+        Seed for the machine's deterministic RNG (used by randomized load
+        balancers and workloads).
+    """
+
+    def __init__(self, num_pes: int, model: MachineModel = GENERIC,
+                 queue: Any = "fifo", ldb: str = "direct",
+                 trace: Any = False, echo: bool = False, seed: int = 0) -> None:
+        if num_pes < 1:
+            raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
+        self.num_pes = num_pes
+        self.model = model
+        self.engine = SimEngine()
+        self.topology = make_topology(model.topology, num_pes)
+        self.network = Network(self.engine, model, self.topology)
+        self.console = Console(self, echo=echo)
+        self.tracer = make_tracer(trace)
+        self.rng = random.Random(seed)
+        self.nodes: List[Node] = [Node(self, pe) for pe in range(num_pes)]
+        self.network.nodes = {n.pe: n for n in self.nodes}
+        self.runtimes: List[ConverseRuntime] = []
+        for node in self.nodes:
+            q = queue(node.pe) if callable(queue) and not isinstance(queue, str) else queue
+            self.runtimes.append(ConverseRuntime(node, self, queue=q))
+        self._install_cld(ldb)
+        # Build the EMI group interface on every PE now: its internal
+        # forwarding handlers must occupy the same table index on all PEs
+        # (messages carry indices, not names), which only holds if every
+        # PE registers them at the same point — before any user handlers.
+        for rt in self.runtimes:
+            rt.cmi.groups
+        if self.tracer is not None:
+            for node in self.nodes:
+                node.add_delivery_hook(self._trace_delivery(node))
+        self._quiescence_callbacks: List[Callable[[], None]] = []
+        self._mains: List[Any] = []
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def _install_cld(self, ldb: str) -> None:
+        from repro.loadbalance.strategies import make_balancer
+
+        for rt in self.runtimes:
+            rt.cld = make_balancer(ldb, rt)
+
+    def _trace_delivery(self, node: Node) -> Callable[[Any], None]:
+        def hook(payload: Any) -> None:
+            self.tracer.record(
+                node.pe,
+                self.engine.now,
+                "receive",
+                {
+                    "handler": getattr(payload, "handler", None),
+                    "size": getattr(payload, "size", 0),
+                    "src": getattr(payload, "src_pe", None),
+                },
+            )
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def node(self, pe: int) -> Node:
+        """The Node object for PE ``pe``."""
+        try:
+            return self.nodes[pe]
+        except IndexError:
+            raise SimulationError(f"PE {pe} out of range [0, {self.num_pes})") from None
+
+    def runtime(self, pe: int) -> ConverseRuntime:
+        """The ConverseRuntime on PE ``pe``."""
+        return self.node(pe).runtime
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # launching user code
+    # ------------------------------------------------------------------
+    def launch(self, fn: Callable[..., Any], *args: Any,
+               pes: Optional[Iterable[int]] = None, name: str = "main") -> List[Any]:
+        """SPMD launch: start ``fn(*args)`` as the main tasklet on every
+        PE (or the given subset).  The function discovers its rank via
+        ``api.CmiMyPe()``.  Returns the tasklets (their ``.result`` holds
+        the per-PE return value after the run)."""
+        targets = range(self.num_pes) if pes is None else pes
+        tasklets = []
+        for pe in targets:
+            t = self.node(pe).spawn(lambda fn=fn, args=args: fn(*args), name=name)
+            tasklets.append(t)
+        self._mains.extend(tasklets)
+        return tasklets
+
+    def launch_on(self, pe: int, fn: Callable[..., Any], *args: Any,
+                  name: str = "main") -> Any:
+        """Start ``fn(*args)`` on a single PE."""
+        t = self.node(pe).spawn(lambda: fn(*args), name=name)
+        self._mains.append(t)
+        return t
+
+    def launch_schedulers(self, pes: Optional[Iterable[int]] = None) -> List[Any]:
+        """Start a blocking ``CsdScheduler(-1)`` loop on each PE — the
+        main program of a purely message-driven (implicit control regime)
+        application.  Stop them with ``CsdExitScheduler`` from handlers,
+        or let :meth:`shutdown` clean them up after quiescence."""
+        targets = range(self.num_pes) if pes is None else pes
+        return [
+            self.node(pe).spawn(self.runtime(pe).scheduler.run, name="csd")
+            for pe in targets
+        ]
+
+    # ------------------------------------------------------------------
+    # quiescence
+    # ------------------------------------------------------------------
+    def register_quiescence(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` (on the driver, not in a tasklet) when the
+        machine next goes quiescent — no events in flight, every tasklet
+        blocked.  The callback may inject new work; the run then
+        continues.  This is the primitive beneath Charm-style quiescence
+        detection."""
+        self._quiescence_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> str:
+        """Drive the machine; returns the engine's stop reason
+        (``"quiescent"`` / ``"until"`` / ``"max_events"``).
+
+        On quiescence, pending quiescence callbacks fire (oldest first)
+        and, if they created work, the run resumes."""
+        if self._shut_down:
+            raise SimulationError("machine has been shut down")
+        while True:
+            reason = self.engine.run(until=until, max_events=max_events)
+            if reason == "quiescent" and self._quiescence_callbacks:
+                callbacks, self._quiescence_callbacks = self._quiescence_callbacks, []
+                for cb in callbacks:
+                    cb()
+                continue
+            return reason
+
+    # ------------------------------------------------------------------
+    # results & teardown
+    # ------------------------------------------------------------------
+    def results(self) -> List[Any]:
+        """Return values of the main tasklets, in launch order.  Raises if
+        a main has not finished."""
+        out = []
+        for t in self._mains:
+            if not t.finished:
+                raise SimulationError(
+                    f"main tasklet {t.name!r} has not finished; run() the "
+                    "machine to completion first"
+                )
+            out.append(t.result)
+        return out
+
+    def shutdown(self) -> None:
+        """Kill every tasklet and release resources.  Idempotent."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.engine.shutdown()
+        if self.tracer is not None:
+            self.tracer.close()
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine pes={self.num_pes} model={self.model.name!r} "
+            f"t={self.engine.now * 1e6:.1f}us>"
+        )
+
+
+def run_spmd(num_pes: int, fn: Callable[..., Any], *args: Any,
+             model: MachineModel = GENERIC, **machine_kwargs: Any) -> Sequence[Any]:
+    """One-shot convenience: build a machine, launch ``fn`` SPMD-style,
+    run to quiescence, return the per-PE results, and tear down."""
+    with Machine(num_pes, model=model, **machine_kwargs) as m:
+        m.launch(fn, *args)
+        m.run()
+        return m.results()

@@ -1,0 +1,218 @@
+"""Simulated interconnect: FIFO channels with per-machine cost models.
+
+The network moves opaque payloads between nodes.  It charges the *sender*
+tasklet the software send overhead (by advancing virtual time) and
+schedules a delivery event after the model's wire time.  Per-(src, dst)
+channel FIFO order is enforced: a later send never arrives before an
+earlier one, matching the in-order delivery of every machine the paper
+ports to (and which the generalized-message layer implicitly relies on).
+
+Receive-side software overhead is *not* charged here — it is charged by
+whoever picks the message up (the CMI, or a raw receiver in the native
+baseline benchmarks), because that is where the cost is paid on a real
+machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.sim.models import MachineModel
+from repro.sim.topology import Topology
+
+__all__ = ["NetworkStats", "SendHandle", "Network"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, exposed on :class:`Network`."""
+
+    messages: int = 0
+    bytes: int = 0
+    broadcasts: int = 0
+    per_channel: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        """Record one event (hot path: called on every traced event)."""
+        self.messages += 1
+        self.bytes += nbytes
+        key = (src, dst)
+        self.per_channel[key] = self.per_channel.get(key, 0) + 1
+
+
+class SendHandle:
+    """Completion handle for asynchronous sends (``CmiAsyncSend``).
+
+    ``done`` flips to True at the virtual time the local send engine has
+    finished with the user's buffer; on a real machine this is when the
+    DMA completes, not when the message arrives remotely.
+    """
+
+    __slots__ = ("engine", "complete_at", "released")
+
+    def __init__(self, engine: Any, complete_at: float) -> None:
+        self.engine = engine
+        self.complete_at = complete_at
+        self.released = False
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed (virtual-time check)."""
+        return self.engine.now >= self.complete_at
+
+    def release(self) -> None:
+        """Mark the handle reusable (``CmiReleaseCommHandle``)."""
+        self.released = True
+
+
+class Network:
+    """The machine's interconnect.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine used for time charging and delivery events.
+    model:
+        Cost decomposition (see :mod:`repro.sim.models`).
+    topology:
+        Hop metric between PEs.
+    nodes:
+        ``pe -> Node`` mapping, filled in by the machine after
+        construction (the network and nodes reference each other).
+    """
+
+    #: minimum spacing between two arrivals on one channel, used purely to
+    #: keep FIFO ordering strict under equal computed arrival times.
+    FIFO_EPSILON = 1e-12
+
+    def __init__(self, engine: Any, model: MachineModel, topology: Topology) -> None:
+        self.engine = engine
+        self.model = model
+        self.topology = topology
+        self.nodes: Dict[int, Any] = {}
+        self.stats = NetworkStats()
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _arrival_time(self, src: int, dst: int, nbytes: int) -> float:
+        wire = self.model.wire_time(nbytes, self.topology.hops(src, dst))
+        t = self.engine.now + wire
+        key = (src, dst)
+        last = self._last_arrival.get(key)
+        if last is not None and t <= last:
+            t = last + self.FIFO_EPSILON
+        self._last_arrival[key] = t
+        return t
+
+    def _schedule_delivery(self, src: int, dst: int, nbytes: int, payload: Any,
+                           depart_delay: float = 0.0,
+                           immediate: bool = False) -> None:
+        if dst not in self.nodes:
+            raise SimulationError(f"no node with PE number {dst}")
+        self.stats.record(src, dst, nbytes)
+        deliver = (
+            self.nodes[dst].deliver_immediate if immediate
+            else self.nodes[dst].deliver
+        )
+        if depart_delay > 0.0:
+            # Async send: the wire transfer starts once the local engine
+            # finishes with the buffer.
+            self.engine.schedule(
+                depart_delay, self._depart_later, src, dst, nbytes, payload, deliver
+            )
+        else:
+            t = self._arrival_time(src, dst, nbytes)
+            self.engine.schedule_at(t, deliver, payload)
+
+    def _depart_later(self, src: int, dst: int, nbytes: int, payload: Any,
+                      deliver: Any = None) -> None:
+        t = self._arrival_time(src, dst, nbytes)
+        self.engine.schedule_at(t, deliver or self.nodes[dst].deliver, payload)
+
+    # ------------------------------------------------------------------
+    # synchronous send
+    # ------------------------------------------------------------------
+    def sync_send(self, src_node: Any, dst: int, nbytes: int, payload: Any,
+                  extra_send_cost: float = 0.0, immediate: bool = False) -> None:
+        """Blocking send: charges the sender the full software overhead and
+        then hands the payload to the wire.  When this returns, the caller
+        may reuse its buffer (CmiSyncSend semantics).  ``immediate``
+        requests interrupt-style delivery at the destination."""
+        src_node.charge(self.model.send_overhead + extra_send_cost)
+        self._schedule_delivery(src_node.pe, dst, nbytes, payload,
+                                immediate=immediate)
+
+    # ------------------------------------------------------------------
+    # asynchronous send
+    # ------------------------------------------------------------------
+    #: fraction of the send overhead paid synchronously to *initiate* an
+    #: async send; the rest overlaps with computation.
+    ASYNC_INIT_FRACTION = 0.25
+
+    def async_send(self, src_node: Any, dst: int, nbytes: int, payload: Any,
+                   extra_send_cost: float = 0.0) -> SendHandle:
+        """Non-blocking send: charges only the initiation cost now; the
+        buffer is busy until the returned handle reports ``done``."""
+        total = self.model.send_overhead + extra_send_cost
+        init = total * self.ASYNC_INIT_FRACTION
+        rest = total - init
+        src_node.charge(init)
+        handle = SendHandle(self.engine, self.engine.now + rest)
+        self._schedule_delivery(src_node.pe, dst, nbytes, payload, depart_delay=rest)
+        return handle
+
+    # ------------------------------------------------------------------
+    # broadcast
+    # ------------------------------------------------------------------
+    def broadcast(self, src_node: Any, nbytes: int, payload_factory: Any,
+                  include_self: bool = False, extra_send_cost: float = 0.0,
+                  asynchronous: bool = False) -> Optional[SendHandle]:
+        """Send to every PE (optionally including the caller).
+
+        ``payload_factory(dst_pe)`` builds the per-destination payload so
+        that each node receives its own message object (mirroring the
+        per-destination buffer copies of a real broadcast).  The sender
+        pays the full overhead for the first destination and
+        ``broadcast_factor`` of it for each additional one — broadcasts
+        are sender-initiated and are *not* barriers (paper section 3.1.3).
+        """
+        dests = [pe for pe in sorted(self.nodes) if include_self or pe != src_node.pe]
+        if not dests:
+            return None
+        m = self.model
+        total = (
+            m.send_overhead
+            + (len(dests) - 1) * m.send_overhead * m.broadcast_factor
+            + extra_send_cost
+        )
+        self.stats.broadcasts += 1
+        handle: Optional[SendHandle] = None
+        if asynchronous:
+            init = total * self.ASYNC_INIT_FRACTION
+            rest = total - init
+            src_node.charge(init)
+            handle = SendHandle(self.engine, self.engine.now + rest)
+            for dst in dests:
+                self._schedule_delivery(
+                    src_node.pe, dst, nbytes, payload_factory(dst), depart_delay=rest
+                )
+        else:
+            src_node.charge(total)
+            for dst in dests:
+                self._schedule_delivery(src_node.pe, dst, nbytes, payload_factory(dst))
+        return handle
+
+    # ------------------------------------------------------------------
+    # raw injection (native baseline, tools)
+    # ------------------------------------------------------------------
+    def raw_send(self, src_node: Any, dst: int, nbytes: int, payload: Any) -> None:
+        """The native-layer send used by the baseline benchmarks: identical
+        costs to :meth:`sync_send` but without any Converse involvement
+        (callers pass raw payloads, not generalized messages)."""
+        self.sync_send(src_node, dst, nbytes, payload)

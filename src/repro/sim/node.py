@@ -1,0 +1,206 @@
+"""A simulated processing element (PE).
+
+A node is the *hardware* view of one processor: an inbox fed by the
+network, a virtual-time ``charge`` primitive that models CPU cost, a small
+private memory region used by the EMI global-pointer calls, and counters.
+The *software* view — the Converse runtime with its handler table,
+scheduler queue and thread pools — is attached as ``node.runtime`` by the
+machine (see :mod:`repro.core.runtime`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = ["NodeStats", "Node"]
+
+
+@dataclass
+class NodeStats:
+    """Per-PE counters (virtual time / message accounting)."""
+
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    msgs_received: int = 0
+    bytes_received: int = 0
+    busy_time: float = 0.0
+    handlers_run: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class Node:
+    """One simulated PE.
+
+    The inbox holds payloads delivered by the network in arrival order.
+    Tasklets belonging to this node block on the inbox via
+    :meth:`wait_for_message`; the network wakes them through
+    :meth:`deliver`.
+    """
+
+    def __init__(self, machine: Any, pe: int) -> None:
+        self.machine = machine
+        self.pe = pe
+        self.engine = machine.engine
+        self.inbox: Deque[Any] = deque()
+        self._waiters: Deque[Any] = deque()
+        #: private memory region addressed by EMI global pointers.
+        self.memory: Dict[int, bytearray] = {}
+        self._next_mem_key = 1
+        self.stats = NodeStats()
+        #: the Converse runtime living on this PE (set by the machine).
+        self.runtime: Any = None
+        #: observers called on every delivery, e.g. tracing.
+        self._delivery_hooks: list[Callable[[Any], None]] = []
+
+    # ------------------------------------------------------------------
+    # CPU time
+    # ------------------------------------------------------------------
+    def charge(self, dt: float) -> None:
+        """Advance virtual time by ``dt`` to model CPU work on this PE.
+
+        Must be called from a tasklet that belongs to this node; the
+        tasklet sleeps, so other PEs (and the network) progress meanwhile.
+        Zero-cost charges return immediately without a context switch.
+        """
+        if dt < 0:
+            raise SimulationError(f"cannot charge negative time ({dt})")
+        self.stats.busy_time += dt
+        if dt > 0.0:
+            cur = self.engine.current_tasklet
+            if cur is None or cur.node is not self:
+                raise SimulationError(
+                    f"charge() on PE {self.pe} from a tasklet not on this PE"
+                )
+            self.engine.sleep(dt)
+
+    @property
+    def now(self) -> float:
+        """The PE's clock (``CmiTimer``); all PEs share the virtual clock."""
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # inbox
+    # ------------------------------------------------------------------
+    def deliver(self, payload: Any) -> None:
+        """Network-facing: append an arrival and wake blocked tasklets.
+
+        Runs inside an engine event callback (never in a tasklet).
+        """
+        self.inbox.append(payload)
+        self.stats.msgs_received += 1
+        self.stats.bytes_received += getattr(payload, "size", 0) or 0
+        for hook in self._delivery_hooks:
+            hook(payload)
+        while self._waiters:
+            self.engine.make_ready(self._waiters.popleft())
+
+    def add_delivery_hook(self, hook: Callable[[Any], None]) -> None:
+        """Register an observer invoked on every arrival (tracing)."""
+        self._delivery_hooks.append(hook)
+
+    def deliver_immediate(self, payload: Any) -> None:
+        """Interrupt-style delivery (the paper's section-6 "preemptive
+        messages" future work): instead of queueing into the inbox, the
+        message's handler runs *at arrival time* in its own context —
+        even while the PE's regular code is mid-computation.  (Modelling
+        note: the interrupted computation's remaining time is not
+        extended by the service routine's — the two overlap in virtual
+        time, a simplification over a real interrupt.)"""
+        self.stats.msgs_received += 1
+        self.stats.bytes_received += getattr(payload, "size", 0) or 0
+        for hook in self._delivery_hooks:
+            hook(payload)
+
+        def service() -> None:
+            rt = self.runtime
+            if rt is None:
+                raise SimulationError(
+                    f"immediate message on PE {self.pe} with no runtime"
+                )
+            rt.deliver_from_network(payload)
+
+        self.spawn(service, name="isr")
+
+    def poll(self) -> Optional[Any]:
+        """Non-blocking inbox pop (the guts of ``CmiGetMsg``)."""
+        if self.inbox:
+            return self.inbox.popleft()
+        return None
+
+    def wait_for_message(self) -> Any:
+        """Block the calling tasklet until a message is available, then
+        pop and return it."""
+        cur = self.engine.require_tasklet()
+        if cur.node is not self:
+            raise SimulationError(
+                f"wait_for_message() on PE {self.pe} from a tasklet on "
+                f"PE {getattr(cur.node, 'pe', None)}"
+            )
+        while not self.inbox:
+            self._waiters.append(cur)
+            self.engine.suspend()
+        return self.inbox.popleft()
+
+    def wait_until(self, predicate: Callable[[], bool]) -> None:
+        """Block the calling tasklet until ``predicate()`` is true.
+
+        The predicate is re-evaluated after every delivery to this node
+        and after every explicit :meth:`kick`.
+        """
+        cur = self.engine.require_tasklet()
+        while not predicate():
+            self._waiters.append(cur)
+            self.engine.suspend()
+
+    def kick(self) -> None:
+        """Wake every tasklet blocked on this node so it rechecks its wait
+        condition.  Used by same-PE state changes (e.g. ``CsdEnqueue`` from
+        another tasklet, Cth awakenings)."""
+        while self._waiters:
+            self.engine.make_ready(self._waiters.popleft())
+
+    # ------------------------------------------------------------------
+    # memory (EMI global pointers)
+    # ------------------------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Reserve ``size`` bytes of node memory; returns the local key."""
+        if size < 0:
+            raise SimulationError(f"cannot allocate negative size {size}")
+        key = self._next_mem_key
+        self._next_mem_key += 1
+        self.memory[key] = bytearray(size)
+        return key
+
+    def mem_read(self, key: int, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` from a memory region."""
+        region = self.memory[key]
+        if offset < 0 or offset + size > len(region):
+            raise SimulationError(
+                f"out-of-range read [{offset}, {offset + size}) of region "
+                f"{key} (len {len(region)}) on PE {self.pe}"
+            )
+        return bytes(region[offset:offset + size])
+
+    def mem_write(self, key: int, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` into a memory region."""
+        region = self.memory[key]
+        if offset < 0 or offset + len(data) > len(region):
+            raise SimulationError(
+                f"out-of-range write [{offset}, {offset + len(data)}) of "
+                f"region {key} (len {len(region)}) on PE {self.pe}"
+            )
+        region[offset:offset + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # tasklets
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable[[], Any], name: str = "task", start: bool = True):
+        """Create a tasklet bound to this PE."""
+        return self.engine.spawn(fn, name=f"pe{self.pe}-{name}", node=self, start=start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node pe={self.pe} inbox={len(self.inbox)}>"

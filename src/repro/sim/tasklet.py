@@ -1,0 +1,160 @@
+"""Tasklets: suspendable user-code contexts backed by real threads.
+
+The original Converse implements thread objects with ``setjmp``/``longjmp``
+over per-thread stacks.  Python offers no portable stack switching, so we
+back each tasklet with an OS thread — but enforce that **exactly one**
+tasklet (or the engine) runs at any moment by passing a baton built from a
+pair of ``threading.Event`` objects.  The GIL therefore never introduces
+nondeterminism: execution is fully serialized and scheduled by the engine.
+
+A tasklet runs until it *parks* (via the engine's sleep/suspend/transfer
+primitives) or finishes.  Parking hands the baton back to the engine's
+driver thread.
+
+Shutdown injects :class:`~repro.core.errors.TaskletKilled` (a
+``BaseException``) at the park point so that ``finally`` blocks in user
+code still run but ordinary ``except Exception`` clauses do not swallow
+the unwind.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.core.errors import SimulationError, TaskletKilled
+
+__all__ = ["Tasklet"]
+
+#: Join timeout used during shutdown.  A healthy tasklet unwinds in
+#: microseconds; the timeout only guards against pathological user code.
+_JOIN_TIMEOUT = 5.0
+
+
+class Tasklet:
+    """A single suspendable execution context.
+
+    Attributes of interest to the rest of the library:
+
+    * ``node`` — the simulated PE this tasklet belongs to (or ``None``);
+      used to answer "which processor am I on?" from C-style API calls.
+    * ``finished`` — the function returned, raised, or was killed.
+    * ``result`` / ``error`` — outcome of the function, for joiners.
+    * ``data`` — a free slot for higher layers (Cth stores its thread
+      object here).
+    """
+
+    _ids = 0
+
+    def __init__(self, engine: Any, fn: Callable[[], Any], name: str = "tasklet",
+                 node: Any = None) -> None:
+        Tasklet._ids += 1
+        self.tid = Tasklet._ids
+        self.engine = engine
+        self.fn = fn
+        self.name = name
+        self.node = node
+        self.finished = False
+        self.started = False
+        self.ready = False
+        self.killed = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.data: Any = None
+        self._go = threading.Event()
+        self._back = threading.Event()
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"sim-{name}-{self.tid}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # thread body
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        # Wait for the first baton hand-off before touching user code.
+        self._go.wait()
+        self._go.clear()
+        try:
+            if not self.killed:
+                self.result = self.fn()
+        except TaskletKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - report and unwind
+            self.error = exc
+            self.engine.report_failure(exc)
+        finally:
+            self.finished = True
+            # Hand the baton back for the last time.
+            self._back.set()
+
+    # ------------------------------------------------------------------
+    # baton passing (engine side)
+    # ------------------------------------------------------------------
+    def resume_from_engine(self) -> None:
+        """Run this tasklet until it parks or finishes.
+
+        Called only by the engine's driver thread.
+        """
+        if self.finished:
+            raise SimulationError(f"resuming finished tasklet {self.name!r}")
+        if not self.started:
+            self.started = True
+            self._thread.start()
+        self._go.set()
+        self._back.wait()
+        self._back.clear()
+
+    # ------------------------------------------------------------------
+    # baton passing (tasklet side)
+    # ------------------------------------------------------------------
+    def park(self) -> None:
+        """Give the baton back to the engine and block until resumed.
+
+        Must be called from this tasklet's own thread (the engine's parking
+        primitives guarantee that).  Raises :class:`TaskletKilled` if the
+        machine is shutting down.
+        """
+        if threading.current_thread() is not self._thread:
+            raise SimulationError(
+                f"park() called from foreign thread for tasklet {self.name!r}"
+            )
+        self._back.set()
+        self._go.wait()
+        self._go.clear()
+        if self.killed:
+            raise TaskletKilled()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Ask this tasklet to unwind; it dies at its current park point.
+
+        Called only from the driver thread.  A tasklet that never started
+        is finished immediately without running user code.
+        """
+        if self.finished:
+            return
+        self.killed = True
+        if not self.started:
+            # Never ran: mark it done without spinning up the thread.
+            self.finished = True
+            return
+        # Wake it so the park point raises TaskletKilled.
+        self._go.set()
+        self._back.wait(_JOIN_TIMEOUT)
+        self._back.clear()
+
+    def join(self) -> None:
+        """Wait for the backing OS thread to exit (after :meth:`kill`)."""
+        if self.started:
+            self._thread.join(_JOIN_TIMEOUT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "finished" if self.finished
+            else "ready" if self.ready
+            else "running/parked" if self.started
+            else "new"
+        )
+        return f"<Tasklet {self.name!r} #{self.tid} {state}>"

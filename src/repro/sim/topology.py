@@ -1,0 +1,182 @@
+"""Interconnect topologies: hop-distance metrics for the machine models.
+
+The five machines the paper evaluates on have different interconnects — a
+3-D torus (Cray T3D), a 2-D mesh (Intel Paragon), switched networks (ATM,
+Myrinet) and a multistage network (SP-1/SP-2).  For latency modelling the
+only thing the network layer needs is a *hop count* between two PEs, so a
+topology is simply an object with ``hops(src, dst)``.
+
+All topologies accept any ``num_pes`` and lay PEs out in row-major order
+over the smallest grid that holds them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "Topology",
+    "FlatTopology",
+    "Mesh2D",
+    "Torus3D",
+    "Hypercube",
+    "MultistageTopology",
+    "make_topology",
+]
+
+
+class Topology:
+    """Base class: a hop-count metric over ``num_pes`` processors."""
+
+    def __init__(self, num_pes: int) -> None:
+        if num_pes < 1:
+            raise SimulationError(f"topology needs at least 1 PE, got {num_pes}")
+        self.num_pes = num_pes
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between two PEs (0 when ``src == dst``)."""
+        raise NotImplementedError
+
+    def _check(self, pe: int) -> None:
+        if not 0 <= pe < self.num_pes:
+            raise SimulationError(f"PE {pe} out of range [0, {self.num_pes})")
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop count over all PE pairs (brute force; fine for the
+        machine sizes simulated here)."""
+        best = 0
+        for s in range(self.num_pes):
+            for d in range(self.num_pes):
+                best = max(best, self.hops(s, d))
+        return best
+
+
+class FlatTopology(Topology):
+    """A crossbar / central switch: every distinct pair is one hop.
+
+    Used for the switched networks (Myrinet, ATM) where per-hop latency
+    differences are negligible at the message sizes measured.
+    """
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between ``src`` and ``dst`` under this topology's metric."""
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 1
+
+
+class Mesh2D(Topology):
+    """2-D mesh with dimension-ordered (Manhattan) routing — the Intel
+    Paragon interconnect."""
+
+    def __init__(self, num_pes: int) -> None:
+        super().__init__(num_pes)
+        self.cols = max(1, math.isqrt(num_pes))
+        self.rows = math.ceil(num_pes / self.cols)
+
+    def coords(self, pe: int) -> Tuple[int, int]:
+        """Grid coordinates of PE ``pe`` in this topology's layout."""
+        self._check(pe)
+        return divmod(pe, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between ``src`` and ``dst`` under this topology's metric."""
+        (sr, sc), (dr, dc) = self.coords(src), self.coords(dst)
+        return abs(sr - dr) + abs(sc - dc)
+
+
+class Torus3D(Topology):
+    """3-D torus with wraparound links — the Cray T3D interconnect."""
+
+    def __init__(self, num_pes: int) -> None:
+        super().__init__(num_pes)
+        side = max(1, round(num_pes ** (1.0 / 3.0)))
+        while side ** 3 < num_pes:
+            side += 1
+        self.side = side
+
+    def coords(self, pe: int) -> Tuple[int, int, int]:
+        """Grid coordinates of PE ``pe`` in this topology's layout."""
+        self._check(pe)
+        s = self.side
+        return (pe // (s * s), (pe // s) % s, pe % s)
+
+    def _ring_dist(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.side - d)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between ``src`` and ``dst`` under this topology's metric."""
+        sa, sb, sc = self.coords(src)
+        da, db, dc = self.coords(dst)
+        return (
+            self._ring_dist(sa, da)
+            + self._ring_dist(sb, db)
+            + self._ring_dist(sc, dc)
+        )
+
+
+class Hypercube(Topology):
+    """Binary hypercube: hop count is the Hamming distance of PE ids.
+
+    Not one of the paper's five machines but included for the generic
+    model and for topology-sensitive load-balancing strategies
+    (neighbour-averaging uses hypercube neighbours like early Charm)."""
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between ``src`` and ``dst`` under this topology's metric."""
+        self._check(src)
+        self._check(dst)
+        return (src ^ dst).bit_count()
+
+    def neighbors(self, pe: int) -> list:
+        """PEs at Hamming distance 1 (clipped to the machine size)."""
+        self._check(pe)
+        out = []
+        bit = 1
+        while bit < max(2, self.num_pes):
+            other = pe ^ bit
+            if other < self.num_pes:
+                out.append(other)
+            bit <<= 1
+        return out
+
+
+class MultistageTopology(Topology):
+    """Multistage (butterfly-style) network — IBM SP-1/SP-2.
+
+    Every distinct pair traverses ``log2(P)`` switch stages (rounded up),
+    which is the right first-order latency model for the SP's Vulcan
+    switch."""
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between ``src`` and ``dst`` under this topology's metric."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        return max(1, math.ceil(math.log2(max(2, self.num_pes))))
+
+
+_TOPOLOGIES = {
+    "flat": FlatTopology,
+    "mesh2d": Mesh2D,
+    "torus3d": Torus3D,
+    "hypercube": Hypercube,
+    "multistage": MultistageTopology,
+}
+
+
+def make_topology(name: str, num_pes: int) -> Topology:
+    """Instantiate a topology by name (see :data:`_TOPOLOGIES` keys)."""
+    try:
+        cls = _TOPOLOGIES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown topology {name!r}; choose from {sorted(_TOPOLOGIES)}"
+        ) from None
+    return cls(num_pes)

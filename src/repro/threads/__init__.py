@@ -1,0 +1,1 @@
+"""Thread objects (Cth) and synchronization mechanisms (Cts)."""

@@ -1,0 +1,2 @@
+"""Event tracing: the standard + self-describing trace format, trace
+sinks, and Projections-lite analysis."""

@@ -1,0 +1,115 @@
+"""Projections-lite: summaries over recorded traces (paper section 3.3.2).
+
+The paper motivates the trace standard with "performance feedback,
+simulation and debugging tools".  This module is the minimal such tool:
+given a :class:`~repro.tracing.tracer.MemoryTracer`, it derives per-PE
+utilization profiles, message statistics, and a textual timeline — enough
+to see where a run's time went without leaving the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracing.events import TraceEvent
+from repro.tracing.tracer import MemoryTracer
+
+__all__ = ["PeProfile", "TraceSummary", "summarize", "timeline"]
+
+
+@dataclass
+class PeProfile:
+    """Aggregates for one PE."""
+
+    pe: int
+    sends: int = 0
+    broadcasts: int = 0
+    receives: int = 0
+    handlers: int = 0
+    enqueues: int = 0
+    dequeues: int = 0
+    threads_created: int = 0
+    objects_created: int = 0
+    bytes_sent: int = 0
+    #: total virtual time spent inside handlers.
+    handler_time: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Whole-run aggregates derived from a memory trace."""
+
+    profiles: Dict[int, PeProfile] = field(default_factory=dict)
+    first_time: float = 0.0
+    last_time: float = 0.0
+    total_events: int = 0
+
+    @property
+    def span(self) -> float:
+        """Virtual-time distance between the first and last event."""
+        return self.last_time - self.first_time
+
+    def profile(self, pe: int) -> PeProfile:
+        """The (created-on-demand) per-PE profile for ``pe``."""
+        return self.profiles.setdefault(pe, PeProfile(pe))
+
+    def busiest_pe(self) -> Optional[int]:
+        """The PE that ran the most handlers (``None`` if no events)."""
+        if not self.profiles:
+            return None
+        return max(self.profiles.values(), key=lambda p: p.handlers).pe
+
+
+def summarize(tracer: MemoryTracer) -> TraceSummary:
+    """Fold a memory trace into per-PE profiles."""
+    s = TraceSummary()
+    open_handlers: Dict[int, float] = {}
+    events = tracer.events
+    s.total_events = len(events)
+    if events:
+        s.first_time = events[0].time
+        s.last_time = max(e.time for e in events)
+    for ev in events:
+        p = s.profile(ev.pe)
+        if ev.kind == "send":
+            p.sends += 1
+            p.bytes_sent += int(ev.fields.get("size", 0) or 0)
+        elif ev.kind == "broadcast":
+            p.broadcasts += 1
+        elif ev.kind == "receive":
+            p.receives += 1
+        elif ev.kind == "handler_begin":
+            p.handlers += 1
+            open_handlers[ev.pe] = ev.time
+        elif ev.kind == "handler_end":
+            start = open_handlers.pop(ev.pe, None)
+            if start is not None:
+                p.handler_time += ev.time - start
+        elif ev.kind == "enqueue":
+            p.enqueues += 1
+        elif ev.kind == "dequeue":
+            p.dequeues += 1
+        elif ev.kind == "thread_create":
+            p.threads_created += 1
+        elif ev.kind == "object_create":
+            p.objects_created += 1
+    return s
+
+
+def timeline(tracer: MemoryTracer, pe: Optional[int] = None,
+             kinds: Optional[Tuple[str, ...]] = None,
+             limit: int = 50) -> List[str]:
+    """A human-readable event timeline (filtered, truncated)."""
+    rows: List[str] = []
+    for ev in tracer.events:
+        if pe is not None and ev.pe != pe:
+            continue
+        if kinds is not None and ev.kind not in kinds:
+            continue
+        detail = " ".join(f"{k}={v}" for k, v in ev.fields.items())
+        rows.append(f"{ev.time * 1e6:12.2f}us pe{ev.pe:<3} {ev.kind:<14} {detail}")
+        if len(rows) >= limit:
+            rows.append(f"... (truncated at {limit} events)")
+            break
+    return rows

@@ -1,0 +1,94 @@
+"""The event-trace format (paper section 3.3.2).
+
+Converse defines "a standard for an event trace format [with] two parts: a
+standard format which must be adhered to by all language implementors, and
+an extensible self-describing format which may be language-specific".
+
+* The **standard part** is the fixed set of event kinds in
+  :data:`STANDARD_KINDS` — message send/receive/processing plus object and
+  thread creation, exactly the events the paper says must be recorded.
+* The **self-describing part** is the free-form ``fields`` dict carried by
+  every event, plus per-language schemas announced with
+  :class:`SchemaDeclaration` records, so a tool that has never heard of a
+  language can still render its events (it knows the field names and
+  types from the declaration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["STANDARD_KINDS", "TraceEvent", "SchemaDeclaration"]
+
+#: Event kinds every language implementation must emit (the "standard
+#: format").  Runtime-internal kinds (enqueue/dequeue/...) are also listed
+#: here since the core emits them uniformly for all languages.
+STANDARD_KINDS = frozenset(
+    {
+        "send",            # a message left this PE
+        "broadcast",       # a broadcast left this PE
+        "receive",         # a message arrived at this PE (network delivery)
+        "handler_begin",   # message processing started
+        "handler_end",     # message processing finished
+        "enqueue",         # message entered the Csd queue
+        "dequeue",         # message left the Csd queue
+        "object_create",   # a concurrent object (e.g. chare) was created
+        "thread_create",   # a Cth thread was created
+        "thread_resume",
+        "thread_suspend",
+        "idle_begin",
+        "idle_end",
+        "converse_exit",
+        "user",            # language-specific event (self-describing part)
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: where, when, what, and open-ended details."""
+
+    pe: int
+    time: float
+    kind: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def standard(self) -> bool:
+        """True when this kind belongs to the mandatory standard format."""
+        return self.kind in STANDARD_KINDS
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain-dict rendering (JSON-friendly)."""
+        return {
+            "pe": self.pe,
+            "time": self.time,
+            "kind": self.kind,
+            **dict(self.fields),
+        }
+
+
+@dataclass(frozen=True)
+class SchemaDeclaration:
+    """A language's announcement of its self-describing event schema.
+
+    ``fields`` maps field name to a type tag (``"int"``, ``"float"``,
+    ``"str"``).  Tools consume declarations before any ``user`` events of
+    that language, so traces remain interpretable without per-language
+    code in the tool.
+    """
+
+    language: str
+    event_name: str
+    fields: Tuple[Tuple[str, str], ...]
+
+    def validate(self, payload: Mapping[str, Any]) -> bool:
+        """Check a user event's fields against this schema."""
+        types = {"int": int, "float": (int, float), "str": str}
+        for name, tag in self.fields:
+            if name not in payload:
+                return False
+            if not isinstance(payload[name], types[tag]):  # type: ignore[arg-type]
+                return False
+        return True

@@ -1,0 +1,142 @@
+"""Trace sinks ("many variants of this module are provided, depending on
+the sophistication of the tracing desired" — paper section 3.3.2).
+
+Three variants:
+
+* no tracer (the machine's ``tracer`` is ``None``) — zero overhead, the
+  need-based-cost default;
+* :class:`MemoryTracer` — keeps events in RAM for analysis in tests;
+* :class:`JsonlTracer` — streams events as JSON lines for external tools.
+
+A :class:`CountingTracer` is also provided for cheap per-kind statistics
+without storing events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, Any, Dict, List, Mapping, Optional
+
+from repro.tracing.events import SchemaDeclaration, TraceEvent
+
+__all__ = ["Tracer", "MemoryTracer", "CountingTracer", "JsonlTracer", "make_tracer"]
+
+
+class Tracer:
+    """Base sink.  ``record`` must be cheap: it runs on every event."""
+
+    def __init__(self) -> None:
+        self.schemas: List[SchemaDeclaration] = []
+
+    def record(self, pe: int, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        """Record one event (hot path: called on every traced event)."""
+        raise NotImplementedError
+
+    def declare_schema(self, schema: SchemaDeclaration) -> None:
+        """Register a language's self-describing event schema."""
+        self.schemas.append(schema)
+
+    def close(self) -> None:
+        """Flush/close any backing resources."""
+
+
+class MemoryTracer(Tracer):
+    """Store every event; the analysis module consumes these."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+
+    def record(self, pe: int, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        """Record one event (hot path: called on every traced event)."""
+        self.events.append(TraceEvent(pe, time, kind, dict(fields)))
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def by_pe(self, pe: int) -> List[TraceEvent]:
+        """All recorded events of one PE, in order."""
+        return [e for e in self.events if e.pe == pe]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CountingTracer(Tracer):
+    """Only count events per (pe, kind); no storage growth per event."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counts: Counter = Counter()
+
+    def record(self, pe: int, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        """Record one event (hot path: called on every traced event)."""
+        self.counts[(pe, kind)] += 1
+
+    def total(self, kind: Optional[str] = None) -> int:
+        """Total events counted, optionally restricted to one kind."""
+        if kind is None:
+            return sum(self.counts.values())
+        return sum(v for (pe, k), v in self.counts.items() if k == kind)
+
+
+class JsonlTracer(Tracer):
+    """Stream events as JSON lines to a file-like object or path."""
+
+    def __init__(self, target: Any) -> None:
+        super().__init__()
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self.count = 0
+
+    def record(self, pe: int, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        """Record one event (hot path: called on every traced event)."""
+        payload: Dict[str, Any] = {"pe": pe, "time": time, "kind": kind}
+        payload.update(fields)
+        self._fh.write(json.dumps(payload, default=str) + "\n")
+        self.count += 1
+
+    def declare_schema(self, schema: SchemaDeclaration) -> None:
+        """Register a language's self-describing event schema."""
+        super().declare_schema(schema)
+        self._fh.write(
+            json.dumps(
+                {
+                    "kind": "__schema__",
+                    "language": schema.language,
+                    "event": schema.event_name,
+                    "fields": list(schema.fields),
+                }
+            )
+            + "\n"
+        )
+
+    def close(self) -> None:
+        """Flush and release any backing resources."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def make_tracer(spec: Any) -> Optional[Tracer]:
+    """Build a tracer from a machine-constructor argument.
+
+    ``False``/``None`` -> no tracing; ``True``/``"memory"`` -> memory;
+    ``"count"`` -> counting; a path or file object -> JSONL; an existing
+    :class:`Tracer` passes through.
+    """
+    if spec in (None, False):
+        return None
+    if spec is True or spec == "memory":
+        return MemoryTracer()
+    if spec == "count":
+        return CountingTracer()
+    if isinstance(spec, Tracer):
+        return spec
+    return JsonlTracer(spec)

@@ -1,0 +1,79 @@
+"""Unit tests for the handler registration table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import HandlerError, UnknownHandlerError
+from repro.core.handlers import HandlerTable
+
+
+def test_register_returns_increasing_indices_from_one():
+    t = HandlerTable()
+    a = t.register(lambda m: None, "a")
+    b = t.register(lambda m: None, "b")
+    assert (a, b) == (1, 2)
+    assert len(t) == 2
+
+
+def test_lookup_resolves_registered_function():
+    t = HandlerTable()
+    fn = lambda m: None  # noqa: E731
+    idx = t.register(fn)
+    assert t.lookup(idx) is fn
+
+
+def test_lookup_unregistered_raises():
+    t = HandlerTable()
+    t.register(lambda m: None)
+    with pytest.raises(UnknownHandlerError):
+        t.lookup(0)  # reserved slot
+    with pytest.raises(UnknownHandlerError):
+        t.lookup(99)
+    with pytest.raises(UnknownHandlerError):
+        t.lookup(-1)
+
+
+def test_register_non_callable_rejected():
+    t = HandlerTable()
+    with pytest.raises(HandlerError):
+        t.register("not callable")  # type: ignore[arg-type]
+
+
+def test_register_at_fixed_index():
+    t = HandlerTable()
+    fn = lambda m: None  # noqa: E731
+    t.register_at(10, fn, "fixed")
+    assert t.lookup(10) is fn
+    assert t.name_of(10) == "fixed"
+    # Idempotent for the same function.
+    t.register_at(10, fn)
+    with pytest.raises(HandlerError):
+        t.register_at(10, lambda m: None)
+    with pytest.raises(HandlerError):
+        t.register_at(0, fn)
+
+
+def test_names_default_to_qualname():
+    t = HandlerTable()
+
+    def my_handler(msg):
+        pass
+
+    idx = t.register(my_handler)
+    assert "my_handler" in t.name_of(idx)
+    assert "unregistered" in t.name_of(55)
+
+
+def test_consistency_check():
+    def build(names):
+        t = HandlerTable()
+        for n in names:
+            t.register(lambda m: None, n)
+        return t
+
+    same = [build(["x", "y"]) for _ in range(3)]
+    assert HandlerTable.check_consistent(same)
+    assert HandlerTable.check_consistent([])
+    different = same + [build(["x", "z"])]
+    assert not HandlerTable.check_consistent(different)

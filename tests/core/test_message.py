@@ -1,0 +1,201 @@
+"""Unit tests for generalized messages: header, priorities, ownership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BufferOwnershipError, MessageError
+from repro.core.message import (
+    HEADER_BYTES,
+    BitVector,
+    Message,
+    estimate_size,
+)
+
+
+# ----------------------------------------------------------------------
+# construction & sizes
+# ----------------------------------------------------------------------
+
+def test_basic_construction_defaults():
+    msg = Message(3, b"abc")
+    assert msg.handler == 3
+    assert msg.size == 3
+    assert msg.prio is None
+    assert msg.valid and not msg.cmi_owned
+
+
+def test_explicit_size_overrides_estimate():
+    msg = Message(1, b"abc", size=1000)
+    assert msg.size == 1000
+
+
+def test_invalid_handler_rejected():
+    with pytest.raises(MessageError):
+        Message(-1, b"")
+    with pytest.raises(MessageError):
+        Message("h", b"")  # type: ignore[arg-type]
+
+
+def test_negative_size_rejected():
+    with pytest.raises(MessageError):
+        Message(1, b"", size=-5)
+
+
+def test_bool_priority_rejected():
+    with pytest.raises(MessageError):
+        Message(1, b"", prio=True)
+
+
+@pytest.mark.parametrize(
+    "payload,expected",
+    [
+        (None, 0),
+        (b"1234", 4),
+        ("abc", 3),
+        (7, 8),
+        (3.14, 8),
+        ((1, 2), 16 + 16),
+        ([1.0, 2.0, 3.0], 16 + 24),
+        ({"a": 1}, 16 + 1 + 8),
+        (object(), 64),
+    ],
+)
+def test_estimate_size_rules(payload, expected):
+    assert estimate_size(payload) == expected
+
+
+def test_estimate_size_numpy_nbytes():
+    import numpy as np
+
+    arr = np.zeros(10, dtype=np.float64)
+    assert estimate_size(arr) == 80
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+def test_pack_unpack_roundtrip_plain():
+    msg = Message(12, b"hello world", src_pe=None)
+    wire = msg.pack()
+    assert len(wire) == HEADER_BYTES + 11
+    back = Message.unpack(wire, src_pe=4)
+    assert back.handler == 12
+    assert back.payload == b"hello world"
+    assert back.prio is None
+    assert back.src_pe == 4
+
+
+@pytest.mark.parametrize("prio", [0, 7, -3, 2**40, -(2**40)])
+def test_pack_unpack_int_priority(prio):
+    back = Message.unpack(Message(1, b"x", prio=prio).pack())
+    assert back.prio == prio
+
+
+def test_pack_unpack_bitvector_priority():
+    bv = BitVector("0110")
+    back = Message.unpack(Message(1, b"data", prio=bv).pack())
+    assert back.prio == bv
+    assert back.payload == b"data"
+
+
+def test_pack_rejects_object_payload():
+    with pytest.raises(MessageError):
+        Message(1, {"not": "bytes"}).pack()
+
+
+def test_unpack_rejects_garbage():
+    with pytest.raises(MessageError):
+        Message.unpack(b"short")
+    bad = b"\x00" * (HEADER_BYTES + 4)
+    with pytest.raises(MessageError, match="magic"):
+        Message.unpack(bad)
+
+
+def test_handler_in_first_field_after_magic():
+    """The paper's 'first word specifies a function' contract: mutating
+    the handler only changes those header bytes."""
+    a = Message(1, b"payload").pack()
+    b = Message(2, b"payload").pack()
+    diff = [i for i, (x, y) in enumerate(zip(a, b)) if x != y]
+    assert diff and all(4 <= i < 8 for i in diff)  # bytes of the handler int32
+
+
+# ----------------------------------------------------------------------
+# buffer ownership protocol
+# ----------------------------------------------------------------------
+
+def test_recycle_poisons_unowned_buffer():
+    msg = Message(1, b"data")
+    msg.mark_cmi_owned()
+    msg.recycle()
+    assert not msg.valid
+    with pytest.raises(BufferOwnershipError):
+        _ = msg.payload
+
+
+def test_grab_prevents_recycle():
+    msg = Message(1, b"data")
+    msg.mark_cmi_owned()
+    msg.grab()
+    msg.recycle()
+    assert msg.valid
+    assert msg.payload == b"data"
+
+
+def test_grab_after_recycle_raises():
+    msg = Message(1, b"data")
+    msg.mark_cmi_owned()
+    msg.recycle()
+    with pytest.raises(BufferOwnershipError):
+        msg.grab()
+
+
+def test_recycle_without_cmi_ownership_is_noop():
+    msg = Message(1, b"data")
+    msg.recycle()
+    assert msg.valid
+
+
+# ----------------------------------------------------------------------
+# BitVector ordering
+# ----------------------------------------------------------------------
+
+def test_bitvector_fraction_ordering():
+    assert BitVector("0") < BitVector("1")
+    assert BitVector("01") < BitVector("1")
+    assert BitVector("001") < BitVector("01")
+    assert BitVector("011") > BitVector("01")
+
+
+def test_bitvector_trailing_zeros_equal():
+    assert BitVector("01") == BitVector("0100")
+    assert hash(BitVector("01")) == hash(BitVector("0100"))
+    assert BitVector("") == BitVector("000")
+
+
+def test_bitvector_prefix_is_smaller():
+    assert BitVector("01") < BitVector("011")
+
+
+def test_bitvector_extended_appends():
+    root = BitVector("")
+    left = root.extended("0")
+    right = root.extended("1")
+    assert left < right
+    assert left.extended([1]) == BitVector("01")
+
+
+def test_bitvector_as_fraction():
+    assert BitVector("1").as_fraction() == 0.5
+    assert BitVector("01").as_fraction() == 0.25
+    assert BitVector("11").as_fraction() == 0.75
+    assert BitVector("").as_fraction() == 0.0
+
+
+def test_bitvector_validates_bits():
+    with pytest.raises(MessageError):
+        BitVector("0120")
+    with pytest.raises(MessageError):
+        BitVector([0, 2])

@@ -1,0 +1,136 @@
+"""Unit tests for the pluggable queueing strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueueingError
+from repro.core.message import BitVector
+from repro.core.queueing import (
+    BitvectorPriorityQueue,
+    FifoQueue,
+    IntPriorityQueue,
+    LifoQueue,
+    QUEUE_STRATEGIES,
+    TwoLevelQueue,
+    make_queue,
+)
+
+
+def drain(q):
+    out = []
+    while True:
+        item = q.pop()
+        if item is None:
+            return out
+        out.append(item)
+
+
+def test_fifo_order():
+    q = FifoQueue()
+    for i in range(5):
+        q.push(i)
+    assert drain(q) == [0, 1, 2, 3, 4]
+
+
+def test_lifo_order():
+    q = LifoQueue()
+    for i in range(5):
+        q.push(i)
+    assert drain(q) == [4, 3, 2, 1, 0]
+
+
+def test_fifo_ignores_priorities():
+    q = FifoQueue()
+    q.push("a", prio=100)
+    q.push("b", prio=-100)
+    assert drain(q) == ["a", "b"]
+
+
+def test_int_priority_smaller_first():
+    q = IntPriorityQueue()
+    q.push("low", prio=10)
+    q.push("high", prio=-5)
+    q.push("mid", prio=0)
+    assert drain(q) == ["high", "mid", "low"]
+
+
+def test_int_priority_fifo_within_level():
+    q = IntPriorityQueue()
+    for i in range(4):
+        q.push(f"a{i}", prio=1)
+    q.push("urgent", prio=0)
+    assert drain(q) == ["urgent", "a0", "a1", "a2", "a3"]
+
+
+def test_int_priority_none_is_zero():
+    q = IntPriorityQueue()
+    q.push("none")           # None -> 0
+    q.push("neg", prio=-1)
+    q.push("zero", prio=0)
+    assert drain(q) == ["neg", "none", "zero"]
+
+
+def test_int_priority_rejects_bitvector():
+    q = IntPriorityQueue()
+    with pytest.raises(QueueingError):
+        q.push("x", prio=BitVector("01"))
+
+
+def test_bitvector_queue_fraction_order():
+    q = BitvectorPriorityQueue()
+    q.push("half", prio=BitVector("1"))
+    q.push("quarter", prio=BitVector("01"))
+    q.push("eighth", prio=BitVector("001"))
+    q.push("root")  # None -> empty vector, most urgent
+    assert drain(q) == ["root", "eighth", "quarter", "half"]
+
+
+def test_bitvector_queue_rejects_ints():
+    q = BitvectorPriorityQueue()
+    with pytest.raises(QueueingError):
+        q.push("x", prio=3)
+
+
+def test_two_level_queue_accepts_mixed():
+    q = TwoLevelQueue()
+    q.push("i1", prio=1)
+    q.push("none")          # == int 0
+    q.push("bv", prio=BitVector("1"))
+    q.push("i-1", prio=-1)
+    out = drain(q)
+    assert out.index("i-1") < out.index("none") < out.index("i1")
+    assert out[-1] == "bv"  # bit-vectors sort after the int family
+
+
+def test_peek_does_not_remove():
+    for name in QUEUE_STRATEGIES:
+        q = make_queue(name)
+        assert q.peek() is None
+        q.push("only")
+        assert q.peek() == "only"
+        assert len(q) == 1
+        assert q.pop() == "only"
+
+
+def test_len_and_bool():
+    q = FifoQueue()
+    assert not q and len(q) == 0
+    q.push(1)
+    assert q and len(q) == 1
+    q.pop()
+    assert not q
+
+
+def test_pop_empty_returns_none():
+    for name in QUEUE_STRATEGIES:
+        assert make_queue(name).pop() is None
+
+
+def test_make_queue_unknown_rejected():
+    with pytest.raises(QueueingError, match="unknown queueing strategy"):
+        make_queue("priority-ish")
+
+
+def test_registry_names():
+    assert set(QUEUE_STRATEGIES) == {"fifo", "lifo", "int", "bitvector", "general"}

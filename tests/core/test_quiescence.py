@@ -1,0 +1,185 @@
+"""Tests for the counter-wave quiescence-detection library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import ConverseError
+from repro.core.message import Message
+from repro.core.quiescence import QD
+from repro.sim.machine import Machine
+
+
+def test_detects_on_idle_machine_quickly():
+    with Machine(4) as m:
+        QD.attach(m)
+        fired = []
+
+        def main():
+            if api.CmiMyPe() == 0:
+                QD.get().start(lambda: (fired.append(api.CmiTimer()),
+                                        api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert len(fired) == 1
+        # Two waves over an idle machine: well under a millisecond.
+        assert fired[0] < 1e-3
+        assert m.runtime(0).lang_instances["qd"].waves_run == 2
+
+
+def test_waits_for_inflight_traffic_to_drain():
+    """QD must not fire while an application message chain is active."""
+    with Machine(3) as m:
+        QD.attach(m)
+        events = []
+
+        def main():
+            me = api.CmiMyPe()
+
+            def h(msg):
+                hops = msg.payload
+                events.append(("hop", api.CmiTimer()))
+                api.CmiCharge(30e-6)
+                if hops > 0:
+                    api.CmiSyncSend((api.CmiMyPe() + 1) % 3,
+                                    Message(hid, hops - 1, size=8))
+
+            hid = api.CmiRegisterHandler(h, "chain")
+            if me == 0:
+                QD.get().start(lambda: (events.append(("quiet", api.CmiTimer())),
+                                        api.CsdExitAll()))
+                # 12 hops of 30us compute each: the chain outlives several
+                # QD waves.
+                api.CmiSyncSend(1, Message(hid, 12, size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        kinds = [k for k, _ in events]
+        assert kinds.count("hop") == 13
+        assert kinds[-1] == "quiet"
+        quiet_time = events[-1][1]
+        last_hop = max(t for k, t in events if k == "hop")
+        assert quiet_time > last_hop
+
+
+def test_initiator_can_be_any_pe():
+    with Machine(5) as m:
+        QD.attach(m)
+        fired = []
+
+        def main():
+            if api.CmiMyPe() == 3:
+                QD.get().start(lambda: (fired.append(api.CmiMyPe()),
+                                        api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert fired == [3]
+
+
+def test_multiple_callbacks_fire_together():
+    with Machine(2) as m:
+        QD.attach(m)
+        fired = []
+
+        def main():
+            if api.CmiMyPe() == 0:
+                qd = QD.get()
+                qd.start(lambda: fired.append("a"))
+                qd.start(lambda: (fired.append("b"), api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert fired == ["a", "b"]
+
+
+def test_single_pe_machine():
+    with Machine(1) as m:
+        QD.attach(m)
+        fired = []
+
+        def main():
+            QD.get().start(lambda: (fired.append(True), api.CsdExitScheduler()))
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, main)
+        m.run()
+        assert fired == [True]
+
+
+def test_non_callable_rejected():
+    with Machine(1) as m:
+        QD.attach(m)
+
+        def main():
+            try:
+                QD.get().start("not callable")  # type: ignore[arg-type]
+            except ConverseError:
+                return "rejected"
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == "rejected"
+
+
+def test_ccd_callback_runs_after_delay():
+    with Machine(1) as m:
+        log = []
+
+        def main():
+            api.CcdCallFnAfter(100e-6, lambda: (log.append(api.CmiTimer()),
+                                                api.CsdExitScheduler()))
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, main)
+        m.run()
+        # Fires after the delay plus the normal delivery/dispatch cost.
+        from repro.sim.models import GENERIC
+
+        expect = 100e-6 + GENERIC.recv_overhead + GENERIC.cvs_dispatch_extra
+        assert log == [pytest.approx(expect)]
+
+
+def test_ccd_negative_delay_rejected():
+    with Machine(1) as m:
+        def main():
+            try:
+                api.CcdCallFnAfter(-1.0, lambda: None)
+            except ConverseError:
+                return "neg"
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == "neg"
+
+
+def test_ccd_ticks_do_not_skew_message_conservation():
+    """The timer tick is not a message: global sent == received after a
+    run that used Ccd heavily."""
+    with Machine(2) as m:
+        def main():
+            state = {"n": 0}
+
+            def tick():
+                state["n"] += 1
+                if state["n"] < 5:
+                    api.CcdCallFnAfter(10e-6, tick)
+                else:
+                    api.CsdExitScheduler()
+
+            api.CcdCallFnAfter(10e-6, tick)
+            api.CsdScheduler(-1)
+            return state["n"]
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == 5
+        sent = sum(n.stats.msgs_sent for n in m.nodes)
+        recv = sum(n.stats.msgs_received for n in m.nodes)
+        assert sent == recv == 0

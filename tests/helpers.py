@@ -1,0 +1,33 @@
+"""Importable test helpers (fixtures live in ``conftest.py``)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC, MachineModel
+
+__all__ = ["run_on", "run_spmd_collect"]
+
+
+def run_on(num_pes: int, fn: Callable[[], Any], *,
+           model: MachineModel = GENERIC, pe: int = 0,
+           **machine_kwargs: Any) -> Any:
+    """Run ``fn`` on a single PE of a fresh machine; return its result."""
+    with Machine(num_pes, model=model, **machine_kwargs) as m:
+        t = m.launch_on(pe, fn)
+        m.run()
+        assert t.finished, "main did not finish (deadlock?)"
+        if t.error is not None:
+            raise t.error
+        return t.result
+
+
+def run_spmd_collect(num_pes: int, fn: Callable[[], Any], *,
+                     model: MachineModel = GENERIC,
+                     **machine_kwargs: Any) -> List[Any]:
+    """SPMD-launch ``fn`` on every PE; return per-PE results."""
+    with Machine(num_pes, model=model, **machine_kwargs) as m:
+        m.launch(fn)
+        m.run()
+        return m.results()

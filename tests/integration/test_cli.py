@@ -1,0 +1,37 @@
+"""Tests for the figure-regeneration CLI (``python -m repro.bench``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import FIGURES, main
+
+
+def test_figures_map_covers_the_five_machines():
+    assert set(FIGURES) == {"atm_hp", "t3d", "myrinet_fm", "sp1", "paragon"}
+
+
+def test_single_model_run(capsys):
+    assert main(["t3d", "--sizes", "128", "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "128B" in out
+    assert "native" in out and "converse" in out
+
+
+def test_myrinet_includes_queued_series(capsys):
+    main(["myrinet_fm", "--sizes", "128", "--reps", "1"])
+    out = capsys.readouterr().out
+    assert "queued" in out
+
+
+def test_default_runs_all_five(capsys):
+    main(["--sizes", "64", "--reps", "1"])
+    out = capsys.readouterr().out
+    for fig in ("Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8"):
+        assert fig in out
+
+
+def test_bad_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["cm5"])

@@ -1,0 +1,163 @@
+"""Failure injection: errors in simulated code must surface promptly at
+``run()`` and never wedge or leak the machine."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import UnknownHandlerError
+from repro.core.message import Message
+from repro.langs.charm import Chare, Charm
+from repro.langs.tsm import TSM
+from repro.sim.machine import Machine
+
+
+def test_error_in_main_propagates_and_machine_still_shuts_down():
+    before = threading.active_count()
+    m = Machine(4)
+
+    def bad():
+        if api.CmiMyPe() == 2:
+            raise ValueError("pe2 exploded")
+        api.CsdScheduler(-1)
+
+    m.launch(bad)
+    with pytest.raises(ValueError, match="pe2 exploded"):
+        m.run()
+    m.shutdown()
+    assert threading.active_count() <= before + 1
+
+
+def test_error_in_handler_propagates():
+    with Machine(2) as m:
+        def receiver():
+            def h(msg):
+                raise KeyError("handler blew up")
+
+            api.CmiRegisterHandler(h, "h")
+            api.CsdScheduler(1)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiSyncSend(0, Message(hid, None, size=0))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        with pytest.raises(KeyError, match="handler blew up"):
+            m.run()
+
+
+def test_error_in_cth_thread_propagates():
+    with Machine(1) as m:
+        def main():
+            def thread_body(arg):
+                raise RuntimeError("thread died")
+
+            t = api.CthCreate(thread_body, None)
+            api.CthResume(t)
+
+        m.launch_on(0, main)
+        with pytest.raises(RuntimeError, match="thread died"):
+            m.run()
+
+
+def test_error_in_tsm_thread_propagates():
+    with Machine(1) as m:
+        TSM.attach(m)
+
+        def main():
+            TSM.get().create(lambda: 1 / 0)
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, main)
+        with pytest.raises(ZeroDivisionError):
+            m.run()
+
+
+def test_error_in_chare_entry_propagates():
+    class Bomb(Chare):
+        def __init__(self):
+            pass
+
+        def fuse(self):
+            raise ArithmeticError("boom")
+
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                ch.create(Bomb, on_pe=1).fuse()
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        with pytest.raises(ArithmeticError, match="boom"):
+            m.run()
+
+
+def test_first_failure_wins_and_reports_once():
+    with Machine(4) as m:
+        def bad():
+            api.CmiCharge(api.CmiMyPe() * 1e-6)
+            raise OSError(f"pe{api.CmiMyPe()}")
+
+        m.launch(bad)
+        with pytest.raises(OSError, match="pe0"):
+            m.run()
+
+
+def test_unknown_handler_names_the_index():
+    with Machine(2) as m:
+        def receiver():
+            api.CsdScheduler(1)
+
+        def sender():
+            api.CmiSyncSend(0, Message(4242, None, size=0))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        with pytest.raises(UnknownHandlerError, match="4242"):
+            m.run()
+
+
+def test_machine_usable_as_context_manager_despite_failure():
+    before = threading.active_count()
+    with pytest.raises(ValueError):
+        with Machine(3) as m:
+            m.launch(lambda: (_ for _ in ()).throw(ValueError("inside")))
+            m.run()
+    assert threading.active_count() <= before + 1
+
+
+def test_run_after_failure_can_continue_with_remaining_work():
+    """A failure aborts run(), but the machine is still inspectable and
+    shut down cleanly (no hidden corruption)."""
+    m = Machine(2)
+
+    def good():
+        api.CmiCharge(10e-6)
+        return "ok"
+
+    def bad():
+        raise RuntimeError("x")
+
+    t_good = m.launch_on(0, good)
+    m.launch_on(1, bad)
+    with pytest.raises(RuntimeError):
+        m.run()
+    # The engine stopped at the failure; state is frozen but readable.
+    assert m.now >= 0.0
+    m.shutdown()
+
+
+def test_many_machines_sequentially_no_leaks():
+    before = threading.active_count()
+    for i in range(25):
+        with Machine(3, seed=i) as m:
+            m.launch(lambda: api.CmiCharge(1e-6))
+            m.run()
+    assert threading.active_count() <= before + 1

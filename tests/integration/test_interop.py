@@ -1,0 +1,223 @@
+"""Integration tests: the paper's headline — multiple paradigms in one
+program, interoperating through the shared Converse core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.langs.charm import Chare, Charm
+from repro.langs.mdthreads import MDT
+from repro.langs.nx import NX
+from repro.langs.pvm import PVM
+from repro.langs.sm import SM
+from repro.langs.tsm import TSM
+from repro.sim.machine import Machine
+from repro.sim.models import MYRINET_FM
+
+
+def test_spm_and_message_driven_interleave():
+    """An SM (SPM) module and a Charm module coexist: the SPM main
+    explicitly donates cycles to run deposited concurrent work (section
+    3.1.2 footnote's interaction pattern)."""
+    with Machine(2) as m:
+        SM.attach(m)
+        Charm.attach(m)
+        results = {}
+
+        class Accumulator(Chare):
+            def __init__(self):
+                self.total = 0
+
+            def add(self, k):
+                self.total += k
+                results["total"] = self.total
+
+        def main():
+            sm = SM.get()
+            ch = Charm.get()
+            me = sm.my_pe
+            if me == 0:
+                # SPM phase: classic blocking exchange.
+                sm.send(1, 1, "spm-data")
+                # Concurrent phase: deposit chare work...
+                acc = ch.create(Accumulator, on_pe=0)
+                for i in range(1, 4):
+                    acc.add(i)
+                # ... and explicitly run the scheduler to execute it.
+                api.CsdScheduleUntilIdle()
+                # SPM phase resumes.
+                reply = sm.recv(tag=2)[2]
+                return results["total"], reply
+            data = sm.recv(tag=1)[2]
+            sm.send(0, 2, data + "/ack")
+
+        t = m.launch_on(0, main)
+        m.launch_on(1, main)
+        m.run()
+        assert t.result == (6, "spm-data/ack")
+
+
+def test_pvm_module_reused_from_tsm_threads():
+    """A tSM-threaded application calls into a PVM-written library —
+    cross-language software reuse (section 4, point 2)."""
+    with Machine(4) as m:
+        PVM.attach(m)
+        TSM.attach(m)
+        out = {}
+
+        def pvm_library_allsum(value):
+            # "Library" written purely against PVM.
+            return PVM.get().reduce(lambda a, b: a + b, value)
+
+        def main():
+            tsm = TSM.get()
+            me = tsm.my_pe
+
+            def app_thread():
+                total = pvm_library_allsum(me + 1)
+                out[me] = total
+                if me == 0:
+                    api.CsdExitAll()
+
+            tsm.create(app_thread)
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert out[0] == 10
+
+
+def test_three_paradigms_pipeline():
+    """NX collectives -> Charm objects -> MDT threads, one data item
+    flowing through all three paradigms."""
+    with Machine(2, model=MYRINET_FM) as m:
+        NX.attach(m)
+        Charm.attach(m)
+        MDT.attach(m)
+        trace = []
+
+        class Stage2(Chare):
+            def __init__(self):
+                pass
+
+            def process(self, value):
+                trace.append(("charm", value))
+                mdt = MDT.get()
+
+                def stage3():
+                    got = MDT.get().receive(3)
+                    trace.append(("mdt", got))
+                    api.CsdExitAll()
+
+                tid = mdt.spawn(stage3)
+                mdt.send(tid, 3, value * 2)
+
+        def main():
+            nx = NX.get()
+            me = nx.mynode()
+            # Stage 1: an NX global sum (SPM collective).
+            total = nx.gisum(me + 5)
+            if me == 0:
+                trace.append(("nx", total))
+                ch = Charm.get()
+                s2 = ch.create(Stage2, on_pe=1)
+                s2.process(total)
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert trace == [("nx", 11), ("charm", 11), ("mdt", 22)]
+
+
+def test_languages_share_one_scheduler():
+    """Messages of three languages pass through the same Csd queue on one
+    PE and are dispatched by one loop — the unified scheduler claim."""
+    with Machine(1, trace=True) as m:
+        SM.attach(m)
+        TSM.attach(m)
+        Charm.attach(m)
+        log = []
+
+        class C(Chare):
+            def __init__(self):
+                pass
+
+            def go(self):
+                log.append("charm")
+
+        def main():
+            tsm = TSM.get()
+            ch = Charm.get()
+
+            def thread_body():
+                log.append("tsm-thread")
+
+            tsm.create(thread_body)
+            ch.create(C, on_pe=0).go()
+            api.CsdScheduleUntilIdle()
+            return log
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert set(t.result) == {"tsm-thread", "charm"}
+        # All dispatches flowed through the single scheduler's queue.
+        dequeues = [e for e in m.tracer.events if e.kind == "dequeue"]
+        assert len(dequeues) >= 3
+
+
+def test_handler_tables_stay_consistent_with_all_languages():
+    from repro.core.handlers import HandlerTable
+
+    with Machine(3) as m:
+        SM.attach(m)
+        TSM.attach(m)
+        PVM.attach(m)
+        NX.attach(m)
+        Charm.attach(m)
+        MDT.attach(m)
+        assert HandlerTable.check_consistent([rt.handlers for rt in m.runtimes])
+
+
+def test_paper_footnote_interaction_pattern():
+    """Footnote 1 verbatim: SPM computes, invokes concurrent function f
+    which deposits messages, SPM runs the scheduler, results come back by
+    function call before the scheduler returns."""
+    with Machine(2) as m:
+        Charm.attach(m)
+        SM.attach(m)
+        result_cell = {}
+
+        class Worker(Chare):
+            def __init__(self):
+                pass
+
+            def work(self, xs, reply_proxy):
+                reply_proxy.deliver(sum(xs))
+
+        class Collector(Chare):
+            def __init__(self):
+                pass
+
+            def deliver(self, s):
+                result_cell["sum"] = s
+                api.CsdExitScheduler()  # hand control back to the SPM main
+
+        def f(ch, xs):
+            """The concurrent-module function: deposits messages only."""
+            col = ch.create(Collector, on_pe=0)
+            w = ch.create(Worker, on_pe=1)
+            w.work(xs, col)
+
+        def main():
+            me = api.CmiMyPe()
+            if me == 0:
+                f(Charm.get(), [1, 2, 3, 4])
+                api.CsdScheduler(-1)     # execute the deposited work
+                return result_cell["sum"]  # result arrived via callback
+            api.CsdScheduler(-1)
+
+        t = m.launch_on(0, main)
+        m.launch_on(1, main)
+        m.run()
+        assert t.result == 10

@@ -1,0 +1,74 @@
+"""Tests for the benchmark reporting helpers (the paper-vs-measured
+tables the harness prints)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.reporting import (
+    banner,
+    comparison_rows,
+    emit_report,
+    expectation_block,
+    format_size,
+    format_us,
+    ratio,
+    series_table,
+)
+
+
+def test_format_size():
+    assert format_size(16) == "16B"
+    assert format_size(1000) == "1000B"
+    assert format_size(1024) == "1KB"
+    assert format_size(16384) == "16KB"
+    assert format_size(1536) == "1536B"  # not a whole KB
+
+
+def test_format_us_widths():
+    assert format_us(3.14159).strip() == "3.14"
+    assert format_us(123456.7).strip() == "123457"
+
+
+def test_banner_contains_title():
+    b = banner("My Title")
+    assert "My Title" in b
+    assert b.count("=") >= 128
+
+
+def test_expectation_block_prefixes_lines():
+    block = expectation_block(["first", "second"])
+    assert block.splitlines()[0] == "  paper | first"
+    assert block.splitlines()[1] == "  paper | second"
+
+
+def test_series_table_alignment_and_content():
+    table = series_table([16, 1024], {"native": [1.0, 2.0], "converse": [3.0, 4.0]})
+    lines = table.splitlines()
+    assert "native" in lines[0] and "converse" in lines[0]
+    assert "16B" in table and "1KB" in table
+    assert "3.00" in table and "4.00" in table
+    assert "us one-way" in lines[-1]
+
+
+def test_comparison_rows():
+    out = comparison_rows(
+        {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.5, "y": 4.25}},
+        ["x", "y"],
+    )
+    assert "3.50" in out and "4.25" in out
+    assert out.splitlines()[0].strip().startswith("variant")
+
+
+def test_ratio_handles_zero():
+    assert ratio(4.0, 2.0) == 2.0
+    assert ratio(1.0, 0.0) == float("inf")
+
+
+def test_emit_report_writes_file(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    emit_report("unit_test_report", "hello table")
+    saved = tmp_path / "benchmarks" / "reports" / "unit_test_report.txt"
+    assert saved.read_text() == "hello table\n"

@@ -1,0 +1,56 @@
+"""The simulator vs the closed form: measured round-trip latencies must
+equal the analytic cost decomposition exactly (the simulation *is* the
+model, so any drift is a bug in one of them)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.roundtrip import figure_series, roundtrip
+from repro.sim.models import ALL_MODELS, GENERIC, MYRINET_FM
+
+SIZES = [16, 128, 1024, 8192, 65536]
+
+
+@pytest.mark.parametrize("model", list(ALL_MODELS.values()), ids=lambda m: m.name)
+def test_native_matches_one_way_formula(model):
+    res = roundtrip(model, "native", SIZES, reps=2)
+    for size, us in zip(res.sizes, res.us):
+        expect = model.one_way(size, converse=False) * 1e6
+        assert us == pytest.approx(expect, rel=1e-9), f"size {size}"
+
+
+@pytest.mark.parametrize("model", list(ALL_MODELS.values()), ids=lambda m: m.name)
+def test_converse_matches_one_way_formula(model):
+    res = roundtrip(model, "converse", SIZES, reps=2)
+    for size, us in zip(res.sizes, res.us):
+        expect = model.one_way(size) * 1e6
+        assert us == pytest.approx(expect, rel=1e-9), f"size {size}"
+
+
+def test_queued_matches_formula():
+    res = roundtrip(MYRINET_FM, "queued", SIZES, reps=2)
+    for size, us in zip(res.sizes, res.us):
+        expect = MYRINET_FM.one_way(size, queued=True) * 1e6
+        assert us == pytest.approx(expect, rel=1e-9)
+
+
+def test_reps_do_not_change_the_average():
+    a = roundtrip(GENERIC, "converse", [256], reps=1).us[0]
+    b = roundtrip(GENERIC, "converse", [256], reps=7).us[0]
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_figure_series_shapes():
+    series = figure_series(MYRINET_FM, sizes=SIZES, reps=2, include_queued=True)
+    assert set(series) == {"native", "converse", "queued"}
+    for size in SIZES:
+        nat = series["native"].as_dict()[size]
+        conv = series["converse"].as_dict()[size]
+        qd = series["queued"].as_dict()[size]
+        assert nat < conv < qd
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        roundtrip(GENERIC, "warp", SIZES)

@@ -1,0 +1,115 @@
+"""Scale smoke tests: larger machines, many threads, deep protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.langs.mpi import MPI
+from repro.langs.tsm import TSM
+from repro.machine.emi_groups import world_group
+from repro.sim.machine import Machine
+from repro.sim.models import T3D
+
+
+def test_64_pe_allreduce():
+    with Machine(64, model=T3D) as m:
+        def main():
+            g = world_group(m)
+            return api.CmiPgrpReduce(g, 1, lambda a, b: a + b)
+
+        m.launch(main)
+        m.run()
+        assert all(r == 64 for r in m.results())
+
+
+def test_64_pe_ring_pipeline():
+    with Machine(64, model=T3D) as m:
+        def main():
+            me, num = api.CmiMyPe(), api.CmiNumPes()
+            hop = {}
+
+            def h(msg):
+                count = msg.payload
+                if count < 3 * num:
+                    api.CmiSyncSend((me + 1) % num, Message(hid, count + 1, size=8))
+                else:
+                    hop["end"] = count
+
+            hid = api.CmiRegisterHandler(h, "ring")
+            if me == 0:
+                api.CmiSyncSend(1, Message(hid, 1, size=8))
+            # The token visits every PE exactly 3 times (counts 1..192).
+            api.CsdScheduler(3)
+            return hop.get("end")
+
+        m.launch(main)
+        m.run()
+        ends = [r for r in m.results() if r is not None]
+        assert ends == [192]
+
+
+def test_hundred_threads_on_one_pe():
+    with Machine(1) as m:
+        TSM.attach(m)
+        done = []
+
+        def main():
+            tsm = TSM.get()
+
+            def worker(i):
+                _, _, v = tsm.receive(tag=i)
+                done.append((i, v))
+                if len(done) == 100:
+                    api.CsdExitScheduler()
+
+            for i in range(100):
+                tsm.create(worker, i)
+            # Feed them in reverse order to exercise the waiter matching.
+            for i in reversed(range(100)):
+                tsm.send(0, i, i * i)
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, main)
+        m.run()
+        assert sorted(done) == [(i, i * i) for i in range(100)]
+
+
+def test_32_pe_mpi_alltoall():
+    with Machine(32, model=T3D) as m:
+        MPI.attach(m)
+
+        def main():
+            comm = MPI.get().COMM_WORLD
+            out = comm.alltoall([comm.rank * 100 + r for r in range(comm.size)])
+            return out
+
+        m.launch(main)
+        m.run()
+        results = m.results()
+        for r, got in enumerate(results):
+            assert got == [src * 100 + r for src in range(32)]
+
+
+def test_thousand_messages_fanin():
+    with Machine(8, model=T3D) as m:
+        def main():
+            me = api.CmiMyPe()
+            state = {"n": 0}
+
+            def h(msg):
+                state["n"] += 1
+                if state["n"] == 7 * 150:
+                    api.CsdExitAll()
+
+            hid = api.CmiRegisterHandler(h, "sink")
+            if me != 0:
+                for _ in range(150):
+                    api.CmiSyncSend(0, Message(hid, None, size=64))
+            count = api.CsdScheduler(-1)
+            return state["n"]
+
+        m.launch(main)
+        m.run()
+        assert m.results()[0] == 1050

@@ -1,0 +1,109 @@
+"""Unit tests for the benchmark workload generators themselves, so the
+ablation benchmarks rest on verified ground."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    BranchAndBound,
+    InteropWorkload,
+    SeedTreeWorkload,
+)
+
+
+# ----------------------------------------------------------------------
+# branch & bound
+# ----------------------------------------------------------------------
+
+def test_bnb_tree_bounds_are_exact_maxima():
+    wl = BranchAndBound(depth=6, seed=5)
+    for i in range(1, wl.nleaves):
+        assert wl.bounds[i] == max(wl.bounds[2 * i], wl.bounds[2 * i + 1])
+    assert wl.bounds[1] == max(wl.leaf_values)
+
+
+def test_bnb_every_strategy_finds_the_optimum():
+    wl = BranchAndBound(depth=8, grain_us=1.0, seed=9)
+    best = max(wl.leaf_values)
+    for strategy in ("fifo", "lifo", "int", "bitvector"):
+        r = wl.run(strategy)
+        assert r.best == pytest.approx(best), strategy
+
+
+def test_bnb_best_first_prunes_most():
+    wl = BranchAndBound(depth=9, grain_us=1.0, seed=4)
+    res = {s: wl.run(s) for s in ("fifo", "int")}
+    assert res["int"].expansions < res["fifo"].expansions
+    # Work is conserved: every enqueued node is expanded or pruned, and
+    # only expanded internals enqueue children (root + 2 per internal).
+    for r in res.values():
+        processed = r.expansions + r.pruned
+        assert processed % 2 == 1          # 1 + 2 * internal expansions
+        assert processed <= 2 * wl.nleaves - 1
+    # FIFO (breadth-first) prunes nothing below the last level reached
+    # before the optimum tightened; best-first skips whole subtrees.
+    assert res["int"].expansions + res["int"].pruned < \
+        res["fifo"].expansions + res["fifo"].pruned
+
+
+def test_bnb_deterministic():
+    wl = BranchAndBound(depth=7, seed=13)
+    a, b = wl.run("int"), wl.run("int")
+    assert (a.expansions, a.pruned, a.best) == (b.expansions, b.pruned, b.best)
+
+
+def test_bnb_path_bits_prefer_better_child():
+    wl = BranchAndBound(depth=5, seed=1)
+    # The best leaf's path should be all-zero bits (always the better child).
+    best_leaf = max(range(wl.nleaves), key=lambda i: wl.leaf_values[i])
+    assert wl._path_bits(wl.nleaves + best_leaf).strip("0") == ""
+
+
+# ----------------------------------------------------------------------
+# seed tree
+# ----------------------------------------------------------------------
+
+def test_seed_tree_task_count():
+    wl = SeedTreeWorkload(num_pes=4, depth=5, fanout=2)
+    assert wl.total_tasks == 63
+    assert SeedTreeWorkload(num_pes=2, depth=3, fanout=3).total_tasks == 40
+
+
+def test_seed_tree_runs_all_tasks_and_reports():
+    wl = SeedTreeWorkload(num_pes=4, depth=5, fanout=2, grain_us=10.0)
+    r = wl.run("spray")
+    assert sum(r.rooted) == wl.total_tasks
+    assert r.makespan_us > 0
+    assert len(r.busy_us) == 4
+    assert 0 < r.efficiency <= 1.0
+    assert r.imbalance >= 1.0
+
+
+def test_seed_tree_direct_is_serial():
+    wl = SeedTreeWorkload(num_pes=4, depth=5, fanout=2, grain_us=10.0)
+    r = wl.run("direct")
+    # All work on PE 0: makespan >= total work time.
+    assert r.busy_us[0] == max(r.busy_us)
+    assert r.makespan_us >= wl.total_tasks * wl.grain_us
+
+
+# ----------------------------------------------------------------------
+# interop
+# ----------------------------------------------------------------------
+
+def test_interop_variants_do_the_same_work():
+    wl = InteropWorkload(num_pes=2, rounds=5, compute_us=20.0,
+                         backlog=10, backlog_grain_us=10.0)
+    phased = wl.run("phased")
+    overlapped = wl.run("overlapped")
+    assert phased.backlog_msgs == overlapped.backlog_msgs == 10
+    assert phased.total_us > 0 and overlapped.total_us > 0
+    # Overlap can never beat the stencil critical path.
+    assert overlapped.total_us >= overlapped.stencil_us * 0.999
+
+
+def test_interop_unknown_variant_rejected():
+    wl = InteropWorkload(num_pes=2, rounds=1)
+    with pytest.raises(ValueError):
+        wl.run("quantum")

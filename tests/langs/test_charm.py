@@ -1,0 +1,254 @@
+"""Tests for the Charm-style message-driven object runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import CharmError
+from repro.langs.charm import Chare, Charm, ChareProxy
+from repro.sim.machine import Machine
+
+
+def run_charm(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        Charm.attach(m)
+        m.launch(fn)
+        m.run()
+        return m, m.results()
+
+
+class Echo(Chare):
+    def __init__(self, label):
+        self.label = label
+        self.calls = []
+
+    def poke(self, value):
+        self.calls.append(value)
+
+    def reply_to(self, proxy):
+        proxy.poke((self.mype, self.label))
+
+
+class Exiter(Chare):
+    def __init__(self):
+        pass
+
+    def stop(self):
+        self.charm.exit_all()
+
+
+def test_create_on_explicit_pe_and_invoke():
+    def main():
+        ch = Charm.get()
+        if ch.my_pe == 0:
+            p = ch.create(Echo, "remote", on_pe=1)
+            for i in range(3):
+                p.poke(i)
+            e = ch.create(Exiter, on_pe=1)
+            e.stop()
+        api.CsdScheduler(-1)
+        return Charm.get().local_chares
+
+    m, results = run_charm(2, main)
+    chares = list(results[1].values())
+    echo = next(c for c in chares if isinstance(c, Echo))
+    assert echo.calls == [0, 1, 2]
+    assert echo.mype == 1
+
+
+def test_seed_creation_through_cld():
+    def main():
+        ch = Charm.get()
+        if ch.my_pe == 0:
+            for i in range(8):
+                ch.create(Echo, f"seed{i}")  # spray will spread them
+            ch.create(Exiter, on_pe=0).stop()
+        api.CsdScheduler(-1)
+        return len(Charm.get().local_chares)
+
+    m, results = run_charm(4, main, ldb="spray")
+    assert sum(results) == 9  # 8 echoes + 1 exiter
+    assert max(results) < 9   # actually spread
+
+
+def test_invocations_race_ahead_of_seed_are_buffered():
+    """Method sends issued immediately after create arrive before the
+    seed roots; the home PE buffers and forwards them."""
+    def main():
+        ch = Charm.get()
+        if ch.my_pe == 0:
+            p = ch.create(Echo, "racy")       # via balancer (may move)
+            p.poke("a")                        # races the seed
+            p.poke("b")
+            # Exit only once every routed message has landed.
+            ch.start_quiescence(lambda: Charm.get().exit_all())
+        api.CsdScheduler(-1)
+        return [c for c in Charm.get().local_chares.values()
+                if isinstance(c, Echo)]
+
+    m, results = run_charm(3, main, ldb="random")
+    echoes = [c for r in results for c in r]
+    assert len(echoes) == 1
+    assert echoes[0].calls == ["a", "b"]
+
+
+def test_proxy_is_location_independent_data():
+    def main():
+        ch = Charm.get()
+        me = ch.my_pe
+        out = []
+        if me == 0:
+            class Target(Echo):
+                def poke(self, value):
+                    out.append(value)
+                    api.CsdExitAll()
+
+            # Construct locally; ship the proxy to PE 1 inside a message.
+            t = ch.create(Target, "t", on_pe=0)
+            forwarder = ch.create(Echo, "fwd", on_pe=1)
+            forwarder.reply_to(t)
+        api.CsdScheduler(-1)
+        return out
+
+    m, results = run_charm(2, main)
+    assert results[0] == [(1, "fwd")]
+
+
+def test_entry_prio_orders_within_queue():
+    """Invocations queued together dispatch in priority order when the
+    machine uses a priority queue (section 2.3)."""
+    def main():
+        ch = Charm.get()
+        if ch.my_pe != 0:
+            return api.CsdScheduler(-1)
+        order = []
+
+        class Ordered(Chare):
+            def __init__(self):
+                pass
+
+            def step(self, k):
+                order.append(k)
+
+        p = ch.create(Ordered, on_pe=0)
+        api.CsdScheduler(1)  # let the creation land first
+        p.step("low", prio=10)
+        p.step("high", prio=-10)
+        p.step("mid", prio=0)
+        api.CsdScheduleUntilIdle()
+        return order
+
+    m, results = run_charm(1, main, queue="int")
+    assert results[0] == ["high", "mid", "low"]
+
+
+def test_group_chares_one_branch_per_pe():
+    class Branch(Chare):
+        instances = []
+
+        def __init__(self, tag):
+            self.tag = tag
+            Branch.instances.append(self)
+            self.hits = 0
+
+        def hit(self):
+            self.hits += 1
+
+        def hit_and_stop(self):
+            self.hits += 1
+            if self.mype == 0:
+                self.charm.exit_all()
+
+    Branch.instances = []
+
+    def main():
+        ch = Charm.get()
+        if ch.my_pe == 0:
+            g = ch.create_group(Branch, "g1")
+            g.hit()               # broadcast
+            g[2].hit()            # single branch
+            g.hit_and_stop()      # broadcast, stops via PE0's branch
+        api.CsdScheduler(-1)
+
+    m, _ = run_charm(3, main)
+    by_pe = {b.mype: b for b in Branch.instances}
+    assert len(by_pe) == 3
+    assert by_pe[0].hits == 2
+    assert by_pe[1].hits == 2
+    assert by_pe[2].hits == 3
+
+
+def test_contribute_reduction_fires_on_pe0():
+    with Machine(4) as m:
+        Charm.attach(m)
+
+        done = {}
+
+        def wrapped():
+            ch = Charm.get()
+            ch.contribute("sum", ch.my_pe + 1, lambda a, b: a + b,
+                          lambda total: (done.__setitem__("total", total),
+                                         api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(wrapped)
+        m.run()
+        assert done["total"] == 10
+
+
+def test_unknown_entry_method_raises():
+    def main():
+        ch = Charm.get()
+        if ch.my_pe == 0:
+            p = ch.create(Echo, "x", on_pe=0)
+            p.no_such_method()
+        api.CsdScheduler(-1)
+
+    with Machine(1) as m:
+        Charm.attach(m)
+        m.launch(main)
+        with pytest.raises(CharmError, match="no entry method"):
+            m.run()
+
+
+def test_non_chare_class_rejected():
+    def main():
+        ch = Charm.get()
+        try:
+            ch.create(dict)  # type: ignore[arg-type]
+        except CharmError:
+            return "rejected"
+
+    with Machine(1) as m:
+        Charm.attach(m)
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == "rejected"
+
+
+def test_quiescence_detection_fires_callback():
+    def main():
+        ch = Charm.get()
+        fired = []
+        if ch.my_pe == 0:
+            ch.start_quiescence(lambda: (fired.append(api.CmiTimer()),
+                                         api.CsdExitAll()))
+            p = ch.create(Echo, "busy", on_pe=1)
+            for i in range(5):
+                p.poke(i)
+        api.CsdScheduler(-1)
+        return fired
+
+    m, results = run_charm(2, main)
+    assert len(results[0]) == 1
+    assert results[0][0] > 0  # fired after real traffic
+
+
+def test_proxy_equality_and_hash():
+    a = ChareProxy((1, 2))
+    b = ChareProxy((1, 2))
+    c = ChareProxy((1, 3))
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert len({a, b, c}) == 2

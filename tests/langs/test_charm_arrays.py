@@ -1,0 +1,192 @@
+"""Tests for Charm++-style chare arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import CharmError
+from repro.langs.charm import ArrayProxy, Chare, Charm
+from repro.sim.machine import Machine
+
+
+class Elem(Chare):
+    registry = []
+
+    def __init__(self, scale):
+        self.scale = scale
+        self.value = self.thisIndex * scale
+        Elem.registry.append(self)
+
+    def bump(self, k):
+        self.value += k
+
+    def contribute_value(self, tag):
+        self.charm.array_contribute(
+            self, tag, self.value, lambda a, b: a + b, Elem._done
+        )
+
+    @staticmethod
+    def _done(total):
+        Elem.total = total
+        api.CsdExitAll()
+
+
+def _fresh():
+    Elem.registry = []
+    Elem.total = None
+
+
+def test_elements_constructed_round_robin_with_index():
+    _fresh()
+    with Machine(3) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                arr = ch.create_array(Elem, 8, 10)
+                api.CsdScheduler(1)  # our own loopback create broadcast
+                return arr
+            api.CsdScheduler(1)
+
+        ts = m.launch(main)
+        m.run()
+        arr = ts[0].result
+        assert isinstance(arr, ArrayProxy) and len(arr) == 8
+        by_index = {e.thisIndex: e for e in Elem.registry}
+        assert sorted(by_index) == list(range(8))
+        for i, e in by_index.items():
+            assert e.mype == i % 3
+            assert e.value == i * 10
+            assert e.thisProxy.index == i
+
+
+def test_broadcast_and_indexed_invocation():
+    _fresh()
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                arr = ch.create_array(Elem, 6, 1)
+                arr.bump(100)        # broadcast to all elements
+                arr[3].bump(1000)    # one element
+                ch.start_quiescence(lambda: Charm.get().exit_all())
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        values = {e.thisIndex: e.value for e in Elem.registry}
+        assert values == {0: 100, 1: 101, 2: 102, 3: 1103, 4: 104, 5: 105}
+
+
+def test_array_reduction_over_all_elements():
+    _fresh()
+    with Machine(4) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                arr = ch.create_array(Elem, 10, 2)
+                arr.contribute_value("sum1")
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        # sum of i*2 for i in 0..9 = 90
+        assert Elem.total == 90
+
+
+def test_out_of_range_index_rejected():
+    _fresh()
+    with Machine(1) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            arr = ch.create_array(Elem, 4, 1)
+            try:
+                arr[4]
+            except CharmError:
+                return "range"
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == "range"
+
+
+def test_invalid_array_creation_rejected():
+    _fresh()
+    with Machine(1) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            out = []
+            try:
+                ch.create_array(dict, 4)  # type: ignore[arg-type]
+            except CharmError:
+                out.append("cls")
+            try:
+                ch.create_array(Elem, 0)
+            except CharmError:
+                out.append("n")
+            return out
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == ["cls", "n"]
+
+
+def test_elements_can_message_each_other():
+    _fresh()
+
+    class Ring(Chare):
+        done = []
+
+        def __init__(self):
+            pass
+
+        def token(self, hops, path):
+            path = path + [self.thisIndex]
+            if hops == 0:
+                Ring.done.append(path)
+                api.CsdExitAll()
+                return
+            nxt = (self.thisIndex + 1) % len(self.thisArray)
+            self.thisArray[nxt].token(hops - 1, path)
+
+    with Machine(3) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                arr = ch.create_array(Ring, 5)
+                arr[0].token(7, [])
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert Ring.done == [[0, 1, 2, 3, 4, 0, 1, 2]]
+
+
+def test_more_elements_than_pes_and_fewer():
+    _fresh()
+    for n, pes in ((3, 8), (8, 3)):
+        Elem.registry = []
+        with Machine(pes) as m:
+            Charm.attach(m)
+
+            def main():
+                ch = Charm.get()
+                if ch.my_pe == 0:
+                    ch.create_array(Elem, n, 1)
+                api.CsdScheduler(1)
+
+            m.launch(main)
+            m.run()
+            assert len(Elem.registry) == n

@@ -1,0 +1,146 @@
+"""Edge cases for Charm branch-office groups and proxies: invocations
+racing creation, per-branch vs broadcast ordering, reduction trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.langs.charm import Chare, Charm, GroupProxy
+from repro.sim.machine import Machine
+
+
+class Branch(Chare):
+    instances = []
+
+    def __init__(self, payload=None):
+        self.payload = payload
+        self.log = []
+        Branch.instances.append(self)
+
+    def record(self, item):
+        self.log.append(item)
+
+
+def _fresh():
+    Branch.instances = []
+
+
+def test_group_invoke_racing_create_is_buffered():
+    """A proxy shipped ahead of the create broadcast: invocations from a
+    third PE may land before the branch exists and must be buffered."""
+    _fresh()
+    with Machine(3) as m:
+        Charm.attach(m)
+        proxy_box = {}
+
+        def creator():
+            ch = Charm.get()
+            g = ch.create_group(Branch, "b")
+            proxy_box["g"] = g
+            api.CsdScheduler(-1)
+
+        def racer():
+            # Fire at the group before its create can possibly have
+            # reached PE 2 (we only know the gid via shared test state,
+            # standing in for an out-of-band channel).
+            while "g" not in proxy_box:
+                api.CmiCharge(1e-7)
+            proxy_box["g"][2].record("raced")
+            api.CsdExitAll()
+
+        m.launch_on(0, creator)
+        m.launch_on(1, racer)
+        m.launch_schedulers(pes=[2])
+        m.run()
+        by_pe = {b.mype: b for b in Branch.instances}
+        assert by_pe[2].log == ["raced"]
+
+
+def test_broadcast_then_unicast_order_per_branch():
+    _fresh()
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                g = ch.create_group(Branch)
+                g.record("bcast1")
+                g[1].record("uni")
+                g.record("bcast2")
+                ch.start_quiescence(lambda: Charm.get().exit_all())
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        by_pe = {b.mype: b for b in Branch.instances}
+        # Same-channel FIFO: PE1 sees the three in send order.
+        assert by_pe[1].log == ["bcast1", "uni", "bcast2"]
+        assert by_pe[0].log == ["bcast1", "bcast2"]
+
+
+def test_group_proxy_indexing_and_repr():
+    g = GroupProxy((0, 1))
+    g2 = g[3]
+    assert g.pe is None and g2.pe == 3
+    assert g2.gid == (0, 1)
+    assert "pe3" in repr(g2) and "all" in repr(g)
+
+
+def test_contribute_with_proxy_target():
+    """Reduction target as (proxy, method): the result arrives as an
+    entry-method invocation on the target chare."""
+    _fresh()
+    with Machine(4) as m:
+        Charm.attach(m)
+
+        class Sink(Chare):
+            got = []
+
+            def __init__(self):
+                pass
+
+            def deliver(self, total):
+                Sink.got.append(total)
+                self.charm.exit_all()
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                sink = ch.create(Sink, on_pe=3)
+                m._sink = sink
+                api.CmiCharge(1e-6)
+            else:
+                api.CmiCharge(2e-6)
+            ch.contribute("t", 2 ** ch.my_pe, lambda a, b: a | b,
+                          (m._sink, "deliver"))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert Sink.got == [0b1111]
+
+
+def test_two_groups_do_not_interfere():
+    _fresh()
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                g1 = ch.create_group(Branch, "one")
+                g2 = ch.create_group(Branch, "two")
+                g1.record("to-one")
+                g2.record("to-two")
+                ch.start_quiescence(lambda: Charm.get().exit_all())
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        ones = [b for b in Branch.instances if b.payload == "one"]
+        twos = [b for b in Branch.instances if b.payload == "two"]
+        assert all(b.log == ["to-one"] for b in ones)
+        assert all(b.log == ["to-two"] for b in twos)
+        assert len(ones) == len(twos) == 2

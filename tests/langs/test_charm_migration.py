@@ -1,0 +1,228 @@
+"""Tests for chare migration and quasi-dynamic rebalancing (the
+section-3.3.1 footnote libraries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import CharmError
+from repro.langs.charm import Chare, Charm
+from repro.loadbalance.quasidynamic import plan_lpt, rebalance
+from repro.sim.machine import Machine
+
+
+class Counter(Chare):
+    def __init__(self):
+        self.count = 0
+        self.homes = [self.mype]
+
+    def bump(self):
+        self.count += 1
+
+    def note_pe(self):
+        self.homes.append(self.mype)
+
+
+def _find(machine, cid):
+    for rt in machine.runtimes:
+        obj = rt.lang_instances["charm"].local_chares.get(cid)
+        if obj is not None:
+            return rt.my_pe, obj
+    return None, None
+
+
+def test_migrate_moves_state_and_updates_directory():
+    with Machine(3) as m:
+        Charm.attach(m)
+        box = {}
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                p = ch.create(Counter, on_pe=0)
+                box["proxy"] = p
+                api.CsdScheduler(1)      # let it construct
+                for _ in range(3):
+                    p.bump()
+                api.CsdScheduleUntilIdle()
+                ch.migrate(p.cid, 2)
+                api.CsdScheduler(1)  # consume PE2's rooted note
+            else:
+                api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        pe, obj = _find(m, box["proxy"].cid)
+        assert pe == 2
+        assert obj.count == 3
+        assert obj.mype == 2
+        # Home directory points at the new location.
+        home_charm = m.runtime(0).lang_instances["charm"]
+        assert home_charm._locations[box["proxy"].cid] == 2
+
+
+def test_invocations_follow_migrated_chare():
+    with Machine(3) as m:
+        Charm.attach(m)
+        box = {}
+
+        def owner():
+            ch = Charm.get()
+            p = ch.create(Counter, on_pe=0)
+            box["proxy"] = p
+            api.CsdScheduler(1)
+            ch.migrate(p.cid, 1)
+            api.CsdScheduler(-1)
+
+        def caller():
+            api.CmiCharge(100e-6)  # after the migration
+            p = box["proxy"]
+            for _ in range(4):
+                p.bump()
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, owner)
+        m.launch_on(2, caller)
+        m.launch_schedulers(pes=[1])
+        m.run()
+        pe, obj = _find(m, box["proxy"].cid)
+        assert pe == 1
+        assert obj.count == 4
+
+
+def test_forwarding_chain_after_double_migration():
+    with Machine(4) as m:
+        Charm.attach(m)
+        box = {}
+
+        def main():
+            ch = Charm.get()
+            me = ch.my_pe
+            if me == 0:
+                p = ch.create(Counter, on_pe=0)
+                box["proxy"] = p
+                api.CsdScheduler(1)
+                ch.migrate(p.cid, 1)
+            elif me == 3:
+                api.CmiCharge(50e-6)
+                # Old-location invocation: chases 0 -> 1 (-> 2 later).
+                box["proxy"].bump()
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+
+        # Second hop happens mid-run, from PE 1.
+        def second_hop():
+            api.CmiCharge(150e-6)
+            charm = Charm.get()
+            if box["proxy"].cid in charm.local_chares:
+                charm.migrate(box["proxy"].cid, 2)
+
+        m.node(1).spawn(second_hop, name="hop2")
+        m.run()
+        pe, obj = _find(m, box["proxy"].cid)
+        assert pe == 2
+        assert obj.count == 1  # the chased invocation landed exactly once
+
+
+def test_migrate_nonresident_rejected():
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            try:
+                ch.migrate((0, 99), 1)
+            except CharmError as e:
+                return "not resident" in str(e)
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result is True
+
+
+def test_migrate_to_self_is_noop():
+    with Machine(2) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            p = ch.create(Counter, on_pe=0)
+            api.CsdScheduler(1)
+            ch.migrate(p.cid, 0)
+            return p.cid in ch.local_chares
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result is True
+
+
+def test_plan_lpt_balances_hot_chares():
+    with Machine(4) as m:
+        Charm.attach(m)
+        proxies = []
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                # Eight chares, all on PE 0, with very uneven activity.
+                for i in range(8):
+                    p = ch.create(Counter, on_pe=0)
+                    proxies.append(p)
+                api.CsdScheduler(8)
+                for i, p in enumerate(proxies):
+                    for _ in range(2 ** i):
+                        p.bump()
+                api.CsdScheduleUntilIdle()
+
+        m.launch_on(0, main)
+        m.run()
+        plan = plan_lpt(m)
+        assert plan.imbalance_before == pytest.approx(4.0)  # all on 1 of 4
+        # The single heaviest chare (2^7 bumps + 1) lower-bounds the
+        # makespan; LPT hits that bound here and halves the imbalance.
+        assert max(plan.predicted) == pytest.approx(129.0)
+        assert plan.imbalance_after < plan.imbalance_before / 1.8
+        assert plan.moves  # something moves
+
+
+def test_rebalance_executes_and_work_continues():
+    with Machine(4) as m:
+        Charm.attach(m)
+        proxies = []
+
+        def phase1():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                for i in range(8):
+                    proxies.append(ch.create(Counter, on_pe=0))
+                api.CsdScheduler(8)
+                for i, p in enumerate(proxies):
+                    for _ in range(i + 1):
+                        p.bump()
+                api.CsdScheduleUntilIdle()
+
+        m.launch_on(0, phase1)
+        m.run()
+        plan = rebalance(m)
+        assert plan.moves
+        # Phase 2: invocations through the *old* proxies still land.
+        def phase2():
+            for p in proxies:
+                p.note_pe()
+            api.CsdScheduleUntilIdle()
+
+        m.launch_on(0, phase2)
+        m.launch_schedulers(pes=range(1, 4))
+        m.run()
+        pes = set()
+        total = 0
+        for rt in m.runtimes:
+            charm = rt.lang_instances["charm"]
+            for cid, obj in charm.local_chares.items():
+                pes.add(rt.my_pe)
+                total += 1
+                assert obj.homes[-1] == rt.my_pe  # note_pe ran post-move
+        assert total == 8
+        assert len(pes) >= 3  # spread across the machine

@@ -1,0 +1,261 @@
+"""Tests for Charm's information-sharing abstractions on Converse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import LanguageError
+from repro.langs.charm_shared import SharedVars
+from repro.sim.machine import Machine
+
+
+def run_shared(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        SharedVars.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+# ----------------------------------------------------------------------
+# read-only / write-once
+# ----------------------------------------------------------------------
+
+def test_readonly_visible_everywhere_and_locally_immediately():
+    def main():
+        sv = SharedVars.get()
+        if sv.my_pe == 0:
+            sv.readonly_create("params", {"dt": 0.01, "n": 64})
+            local = sv.readonly_get("params")  # immediate on the creator
+            api.CsdSchedulePoll()
+            return local
+        api.CsdScheduler(1)  # receive the broadcast
+        return sv.readonly_get("params")
+
+    results = run_shared(3, main)
+    assert all(r == {"dt": 0.01, "n": 64} for r in results)
+
+
+def test_readonly_double_init_rejected():
+    def main():
+        sv = SharedVars.get()
+        sv.readonly_create("x", 1)
+        try:
+            sv.readonly_create("x", 2)
+        except LanguageError:
+            return "once"
+
+    assert run_shared(1, main) == ["once"]
+
+
+def test_readonly_unset_read_rejected():
+    def main():
+        sv = SharedVars.get()
+        try:
+            sv.readonly_get("ghost")
+        except LanguageError:
+            return "unset"
+
+    assert run_shared(1, main) == ["unset"]
+
+
+def test_writeonce_id_travels():
+    def main():
+        sv = SharedVars.get()
+        if sv.my_pe == 0:
+            vid = sv.writeonce_create([1, 2, 3])
+            assert sv.writeonce_get(vid) == [1, 2, 3]
+            return vid
+        api.CsdScheduler(1)
+        return None
+
+    with Machine(2) as m:
+        SharedVars.attach(m)
+        ts = m.launch(main)
+        m.run()
+        vid = ts[0].result
+
+        def reader():
+            return SharedVars.get().writeonce_get(vid)
+
+        t = m.launch_on(1, reader)
+        m.run()
+        assert t.result == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# accumulator
+# ----------------------------------------------------------------------
+
+def test_accumulator_adds_are_local_and_collect_combines():
+    with Machine(4) as m:
+        SharedVars.attach(m)
+        box = {}
+        totals = []
+
+        # Phase 1: create (the broadcast reaches every inbox).
+        def create():
+            box["acc"] = SharedVars.get().new_accumulator(
+                lambda a, b: a + b, init=100
+            )
+
+        m.launch_on(0, create)
+        m.run()
+
+        # Phase 2: everyone contributes — with zero message traffic.
+        def add():
+            sv = SharedVars.get()
+            api.CsdSchedulePoll()  # consume the create broadcast
+            sent_before = sv.runtime.node.stats.msgs_sent
+            for _ in range(3):
+                box["acc"].add(sv.my_pe + 1)
+            return sv.runtime.node.stats.msgs_sent - sent_before
+
+        adders = m.launch(add)
+        m.run()
+        assert [t.result for t in adders] == [0, 0, 0, 0]
+
+        # Phase 3: collect over the tree.
+        def collect():
+            box["acc"].collect(lambda t: (totals.append(t), api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, collect)
+        m.launch_schedulers(pes=range(1, 4))
+        m.run()
+        # 100 (init) + 3*(1+2+3+4) = 130
+        assert totals == [130]
+
+
+def test_accumulator_collect_resets_partials():
+    with Machine(2) as m:
+        SharedVars.attach(m)
+        totals = []
+
+        def main():
+            sv = SharedVars.get()
+            if sv.my_pe == 0:
+                acc = sv.new_accumulator(lambda a, b: a + b)
+                api.CsdScheduler(0) if False else None
+                acc.add(5)
+                acc.collect(lambda t: totals.append(t))
+                api.CsdScheduler(2)
+                acc.add(7)
+                acc.collect(lambda t: (totals.append(t), api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert totals == [5, 7]  # the 5 did not leak into round two
+
+
+# ----------------------------------------------------------------------
+# monotonic
+# ----------------------------------------------------------------------
+
+def test_monotonic_improvements_propagate_and_stale_ignored():
+    with Machine(3) as m:
+        SharedVars.attach(m)
+        seen = {}
+
+        def main():
+            sv = SharedVars.get()
+            me = sv.my_pe
+            if me == 0:
+                mono = sv.new_monotonic(max, init=0)
+                m._mono = mono
+                api.CmiCharge(1e-6)
+                assert mono.update(10) is True
+                assert mono.update(5) is False   # not an improvement
+                api.CsdScheduler(-1)
+            else:
+                api.CsdScheduler(2)  # create + improve broadcasts
+                mono = m._mono
+                seen[me] = mono.value
+                if me == 1:
+                    mono.update(20)
+                if len(seen) == 2:
+                    api.CsdExitAll()
+                api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert seen == {1: 10, 2: 10}
+        # PE1's later improvement reached everyone.
+        values = {
+            pe: m.runtime(pe).lang_instances["charm_shared"]._mono_read(m._mono.vid)
+            for pe in range(3)
+        }
+        assert values == {0: 20, 1: 20, 2: 20}
+
+
+def test_monotonic_min_direction():
+    def main():
+        sv = SharedVars.get()
+        mono = sv.new_monotonic(min, init=1000)
+        assert mono.update(50)
+        assert not mono.update(60)
+        return mono.value
+
+    assert run_shared(1, main) == [50]
+
+
+# ----------------------------------------------------------------------
+# distributed table
+# ----------------------------------------------------------------------
+
+def test_table_insert_find_delete_across_pes():
+    with Machine(4) as m:
+        SharedVars.attach(m)
+        found = {}
+
+        def main():
+            sv = SharedVars.get()
+            me = sv.my_pe
+            if me == 0:
+                tbl = sv.new_table()
+                for k in range(8):
+                    tbl.insert(f"key{k}", k * k)
+
+                def after_find(v):
+                    found["hit"] = v
+                    tbl.find("nope", after_miss)
+
+                def after_miss(v):
+                    found["miss"] = v
+                    tbl.delete("key3", after_delete)
+
+                def after_delete(v):
+                    found["deleted"] = v
+                    tbl.find("key3", after_refind)
+
+                def after_refind(v):
+                    found["refind"] = v
+                    api.CsdExitAll()
+
+                tbl.find("key3", after_find)
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert found == {"hit": 9, "miss": None, "deleted": 9, "refind": None}
+        # Entries really are sharded across PEs (not all on one).
+        shard_sizes = [
+            sum(len(s) for s in rt.lang_instances["charm_shared"]._tables.values())
+            for rt in m.runtimes
+        ]
+        assert sum(shard_sizes) == 7  # 8 inserted, 1 deleted
+        assert max(shard_sizes) < 7 or len([s for s in shard_sizes if s]) > 1
+
+
+def test_table_local_owner_shortcut():
+    def main():
+        sv = SharedVars.get()
+        tbl = sv.new_table()
+        got = []
+        tbl.insert("k", 42)         # single PE: always local
+        tbl.find("k", got.append)
+        return got
+
+    assert run_shared(1, main) == [[42]]

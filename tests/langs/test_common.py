@@ -1,0 +1,76 @@
+"""Tests for the shared language-runtime plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import LanguageError
+from repro.langs.common import LanguageRuntime
+from repro.langs.sm import SM
+from repro.langs.tsm import TSM
+from repro.sim.machine import Machine
+
+
+class ToyLang(LanguageRuntime):
+    """A minimal runtime used only by these tests."""
+
+    lang_name = "toy"
+
+    def __init__(self, runtime, flavor="plain"):
+        super().__init__(runtime)
+        self.flavor = flavor
+        self.handler_id = runtime.register_handler(lambda m: None, "toy.h")
+
+
+def test_attach_builds_one_instance_per_pe():
+    with Machine(3) as m:
+        insts = ToyLang.attach(m)
+        assert len(insts) == 3
+        assert [i.my_pe for i in insts] == [0, 1, 2]
+        assert all(i.num_pes == 3 for i in insts)
+
+
+def test_attach_kwargs_forwarded():
+    with Machine(2) as m:
+        insts = ToyLang.attach(m, flavor="spicy")
+        assert all(i.flavor == "spicy" for i in insts)
+
+
+def test_attach_idempotent_preserves_instances():
+    with Machine(2) as m:
+        first = ToyLang.attach(m)
+        second = ToyLang.attach(m)
+        assert first == second
+
+
+def test_handler_ids_consistent_across_pes():
+    with Machine(4) as m:
+        insts = ToyLang.attach(m)
+        assert len({i.handler_id for i in insts}) == 1
+
+
+def test_multiple_languages_coexist_per_runtime():
+    with Machine(2) as m:
+        SM.attach(m)
+        TSM.attach(m)
+        ToyLang.attach(m)
+        rt = m.runtime(0)
+        assert set(rt.lang_instances) >= {"sm", "tsm", "toy"}
+
+
+def test_get_requires_attach_and_tasklet_context():
+    with Machine(1) as m:
+        def main():
+            try:
+                ToyLang.get()
+            except LanguageError as e:
+                return "not attached" in str(e)
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result is True
+
+    from repro.core.errors import NotInTaskletError
+
+    with pytest.raises(NotInTaskletError):
+        ToyLang.get()

@@ -1,0 +1,162 @@
+"""Tests for the DP data-parallel layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LanguageError
+from repro.langs.dp import DP
+from repro.sim.machine import Machine
+
+
+def run_dp(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        DP.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_block_distribution_covers_everything():
+    def main():
+        dp = DP.get()
+        x = dp.array(103, init=1.0)
+        return x.lo, x.hi, len(x)
+
+    results = run_dp(4, main)
+    spans = [(lo, hi) for lo, hi, _ in results]
+    assert spans[0][0] == 0 and spans[-1][1] == 103
+    for (a, b), (c, d) in zip(spans, spans[1:]):
+        assert b == c
+    assert sum(n for _, _, n in results) == 103
+
+
+def test_init_variants():
+    def main():
+        dp = DP.get()
+        zeros = dp.array(8)
+        fives = dp.array(8, init=5.0)
+        idx = dp.array(8, init=lambda i: i * 2.0)
+        return zeros.local.tolist(), fives.local.tolist(), idx.local.tolist()
+
+    results = run_dp(2, main)
+    assert results[0][0] == [0.0] * 4
+    assert results[1][1] == [5.0] * 4
+    assert results[0][2] == [0.0, 2.0, 4.0, 6.0]
+    assert results[1][2] == [8.0, 10.0, 12.0, 14.0]
+
+
+def test_map_and_arith_match_numpy():
+    def main():
+        dp = DP.get()
+        x = dp.array(64, init=lambda i: i.astype(float))
+        y = (x * 2.0 + 1.0) - x
+        z = y.map(np.sqrt)
+        return z.gather(0)
+
+    results = run_dp(4, main)
+    full = results[0]
+    expect = np.sqrt(np.arange(64.0) + 1.0)
+    assert np.allclose(full, expect)
+    assert results[1] is None
+
+
+def test_reduce_sum_matches_numpy():
+    def main():
+        dp = DP.get()
+        x = dp.array(100, init=lambda i: i.astype(float))
+        return x.reduce()
+
+    results = run_dp(4, main)
+    assert all(r == pytest.approx(4950.0) for r in results)
+
+
+def test_reduce_custom_op():
+    def main():
+        dp = DP.get()
+        x = dp.array(16, init=lambda i: (i % 7).astype(float))
+        return x.reduce(op=max)
+
+    assert all(r == 6.0 for r in run_dp(4, main))
+
+
+def test_shift_positive_and_negative():
+    def main():
+        dp = DP.get()
+        x = dp.array(12, init=lambda i: i.astype(float))
+        right = x.shift(1)           # result[i] = x[i+1]
+        left = x.shift(-2, fill=-1)  # result[i] = x[i-2]
+        return right.gather(0), left.gather(0)
+
+    results = run_dp(3, main)
+    r, l = results[0]
+    assert r.tolist() == [float(i + 1) for i in range(11)] + [0.0]
+    assert l.tolist() == [-1.0, -1.0] + [float(i) for i in range(10)]
+
+
+def test_shift_zero_is_copy():
+    def main():
+        dp = DP.get()
+        x = dp.array(8, init=lambda i: i.astype(float))
+        return x.shift(0).gather(0)
+
+    full = run_dp(2, main)[0]
+    assert full.tolist() == [float(i) for i in range(8)]
+
+
+def test_shift_too_far_rejected():
+    def main():
+        dp = DP.get()
+        x = dp.array(8)
+        try:
+            x.shift(5)  # block size is 4 on 2 PEs
+        except LanguageError:
+            return "rejected"
+        return "accepted"
+
+    assert run_dp(2, main) == ["rejected"] * 2
+
+
+def test_conformance_checked():
+    def main():
+        dp = DP.get()
+        a = dp.array(8)
+        b = dp.array(10)
+        try:
+            _ = a + b
+        except LanguageError:
+            return "conform"
+
+    assert run_dp(2, main) == ["conform"] * 2
+
+
+def test_from_full_distributes():
+    def main():
+        dp = DP.get()
+        x = dp.from_full(np.arange(10.0))
+        return x.local.tolist()
+
+    results = run_dp(2, main)
+    assert results[0] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert results[1] == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+
+def test_stencil_jacobi_iteration():
+    """A realistic DP composition: one Jacobi smoothing sweep equals the
+    replicated NumPy computation."""
+    def main():
+        dp = DP.get()
+        n = 32
+        x = dp.array(n, init=lambda i: np.sin(i.astype(float)))
+        left = x.shift(-1)
+        right = x.shift(1)
+        smoothed = (left + x + right) * (1.0 / 3.0)
+        return smoothed.gather(0)
+
+    results = run_dp(4, main)
+    full = results[0]
+    ref = np.sin(np.arange(32.0))
+    padded = np.concatenate([[0.0], ref, [0.0]])
+    expect = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+    assert np.allclose(full, expect)

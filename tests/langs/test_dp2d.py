@@ -1,0 +1,157 @@
+"""Tests for the 2-D data-parallel arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LanguageError
+from repro.langs.dp import DP
+from repro.sim.machine import Machine
+
+
+def run_dp(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        DP.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_row_block_distribution():
+    def main():
+        dp = DP.get()
+        a = dp.array2d(10, 6, init=1.0)
+        return a.lo, a.hi, a.local.shape
+
+    results = run_dp(3, main)
+    assert results[0] == (0, 3, (3, 6))
+    assert results[1] == (3, 6, (3, 6))
+    assert results[2] == (6, 10, (4, 6))
+
+
+def test_init_function_of_global_indices():
+    def main():
+        dp = DP.get()
+        a = dp.array2d(6, 4, init=lambda i, j: i * 10 + j)
+        return a.gather(0)
+
+    full = run_dp(3, main)[0]
+    i, j = np.meshgrid(np.arange(6), np.arange(4), indexing="ij")
+    assert np.array_equal(full, (i * 10 + j).astype(float))
+
+
+def test_elementwise_and_reduce_match_numpy():
+    rng = np.random.default_rng(3)
+    base = rng.random((8, 5))
+
+    def main():
+        dp = DP.get()
+        a = dp.from_full2d(base)
+        b = (a * 2.0 + 1.0) - a
+        return b.reduce(), b.map(np.sqrt).gather(0)
+
+    results = run_dp(4, main)
+    total, full = results[0]
+    assert total == pytest.approx(float((base + 1.0).sum()))
+    assert np.allclose(full, np.sqrt(base + 1.0))
+
+
+def test_reduce_custom_op():
+    base = np.arange(24.0).reshape(6, 4)
+
+    def main():
+        dp = DP.get()
+        return dp.from_full2d(base).reduce(op=max)
+
+    assert all(r == 23.0 for r in run_dp(3, main))
+
+
+def test_row_halo_exchanges_boundary_rows():
+    base = np.arange(16.0).reshape(4, 4)
+
+    def main():
+        dp = DP.get()
+        a = dp.from_full2d(base)
+        north, south = a.row_halo(fill=-1.0)
+        return dp.my_pe, north.tolist(), south.tolist()
+
+    results = dict((pe, (n, s)) for pe, n, s in run_dp(2, main))
+    # PE0 owns rows 0-1; its south ghost is row 2, north is the fill.
+    assert results[0] == ([-1.0] * 4, base[2].tolist())
+    # PE1 owns rows 2-3; its north ghost is row 1.
+    assert results[1] == (base[1].tolist(), [-1.0] * 4)
+
+
+def test_stencil5_matches_numpy_reference():
+    rng = np.random.default_rng(11)
+    base = rng.random((9, 7))
+
+    def main():
+        dp = DP.get()
+        a = dp.from_full2d(base)
+        return a.stencil5(fill=0.0).gather(0)
+
+    full = run_dp(3, main)[0]
+    framed = np.zeros((11, 9))
+    framed[1:-1, 1:-1] = base
+    expect = 0.25 * (framed[:-2, 1:-1] + framed[2:, 1:-1]
+                     + framed[1:-1, :-2] + framed[1:-1, 2:])
+    assert np.allclose(full, expect)
+
+
+def test_iterated_stencil_equals_serial_jacobi():
+    base = np.zeros((8, 8))
+    base[0, :] = 1.0
+
+    def main():
+        dp = DP.get()
+        a = dp.from_full2d(base)
+        for _ in range(5):
+            a = a.stencil5()
+        return a.gather(0)
+
+    full = run_dp(4, main)[0]
+    ref = base.copy()
+    for _ in range(5):
+        framed = np.zeros((10, 10))
+        framed[1:-1, 1:-1] = ref
+        ref = 0.25 * (framed[:-2, 1:-1] + framed[2:, 1:-1]
+                      + framed[1:-1, :-2] + framed[1:-1, 2:])
+    assert np.allclose(full, ref)
+
+
+def test_conformance_checked():
+    def main():
+        dp = DP.get()
+        a = dp.array2d(6, 4)
+        b = dp.array2d(6, 5)
+        try:
+            _ = a + b
+        except LanguageError:
+            return "conform"
+
+    assert run_dp(2, main) == ["conform"] * 2
+
+
+def test_halo_with_too_few_rows_rejected():
+    def main():
+        dp = DP.get()
+        a = dp.array2d(2, 4)
+        try:
+            a.row_halo()
+        except LanguageError:
+            return "rows"
+
+    assert run_dp(4, main) == ["rows"] * 4
+
+
+def test_from_full2d_rejects_wrong_ndim():
+    def main():
+        dp = DP.get()
+        try:
+            dp.from_full2d(np.zeros(5))
+        except LanguageError:
+            return "ndim"
+
+    assert run_dp(1, main) == ["ndim"]

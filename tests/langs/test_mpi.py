@@ -1,0 +1,260 @@
+"""Tests for the mini-MPI built on the MMI — the paper's claim that
+"it is possible to provide an efficient MPI-style retrieval on top of
+this interface" (section 3.1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import LanguageError
+from repro.langs.mpi import ANY_SOURCE, ANY_TAG, MPI, Status
+from repro.sim.machine import Machine
+
+
+def run_mpi(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        MPI.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+# ----------------------------------------------------------------------
+# point-to-point
+# ----------------------------------------------------------------------
+
+def test_rank_and_size():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        return comm.rank, comm.size
+
+    assert run_mpi(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_send_recv_pickleable_objects():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+        elif comm.rank == 1:
+            return comm.recv(source=0, tag=11)
+
+    assert run_mpi(2, main)[1] == {"a": 7, "b": 3.14}
+
+
+def test_recv_with_status_envelope():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        if comm.rank == 0:
+            comm.send(b"12345", dest=1, tag=9)
+        else:
+            st = Status()
+            data = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+            return data, st.source, st.tag, st.count
+
+    assert run_mpi(2, main)[1] == (b"12345", 0, 9, 5)
+
+
+def test_pairwise_ordering_guarantee():
+    """MPI's delivery-order promise: same (src, dst, tag-match) messages
+    receive in send order."""
+    def main():
+        comm = MPI.get().COMM_WORLD
+        if comm.rank == 0:
+            for i in range(10):
+                comm.send(i, dest=1, tag=5)
+        else:
+            return [comm.recv(source=0, tag=5) for _ in range(10)]
+
+    assert run_mpi(2, main)[1] == list(range(10))
+
+
+def test_tag_and_source_selectivity():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        me = comm.rank
+        if me in (0, 1):
+            comm.send(f"r{me}t1", dest=2, tag=1)
+            comm.send(f"r{me}t2", dest=2, tag=2)
+        else:
+            a = comm.recv(source=1, tag=2)
+            b = comm.recv(source=ANY_SOURCE, tag=1)
+            c = comm.recv(source=0, tag=ANY_TAG)
+            d = comm.recv()
+            return a, sorted([b, c, d])
+
+    a, rest = run_mpi(3, main)[2]
+    assert a == "r1t2"
+    assert sorted(rest) == sorted(["r0t1", "r0t2", "r1t1"])
+
+
+def test_isend_irecv_wait_test():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        if comm.rank == 0:
+            req = comm.isend([1, 2, 3], dest=1, tag=4)
+            req.wait()
+            return req.test()
+        req = comm.irecv(source=0, tag=4)
+        data = req.wait()
+        return data, req.test()
+
+    results = run_mpi(2, main)
+    assert results[0] is True
+    assert results[1] == ([1, 2, 3], True)
+
+
+def test_probe_and_iprobe():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        if comm.rank == 0:
+            api.CmiCharge(50e-6)
+            miss = comm.iprobe(tag=99)
+            st = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            # probe does not consume:
+            data = comm.recv(source=st.source, tag=st.tag)
+            return miss, st.tag, data
+        comm.send("probed", dest=0, tag=3)
+
+    assert run_mpi(2, main)[0] == (None, 3, "probed")
+
+
+def test_bad_tag_rejected():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        try:
+            comm.send(1, dest=0, tag=-5)
+        except LanguageError:
+            return "bad"
+
+    assert run_mpi(1, main) == ["bad"]
+
+
+# ----------------------------------------------------------------------
+# collectives
+# ----------------------------------------------------------------------
+
+def test_bcast_from_each_root():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        out = []
+        for root in range(comm.size):
+            value = f"from{root}" if comm.rank == root else None
+            out.append(comm.bcast(value, root=root))
+        return out
+
+    results = run_mpi(4, main)
+    assert all(r == ["from0", "from1", "from2", "from3"] for r in results)
+
+
+def test_reduce_and_allreduce():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        s = comm.reduce(comm.rank + 1, lambda a, b: a + b, root=2)
+        total = comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+        return s, total
+
+    results = run_mpi(4, main)
+    assert [r[0] for r in results] == [None, None, 10, None]
+    assert all(r[1] == 10 for r in results)
+
+
+def test_gather_scatter_roundtrip():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        gathered = comm.gather(comm.rank * 10, root=0)
+        out = comm.scatter(
+            [x + 1 for x in gathered] if comm.rank == 0 else None, root=0
+        )
+        return gathered, out
+
+    results = run_mpi(4, main)
+    assert results[0][0] == [0, 10, 20, 30]
+    assert all(r[0] is None for r in results[1:])
+    assert [r[1] for r in results] == [1, 11, 21, 31]
+
+
+def test_alltoall():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        values = [f"{comm.rank}->{r}" for r in range(comm.size)]
+        return comm.alltoall(values)
+
+    results = run_mpi(3, main)
+    for r, got in enumerate(results):
+        assert got == [f"{src}->{r}" for src in range(3)]
+
+
+def test_barrier_synchronizes():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        api.CmiCharge(comm.rank * 20e-6)
+        comm.barrier()
+        return api.CmiTimer()
+
+    times = run_mpi(4, main)
+    assert min(times) >= 60e-6
+
+
+def test_scatter_wrong_count_rejected():
+    def main():
+        comm = MPI.get().COMM_WORLD
+        try:
+            comm.scatter([1], root=0)
+        except LanguageError:
+            return "count"
+
+    with Machine(2) as m:
+        MPI.attach(m)
+        t = m.launch_on(0, main)
+        m.launch_schedulers(pes=[1])
+        m.run()
+        assert t.result == "count"
+
+
+# ----------------------------------------------------------------------
+# communicators
+# ----------------------------------------------------------------------
+
+def test_split_into_even_odd():
+    def main():
+        world = MPI.get().COMM_WORLD
+        sub = world.split(color=world.rank % 2, key=world.rank)
+        total = sub.allreduce(world.rank, lambda a, b: a + b)
+        return sub.rank, sub.size, total
+
+    results = run_mpi(4, main)
+    assert results[0] == (0, 2, 2)   # evens: 0 + 2
+    assert results[1] == (0, 2, 4)   # odds: 1 + 3
+    assert results[2] == (1, 2, 2)
+    assert results[3] == (1, 2, 4)
+
+
+def test_split_opt_out_with_negative_color():
+    def main():
+        world = MPI.get().COMM_WORLD
+        sub = world.split(color=-1 if world.rank == 1 else 0)
+        if sub is None:
+            return None
+        return sub.size
+
+    results = run_mpi(3, main)
+    assert results == [2, None, 2]
+
+
+def test_contexts_isolate_equal_tags():
+    """The same tag on two communicators never cross-matches — the MPI
+    *context* property."""
+    def main():
+        world = MPI.get().COMM_WORLD
+        sub = world.split(color=0, key=world.rank)  # same membership
+        if world.rank == 0:
+            world.send("world-msg", dest=1, tag=7)
+            sub.send("sub-msg", dest=1, tag=7)
+        elif world.rank == 1:
+            from_sub = sub.recv(source=0, tag=7)
+            from_world = world.recv(source=0, tag=7)
+            return from_sub, from_world
+
+    assert run_mpi(2, main)[1] == ("sub-msg", "world-msg")

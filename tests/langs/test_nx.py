@@ -1,0 +1,173 @@
+"""Tests for the NXLib subset: typed send/recv, async ids, global ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import NxError
+from repro.langs.nx import NX, NX_ANY
+from repro.sim.machine import Machine
+
+
+def run_nx(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        NX.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_identity():
+    def main():
+        nx = NX.get()
+        return nx.mynode(), nx.numnodes()
+
+    assert run_nx(2, main) == [(0, 2), (1, 2)]
+
+
+def test_csend_crecv_typed():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            nx.csend(5, b"typed", 1)
+        else:
+            data = nx.crecv(5)
+            return data, nx.infocount(), nx.infonode()
+
+    assert run_nx(2, main)[1] == (b"typed", 5, 0)
+
+
+def test_crecv_wildcard_any_type():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            return nx.crecv(NX_ANY)
+        nx.csend(77, "whatever", 0)
+
+    assert run_nx(2, main)[0] == "whatever"
+
+
+def test_crecv_selects_by_type():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            nx.csend(1, "first", 1)
+            nx.csend(2, "second", 1)
+        else:
+            b = nx.crecv(2)
+            a = nx.crecv(1)
+            return a, b
+
+    assert run_nx(2, main)[1] == ("first", "second")
+
+
+def test_csend_minus_one_broadcasts():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            nx.csend(4, "cast", -1)
+            return None
+        return nx.crecv(4)
+
+    assert run_nx(3, main) == [None, "cast", "cast"]
+
+
+def test_isend_msgwait():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            mid = nx.isend(3, b"async", 1)
+            nx.msgwait(mid)
+            return nx.msgdone(mid)
+        return nx.crecv(3)
+
+    results = run_nx(2, main)
+    assert results == [True, b"async"]
+
+
+def test_isend_broadcast_rejected():
+    def main():
+        nx = NX.get()
+        try:
+            nx.isend(1, b"", -1)
+        except NxError:
+            return "no"
+
+    assert run_nx(1, main) == ["no"]
+
+
+def test_irecv_posted_before_arrival():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            h = nx.irecv(6)
+            pre = h.done
+            data = nx.msgwait(h)
+            return pre, data, h.mtype, h.source
+        api.CmiCharge(50e-6)
+        nx.csend(6, "prearranged", 0)
+
+    assert run_nx(2, main)[0] == (False, "prearranged", 6, 1)
+
+
+def test_irecv_after_arrival_completes_immediately():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            api.CmiCharge(100e-6)
+            nx.iprobe(NX_ANY)  # drain arrivals into the mailbox
+            h = nx.irecv(2)
+            return h.done, h.data
+        nx.csend(2, "already here", 0)
+
+    assert run_nx(2, main)[0] == (True, "already here")
+
+
+def test_iprobe():
+    def main():
+        nx = NX.get()
+        if nx.mynode() == 0:
+            api.CmiCharge(100e-6)
+            return nx.iprobe(8), nx.iprobe(9)
+        nx.csend(8, None, 0)
+
+    assert run_nx(2, main)[0] == (True, False)
+
+
+def test_gsync_barrier():
+    def main():
+        nx = NX.get()
+        api.CmiCharge(nx.mynode() * 25e-6)
+        nx.gsync()
+        return api.CmiTimer()
+
+    times = run_nx(3, main)
+    assert min(times) >= 50e-6
+
+
+@pytest.mark.parametrize("op,values,expected", [
+    ("gisum", [1, 2, 3, 4], 10),
+    ("gdsum", [0.5, 1.5, 2.0, 3.0], 7.0),
+    ("gprod", [1, 2, 3, 4], 24),
+    ("ghigh", [5, 2, 9, 1], 9),
+    ("glow", [5, 2, 9, 1], 1),
+])
+def test_global_operations(op, values, expected):
+    def main():
+        nx = NX.get()
+        return getattr(nx, op)(values[nx.mynode()])
+
+    results = run_nx(4, main)
+    assert all(r == pytest.approx(expected) for r in results)
+
+
+def test_bad_type_rejected():
+    def main():
+        nx = NX.get()
+        try:
+            nx.csend(-1, None, 0)
+        except NxError:
+            return "bad"
+
+    assert run_nx(1, main) == ["bad"]

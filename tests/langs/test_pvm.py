@@ -1,0 +1,177 @@
+"""Tests for the PVM subset: SPM mode, threaded mode, collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import PvmError
+from repro.langs.pvm import PVM, PVM_ANY
+from repro.sim.machine import Machine
+
+
+def run_pvm(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        PVM.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_mytid_and_ntasks():
+    def main():
+        pvm = PVM.get()
+        return pvm.mytid(), pvm.ntasks()
+
+    assert run_pvm(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_send_recv_with_envelope():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 0:
+            pvm.send(1, 42, [1, 2, 3])
+        else:
+            msg = pvm.recv(tid=0, tag=42)
+            return msg.tag, msg.source, msg.data
+
+    assert run_pvm(2, main)[1] == (42, 0, [1, 2, 3])
+
+
+def test_recv_wildcards():
+    def main():
+        pvm = PVM.get()
+        me = pvm.mytid()
+        if me == 0:
+            got = [pvm.recv().tag for _ in range(2)]
+            return sorted(got)
+        pvm.send(0, me * 100, None)
+
+    assert run_pvm(3, main)[0] == [100, 200]
+
+
+def test_nrecv_nonblocking():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 0:
+            miss = pvm.nrecv()
+            hit = pvm.recv(tag=1)
+            return miss is None, hit.data
+        pvm.send(0, 1, "late")
+
+    assert run_pvm(2, main)[0] == (True, "late")
+
+
+def test_probe():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 0:
+            api.CmiCharge(100e-6)
+            return pvm.probe(tag=6), pvm.probe(tag=7)
+        pvm.send(0, 6, b"abc", size=3)
+
+    assert run_pvm(2, main)[0] == (3, -1)
+
+
+def test_mcast_to_explicit_list():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 0:
+            pvm.mcast([1, 3], 9, "group")
+            return "sent"
+        if pvm.mytid() in (1, 3):
+            return pvm.recv(tag=9).data
+        return "idle"
+
+    assert run_pvm(4, main) == ["sent", "group", "idle", "group"]
+
+
+def test_bcast_all_excludes_sender():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 2:
+            pvm.bcast_all(3, "shout")
+            return None
+        return pvm.recv(tag=3).data
+
+    assert run_pvm(3, main) == ["shout", "shout", None]
+
+
+def test_barrier_synchronizes_all():
+    def main():
+        pvm = PVM.get()
+        api.CmiCharge(pvm.mytid() * 20e-6)
+        pvm.barrier()
+        return api.CmiTimer()
+
+    times = run_pvm(4, main)
+    assert min(times) >= 60e-6
+
+
+def test_reduce_and_gather():
+    def main():
+        pvm = PVM.get()
+        total = pvm.reduce(lambda a, b: a + b, pvm.mytid())
+        roots = pvm.gather(f"pe{pvm.mytid()}", root=2)
+        return total, roots
+
+    results = run_pvm(4, main)
+    assert all(r[0] == 6 for r in results)
+    assert results[2][1] == ["pe0", "pe1", "pe2", "pe3"]
+    assert results[0][1] is None
+
+
+def test_threaded_mode_recv_suspends_thread_only():
+    """pvm.recv inside a spawned thread leaves the PE free to run other
+    work — the multithreaded PVM mode of the paper."""
+    def main():
+        pvm = PVM.get()
+        me = pvm.mytid()
+        log = []
+        if me == 0:
+            def pvm_module():
+                msg = pvm.recv(tid=1, tag=1)
+                log.append(("got", msg.data))
+                api.CsdExitAll()
+
+            def other_work():
+                log.append("other work ran while pvm waited")
+
+            pvm.spawn(pvm_module)
+            pvm.spawn(other_work)
+            api.CsdScheduler(-1)
+            return log
+        else:
+            def sender():
+                api.CmiCharge(200e-6)  # arrive late on purpose
+                pvm.send(0, 1, "finally")
+
+            pvm.spawn(sender)
+            api.CsdScheduler(-1)
+
+    log = run_pvm(2, main)[0]
+    assert log[0] == "other work ran while pvm waited"
+    assert log[1] == ("got", "finally")
+
+
+def test_bad_tag_rejected():
+    def main():
+        pvm = PVM.get()
+        try:
+            pvm.send(0, -3, None)
+        except PvmError:
+            return "bad"
+
+    assert run_pvm(1, main) == ["bad"]
+
+
+def test_stats():
+    def main():
+        pvm = PVM.get()
+        if pvm.mytid() == 0:
+            pvm.send(1, 1, "x")
+            return pvm.stats_sent
+        pvm.recv(tag=1)
+        return pvm.stats_received
+
+    assert run_pvm(2, main) == [1, 1]

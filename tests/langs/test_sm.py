@@ -1,0 +1,208 @@
+"""Tests for the SM simple messaging layer (SPM paradigm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import LanguageError
+from repro.langs.sm import SM, SM_ANY
+from repro.sim.machine import Machine
+
+
+def run_sm(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        SM.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_send_recv_basic():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            sm.send(1, 7, {"payload": 42})
+        else:
+            tag, src, data = sm.recv(tag=7)
+            return tag, src, data
+
+    results = run_sm(2, main)
+    assert results[1] == (7, 0, {"payload": 42})
+
+
+def test_recv_filters_by_tag():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            sm.send(1, 1, "first-sent")
+            sm.send(1, 2, "wanted")
+        else:
+            tag, src, data = sm.recv(tag=2)
+            later = sm.recv(tag=1)
+            return data, later[2]
+
+    results = run_sm(2, main)
+    assert results[1] == ("wanted", "first-sent")
+
+
+def test_recv_filters_by_source():
+    def main():
+        sm = SM.get()
+        me = sm.my_pe
+        if me in (0, 1):
+            sm.send(2, 5, f"from{me}")
+        else:
+            a = sm.recv(tag=5, source=1)
+            b = sm.recv(tag=5, source=0)
+            return a[2], b[2]
+
+    results = run_sm(3, main)
+    assert results[2] == ("from1", "from0")
+
+
+def test_wildcard_recv_any():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            got = [sm.recv()[1] for _ in range(3)]
+            return sorted(got)
+        sm.send(0, sm.my_pe * 10, sm.my_pe)
+
+    results = run_sm(4, main)
+    assert results[0] == [1, 2, 3]
+
+
+def test_try_recv_nonblocking():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            empty = sm.try_recv()
+            tag, src, data = sm.recv(tag=3)
+            return empty, data
+        sm.send(0, 3, "x")
+
+    results = run_sm(2, main)
+    assert results[0] == (None, "x")
+
+
+def test_probe_sees_arrived_messages():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            api.CmiCharge(100e-6)  # let the message land
+            size = sm.probe(tag=9)
+            absent = sm.probe(tag=10)
+            got = sm.recv(tag=9)
+            return size, absent
+        sm.send(0, 9, b"12345", size=5)
+
+    results = run_sm(2, main)
+    assert results[0] == (5, -1)
+
+
+def test_broadcast_excluding_self():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            sm.broadcast(4, "all hands")
+            return "sent"
+        return sm.recv(tag=4)[2]
+
+    results = run_sm(3, main)
+    assert results == ["sent", "all hands", "all hands"]
+
+
+def test_broadcast_including_self():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            sm.broadcast(4, "inc", include_self=True)
+        return sm.recv(tag=4)[2]
+
+    assert run_sm(3, main) == ["inc", "inc", "inc"]
+
+
+def test_tag_type_checked():
+    def main():
+        sm = SM.get()
+        try:
+            sm.send(0, "bad", 1)  # type: ignore[arg-type]
+        except LanguageError:
+            return "checked"
+
+    assert run_sm(1, main) == ["checked"]
+
+
+def test_get_before_attach_raises():
+    with Machine(1) as m:
+        def main():
+            try:
+                SM.get()
+            except LanguageError as e:
+                return "not attached" in str(e)
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result is True
+
+
+def test_spm_blocking_recv_buffers_other_handlers():
+    """While SM blocks, a Converse message for another handler is
+    side-buffered, not executed — the no-concurrency guarantee."""
+    with Machine(2) as m:
+        SM.attach(m)
+        intruder_ran = []
+
+        def receiver():
+            sm = SM.get()
+            hid = api.CmiRegisterHandler(lambda msg: intruder_ran.append(1), "in")
+            data = sm.recv(tag=1)[2]
+            ran_during = list(intruder_ran)
+            api.CsdScheduler(1)  # now deliver the buffered intruder
+            return data, ran_during, list(intruder_ran)
+
+        def sender():
+            sm = SM.get()
+            hid = api.CmiRegisterHandler(lambda msg: None, "in")
+            from repro.core.message import Message
+
+            api.CmiSyncSend(0, Message(hid, None, size=0))  # intruder first
+            sm.send(0, 1, "real")
+
+        t = m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        data, during, after = t.result
+        assert data == "real"
+        assert during == []      # nothing ran while blocked
+        assert after == [1]      # delivered later by the scheduler
+
+
+def test_ring_pipeline_many_pes():
+    def main():
+        sm = SM.get()
+        me, num = sm.my_pe, sm.num_pes
+        if me == 0:
+            sm.send(1, 0, [0])
+            path = sm.recv(tag=0)[2]
+            return path
+        path = sm.recv(tag=0)[2]
+        sm.send((me + 1) % num, 0, path + [me])
+
+    results = run_sm(6, main)
+    assert results[0] == [0, 1, 2, 3, 4, 5]
+
+
+def test_stats_counters():
+    def main():
+        sm = SM.get()
+        if sm.my_pe == 0:
+            sm.send(1, 1, "a")
+            sm.send(1, 2, "b")
+            return sm.sends
+        sm.recv(tag=1)
+        sm.recv(tag=2)
+        return sm.receives
+
+    assert run_sm(2, main) == [2, 2]

@@ -1,0 +1,194 @@
+"""Tests for tSM — threaded simple messaging (implicit control regime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import LanguageError
+from repro.langs.tsm import TSM, TSM_ANY
+from repro.sim.machine import Machine
+
+
+def run_tsm(num_pes, fn, **kw):
+    with Machine(num_pes, **kw) as m:
+        TSM.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+def test_thread_receive_blocks_thread_not_pe():
+    """While one tSM thread waits, other threads on the PE keep going."""
+    def main():
+        tsm = TSM.get()
+        if tsm.my_pe != 0:
+            return api.CsdScheduler(-1)
+        log = []
+
+        def blocked():
+            tsm.receive(tag=99)  # never satisfied in this test window
+            log.append("unreachable")
+
+        def runner():
+            log.append("runner ran")
+            api.CsdExitScheduler()
+
+        tsm.create(blocked)
+        tsm.create(runner)
+        api.CsdScheduler(-1)
+        return log
+
+    assert run_tsm(1, main) == [["runner ran"]]
+
+
+def test_cross_pe_threaded_pingpong():
+    def main():
+        tsm = TSM.get()
+        me = tsm.my_pe
+        out = []
+
+        if me == 0:
+            def ping():
+                tsm.send(1, 1, "ping")
+                _, _, data = tsm.receive(tag=2)
+                out.append(data)
+                api.CsdExitAll()
+
+            tsm.create(ping)
+        else:
+            def pong():
+                _, src, data = tsm.receive(tag=1)
+                tsm.send(src, 2, data + "/pong")
+
+            tsm.create(pong)
+        api.CsdScheduler(-1)
+        return out
+
+    results = run_tsm(2, main)
+    assert results[0] == ["ping/pong"]
+
+
+def test_receive_wildcards_and_tags_interleave():
+    def main():
+        tsm = TSM.get()
+        me = tsm.my_pe
+        out = []
+        if me == 0:
+            def collector():
+                for _ in range(3):
+                    tag, src, data = tsm.receive(tag=TSM_ANY)
+                    out.append((tag, data))
+                api.CsdExitAll()
+
+            tsm.create(collector)
+        else:
+            def sender():
+                tsm.send(0, me * 10, f"d{me}")
+
+            tsm.create(sender)
+        api.CsdScheduler(-1)
+        return sorted(out)
+
+    results = run_tsm(4, main)
+    assert results[0] == [(10, "d1"), (20, "d2"), (30, "d3")]
+
+
+def test_many_threads_same_tag_each_get_one():
+    def main():
+        tsm = TSM.get()
+        me = tsm.my_pe
+        got = []
+        if me == 0:
+            def worker(i):
+                _, _, data = tsm.receive(tag=5)
+                got.append((i, data))
+                if len(got) == 3:
+                    api.CsdExitAll()
+
+            for i in range(3):
+                tsm.create(worker, i)
+        else:
+            def feed():
+                for j in range(3):
+                    tsm.send(0, 5, f"job{j}")
+
+            tsm.create(feed)
+        api.CsdScheduler(-1)
+        return got
+
+    results = run_tsm(2, main)
+    got = results[0]
+    assert sorted(d for _, d in got) == ["job0", "job1", "job2"]
+    assert len({i for i, _ in got}) == 3  # three distinct threads
+
+
+def test_receive_outside_thread_rejected():
+    def main():
+        tsm = TSM.get()
+        try:
+            tsm.receive(tag=1)
+        except LanguageError as e:
+            return "outside" in str(e)
+
+    assert run_tsm(1, main) == [True]
+
+
+def test_already_arrived_message_returns_without_suspend():
+    def main():
+        tsm = TSM.get()
+        out = []
+
+        def t1():
+            tsm.send(0, 3, "early")  # loopback to self PE
+            # Let the scheduler deliver the loopback.
+            api.CthYield() if False else None
+            tsm.mailbox  # noqa: B018
+
+        def t2():
+            _, _, d = tsm.receive(tag=3)
+            out.append(d)
+            api.CsdExitScheduler()
+
+        tsm.create(t1)
+        tsm.create(t2)
+        api.CsdScheduler(-1)
+        return out
+
+    assert run_tsm(1, main) == [["early"]]
+
+
+def test_probe_reflects_mailbox():
+    def main():
+        tsm = TSM.get()
+        out = []
+
+        def prober():
+            out.append(tsm.probe(tag=8))   # nothing yet... or arrived
+            _, _, d = tsm.receive(tag=8)
+            out.append(tsm.probe(tag=8))   # consumed
+            api.CsdExitScheduler()
+
+        tsm.send(0, 8, b"xyz")  # self-send via loopback
+        tsm.create(prober)
+        api.CsdScheduler(-1)
+        return out
+
+    out = run_tsm(1, main)[0]
+    assert out[-1] == -1
+
+
+def test_blocked_threads_counter():
+    def main():
+        tsm = TSM.get()
+
+        def blocked():
+            tsm.receive(tag=12345)
+
+        tsm.create(blocked)
+        api.CsdScheduler(1)  # run the thread until it blocks
+        n = tsm.blocked_threads
+        api.CsdSchedulePoll()
+        return n
+
+    assert run_tsm(1, main) == [1]

@@ -1,0 +1,148 @@
+"""Unit tests for the Cld seed load balancers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import LoadBalanceError
+from repro.core.message import Message
+from repro.loadbalance.strategies import BALANCERS, make_balancer
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC
+
+
+def _run_seed_burst(ldb: str, num_pes: int = 4, seeds: int = 32, seed: int = 3):
+    """Fire `seeds` trivial seeds from PE0; return (machine stats)."""
+    with Machine(num_pes, model=GENERIC, ldb=ldb, seed=seed) as m:
+        ran = {pe: 0 for pe in range(num_pes)}
+
+        def register():
+            def work(msg):
+                ran[api.CmiMyPe()] += 1
+            return api.CmiRegisterHandler(work, "seedwork")
+
+        hids = {}
+
+        def main():
+            hids[api.CmiMyPe()] = register()
+            if api.CmiMyPe() == 0:
+                for _ in range(seeds):
+                    api.CldEnqueue(Message(hids[0], None, size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        rooted = [rt.cld.stats.rooted for rt in m.runtimes]
+        created = [rt.cld.stats.created for rt in m.runtimes]
+        return ran, rooted, created
+
+
+def test_registry_names():
+    assert set(BALANCERS) == {"direct", "random", "spray", "neighbor", "central"}
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(LoadBalanceError):
+        with Machine(2, ldb="magic"):
+            pass
+
+
+def test_direct_keeps_all_seeds_local():
+    ran, rooted, created = _run_seed_burst("direct")
+    assert ran[0] == 32 and sum(ran.values()) == 32
+    assert rooted == [32, 0, 0, 0]
+    assert created == [32, 0, 0, 0]
+
+
+def test_spray_round_robins_evenly():
+    ran, rooted, _ = _run_seed_burst("spray")
+    assert sum(ran.values()) == 32
+    assert all(v == 8 for v in ran.values())
+    assert all(r == 8 for r in rooted)
+
+
+def test_random_spreads_and_conserves():
+    ran, rooted, _ = _run_seed_burst("random", seeds=64)
+    assert sum(ran.values()) == 64
+    assert sum(rooted) == 64
+    # With 64 seeds over 4 PEs, at least three PEs should see work.
+    assert sum(1 for v in ran.values() if v > 0) >= 3
+
+
+def test_random_deterministic_per_seed():
+    a = _run_seed_burst("random", seed=11)
+    b = _run_seed_burst("random", seed=11)
+    c = _run_seed_burst("random", seed=12)
+    assert a == b
+    assert a != c
+
+
+def test_central_places_on_least_loaded():
+    ran, rooted, _ = _run_seed_burst("central", seeds=40)
+    assert sum(ran.values()) == 40
+    # The manager never hoards: spread within a reasonable band.
+    assert max(rooted) - min(rooted) <= 20
+
+
+def test_neighbor_keeps_light_load_local():
+    """Below the threshold, the neighbour strategy never forwards."""
+    with Machine(4, ldb="neighbor") as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "w")
+            if api.CmiMyPe() == 0:
+                api.CldEnqueue(Message(hid, None, size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert m.runtime(0).cld.stats.rooted == 1
+        assert m.runtime(0).cld.stats.forwarded == 0
+
+
+def test_neighbor_sheds_heavy_load():
+    ran, rooted, _ = _run_seed_burst("neighbor", seeds=48)
+    assert sum(ran.values()) == 48
+    # Spilling to ring neighbours: PEs 1 and 3 (PE0's neighbours) get work.
+    assert ran[1] > 0 or ran[3] > 0
+
+
+def test_seed_priority_preserved_through_balancer():
+    """A seed's priority survives forwarding, and seeds queued together
+    on one PE execute in priority order."""
+    with Machine(2, ldb="spray", queue="int") as m:
+        order = []
+        prios_seen = []
+
+        def main():
+            def work(msg):
+                order.append(msg.payload)
+                prios_seen.append(msg.prio)
+
+            hid = api.CmiRegisterHandler(work, "w")
+            if api.CmiMyPe() == 0:
+                # Spray alternates PE1, PE0, PE1, PE0: the two PE0 seeds
+                # root locally *before* the scheduler runs, so they sit
+                # in the queue together and must reorder by priority.
+                for i, prio in [(0, 9), (1, 7), (2, 5), (3, 2)]:
+                    api.CldEnqueue(Message(hid, (i, prio), size=8, prio=prio))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        # Priorities travelled intact with their seeds.
+        assert {p for _, p in order} == {9, 7, 5, 2}
+        assert all(p == msg_p for (_, p), msg_p in zip(order, prios_seen))
+        # PE0's co-queued seeds (prios 7 and 2) ran lowest-first.
+        pe0 = [p for i, p in order if i in (1, 3)]
+        assert pe0 == [2, 7]
+
+
+def test_stats_conservation_invariant():
+    """created == rooted + in-flight(0 at quiescence) machine-wide, and
+    every forwarded seed was received somewhere."""
+    for ldb in BALANCERS:
+        ran, rooted, created = _run_seed_burst(ldb, seeds=20)
+        assert sum(created) == 20
+        assert sum(rooted) == 20
+        assert sum(ran.values()) == 20

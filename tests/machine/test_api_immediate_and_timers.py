@@ -1,0 +1,81 @@
+"""API-level coverage for immediate sends and timer variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC
+
+
+def test_api_immediate_send_path():
+    with Machine(2) as m:
+        hit = {}
+
+        def busy():
+            hid = api.CmiRegisterHandler(
+                lambda msg: hit.__setitem__("t", api.CmiTimer()), "h"
+            )
+            api.CmiCharge(500e-6)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiImmediateSend(0, Message(hid, None, size=32))
+
+        m.launch_on(0, busy)
+        m.launch_on(1, sender)
+        m.run()
+        assert hit["t"] < 500e-6
+
+
+def test_wall_and_cpu_timers_via_api():
+    with Machine(1) as m:
+        out = {}
+
+        def main():
+            out["t0"] = (api.CmiTimer(), api.CmiWallTimer(), api.CmiCpuTimer())
+            api.CmiCharge(7e-6)
+            out["t1"] = (api.CmiTimer(), api.CmiWallTimer(), api.CmiCpuTimer())
+
+        m.launch_on(0, main)
+        m.run()
+        assert out["t0"] == (0.0, 0.0, 0.0)
+        t, w, c = out["t1"]
+        assert t == w == c == pytest.approx(7e-6)
+
+
+def test_immediate_message_traced():
+    with Machine(2, trace=True) as m:
+        def busy():
+            api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiCharge(200e-6)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiImmediateSend(0, Message(hid, None, size=16))
+
+        m.launch_on(0, busy)
+        m.launch_on(1, sender)
+        m.run()
+        sends = m.tracer.by_kind("send")
+        assert any(e.fields.get("immediate") for e in sends)
+        # The immediate delivery also hit the receive hook.
+        assert m.tracer.by_kind("receive")
+
+
+def test_immediate_to_out_of_range_pe_rejected():
+    with Machine(2) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            from repro.core.errors import MessageError
+
+            try:
+                api.CmiImmediateSend(7, Message(hid, None, size=0))
+            except MessageError:
+                return "range"
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == "range"

@@ -1,0 +1,142 @@
+"""Unit tests for EMI scatter advance-receive registrations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.machine.emi_scatter import ScatterSpec
+from repro.sim.machine import Machine
+
+
+def test_spec_matching_and_copy():
+    dest = bytearray(8)
+    spec = ScatterSpec([(0, b"HD")], [(2, 4, dest, 2)])
+    assert spec.matches(b"HDxxyyzz")
+    assert not spec.matches(b"XXxxyyzz")
+    assert not spec.matches(b"H")  # matcher out of range
+    spec.apply(b"HDabcdzz")
+    assert dest == bytearray(b"\x00\x00abcd\x00\x00")
+    assert spec.matched == 1
+
+
+def test_advance_receive_scatters_without_handler():
+    """A pre-posted scatter consumes the matching message; the handler
+    named in the message never runs."""
+    with Machine(2) as m:
+        handler_ran = []
+        dest = bytearray(4)
+
+        def receiver():
+            hid = api.CmiRegisterHandler(lambda msg: handler_ran.append(1), "h")
+            rt = m.runtime(0)
+            rt.cmi.scatter.register([(0, b"AB")], [(2, 4, dest, 0)])
+            # Drive delivery; the scatter filter eats the message.
+            api.CsdScheduler(1)  # will process only the non-matching one
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda m_: None, "h")
+            api.CmiSyncSend(0, Message(hid, b"ABwxyz", size=6))
+            api.CmiSyncSend(0, Message(hid, b"nomatch", size=7))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert dest == bytearray(b"wxyz")
+        assert handler_ran == [1]  # only the non-matching message
+
+
+def test_notify_variant_queues_empty_message():
+    with Machine(2) as m:
+        notified = []
+        dest = bytearray(2)
+
+        def receiver():
+            h_data = api.CmiRegisterHandler(lambda msg: None, "data")
+
+            def on_note(msg):
+                notified.append((msg.payload, msg.size, msg.src_pe))
+                api.CsdExitScheduler()
+
+            h_note = api.CmiRegisterHandler(on_note, "note")
+            rt = m.runtime(0)
+            rt.cmi.scatter.register_with_notify(
+                [(0, b"Z")], [(1, 2, dest, 0)], h_note
+            )
+            api.CsdScheduler(-1)
+
+        def sender():
+            h_data = api.CmiRegisterHandler(lambda m_: None, "data")
+            api.CmiRegisterHandler(lambda m_: None, "note")
+            api.CmiSyncSend(0, Message(h_data, b"Zok", size=3))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert dest == bytearray(b"ok")
+        assert notified == [(b"", 0, 1)]
+
+
+def test_once_semantics_and_persistent_spec():
+    with Machine(2) as m:
+        dest = bytearray(1)
+        hits = []
+
+        def receiver():
+            hid = api.CmiRegisterHandler(lambda msg: hits.append("handler"), "h")
+            rt = m.runtime(0)
+            spec = rt.cmi.scatter.register([(0, b"Q")], [(1, 1, dest, 0)],
+                                           once=False)
+            api.CsdScheduler(1)  # only the final non-matching msg dispatches
+            return spec.matched, rt.cmi.scatter.pending
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda m_: None, "h")
+            api.CmiSyncSend(0, Message(hid, b"Q1", size=2))
+            api.CmiSyncSend(0, Message(hid, b"Q2", size=2))
+            api.CmiSyncSend(0, Message(hid, b"stop", size=4))
+
+        t = m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        matched, pending = t.result
+        assert matched == 2
+        assert pending == 1  # persistent spec still registered
+        assert dest == bytearray(b"2")
+        assert hits == ["handler"]
+
+
+def test_cancel_removes_spec():
+    with Machine(1) as m:
+        def main():
+            rt = m.runtime(0)
+            spec = rt.cmi.scatter.register([(0, b"A")], [])
+            assert rt.cmi.scatter.pending == 1
+            rt.cmi.scatter.cancel(spec)
+            rt.cmi.scatter.cancel(spec)  # idempotent
+            return rt.cmi.scatter.pending
+
+        t = m.launch_on(0, main)
+        m.run()
+        assert t.result == 0
+
+
+def test_non_bytes_payloads_pass_through():
+    with Machine(2) as m:
+        got = []
+
+        def receiver():
+            hid = api.CmiRegisterHandler(lambda msg: got.append(msg.payload), "h")
+            rt = m.runtime(0)
+            rt.cmi.scatter.register([(0, b"A")], [])
+            api.CsdScheduler(1)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda m_: None, "h")
+            api.CmiSyncSend(0, Message(hid, ("A", "tuple"), size=8))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert got == [("A", "tuple")]

@@ -1,0 +1,109 @@
+"""Tests for interrupt-style immediate messages (section-6 future work,
+implemented as an extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC
+
+
+def test_immediate_runs_while_destination_computes():
+    """The handler fires at arrival time even though the destination is
+    in the middle of a long charged computation."""
+    with Machine(2) as m:
+        stamps = {}
+
+        def busy():
+            hid = api.CmiRegisterHandler(
+                lambda msg: stamps.__setitem__("handled", api.CmiTimer()), "h"
+            )
+            api.CmiCharge(1000e-6)  # a long compute, no scheduler
+            stamps["compute_done"] = api.CmiTimer()
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiCharge(10e-6)
+            api.CmiImmediateSend(0, Message(hid, None, size=16))
+
+        m.launch_on(0, busy)
+        m.launch_on(1, sender)
+        m.run()
+        # An ordinary message would wait 1000us for a scheduler; the
+        # immediate one was serviced mid-computation.
+        assert stamps["handled"] < 100e-6
+        assert stamps["compute_done"] >= 1000e-6
+
+
+def test_immediate_bypasses_spm_blocking_receive():
+    """Even a PE blocked in CmiGetSpecificMsg services immediates."""
+    with Machine(2) as m:
+        log = []
+
+        def receiver():
+            h_want = api.CmiRegisterHandler(lambda msg: None, "want")
+            h_irq = api.CmiRegisterHandler(
+                lambda msg: log.append(("irq", api.CmiTimer())), "irq"
+            )
+            msg = api.CmiGetSpecificMsg(h_want)
+            log.append(("unblocked", api.CmiTimer()))
+
+        def sender():
+            h_want = api.CmiRegisterHandler(lambda msg: None, "want")
+            h_irq = api.CmiRegisterHandler(lambda msg: None, "irq")
+            api.CmiImmediateSend(0, Message(h_irq, None, size=0))
+            api.CmiCharge(500e-6)
+            api.CmiSyncSend(0, Message(h_want, None, size=0))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert log[0][0] == "irq"
+        assert log[1][0] == "unblocked"
+        assert log[0][1] < log[1][1]
+
+
+def test_immediate_pays_normal_message_costs():
+    with Machine(2) as m:
+        stamps = {}
+
+        def receiver():
+            hid = api.CmiRegisterHandler(
+                lambda msg: stamps.__setitem__("t", api.CmiTimer()), "h"
+            )
+            api.CmiCharge(1.0)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiImmediateSend(0, Message(hid, None, size=64))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        # Arrival at one_way minus receive-side costs, plus those costs
+        # charged in the ISR before the handler body runs.
+        assert stamps["t"] == pytest.approx(GENERIC.one_way(64))
+
+
+def test_immediate_buffer_ownership_still_enforced():
+    with Machine(2) as m:
+        kept = []
+
+        def receiver():
+            def h(msg):
+                kept.append(msg)
+
+            api.CmiRegisterHandler(h, "h")
+            api.CmiCharge(1e-3)
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CmiImmediateSend(0, Message(hid, b"gone", size=4))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert len(kept) == 1 and not kept[0].valid

@@ -1,0 +1,121 @@
+"""Unit tests for the Cmm message manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MessageManagerError
+from repro.msgmgr.message_manager import CMM_WILDCARD, MessageManager
+
+
+def test_put_get_exact_tags():
+    mm = MessageManager()
+    mm.put(b"one", 5)
+    mm.put(b"two", 5, 9)
+    assert mm.probe(5) == 3
+    entry = mm.get(5)
+    assert entry.payload == b"one"
+    assert entry.tags == (5, None)
+    assert mm.get(5) is None          # (5, None) now empty
+    assert mm.get(5, 9).payload == b"two"
+    assert len(mm) == 0
+
+
+def test_fifo_within_matching_set():
+    mm = MessageManager()
+    for i in range(5):
+        mm.put(i, 7)
+    assert [mm.get(7).payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_wildcard_tag_retrieves_oldest_overall():
+    mm = MessageManager()
+    mm.put("a", 1)
+    mm.put("b", 2)
+    mm.put("c", 1)
+    got = [mm.get(CMM_WILDCARD).payload for _ in range(3)]
+    assert got == ["a", "b", "c"]
+
+
+def test_wildcard_on_second_tag_only():
+    mm = MessageManager()
+    mm.put("x", 4, 100)
+    mm.put("y", 4, 200)
+    mm.put("z", 5, 100)
+    entry = mm.get(4, CMM_WILDCARD)
+    assert entry.payload == "x"
+    entry = mm.get(CMM_WILDCARD, 100)
+    assert entry.payload == "z"
+
+
+def test_probe_returns_size_or_minus_one():
+    mm = MessageManager()
+    assert mm.probe(3) == -1
+    mm.put(b"12345", 3, size=5)
+    assert mm.probe(3) == 5
+    assert mm.probe(CMM_WILDCARD) == 5
+    assert len(mm) == 1  # probe does not remove
+
+
+def test_probe_tags_returns_actual_tags():
+    mm = MessageManager()
+    assert mm.probe_tags(CMM_WILDCARD) is None
+    mm.put("v", 8, 44)
+    assert mm.probe_tags(CMM_WILDCARD, CMM_WILDCARD) == (8, 44)
+
+
+def test_get_copy_truncates_bytes():
+    mm = MessageManager()
+    mm.put(b"abcdefgh", 1)
+    payload, size = mm.get_copy(1, max_bytes=4)
+    assert payload == b"abcd"
+    assert size == 8
+    assert mm.get_copy(1) is None
+
+
+def test_size_defaults():
+    mm = MessageManager()
+    mm.put(b"abc", 1)
+    mm.put("hello", 2)
+    mm.put({"obj": 1}, 3)
+    assert mm.probe(1) == 3
+    assert mm.probe(2) == 5
+    assert mm.probe(3) == 0  # non-bytes default
+
+
+def test_explicit_size_wins():
+    mm = MessageManager()
+    mm.put(b"abc", 1, size=999)
+    assert mm.probe(1) == 999
+
+
+def test_invalid_tags_rejected():
+    mm = MessageManager()
+    with pytest.raises(MessageManagerError):
+        mm.put("x", "tag")  # type: ignore[arg-type]
+    with pytest.raises(MessageManagerError):
+        mm.put("x", 1, True)  # type: ignore[arg-type]
+    with pytest.raises(MessageManagerError):
+        mm.put("x", CMM_WILDCARD)  # wildcard not allowed in put
+    with pytest.raises(MessageManagerError):
+        mm.probe(3.5)  # type: ignore[arg-type]
+
+
+def test_tags_present_sorted():
+    mm = MessageManager()
+    mm.put("a", 5, 1)
+    mm.put("b", 3)
+    mm.put("c", 5, 0)
+    assert mm.tags_present() == [(3, None), (5, 0), (5, 1)]
+
+
+def test_interleaved_put_get_stress():
+    mm = MessageManager()
+    expected = []
+    for i in range(100):
+        mm.put(i, i % 3, i % 2)
+        if i % 5 == 4:
+            e = mm.get(CMM_WILDCARD, CMM_WILDCARD)
+            expected.append(e.payload)
+    # Oldest-first retrieval of a mixed store.
+    assert expected == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19]

@@ -1,0 +1,101 @@
+"""Property-based tests for the Charm runtime: array construction and
+broadcast coverage, seed conservation under every balancer, reduction
+correctness over random contributions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.langs.charm import Chare, Charm
+from repro.loadbalance.strategies import BALANCERS
+from repro.sim.machine import Machine
+
+
+class Probe(Chare):
+    seen = []
+
+    def __init__(self):
+        Probe.seen.append(("init", self.thisIndex, self.mype))
+
+    def touch(self, token):
+        Probe.seen.append(("touch", self.thisIndex, token))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 12))
+def test_array_covers_every_index_exactly_once(num_pes, n):
+    Probe.seen = []
+    with Machine(num_pes) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                arr = ch.create_array(Probe, n)
+                arr.touch("t1")
+                ch.start_quiescence(lambda: Charm.get().exit_all())
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+    inits = sorted(i for kind, i, _ in Probe.seen if kind == "init")
+    touches = sorted(i for kind, i, _ in Probe.seen if kind == "touch")
+    assert inits == list(range(n))
+    assert touches == list(range(n))
+    # Mapping invariant: element i constructed on PE i % P.
+    for kind, i, pe in Probe.seen:
+        if kind == "init":
+            assert pe == i % num_pes
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.sampled_from(sorted(BALANCERS)), st.integers(1, 4),
+       st.integers(0, 12), st.integers(0, 2**31))
+def test_seed_chares_conserved_under_every_balancer(ldb, num_pes, n, seed):
+    class Unit(Chare):
+        count = 0
+
+        def __init__(self):
+            Unit.count += 1
+
+    Unit.count = 0
+    with Machine(num_pes, ldb=ldb, seed=seed) as m:
+        Charm.attach(m)
+
+        def main():
+            ch = Charm.get()
+            if ch.my_pe == 0:
+                for _ in range(n):
+                    ch.create(Unit)
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert Unit.count == n
+        total = sum(
+            sum(1 for c in rt.lang_instances["charm"].local_chares.values()
+                if isinstance(c, Unit))
+            for rt in m.runtimes
+        )
+        assert total == n
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 5), st.lists(st.integers(-100, 100), min_size=5,
+                                   max_size=5))
+def test_contribute_reduces_random_values(num_pes, values):
+    with Machine(num_pes) as m:
+        Charm.attach(m)
+        out = []
+
+        def main():
+            ch = Charm.get()
+            ch.contribute("k", values[ch.my_pe], lambda a, b: a + b,
+                          lambda total: (out.append(total), api.CsdExitAll()))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        assert out == [sum(values[:num_pes])]

@@ -1,0 +1,128 @@
+"""Property-based tests for the EMI scatter matcher and global-pointer
+memory semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.machine.emi_scatter import ScatterSpec
+from repro.sim.machine import Machine
+
+
+# ----------------------------------------------------------------------
+# scatter matching vs a brute-force oracle
+# ----------------------------------------------------------------------
+
+@st.composite
+def spec_and_payload(draw):
+    payload = draw(st.binary(min_size=0, max_size=32))
+    n_match = draw(st.integers(0, 3))
+    matchers = []
+    for _ in range(n_match):
+        off = draw(st.integers(0, 34))
+        val = draw(st.binary(min_size=1, max_size=4))
+        matchers.append((off, val))
+    return matchers, payload
+
+
+@given(spec_and_payload())
+def test_scatter_matches_iff_all_values_present(case):
+    matchers, payload = case
+    spec = ScatterSpec(matchers, [])
+    expected = all(
+        0 <= off and off + len(val) <= len(payload)
+        and payload[off:off + len(val)] == val
+        for off, val in matchers
+    )
+    assert spec.matches(payload) == expected
+
+
+@given(st.binary(min_size=4, max_size=40), st.data())
+def test_scatter_copy_moves_exact_slices(payload, data):
+    n_copies = data.draw(st.integers(1, 3))
+    copies = []
+    dests = []
+    for _ in range(n_copies):
+        length = data.draw(st.integers(0, len(payload)))
+        src_off = data.draw(st.integers(0, len(payload) - length))
+        dest = bytearray(data.draw(st.integers(length, length + 8)))
+        dst_off = data.draw(st.integers(0, len(dest) - length))
+        copies.append((src_off, length, dest, dst_off))
+        dests.append((dest, src_off, length, dst_off))
+    spec = ScatterSpec([], copies)
+    spec.apply(payload)
+    for dest, src_off, length, dst_off in dests:
+        assert dest[dst_off:dst_off + length] == payload[src_off:src_off + length]
+
+
+# ----------------------------------------------------------------------
+# global pointers: puts then gets behave like a byte array
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 24), st.binary(min_size=0, max_size=8)),
+                max_size=8))
+def test_gptr_put_get_models_bytearray(writes):
+    SIZE = 32
+    shadow = bytearray(SIZE)
+
+    with Machine(2) as m:
+        def owner():
+            return api.CmiGptrCreate(SIZE)
+
+        t = m.launch_on(1, owner)
+        m.run()
+        g = t.result
+
+        def writer():
+            for offset, data in writes:
+                if offset + len(data) <= SIZE:
+                    api.CmiSyncPut(g, data, offset=offset)
+            return api.CmiSyncGet(g, SIZE)
+
+        t2 = m.launch_on(0, writer)
+        m.run()
+        for offset, data in writes:
+            if offset + len(data) <= SIZE:
+                shadow[offset:offset + len(data)] = data
+        assert t2.result == bytes(shadow)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**31))
+def test_large_machine_determinism(num_pes, seed):
+    """Whole-machine determinism holds with every subsystem in play."""
+    from repro.langs.charm import Chare, Charm
+
+    class Echo(Chare):
+        def __init__(self):
+            pass
+
+        def ping(self):
+            pass
+
+    def once():
+        with Machine(num_pes, ldb="random", seed=seed) as m:
+            Charm.attach(m)
+            log = []
+
+            def main():
+                ch = Charm.get()
+                if ch.my_pe == 0:
+                    for _ in range(4):
+                        ch.create(Echo)
+                    ch.start_quiescence(lambda: Charm.get().exit_all())
+                log.append((api.CmiMyPe(), api.CmiTimer()))
+                api.CsdScheduler(-1)
+
+            m.launch(main)
+            m.run()
+            placement = tuple(
+                tuple(sorted(rt.lang_instances["charm"].local_chares))
+                for rt in m.runtimes
+            )
+            return tuple(log), placement, m.now
+
+    assert once() == once()

@@ -1,0 +1,84 @@
+"""Model-based property tests of the event engine: arbitrary
+schedule/cancel programs against a sorted-list reference."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimEngine
+
+# A program is a list of ops executed before run():
+#   ("sched", delay)  — schedule an event at `delay`
+#   ("cancel", k)     — cancel the k-th scheduled event (mod count)
+programs = st.lists(
+    st.one_of(
+        st.tuples(st.just("sched"),
+                  st.floats(min_value=0, max_value=1e-3, allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(0, 30)),
+    ),
+    max_size=40,
+)
+
+
+@given(programs)
+def test_engine_fires_uncancelled_events_in_time_then_seq_order(program):
+    eng = SimEngine()
+    fired = []
+    handles = []
+    expected = []  # (time, seq) of uncancelled events
+
+    seq = 0
+    for op in program:
+        if op[0] == "sched":
+            seq += 1
+            my_seq = seq
+            delay = op[1]
+            ev = eng.schedule(delay, lambda s=my_seq: fired.append(s))
+            handles.append((ev, delay, my_seq))
+        elif handles:
+            ev, _, _ = handles[op[1] % len(handles)]
+            ev.cancel()
+
+    expected = [s for ev, d, s in handles if not ev.cancelled]
+    expected.sort(key=lambda s: (dict((x[2], x[1]) for x in handles)[s], s))
+
+    assert eng.run() == "quiescent"
+    assert fired == expected
+    eng.shutdown()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e-3, allow_nan=False),
+                min_size=1, max_size=15),
+       st.floats(min_value=0, max_value=1e-3, allow_nan=False))
+def test_run_until_is_resumable_without_loss(delays, bound):
+    eng = SimEngine()
+    fired = []
+    for i, d in enumerate(delays):
+        eng.schedule(d, lambda i=i: fired.append(i))
+    eng.run(until=bound)
+    early = list(fired)
+    assert all(delays[i] <= bound for i in early)
+    eng.run()
+    assert sorted(fired) == sorted(range(len(delays)))
+    # Nothing fired twice.
+    assert len(fired) == len(delays)
+    eng.shutdown()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=1e-9, max_value=1e-4, allow_nan=False),
+                min_size=1, max_size=10))
+def test_tasklet_sleep_chain_totals(durations):
+    eng = SimEngine()
+
+    def body():
+        for d in durations:
+            eng.sleep(d)
+
+    eng.spawn(body)
+    eng.run()
+    assert eng.now <= sum(durations) * (1 + 1e-12) + 1e-18
+    assert eng.now >= sum(durations) * (1 - 1e-12) - 1e-18
+    eng.shutdown()

@@ -1,0 +1,128 @@
+"""Property-based tests on the language layers: DP vs NumPy, collectives
+vs Python folds, tSM delivery completeness."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.langs.dp import DP
+from repro.langs.nx import NX
+from repro.langs.tsm import TSM
+from repro.sim.machine import Machine
+
+small_floats = st.floats(min_value=-1e6, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.lists(small_floats, min_size=4, max_size=40))
+def test_dp_reduce_matches_numpy(num_pes, values):
+    arr = np.asarray(values)
+
+    def main():
+        dp = DP.get()
+        x = dp.from_full(arr)
+        return x.reduce()
+
+    with Machine(num_pes) as m:
+        DP.attach(m)
+        m.launch(main)
+        m.run()
+        results = m.results()
+    assert all(np.isclose(r, arr.sum(), rtol=1e-9) for r in results)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4),
+       st.lists(small_floats, min_size=8, max_size=32),
+       st.data())
+def test_dp_shift_matches_numpy_roll_with_fill(num_pes, values, data):
+    arr = np.asarray(values)
+    max_off = max(1, len(arr) // num_pes - 1)
+    offset = data.draw(st.integers(-max_off, max_off))
+
+    def main():
+        dp = DP.get()
+        x = dp.from_full(arr)
+        return dp.my_pe, x.shift(offset, fill=0.0).gather(0)
+
+    with Machine(num_pes) as m:
+        DP.attach(m)
+        m.launch(main)
+        m.run()
+        full = dict(m.results())[0]
+    expect = np.zeros_like(arr)
+    if offset >= 0:
+        if offset < len(arr):
+            expect[: len(arr) - offset] = arr[offset:]
+    else:
+        k = -offset
+        if k < len(arr):
+            expect[k:] = arr[: len(arr) - k]
+    assert np.allclose(full, expect)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 5), st.lists(st.integers(-1000, 1000),
+                                   min_size=5, max_size=5))
+def test_nx_global_ops_match_python_folds(num_pes, values):
+    values = values[:num_pes] if num_pes <= len(values) else values * num_pes
+
+    def main():
+        nx = NX.get()
+        v = values[nx.mynode() % len(values)]
+        return nx.gisum(v), nx.ghigh(v), nx.glow(v)
+
+    with Machine(num_pes) as m:
+        NX.attach(m)
+        m.launch(main)
+        m.run()
+        results = m.results()
+    contributed = [values[pe % len(values)] for pe in range(num_pes)]
+    expect = (sum(contributed), max(contributed), min(contributed))
+    assert all(r == expect for r in results)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)),
+                min_size=1, max_size=20))
+def test_tsm_every_message_reaches_exactly_one_receiver(messages):
+    """However sends interleave, each tagged message is consumed once:
+    per-tag receive counts equal per-tag send counts."""
+    received = []
+
+    def main():
+        tsm = TSM.get()
+        me = tsm.my_pe
+        if me == 1:
+            def feeder():
+                for tag, value in messages:
+                    tsm.send(0, tag, value)
+
+            tsm.create(feeder)
+            api.CsdScheduler(-1)
+            return
+        remaining = {"n": len(messages)}
+
+        def consumer(tag):
+            def body():
+                while True:
+                    _, _, v = tsm.receive(tag=tag)
+                    received.append((tag, v))
+                    remaining["n"] -= 1
+                    if remaining["n"] == 0:
+                        api.CsdExitAll()
+            return body
+
+        for tag in range(4):
+            tsm.create(consumer(tag))
+        api.CsdScheduler(-1)
+
+    with Machine(2) as m:
+        TSM.attach(m)
+        m.launch(main)
+        m.run()
+    assert sorted(received) == sorted(messages)

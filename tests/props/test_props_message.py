@@ -1,0 +1,142 @@
+"""Property-based tests: message wire format and the Cmm mailbox."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.message import BitVector, Message, estimate_size
+from repro.msgmgr.message_manager import CMM_WILDCARD, MessageManager
+
+payloads = st.binary(max_size=256)
+handlers = st.integers(min_value=0, max_value=2**31 - 1)
+int_prios = st.integers(min_value=-(2**62), max_value=2**62)
+bit_prios = st.text(alphabet="01", max_size=16).map(BitVector)
+any_prio = st.one_of(st.none(), int_prios, bit_prios)
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+@given(handlers, payloads, any_prio)
+def test_pack_unpack_is_identity(handler, payload, prio):
+    msg = Message(handler, payload, prio=prio)
+    back = Message.unpack(msg.pack())
+    assert back.handler == handler
+    assert back.payload == payload
+    assert back.size == len(payload)
+    assert back.prio == prio
+
+
+@given(handlers, payloads)
+def test_packed_header_is_prefix_stable(handler, payload):
+    """Two messages with equal header fields share the exact header
+    bytes; payload follows verbatim at the end."""
+    a = Message(handler, payload).pack()
+    b = Message(handler, b"").pack()
+    assert a[: len(b)] == b
+    assert a[len(b):] == payload
+
+
+# ----------------------------------------------------------------------
+# estimate_size
+# ----------------------------------------------------------------------
+
+nested = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+              st.text(max_size=8), st.binary(max_size=8)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=12,
+)
+
+
+@given(nested)
+def test_estimate_size_total_and_deterministic(value):
+    s1 = estimate_size(value)
+    s2 = estimate_size(value)
+    assert s1 == s2
+    assert isinstance(s1, int)
+    assert s1 >= 0
+
+
+@given(st.lists(st.integers(), max_size=10))
+def test_estimate_size_monotone_in_container_growth(xs):
+    grown = xs + [0]
+    assert estimate_size(grown) >= estimate_size(xs)
+
+
+# ----------------------------------------------------------------------
+# Cmm: model-based against a reference implementation
+# ----------------------------------------------------------------------
+
+tags = st.integers(min_value=0, max_value=3)
+maybe_tag2 = st.one_of(st.none(), tags)
+
+
+class ReferenceMailbox:
+    """Brute-force oracle: a list scanned oldest-first."""
+
+    def __init__(self):
+        self.items = []  # (order, tag1, tag2, payload)
+        self.order = 0
+
+    def put(self, payload, t1, t2):
+        self.order += 1
+        self.items.append((self.order, t1, t2, payload))
+
+    def _match(self, t1, t2):
+        for entry in self.items:
+            _, a, b, _ = entry
+            if (t1 is CMM_WILDCARD or a == t1) and (t2 is CMM_WILDCARD or b == t2):
+                return entry
+        return None
+
+    def get(self, t1, t2):
+        entry = self._match(t1, t2)
+        if entry is not None:
+            self.items.remove(entry)
+            return entry[3]
+        return None
+
+    def probe(self, t1, t2):
+        entry = self._match(t1, t2)
+        return -1 if entry is None else len(entry[3])
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(max_size=6), tags, maybe_tag2),
+        st.tuples(st.just("get"),
+                  st.one_of(tags, st.just(CMM_WILDCARD)),
+                  st.one_of(maybe_tag2, st.just(CMM_WILDCARD))),
+        st.tuples(st.just("probe"),
+                  st.one_of(tags, st.just(CMM_WILDCARD)),
+                  st.one_of(maybe_tag2, st.just(CMM_WILDCARD))),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+def test_cmm_agrees_with_reference(operations):
+    mm = MessageManager()
+    ref = ReferenceMailbox()
+    for op in operations:
+        if op[0] == "put":
+            _, payload, t1, t2 = op
+            mm.put(payload, t1, t2)
+            ref.put(payload, t1, t2)
+        elif op[0] == "get":
+            _, t1, t2 = op
+            entry = mm.get(t1, t2)
+            expected = ref.get(t1, t2)
+            assert (entry.payload if entry else None) == expected
+        else:
+            _, t1, t2 = op
+            assert mm.probe(t1, t2) == ref.probe(t1, t2)
+    assert len(mm) == len(ref.items)

@@ -1,0 +1,96 @@
+"""Property-based tests for the mini-MPI collectives against Python
+folds, over random communicator sizes, roots and values."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.langs.mpi import MPI
+from repro.sim.machine import Machine
+
+values9 = st.lists(st.integers(-10**6, 10**6), min_size=9, max_size=9)
+
+
+def _run(num_pes, fn):
+    with Machine(num_pes) as m:
+        MPI.attach(m)
+        m.launch(fn)
+        m.run()
+        return m.results()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 5), values9)
+def test_bcast_delivers_roots_value(num_pes, root, values):
+    root = root % num_pes
+
+    def main():
+        comm = MPI.get().COMM_WORLD
+        payload = values if comm.rank == root else None
+        return comm.bcast(payload, root=root)
+
+    results = _run(num_pes, main)
+    assert all(r == values for r in results)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 5), values9)
+def test_reduce_matches_fold(num_pes, root, values):
+    root = root % num_pes
+
+    def main():
+        comm = MPI.get().COMM_WORLD
+        return comm.reduce(values[comm.rank], lambda a, b: a + b, root=root)
+
+    results = _run(num_pes, main)
+    expect = sum(values[:num_pes])
+    for rank, r in enumerate(results):
+        assert r == (expect if rank == root else None)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(1, 6), values9)
+def test_gather_scatter_inverse(num_pes, values):
+    def main():
+        comm = MPI.get().COMM_WORLD
+        gathered = comm.gather(values[comm.rank], root=0)
+        back = comm.scatter(gathered, root=0)
+        return back
+
+    results = _run(num_pes, main)
+    assert results == values[:num_pes]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(2, 5), st.data())
+def test_alltoall_is_a_transpose(num_pes, data):
+    matrix = [
+        [data.draw(st.integers(0, 99)) for _ in range(num_pes)]
+        for _ in range(num_pes)
+    ]
+
+    def main():
+        comm = MPI.get().COMM_WORLD
+        return comm.alltoall(matrix[comm.rank])
+
+    results = _run(num_pes, main)
+    for r in range(num_pes):
+        assert results[r] == [matrix[src][r] for src in range(num_pes)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 4))
+def test_split_partitions_world(num_pes, colors):
+    def main():
+        world = MPI.get().COMM_WORLD
+        color = world.rank % colors
+        sub = world.split(color, key=world.rank)
+        members = sub.allreduce({world.rank}, lambda a, b: a | b)
+        return color, sub.size, members
+
+    results = _run(num_pes, main)
+    for rank, (color, size, members) in enumerate(results):
+        expect = {r for r in range(num_pes) if r % colors == color}
+        assert members == expect
+        assert size == len(expect)

@@ -1,0 +1,139 @@
+"""Property-based tests: priority semantics and queue ordering laws."""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.message import BitVector, _prio_sort_key
+from repro.core.queueing import (
+    BitvectorPriorityQueue,
+    FifoQueue,
+    IntPriorityQueue,
+    LifoQueue,
+    TwoLevelQueue,
+)
+
+bits = st.text(alphabet="01", max_size=12)
+int_prios = st.integers(min_value=-(2**31), max_value=2**31)
+
+
+# ----------------------------------------------------------------------
+# BitVector laws
+# ----------------------------------------------------------------------
+
+@given(bits, bits)
+def test_bitvector_order_matches_fraction_order(a, b):
+    x, y = BitVector(a), BitVector(b)
+    fx, fy = x.as_fraction(), y.as_fraction()
+    if fx < fy:
+        assert x < y
+    elif fx > fy:
+        assert y < x
+    else:
+        assert x == y
+
+
+@given(bits, bits, bits)
+def test_bitvector_total_order_transitive(a, b, c):
+    xs = sorted([BitVector(a), BitVector(b), BitVector(c)])
+    assert xs[0] <= xs[1] <= xs[2]
+    assert xs[0].as_fraction() <= xs[1].as_fraction() <= xs[2].as_fraction()
+
+
+@given(bits)
+def test_bitvector_extension_laws(a):
+    x = BitVector(a)
+    assert x.extended("0") == x            # appending 0 keeps the fraction
+    assert x.extended("1") > x             # appending 1 strictly grows it
+    assert hash(x.extended("0")) == hash(x)
+
+
+@given(bits, bits)
+def test_bitvector_equal_iff_same_hash_bucket(a, b):
+    x, y = BitVector(a), BitVector(b)
+    if x == y:
+        assert hash(x) == hash(y)
+
+
+# ----------------------------------------------------------------------
+# queue ordering laws (model-based against reference implementations)
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(), max_size=60))
+def test_fifo_is_list_order(items):
+    q = FifoQueue()
+    for it in items:
+        q.push(it)
+    assert [q.pop() for _ in items] == items
+    assert q.pop() is None
+
+
+@given(st.lists(st.integers(), max_size=60))
+def test_lifo_is_reversed_list_order(items):
+    q = LifoQueue()
+    for it in items:
+        q.push(it)
+    assert [q.pop() for _ in items] == list(reversed(items))
+
+
+@given(st.lists(st.tuples(st.integers(), int_prios), max_size=60))
+def test_int_priority_queue_is_stable_sort(items):
+    q = IntPriorityQueue()
+    for label, prio in items:
+        q.push(label, prio)
+    got = [q.pop() for _ in items]
+    reference = [lab for lab, _ in sorted(items, key=lambda it: it[1])]
+    # Stable: equal priorities keep insertion order — which is exactly
+    # what sorted() (a stable sort) produces over the priority key.
+    assert got == reference
+
+
+@given(st.lists(st.tuples(st.integers(), bits), max_size=50))
+def test_bitvector_queue_is_stable_sort_by_fraction(items):
+    q = BitvectorPriorityQueue()
+    for label, b in items:
+        q.push(label, BitVector(b))
+    got = [q.pop() for _ in items]
+    reference = [lab for lab, _ in
+                 sorted(items, key=lambda it: BitVector(it[1])._key())]
+    assert got == reference
+
+
+@given(st.lists(st.one_of(st.none(), int_prios,
+                          bits.map(BitVector)), max_size=50))
+def test_two_level_queue_respects_total_key(prios):
+    q = TwoLevelQueue()
+    for i, p in enumerate(prios):
+        q.push(i, p)
+    got = [q.pop() for _ in prios]
+    reference = [i for i, _ in
+                 sorted(enumerate(prios), key=lambda e: _prio_sort_key(e[1]))]
+    assert got == reference
+
+
+@given(st.lists(st.tuples(st.integers(), int_prios), max_size=40),
+       st.lists(st.booleans(), max_size=80))
+def test_interleaved_push_pop_never_violates_heap_property(items, ops):
+    """Popping at arbitrary points always yields the current minimum."""
+    q = IntPriorityQueue()
+    shadow = []  # (prio, seq, label)
+    seq = 0
+    it = iter(items)
+    for do_pop in ops:
+        if do_pop:
+            expected = heapq.heappop(shadow)[2] if shadow else None
+            assert q.pop() == expected
+        else:
+            try:
+                label, prio = next(it)
+            except StopIteration:
+                continue
+            seq += 1
+            q.push(label, prio)
+            heapq.heappush(shadow, (prio, seq, label))
+    while shadow:
+        assert q.pop() == heapq.heappop(shadow)[2]
+    assert q.pop() is None

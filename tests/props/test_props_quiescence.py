@@ -1,0 +1,70 @@
+"""Property-based safety test for quiescence detection: under arbitrary
+random message-chain workloads, QD must never fire while application
+traffic is still in flight, and must always fire eventually."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.core.message import Message
+from repro.core.quiescence import QD
+from repro.sim.machine import Machine
+
+# A workload is a list of chains; each chain is (start_pe, hops, grain_us).
+chains_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 15),
+              st.floats(min_value=0.0, max_value=50.0, allow_nan=False)),
+    min_size=0, max_size=6,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(chains_strategy, st.integers(2, 4))
+def test_qd_fires_after_all_traffic_and_exactly_once(chains, num_pes):
+    with Machine(num_pes) as m:
+        QD.attach(m)
+        log = []
+
+        def main():
+            me = api.CmiMyPe()
+
+            def hop(msg):
+                hops, grain = msg.payload
+                log.append(("hop", api.CmiTimer()))
+                if grain:
+                    api.CmiCharge(grain * 1e-6)
+                if hops > 0:
+                    nxt = (api.CmiMyPe() + 1) % api.CmiNumPes()
+                    api.CmiSyncSend(nxt, Message(hid, (hops - 1, grain), size=8))
+
+            hid = api.CmiRegisterHandler(hop, "chain")
+            if me == 0:
+                QD.get().start(lambda: (log.append(("quiet", api.CmiTimer())),
+                                        api.CsdExitAll()))
+                for start_pe, hops, grain in chains:
+                    pe = start_pe % api.CmiNumPes()
+                    api.CmiSyncSend(pe, Message(hid, (hops, grain), size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+
+        quiets = [t for k, t in log if k == "quiet"]
+        hops = [t for k, t in log if k == "hop"]
+        # Fired exactly once...
+        assert len(quiets) == 1
+        # ... after every hop of every chain...
+        expected_hops = sum(h + 1 for _, h, _ in
+                            [(p % num_pes, h, g) for p, h, g in chains])
+        assert len(hops) == expected_hops
+        if hops:
+            assert quiets[0] > max(hops)
+        # ... and with balanced application counters at the end.
+        qds = [rt.lang_instances["qd"] for rt in m.runtimes]
+        sent = sum(rt.node.stats.msgs_sent - q._qd_sent
+                   for rt, q in zip(m.runtimes, qds))
+        recv = sum(rt.node.stats.msgs_received - q._qd_recv
+                   for rt, q in zip(m.runtimes, qds))
+        assert sent == recv

@@ -1,0 +1,99 @@
+"""Model-based property test of the Csd scheduler: arbitrary interleaved
+enqueue/dispatch programs against a pure-Python reference model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+
+# A program is a list of operations performed by a single main tasklet:
+#   ("enq", label, prio)  — CsdEnqueue a message
+#   ("run", n)            — CsdScheduler(n) for n already-available items
+#   ("until_idle",)       — CsdScheduleUntilIdle()
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 999),
+                  st.integers(-5, 5)),
+        st.tuples(st.just("run"), st.integers(0, 3)),
+        st.tuples(st.just("until_idle")),
+    ),
+    max_size=30,
+)
+
+
+class _RefQueue:
+    """Reference model of the int-priority Csd queue."""
+
+    def __init__(self) -> None:
+        self.items = []
+        self.seq = 0
+        self.log = []
+
+    def enq(self, label, prio):
+        self.seq += 1
+        self.items.append((prio, self.seq, label))
+
+    def dispatch_one(self) -> bool:
+        if not self.items:
+            return False
+        best = min(self.items)
+        self.items.remove(best)
+        self.log.append(best[2])
+        return True
+
+    def run(self, n):
+        for _ in range(n):
+            if not self.dispatch_one():
+                return
+
+    def until_idle(self):
+        while self.dispatch_one():
+            pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_scheduler_matches_reference_model(program):
+    ref = _RefQueue()
+    # Interpret the program against the reference first, clamping "run n"
+    # to available work (the real scheduler would block otherwise).
+    counts_available = []
+    pending = 0
+    for op in program:
+        if op[0] == "enq":
+            ref.enq(op[1], op[2])
+            pending += 1
+        elif op[0] == "run":
+            n = min(op[1], pending)
+            counts_available.append(n)
+            ref.run(n)
+            pending -= n
+        else:
+            ref.until_idle()
+            pending = 0
+
+    with Machine(1, queue="int") as m:
+        log = []
+
+        def main():
+            hid = api.CmiRegisterHandler(
+                lambda msg: log.append(msg.payload), "h"
+            )
+            run_idx = 0
+            for op in program:
+                if op[0] == "enq":
+                    api.CsdEnqueue(Message(hid, op[1], size=0, prio=op[2]))
+                elif op[0] == "run":
+                    n = counts_available[run_idx]
+                    run_idx += 1
+                    api.CsdScheduler(n)
+                else:
+                    api.CsdScheduleUntilIdle()
+
+        m.launch_on(0, main)
+        m.run()
+        assert log == ref.log

@@ -1,0 +1,133 @@
+"""Property-based tests on the simulation substrate: determinism, FIFO
+delivery, topology metric axioms, cost-model monotonicity."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.sim.models import ALL_MODELS, GENERIC
+from repro.sim.topology import make_topology
+
+TOPOLOGY_NAMES = ["flat", "mesh2d", "torus3d", "hypercube", "multistage"]
+
+
+# ----------------------------------------------------------------------
+# topology axioms
+# ----------------------------------------------------------------------
+
+@given(st.sampled_from(TOPOLOGY_NAMES), st.integers(1, 40),
+       st.data())
+def test_topology_metric_axioms(name, num, data):
+    topo = make_topology(name, num)
+    s = data.draw(st.integers(0, num - 1))
+    d = data.draw(st.integers(0, num - 1))
+    assert topo.hops(s, d) == topo.hops(d, s)
+    assert topo.hops(s, s) == 0
+    if s != d:
+        assert 1 <= topo.hops(s, d) <= 3 * num
+
+
+# ----------------------------------------------------------------------
+# model cost monotonicity
+# ----------------------------------------------------------------------
+
+@given(st.sampled_from(sorted(ALL_MODELS)), st.integers(0, 1 << 20),
+       st.integers(0, 1 << 20))
+def test_wire_time_monotone_in_size(model_name, a, b):
+    model = ALL_MODELS[model_name]
+    lo, hi = sorted((a, b))
+    assert model.wire_time(lo) <= model.wire_time(hi)
+
+
+@given(st.sampled_from(sorted(ALL_MODELS)), st.integers(0, 1 << 18))
+def test_one_way_ordering_native_converse_queued(model_name, size):
+    model = ALL_MODELS[model_name]
+    nat = model.one_way(size, converse=False)
+    conv = model.one_way(size)
+    qd = model.one_way(size, queued=True)
+    assert nat < conv < qd
+
+
+# ----------------------------------------------------------------------
+# FIFO delivery under arbitrary message-size sequences
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 1 << 17), min_size=1, max_size=15),
+       st.sampled_from(sorted(ALL_MODELS)))
+def test_channel_fifo_for_any_size_sequence(sizes, model_name):
+    model = ALL_MODELS[model_name]
+    with Machine(2, model=model) as m:
+        got = []
+
+        def receiver():
+            hid = api.CmiRegisterHandler(
+                lambda msg: got.append(msg.payload), "h"
+            )
+            api.CsdScheduler(len(sizes))
+
+        def sender():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            for i, size in enumerate(sizes):
+                api.CmiSyncSend(0, Message(hid, i, size=size))
+
+        m.launch_on(0, receiver)
+        m.launch_on(1, sender)
+        m.run()
+        assert got == list(range(len(sizes)))
+
+
+# ----------------------------------------------------------------------
+# whole-machine determinism
+# ----------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 2**31), st.integers(1, 10))
+def test_machine_runs_are_bit_identical(num_pes, seed, nmsgs):
+    def once():
+        with Machine(num_pes, model=GENERIC, ldb="random", seed=seed) as m:
+            log = []
+
+            def main():
+                me = api.CmiMyPe()
+
+                def h(msg):
+                    log.append((api.CmiMyPe(), msg.payload, api.CmiTimer()))
+
+                hid = api.CmiRegisterHandler(h, "h")
+                if me == 0:
+                    for i in range(nmsgs):
+                        api.CldEnqueue(Message(hid, i, size=8 * (i + 1)))
+                api.CsdScheduler(-1)
+
+            m.launch(main)
+            m.run()
+            return log, m.now
+
+    assert once() == once()
+
+
+# ----------------------------------------------------------------------
+# virtual time never runs backwards
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e-3,
+                          allow_nan=False), max_size=10))
+def test_clock_monotone_under_charges(durations):
+    with Machine(1) as m:
+        stamps = []
+
+        def main():
+            for d in durations:
+                api.CmiCharge(d)
+                stamps.append(api.CmiTimer())
+
+        m.launch_on(0, main)
+        m.run()
+        assert stamps == sorted(stamps)
+        assert m.now >= (sum(durations) - 1e-15)

@@ -1,0 +1,121 @@
+"""Unit tests for atomic console I/O and sscanf."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import SimulationError
+from repro.sim.console import sscanf
+from repro.sim.machine import Machine
+
+
+# ----------------------------------------------------------------------
+# sscanf
+# ----------------------------------------------------------------------
+
+def test_sscanf_ints_and_floats():
+    assert sscanf("12 -3", "%d %d") == [12, -3]
+    assert sscanf("3.25e2 hello", "%f %s") == [325.0, "hello"]
+
+
+def test_sscanf_literal_text_and_percent():
+    assert sscanf("x=5 100%", "x=%d %d%%") == [5, 100]
+
+
+def test_sscanf_char_and_unsigned():
+    assert sscanf("a 42", "%c %u") == ["a", 42]
+
+
+def test_sscanf_mismatch_raises():
+    with pytest.raises(SimulationError):
+        sscanf("hello", "%d")
+
+
+def test_sscanf_bad_format_raises():
+    with pytest.raises(SimulationError):
+        sscanf("x", "%q")
+    with pytest.raises(SimulationError):
+        sscanf("x", "trailing%")
+
+
+# ----------------------------------------------------------------------
+# console
+# ----------------------------------------------------------------------
+
+def test_printf_is_atomic_and_ordered():
+    with Machine(4) as m:
+        def main():
+            api.CmiCharge(api.CmiMyPe() * 1e-6)  # stagger
+            api.CmiPrintf("pe %d line\n", api.CmiMyPe())
+
+        m.launch(main)
+        m.run()
+        lines = m.console.lines("out")
+        assert lines == [f"pe {pe} line\n" for pe in range(4)]
+        times = [t for t, _, _ in m.console.ordered]
+        assert times == sorted(times)
+
+
+def test_error_goes_to_stderr_stream():
+    with Machine(1) as m:
+        m.launch_on(0, lambda: api.CmiError("bad %d\n", 7))
+        m.run()
+        assert m.console.lines("err") == ["bad 7\n"]
+        assert m.console.lines("out") == []
+
+
+def test_blocking_scanf_waits_for_fed_input():
+    with Machine(2) as m:
+        def reader():
+            return api.CmiScanf("%d %s")
+
+        def feeder():
+            api.CmiCharge(5e-6)
+            m.console.feed("42 hello")
+
+        t = m.launch_on(0, reader)
+        m.launch_on(1, feeder)
+        m.run()
+        assert t.result == [42, "hello"]
+
+
+def test_scanf_prefed_input():
+    with Machine(1) as m:
+        m.console.feed("7", "8")
+        t = m.launch_on(0, lambda: (api.CmiScanf("%d"), api.CmiScanf("%d")))
+        m.run()
+        assert t.result == ([7], [8])
+
+
+def test_scanf_serialized_across_pes():
+    """Two PEs reading concurrently each get a whole line."""
+    with Machine(2) as m:
+        m.console.feed("1", "2")
+        results = {}
+
+        def reader():
+            results[api.CmiMyPe()] = api.CmiScanf("%d")[0]
+
+        m.launch(reader)
+        m.run()
+        assert sorted(results.values()) == [1, 2]
+
+
+def test_async_scanf_delivers_to_handler():
+    with Machine(1) as m:
+        got = []
+
+        def main():
+            def on_line(msg):
+                got.append(msg.payload)
+                api.CsdExitScheduler()
+
+            hid = api.CmiRegisterHandler(on_line, "scanline")
+            api.CmiScanfAsync("%d", hid)
+            api.CsdScheduler(-1)
+
+        m.launch_on(0, main)
+        m.console.feed("99 bottles")
+        m.run()
+        assert got == ["99 bottles"]

@@ -1,0 +1,66 @@
+"""Coverage for console echo mode and path-backed JSONL tracing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.tracing.tracer import JsonlTracer
+
+
+def test_echo_mode_writes_to_real_stdout(capsys):
+    with Machine(2, echo=True) as m:
+        def main():
+            api.CmiPrintf("echoed %d\n", api.CmiMyPe())
+            api.CmiError("problem on %d\n", api.CmiMyPe())
+
+        m.launch(main)
+        m.run()
+    out, err = capsys.readouterr()
+    assert "echoed 0" in out and "echoed 1" in out
+    assert "pe0" in out  # the echo prefix carries the PE
+    assert "problem on 0" in err
+
+
+def test_echo_adds_newline_when_missing(capsys):
+    with Machine(1, echo=True) as m:
+        m.launch_on(0, lambda: api.CmiPrintf("no newline"))
+        m.run()
+    out, _ = capsys.readouterr()
+    assert out.endswith("no newline\n")
+
+
+def test_jsonl_tracer_to_path(tmp_path):
+    trace_file = tmp_path / "run.jsonl"
+    with Machine(2, trace=str(trace_file)) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            if api.CmiMyPe() == 0:
+                api.CmiSyncSend(1, Message(hid, None, size=8))
+            else:
+                api.CsdScheduler(1)
+
+        m.launch(main)
+        m.run()
+    # Machine shutdown closed the file; every line parses.
+    lines = [json.loads(l) for l in trace_file.read_text().splitlines()]
+    assert any(l["kind"] == "send" for l in lines)
+    assert any(l["kind"] == "receive" for l in lines)
+
+
+def test_console_ordered_records_times_nondecreasing():
+    with Machine(3) as m:
+        def main():
+            api.CmiCharge(api.CmiMyPe() * 3e-6)
+            api.CmiPrintf("line\n")
+
+        m.launch(main)
+        m.run()
+        times = [t for t, _, _ in m.console.ordered]
+        assert times == sorted(times)
+        assert m.console.pending_input == 0
+        assert m.console.try_read_line() is None

@@ -1,0 +1,142 @@
+"""Unit tests for machine assembly, launching, quiescence, teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.errors import SimulationError
+from repro.sim.machine import Machine, run_spmd
+from repro.sim.models import GENERIC, T3D
+
+
+def test_machine_builds_runtime_per_pe():
+    with Machine(3) as m:
+        assert m.num_pes == 3
+        for pe in range(3):
+            assert m.runtime(pe).node.pe == pe
+            assert m.runtime(pe).cld is not None
+
+
+def test_zero_pes_rejected():
+    with pytest.raises(SimulationError):
+        Machine(0)
+
+
+def test_launch_spmd_results_in_pe_order():
+    def main():
+        return api.CmiMyPe() * 10
+
+    assert run_spmd(4, main) == [0, 10, 20, 30]
+
+
+def test_launch_on_subset():
+    with Machine(4) as m:
+        t = m.launch_on(2, lambda: api.CmiMyPe())
+        m.run()
+        assert t.result == 2
+
+
+def test_launch_pes_filter():
+    with Machine(4) as m:
+        ts = m.launch(lambda: api.CmiMyPe(), pes=[1, 3])
+        m.run()
+        assert [t.result for t in ts] == [1, 3]
+
+
+def test_results_raise_while_unfinished():
+    with Machine(2) as m:
+        def stuck():
+            api.CsdScheduler(-1)  # never exits
+
+        m.launch_on(0, stuck)
+        m.run()
+        with pytest.raises(SimulationError, match="not finished"):
+            m.results()
+
+
+def test_quiescence_callback_fires_and_can_extend_run():
+    with Machine(2) as m:
+        log = []
+
+        def main():
+            api.CsdScheduler(1)  # wait for one message
+            log.append(("handled-at", api.CmiTimer()))
+
+        def kick():
+            # Runs at quiescence: inject one message for PE 0.
+            rt = m.runtime(0)
+            node = m.node(0)
+            hid = rt.handlers.register(lambda msg: None, "late")
+            from repro.core.message import Message
+
+            node.engine.schedule(0.0, node.deliver, Message(hid, None, size=0))
+
+        m.launch_on(0, main)
+        m.register_quiescence(lambda: log.append("quiescent"))
+        m.register_quiescence(kick)
+        assert m.run() == "quiescent"
+        assert log[0] == "quiescent"
+        assert log[1][0] == "handled-at"
+
+
+def test_shutdown_idempotent_and_blocks_run():
+    m = Machine(2)
+    m.shutdown()
+    m.shutdown()
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_machine_model_topology_respected():
+    with Machine(8, model=T3D) as m:
+        assert type(m.topology).__name__ == "Torus3D"
+
+
+def test_handler_tables_consistent_after_uniform_setup():
+    from repro.core.handlers import HandlerTable
+
+    with Machine(4) as m:
+        assert HandlerTable.check_consistent([rt.handlers for rt in m.runtimes])
+
+
+def test_per_pe_queue_factory():
+    from repro.core.queueing import FifoQueue, LifoQueue
+
+    def qfactory(pe):
+        return FifoQueue() if pe % 2 == 0 else LifoQueue()
+
+    with Machine(4, queue=qfactory) as m:
+        assert isinstance(m.runtime(0).scheduler.queue, FifoQueue)
+        assert isinstance(m.runtime(1).scheduler.queue, LifoQueue)
+
+
+def test_run_until_returns_and_resumes():
+    with Machine(2) as m:
+        marks = []
+
+        def main():
+            api.CmiCharge(10e-6)
+            marks.append(api.CmiTimer())
+
+        m.launch_on(0, main)
+        assert m.run(until=5e-6) == "until"
+        assert marks == []
+        assert m.run() == "quiescent"
+        assert marks == [pytest.approx(10e-6)]
+
+
+def test_deterministic_repeat_runs():
+    def once():
+        with Machine(4, seed=7, ldb="random") as m:
+            order = []
+
+            def main():
+                api.CmiCharge((api.CmiMyPe() % 2) * 1e-6)
+                order.append(api.CmiMyPe())
+
+            m.launch(main)
+            m.run()
+            return order, m.now
+
+    assert once() == once()

@@ -1,0 +1,101 @@
+"""Unit tests for the machine cost models (calibration invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.models import (
+    ALL_MODELS,
+    ATM_HP,
+    GENERIC,
+    MYRINET_FM,
+    PARAGON,
+    SP1,
+    T3D,
+    model_by_name,
+)
+
+
+def test_registry_contains_the_five_machines_plus_generic():
+    assert set(ALL_MODELS) == {
+        "generic", "atm_hp", "t3d", "myrinet_fm", "sp1", "paragon"
+    }
+    for name, model in ALL_MODELS.items():
+        assert model_by_name(name) is model
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        model_by_name("cm5")
+
+
+@pytest.mark.parametrize("model", list(ALL_MODELS.values()), ids=lambda m: m.name)
+def test_costs_are_positive_and_monotone(model):
+    assert model.send_overhead > 0
+    assert model.recv_overhead > 0
+    assert model.per_byte > 0
+    last = 0.0
+    for size in (0, 1, 64, 1024, 65536):
+        t = model.one_way(size)
+        assert t > last or size == 0
+        last = t
+
+
+@pytest.mark.parametrize("model", list(ALL_MODELS.values()), ids=lambda m: m.name)
+def test_converse_overhead_is_small_constant(model):
+    """Need-based cost: the Converse additions are a few microseconds,
+    independent of message size."""
+    for size in (16, 1024, 65536):
+        delta = model.one_way(size) - model.one_way(size, converse=False)
+        assert delta == pytest.approx(model.cvs_send_extra + model.cvs_dispatch_extra)
+        assert delta < 10e-6
+
+
+def test_myrinet_calibration_matches_paper_quotes():
+    """FM: <=128B in ~25us native, ~31us Converse (section 5.1)."""
+    assert MYRINET_FM.one_way(128, converse=False) == pytest.approx(25e-6, abs=2e-6)
+    assert MYRINET_FM.one_way(128) == pytest.approx(31e-6, abs=2e-6)
+    extra = MYRINET_FM.enqueue_cost + MYRINET_FM.dequeue_cost
+    assert 9e-6 <= extra <= 15e-6
+
+
+def test_t3d_copy_threshold_jump():
+    """The Figure 5 jump: wire time is discontinuous at 16KB."""
+    below = T3D.wire_time(16 * 1024 - 1)
+    at = T3D.wire_time(16 * 1024)
+    assert at - below > 100e-6
+    assert T3D.copy_threshold == 16 * 1024
+
+
+def test_packetization_counts():
+    assert GENERIC.packets(0) == 1
+    assert GENERIC.packets(4096) == 1
+    assert GENERIC.packets(4097) == 2
+    assert GENERIC.packets(3 * 4096) == 3
+
+
+def test_wire_time_scales_with_hops():
+    one = GENERIC.wire_time(100, hops=1)
+    three = GENERIC.wire_time(100, hops=3)
+    assert three - one == pytest.approx(2 * GENERIC.latency_per_hop)
+
+
+def test_queued_adds_queue_costs_only():
+    for model in ALL_MODELS.values():
+        delta = model.one_way(64, queued=True) - model.one_way(64)
+        assert delta == pytest.approx(model.enqueue_cost + model.dequeue_cost)
+
+
+def test_variant_replaces_fields():
+    fast = GENERIC.variant(send_overhead=0.0)
+    assert fast.send_overhead == 0.0
+    assert fast.recv_overhead == GENERIC.recv_overhead
+    assert GENERIC.send_overhead > 0  # original untouched (frozen)
+
+
+def test_era_sanity_ordering():
+    """Relative machine speeds follow the era: T3D fastest small-message,
+    ATM-connected workstations slowest."""
+    smalls = {m.name: m.one_way(16) for m in ALL_MODELS.values()}
+    assert smalls["t3d"] < smalls["paragon"] < smalls["myrinet_fm"]
+    assert smalls["myrinet_fm"] < smalls["sp1"] < smalls["atm_hp"]

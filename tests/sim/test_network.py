@@ -1,0 +1,191 @@
+"""Unit tests for the network: delivery timing, FIFO channels, broadcast,
+async sends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC
+
+
+class _Payload:
+    def __init__(self, size, label=None):
+        self.size = size
+        self.label = label
+
+
+def test_sync_send_timing_matches_model(machine2):
+    m = machine2
+    times = {}
+
+    def sender():
+        node = m.node(0)
+        t0 = node.now
+        m.network.sync_send(node, 1, 100, _Payload(100))
+        times["after_send"] = node.now - t0
+
+    def receiver():
+        node = m.node(1)
+        node.wait_for_message()
+        times["arrival"] = node.now
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    # Sender blocked for exactly the software send overhead.
+    assert times["after_send"] == pytest.approx(GENERIC.send_overhead)
+    # Arrival = send overhead + wire time.
+    expect = GENERIC.send_overhead + GENERIC.wire_time(100, 1)
+    assert times["arrival"] == pytest.approx(expect)
+
+
+def test_fifo_order_preserved_per_channel(machine2):
+    m = machine2
+    got = []
+
+    def sender():
+        node = m.node(0)
+        for i in range(10):
+            m.network.sync_send(node, 1, 8, _Payload(8, i))
+
+    def receiver():
+        node = m.node(1)
+        for _ in range(10):
+            got.append(node.wait_for_message().label)
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    assert got == list(range(10))
+
+
+def test_fifo_even_when_sizes_would_reorder(machine2):
+    """A big (slow) message followed by a tiny one must still arrive
+    first: channels are FIFO like every machine the paper ports to."""
+    m = machine2
+    got = []
+
+    def sender():
+        node = m.node(0)
+        m.network.sync_send(node, 1, 100_000, _Payload(100_000, "big"))
+        m.network.sync_send(node, 1, 1, _Payload(1, "small"))
+
+    def receiver():
+        node = m.node(1)
+        got.append(node.wait_for_message().label)
+        got.append(node.wait_for_message().label)
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    assert got == ["big", "small"]
+
+
+def test_async_send_returns_before_completion(machine2):
+    m = machine2
+    obs = {}
+
+    def sender():
+        node = m.node(0)
+        t0 = node.now
+        h = m.network.async_send(node, 1, 1000, _Payload(1000))
+        obs["init_cost"] = node.now - t0
+        obs["done_immediately"] = h.done
+        node.charge(GENERIC.send_overhead)  # overlap something
+        obs["done_later"] = h.done
+
+    def receiver():
+        m.node(1).wait_for_message()
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    assert obs["init_cost"] == pytest.approx(
+        GENERIC.send_overhead * m.network.ASYNC_INIT_FRACTION
+    )
+    assert not obs["done_immediately"]
+    assert obs["done_later"]
+
+
+def test_broadcast_excludes_or_includes_self(machine4):
+    m = machine4
+    received = {pe: [] for pe in range(4)}
+
+    def receiver(pe):
+        def body():
+            node = m.node(pe)
+            while True:
+                p = node.wait_for_message()
+                received[pe].append(p.label)
+        return body
+
+    def sender():
+        node = m.node(0)
+        m.network.broadcast(node, 8, lambda dst: _Payload(8, f"x{dst}"),
+                            include_self=False)
+        m.network.broadcast(node, 8, lambda dst: _Payload(8, f"y{dst}"),
+                            include_self=True)
+
+    for pe in range(1, 4):
+        m.launch_on(pe, receiver(pe), name=f"rx{pe}")
+    m.launch_on(0, receiver(0), name="rx0")
+    m.launch_on(0, sender, name="tx")
+    m.run()
+    assert received[0] == ["y0"]
+    for pe in range(1, 4):
+        assert received[pe] == [f"x{pe}", f"y{pe}"]
+
+
+def test_broadcast_cost_scales_with_destinations():
+    costs = {}
+    for num in (2, 8):
+        with Machine(num, model=GENERIC) as m:
+            def sender():
+                node = m.node(0)
+                t0 = node.now
+                m.network.broadcast(node, 8, lambda dst: _Payload(8))
+                costs[num] = node.now - t0
+
+            m.launch_on(0, sender)
+            m.run()
+    assert costs[8] > costs[2]
+    expected_2 = GENERIC.send_overhead * (1 + 0 * GENERIC.broadcast_factor)
+    assert costs[2] == pytest.approx(expected_2)
+
+
+def test_network_stats_accumulate(machine2):
+    m = machine2
+
+    def sender():
+        node = m.node(0)
+        for _ in range(3):
+            m.network.sync_send(node, 1, 50, _Payload(50))
+
+    def receiver():
+        node = m.node(1)
+        for _ in range(3):
+            node.wait_for_message()
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    assert m.network.stats.messages == 3
+    assert m.network.stats.bytes == 150
+    assert m.network.stats.per_channel[(0, 1)] == 3
+
+
+def test_send_to_unknown_pe_rejected(machine2):
+    m = machine2
+    errors = []
+
+    def sender():
+        node = m.node(0)
+        try:
+            m.network.sync_send(node, 5, 8, _Payload(8))
+        except Exception as e:  # noqa: BLE001
+            errors.append(type(e).__name__)
+
+    m.launch_on(0, sender)
+    m.run()
+    assert errors == ["SimulationError"]

@@ -1,0 +1,154 @@
+"""Unit tests for the simulated PE (node): inbox, charge, memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.machine import Machine
+from repro.sim.models import GENERIC
+
+
+class _P:
+    def __init__(self, size=0, label=None):
+        self.size = size
+        self.label = label
+
+
+def test_charge_advances_clock_and_accumulates(machine2):
+    m = machine2
+
+    def body():
+        node = m.node(0)
+        node.charge(5e-6)
+        node.charge(0.0)
+        node.charge(3e-6)
+        return node.now
+
+    t = m.launch_on(0, body)
+    m.run()
+    assert t.result == pytest.approx(8e-6)
+    assert m.node(0).stats.busy_time == pytest.approx(8e-6)
+
+
+def test_charge_negative_rejected(machine2):
+    m = machine2
+
+    def body():
+        m.node(0).charge(-1.0)
+
+    m.launch_on(0, body)
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_charge_from_wrong_pe_rejected(machine2):
+    m = machine2
+
+    def body():
+        m.node(1).charge(1e-6)  # tasklet runs on PE 0
+
+    m.launch_on(0, body)
+    with pytest.raises(SimulationError, match="not on this PE"):
+        m.run()
+
+
+def test_poll_nonblocking(machine2):
+    m = machine2
+
+    def body():
+        node = m.node(0)
+        assert node.poll() is None
+        node.deliver(_P(label="direct"))
+        got = node.poll()
+        return got.label
+
+    t = m.launch_on(0, body)
+    m.run()
+    assert t.result == "direct"
+
+
+def test_wait_until_predicate(machine2):
+    m = machine2
+    log = []
+
+    def waiter():
+        node = m.node(0)
+        node.wait_until(lambda: len(node.inbox) >= 2)
+        log.append([p.label for p in node.inbox])
+
+    def feeder():
+        node = m.node(1)
+        m.network.sync_send(node, 0, 1, _P(1, "a"))
+        node.charge(10e-6)
+        m.network.sync_send(node, 0, 1, _P(1, "b"))
+
+    m.launch_on(0, waiter)
+    m.launch_on(1, feeder)
+    m.run()
+    assert log == [["a", "b"]]
+
+
+def test_wait_for_message_from_wrong_pe_rejected(machine2):
+    m = machine2
+
+    def body():
+        m.node(1).wait_for_message()
+
+    m.launch_on(0, body)
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_node_stats_count_messages(machine2):
+    m = machine2
+
+    def sender():
+        node = m.node(0)
+        m.network.sync_send(node, 1, 42, _P(42))
+
+    def receiver():
+        m.node(1).wait_for_message()
+
+    m.launch_on(0, sender)
+    m.launch_on(1, receiver)
+    m.run()
+    assert m.node(1).stats.msgs_received == 1
+    assert m.node(1).stats.bytes_received == 42
+
+
+def test_memory_alloc_read_write(machine2):
+    node = machine2.node(0)
+    key = node.alloc(16)
+    node.mem_write(key, 4, b"abcd")
+    assert node.mem_read(key, 4, 4) == b"abcd"
+    assert node.mem_read(key, 0, 4) == b"\x00" * 4
+
+
+def test_memory_bounds_checked(machine2):
+    node = machine2.node(0)
+    key = node.alloc(8)
+    with pytest.raises(SimulationError):
+        node.mem_read(key, 4, 8)
+    with pytest.raises(SimulationError):
+        node.mem_write(key, 7, b"xy")
+    with pytest.raises(SimulationError):
+        node.alloc(-1)
+
+
+def test_delivery_hooks_fire(machine2):
+    m = machine2
+    seen = []
+    m.node(0).add_delivery_hook(lambda p: seen.append(p.label))
+
+    def sender():
+        node = m.node(1)
+        m.network.sync_send(node, 0, 1, _P(1, "hooked"))
+
+    def receiver():
+        m.node(0).wait_for_message()
+
+    m.launch_on(1, sender)
+    m.launch_on(0, receiver)
+    m.run()
+    assert seen == ["hooked"]

@@ -1,0 +1,136 @@
+"""Direct unit tests for the tasklet baton protocol."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.tasklet import Tasklet
+
+
+def test_result_captured():
+    eng = SimEngine()
+    t = eng.spawn(lambda: 41 + 1)
+    eng.run()
+    eng.shutdown()
+    assert t.finished
+    assert t.result == 42
+    assert t.error is None
+
+
+def test_error_captured_and_reported():
+    eng = SimEngine()
+
+    def boom():
+        raise RuntimeError("x")
+
+    t = eng.spawn(boom)
+    with pytest.raises(RuntimeError):
+        eng.run()
+    eng.shutdown()
+    assert t.finished
+    assert isinstance(t.error, RuntimeError)
+
+
+def test_park_from_foreign_thread_rejected():
+    eng = SimEngine()
+    t = Tasklet(eng, lambda: None)
+    with pytest.raises(SimulationError, match="foreign thread"):
+        t.park()  # we are the driver thread, not the tasklet's
+
+
+def test_kill_before_start_never_runs_user_code():
+    eng = SimEngine()
+    ran = []
+    t = eng.spawn(lambda: ran.append(1), start=False)
+    t.kill()
+    t.join()
+    assert t.finished
+    assert ran == []
+
+
+def test_finally_blocks_run_on_kill():
+    eng = SimEngine()
+    cleanup = []
+
+    def body():
+        try:
+            eng.suspend()
+        finally:
+            cleanup.append("cleaned")
+
+    eng.spawn(body)
+    eng.run()
+    eng.shutdown()
+    assert cleanup == ["cleaned"]
+
+
+def test_kill_is_not_catchable_as_exception():
+    """TaskletKilled derives from BaseException: user `except Exception`
+    cannot swallow shutdown."""
+    eng = SimEngine()
+    swallowed = []
+
+    def body():
+        try:
+            eng.suspend()
+        except Exception:  # noqa: BLE001 - the point of the test
+            swallowed.append(True)
+
+    t = eng.spawn(body)
+    eng.run()
+    eng.shutdown()
+    assert swallowed == []
+    assert t.finished
+
+
+def test_only_one_tasklet_thread_runnable_at_a_time():
+    """The baton discipline: between parking points, no other tasklet
+    ever executes — shared state cannot change under a tasklet's feet."""
+    eng = SimEngine()
+    shared = {}
+    undisturbed = []
+
+    def body(i):
+        def run():
+            for _ in range(5):
+                shared["current"] = i
+                # Plenty of bytecode for a rogue concurrent thread to
+                # sneak into — if one ever ran.
+                acc = sum(range(200))
+                undisturbed.append(shared["current"] == i and acc == 19900)
+                eng.yield_now()
+        return run
+
+    for i in range(8):
+        eng.spawn(body(i))
+    eng.run()
+    eng.shutdown()
+    assert all(undisturbed)
+    assert len(undisturbed) == 40
+
+
+def test_tasklet_node_binding_and_data_slot():
+    eng = SimEngine()
+    t = eng.spawn(lambda: None, node="fake-node", start=False)
+    t.data = {"anything": True}
+    assert t.node == "fake-node"
+    assert t.data == {"anything": True}
+    eng.shutdown()
+
+
+def test_thread_count_returns_to_baseline_after_shutdown():
+    before = threading.active_count()
+    eng = SimEngine()
+
+    def sleeper():
+        eng.suspend()
+
+    for _ in range(20):
+        eng.spawn(sleeper)
+    eng.run()
+    eng.shutdown()
+    assert threading.active_count() <= before + 1

@@ -1,0 +1,100 @@
+"""Unit tests for interconnect topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.topology import (
+    FlatTopology,
+    Hypercube,
+    Mesh2D,
+    MultistageTopology,
+    Torus3D,
+    make_topology,
+)
+
+ALL_NAMES = ["flat", "mesh2d", "torus3d", "hypercube", "multistage"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("num", [1, 2, 5, 8, 16])
+def test_metric_axioms(name, num):
+    """hops is a metric-ish function: zero on the diagonal, symmetric,
+    positive off-diagonal."""
+    topo = make_topology(name, num)
+    for s in range(num):
+        assert topo.hops(s, s) == 0
+        for d in range(num):
+            assert topo.hops(s, d) == topo.hops(d, s)
+            if s != d:
+                assert topo.hops(s, d) >= 1
+
+
+def test_flat_is_single_hop():
+    topo = FlatTopology(7)
+    assert all(topo.hops(0, d) == 1 for d in range(1, 7))
+    assert topo.diameter == 1
+
+
+def test_mesh2d_manhattan_distance():
+    topo = Mesh2D(9)  # 3x3
+    assert topo.cols == 3
+    assert topo.hops(0, 8) == 4  # (0,0) -> (2,2)
+    assert topo.hops(0, 1) == 1
+    assert topo.hops(0, 3) == 1  # one row down
+    assert topo.hops(1, 5) == 2
+
+
+def test_mesh2d_nonsquare():
+    topo = Mesh2D(6)  # 2 cols? isqrt(6)=2 -> cols=2, rows=3
+    assert topo.rows * topo.cols >= 6
+    assert topo.hops(0, 5) == abs(0 - 2) + abs(0 - 1)
+
+
+def test_torus3d_wraparound():
+    topo = Torus3D(27)  # 3x3x3
+    assert topo.side == 3
+    # (0,0,0) to (0,0,2): distance 1 thanks to the wrap link.
+    assert topo.hops(0, 2) == 1
+    # (0,0,0) to (1,1,1): 3 hops.
+    assert topo.hops(0, 13) == 3
+    assert topo.diameter <= 3 * (3 // 2)
+
+
+def test_hypercube_hamming():
+    topo = Hypercube(8)
+    assert topo.hops(0b000, 0b111) == 3
+    assert topo.hops(0b101, 0b100) == 1
+    assert sorted(topo.neighbors(0)) == [1, 2, 4]
+
+
+def test_hypercube_neighbors_clipped_to_machine():
+    topo = Hypercube(6)
+    assert sorted(topo.neighbors(0)) == [1, 2, 4]
+    assert sorted(topo.neighbors(5)) == [1, 4]  # 5^1=4, 5^2=7(out), 5^4=1
+
+
+def test_multistage_log_depth():
+    topo = MultistageTopology(16)
+    assert topo.hops(0, 1) == 4
+    assert topo.hops(3, 3) == 0
+    assert MultistageTopology(2).hops(0, 1) == 1
+
+
+def test_out_of_range_pe_rejected():
+    topo = make_topology("flat", 4)
+    with pytest.raises(SimulationError):
+        topo.hops(0, 4)
+    with pytest.raises(SimulationError):
+        topo.hops(-1, 0)
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SimulationError, match="unknown topology"):
+        make_topology("hyperloop", 4)
+
+
+def test_zero_pes_rejected():
+    with pytest.raises(SimulationError):
+        make_topology("flat", 0)

@@ -1,0 +1,322 @@
+"""Unit tests for Cts locks, condition variables and barriers."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import run_on
+
+from repro.core import api
+from repro.core.errors import SyncError
+
+
+def _spawn_scheduled(fn, *args):
+    """Create a Csd-integrated thread (the usual language pattern)."""
+    t = api.CthCreate(lambda a: fn(*args), None)
+    api.CthUseSchedulerStrategy(t)
+    api.CthAwaken(t)
+    return t
+
+
+# ----------------------------------------------------------------------
+# locks
+# ----------------------------------------------------------------------
+
+def test_lock_uncontended():
+    def main():
+        lock = api.CtsNewLock()
+        assert lock.try_lock()
+        assert not lock.try_lock()  # second attempt fails (same owner)
+        lock.unlock()
+        lock.lock()
+        lock.unlock()
+        return lock.locked
+
+    assert run_on(1, main) is False
+
+
+def test_lock_mutual_exclusion_among_threads():
+    def main():
+        lock = api.CtsNewLock()
+        log = []
+
+        def worker(name):
+            lock.lock()
+            log.append((name, "in"))
+            api.CthYield()  # try to interleave inside the section
+            log.append((name, "out"))
+            lock.unlock()
+
+        done = {"n": 0}
+
+        def tracked(name):
+            worker(name)
+            done["n"] += 1
+            if done["n"] == 3:
+                api.CsdExitScheduler()
+
+        for name in ("a", "b", "c"):
+            _spawn_scheduled(tracked, name)
+        api.CsdScheduler(-1)
+        return log
+
+    log = run_on(1, main)
+    # Sections never interleave: each (x, in) is immediately followed by
+    # (x, out).
+    for i in range(0, len(log), 2):
+        assert log[i][0] == log[i + 1][0]
+        assert log[i][1] == "in" and log[i + 1][1] == "out"
+
+
+def test_lock_fifo_handoff():
+    def main():
+        lock = api.CtsNewLock()
+        order = []
+
+        def worker(name):
+            lock.lock()
+            order.append(name)
+            lock.unlock()
+            if len(order) == 3:
+                api.CsdExitScheduler()
+
+        def holder():
+            lock.lock()
+            api.CthYield()  # let the others queue up
+            api.CthYield()
+            lock.unlock()
+
+        _spawn_scheduled(holder)
+        for name in ("first", "second", "third"):
+            _spawn_scheduled(worker, name)
+        api.CsdScheduler(-1)
+        return order, lock.handoffs
+
+    order, handoffs = run_on(1, main)
+    assert order == ["first", "second", "third"]
+    assert handoffs == 3
+
+
+def test_unlock_by_non_owner_rejected():
+    def main():
+        lock = api.CtsNewLock()
+        lock.lock()
+
+        caught = []
+
+        def intruder():
+            try:
+                lock.unlock()
+            except SyncError:
+                caught.append(True)
+            api.CsdExitScheduler()
+
+        _spawn_scheduled(intruder)
+        api.CsdScheduler(-1)
+        lock.unlock()
+        return caught
+
+    assert run_on(1, main) == [True]
+
+
+def test_relock_by_owner_rejected():
+    def main():
+        lock = api.CtsNewLock()
+        lock.lock()
+        try:
+            lock.lock()
+        except SyncError:
+            return "nonrecursive"
+
+    assert run_on(1, main) == "nonrecursive"
+
+
+def test_lock_init_resets():
+    def main():
+        lock = api.CtsNewLock()
+        lock.lock()
+        lock.init()
+        return lock.locked
+
+    assert run_on(1, main) is False
+
+
+# ----------------------------------------------------------------------
+# condition variables
+# ----------------------------------------------------------------------
+
+def test_condition_signal_releases_one_fifo():
+    def main():
+        cond = api.CtsNewCondn()
+        released = []
+
+        def waiter(name):
+            cond.wait()
+            released.append(name)
+            if len(released) == 2:
+                api.CsdExitScheduler()
+
+        def signaller():
+            assert cond.waiters == 2
+            assert cond.signal() == 1
+            assert cond.signal() == 1
+            assert cond.signal() == 0
+
+        _spawn_scheduled(waiter, "w1")
+        _spawn_scheduled(waiter, "w2")
+        _spawn_scheduled(signaller)
+        api.CsdScheduler(-1)
+        return released
+
+    assert run_on(1, main) == ["w1", "w2"]
+
+
+def test_condition_broadcast_releases_all():
+    def main():
+        cond = api.CtsNewCondn()
+        released = []
+
+        def waiter(name):
+            cond.wait()
+            released.append(name)
+            if len(released) == 3:
+                api.CsdExitScheduler()
+
+        def caster():
+            assert cond.broadcast() == 3
+
+        for i in range(3):
+            _spawn_scheduled(waiter, i)
+        _spawn_scheduled(caster)
+        api.CsdScheduler(-1)
+        return sorted(released)
+
+    assert run_on(1, main) == [0, 1, 2]
+
+
+def test_condition_wait_with_lock_reacquires():
+    def main():
+        lock = api.CtsNewLock()
+        cond = api.CtsNewCondn()
+        log = []
+
+        def consumer():
+            lock.lock()
+            cond.wait(lock)   # releases while waiting
+            log.append(("consumer-owns", lock.owner is api.CthSelf()))
+            lock.unlock()
+            api.CsdExitScheduler()
+
+        def producer():
+            lock.lock()       # only possible if wait released it
+            log.append("producer-in")
+            cond.signal()
+            lock.unlock()
+
+        _spawn_scheduled(consumer)
+        _spawn_scheduled(producer)
+        api.CsdScheduler(-1)
+        return log
+
+    log = run_on(1, main)
+    assert log == ["producer-in", ("consumer-owns", True)]
+
+
+def test_condition_init_wakes_all_waiters():
+    """Per the paper's API, re-initialization awakens all waiters."""
+    def main():
+        cond = api.CtsNewCondn()
+        released = []
+
+        def waiter(i):
+            cond.wait()
+            released.append(i)
+            if len(released) == 2:
+                api.CsdExitScheduler()
+
+        def reiniter():
+            cond.init()
+
+        _spawn_scheduled(waiter, 0)
+        _spawn_scheduled(waiter, 1)
+        _spawn_scheduled(reiniter)
+        api.CsdScheduler(-1)
+        return released
+
+    assert sorted(run_on(1, main)) == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# barriers
+# ----------------------------------------------------------------------
+
+def test_barrier_blocks_until_k_arrive():
+    def main():
+        bar = api.CtsNewBarrier()
+        bar.reinit(3)
+        log = []
+
+        def worker(i):
+            log.append(("before", i))
+            bar.at_barrier()
+            log.append(("after", i))
+            if sum(1 for kind, _ in log if kind == "after") == 3:
+                api.CsdExitScheduler()
+
+        for i in range(3):
+            _spawn_scheduled(worker, i)
+        api.CsdScheduler(-1)
+        return log, bar.episodes
+
+    log, episodes = run_on(1, main)
+    befores = [e for e in log if e[0] == "before"]
+    afters = [e for e in log if e[0] == "after"]
+    assert log.index(afters[0]) > log.index(befores[-1])
+    assert episodes == 1
+
+
+def test_barrier_reusable_across_episodes():
+    def main():
+        bar = api.CtsNewBarrier()
+        bar.reinit(2)
+        rounds = []
+
+        def worker(i):
+            for r in range(3):
+                bar.at_barrier()
+                rounds.append((r, i))
+            if i == 0:
+                api.CsdExitScheduler()
+
+        _spawn_scheduled(worker, 0)
+        _spawn_scheduled(worker, 1)
+        api.CsdScheduler(-1)
+        return rounds, bar.episodes
+
+    rounds, episodes = run_on(1, main)
+    assert episodes == 3
+    # Round r for both workers completes before round r+1 starts.
+    positions = {r: [i for i, e in enumerate(rounds) if e[0] == r] for r in range(3)}
+    assert max(positions[0]) < min(positions[1]) < max(positions[1]) < min(positions[2])
+
+
+def test_barrier_uninitialized_rejected():
+    def main():
+        bar = api.CtsNewBarrier()
+        try:
+            bar.at_barrier()
+        except SyncError:
+            return "uninit"
+
+    assert run_on(1, main) == "uninit"
+
+
+def test_barrier_reinit_validates():
+    def main():
+        bar = api.CtsNewBarrier()
+        try:
+            bar.reinit(0)
+        except SyncError:
+            return "bad"
+
+    assert run_on(1, main) == "bad"

@@ -1,0 +1,68 @@
+"""Unit tests for the Projections-lite trace analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.tracing.analysis import summarize, timeline
+from repro.tracing.tracer import MemoryTracer
+
+
+def _traced_run(num_sends: int = 3):
+    with Machine(2, trace=True) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: api.CmiCharge(2e-6), "h")
+            if api.CmiMyPe() == 0:
+                for _ in range(num_sends):
+                    api.CmiSyncSend(1, Message(hid, None, size=10))
+            else:
+                api.CsdScheduler(num_sends)
+
+        m.launch(main)
+        m.run()
+        return m.tracer
+
+
+def test_summary_counts_match_run():
+    tracer = _traced_run(4)
+    s = summarize(tracer)
+    assert s.profile(0).sends == 4
+    assert s.profile(0).bytes_sent == 40
+    assert s.profile(1).receives == 4
+    assert s.profile(1).handlers == 4
+    assert s.total_events == len(tracer.events)
+    assert s.busiest_pe() == 1
+
+
+def test_handler_time_accumulated():
+    tracer = _traced_run(3)
+    s = summarize(tracer)
+    # Each handler charged 2us of compute.
+    assert s.profile(1).handler_time == pytest.approx(3 * 2e-6)
+
+
+def test_span_covers_run():
+    tracer = _traced_run(2)
+    s = summarize(tracer)
+    assert s.span > 0
+    assert s.first_time <= s.last_time
+
+
+def test_empty_trace_summary():
+    s = summarize(MemoryTracer())
+    assert s.total_events == 0
+    assert s.span == 0.0
+    assert s.busiest_pe() is None
+
+
+def test_timeline_filters_and_truncates():
+    tracer = _traced_run(3)
+    rows = timeline(tracer, pe=1, kinds=("handler_begin",))
+    assert len(rows) == 3
+    assert all("handler_begin" in r and "pe1" in r for r in rows)
+    short = timeline(tracer, limit=2)
+    assert len(short) == 3  # 2 rows + truncation notice
+    assert "truncated" in short[-1]

@@ -1,0 +1,137 @@
+"""Unit tests for the trace format and sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import api
+from repro.core.message import Message
+from repro.sim.machine import Machine
+from repro.tracing.events import STANDARD_KINDS, SchemaDeclaration, TraceEvent
+from repro.tracing.tracer import (
+    CountingTracer,
+    JsonlTracer,
+    MemoryTracer,
+    make_tracer,
+)
+
+
+def test_standard_kinds_cover_paper_requirements():
+    """Section 3.3.2: message send, receive and processing events, plus
+    object/thread creation, must be recordable."""
+    for kind in ("send", "receive", "handler_begin", "handler_end",
+                 "object_create", "thread_create"):
+        assert kind in STANDARD_KINDS
+
+
+def test_trace_event_dataclass():
+    ev = TraceEvent(2, 1e-6, "send", {"dest": 1})
+    assert ev.standard
+    assert ev.as_dict() == {"pe": 2, "time": 1e-6, "kind": "send", "dest": 1}
+    assert not TraceEvent(0, 0.0, "weird-lang-thing").standard
+
+
+def test_schema_declaration_validation():
+    schema = SchemaDeclaration("charm", "entry", (("method", "str"), ("ms", "float")))
+    assert schema.validate({"method": "run", "ms": 1.5})
+    assert schema.validate({"method": "run", "ms": 2, "extra": "ok"})
+    assert not schema.validate({"method": "run"})
+    assert not schema.validate({"method": 3, "ms": 1.5})
+
+
+def test_make_tracer_variants():
+    assert make_tracer(False) is None
+    assert make_tracer(None) is None
+    assert isinstance(make_tracer(True), MemoryTracer)
+    assert isinstance(make_tracer("memory"), MemoryTracer)
+    assert isinstance(make_tracer("count"), CountingTracer)
+    mt = MemoryTracer()
+    assert make_tracer(mt) is mt
+    jt = make_tracer(io.StringIO())
+    assert isinstance(jt, JsonlTracer)
+
+
+def test_memory_tracer_records_machine_run():
+    with Machine(2, trace=True) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            if api.CmiMyPe() == 0:
+                api.CmiSyncSend(1, Message(hid, None, size=16))
+            else:
+                api.CsdScheduler(1)
+
+        m.launch(main)
+        m.run()
+        tracer = m.tracer
+        sends = tracer.by_kind("send")
+        receives = tracer.by_kind("receive")
+        begins = tracer.by_kind("handler_begin")
+        ends = tracer.by_kind("handler_end")
+        assert len(sends) == 1 and sends[0].pe == 0
+        assert sends[0].fields["size"] == 16
+        assert len(receives) == 1 and receives[0].pe == 1
+        assert len(begins) == len(ends) == 1
+        assert begins[0].time <= ends[0].time
+        assert tracer.by_pe(0) and tracer.by_pe(1)
+
+
+def test_counting_tracer_counts_only():
+    with Machine(2, trace="count") as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            if api.CmiMyPe() == 0:
+                for _ in range(5):
+                    api.CmiSyncSend(1, Message(hid, None, size=0))
+            else:
+                api.CsdScheduler(5)
+
+        m.launch(main)
+        m.run()
+        assert m.tracer.total("send") == 5
+        assert m.tracer.total("handler_begin") == 5
+        assert m.tracer.total() > 10
+
+
+def test_jsonl_tracer_emits_parseable_lines():
+    buf = io.StringIO()
+    with Machine(2, trace=JsonlTracer(buf)) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            if api.CmiMyPe() == 0:
+                api.CmiSyncSend(1, Message(hid, None, size=4))
+            else:
+                api.CsdScheduler(1)
+
+        m.launch(main)
+        m.run()
+    lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+    assert any(l["kind"] == "send" for l in lines)
+    assert all({"pe", "time", "kind"} <= set(l) for l in lines)
+
+
+def test_jsonl_schema_declaration_line():
+    buf = io.StringIO()
+    t = JsonlTracer(buf)
+    t.declare_schema(SchemaDeclaration("pvm", "recv", (("tag", "int"),)))
+    line = json.loads(buf.getvalue())
+    assert line["kind"] == "__schema__"
+    assert line["language"] == "pvm"
+    assert t.schemas[0].event_name == "recv"
+
+
+def test_thread_and_enqueue_events_traced():
+    with Machine(1, trace=True) as m:
+        def main():
+            t = api.CthCreate(lambda a: None, None)
+            api.CthResume(t)
+            hid = api.CmiRegisterHandler(lambda msg: None, "h")
+            api.CsdEnqueue(Message(hid, None, size=0))
+            api.CsdScheduleUntilIdle()
+
+        m.launch_on(0, main)
+        m.run()
+        kinds = {e.kind for e in m.tracer.events}
+        assert {"thread_create", "thread_resume", "enqueue", "dequeue"} <= kinds
