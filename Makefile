@@ -1,0 +1,17 @@
+PY      ?= python
+SEEDS   ?= 25
+
+.PHONY: test fuzz bench
+
+test:
+	PYTHONPATH=src $(PY) -m pytest -q
+
+# The schedule-fuzzing harness: every workload in tests/faults under a
+# sweep of $(SEEDS) hostile fault plans (drop/dup/delay/reorder/corrupt).
+# Each seed is a fully deterministic run — re-run a failing test id to
+# reproduce its failure exactly.
+fuzz:
+	PYTHONPATH=src $(PY) -m pytest tests/faults -q --seeds=$(SEEDS)
+
+bench:
+	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only

@@ -32,7 +32,9 @@ from repro._version import __version__
 from repro.core import api
 from repro.core.errors import ConverseError
 from repro.core.message import BitVector, Message
+from repro.machine.cmi import ReliableConfig
 from repro.sim.machine import Machine, run_spmd
+from repro.sim.network import FaultPlan, FaultSpec
 from repro.sim.models import (
     ALL_MODELS,
     ATM_HP,
@@ -51,6 +53,9 @@ __all__ = [
     "run_spmd",
     "Message",
     "BitVector",
+    "FaultPlan",
+    "FaultSpec",
+    "ReliableConfig",
     "ConverseError",
     "MachineModel",
     "GENERIC",

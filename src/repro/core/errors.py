@@ -33,6 +33,16 @@ class DeadlockError(SimulationError):
     the caller asked for that situation to be treated as an error."""
 
 
+class ReliabilityError(ConverseError):
+    """Errors raised by the optional reliable-delivery layer of the CMI."""
+
+
+class RetryExhaustedError(ReliabilityError):
+    """A reliable send exhausted its retransmission budget without ever
+    being acknowledged — the link is considered dead.  The failure is
+    deterministic: the same fault-plan seed reproduces it exactly."""
+
+
 class HandlerError(ConverseError):
     """Problems with the generalized-message handler table."""
 

@@ -188,7 +188,7 @@ class Message:
 
     __slots__ = (
         "handler", "_payload", "size", "prio", "src_pe",
-        "_cmi_owned", "_valid",
+        "_cmi_owned", "_valid", "corrupted",
     )
 
     def __init__(self, handler: int, payload: Any = None, size: Optional[int] = None,
@@ -205,6 +205,13 @@ class Message:
         self.src_pe = src_pe
         self._cmi_owned = False
         self._valid = True
+        #: set by the simulated network's fault injector when this wire
+        #: copy was damaged in flight.  The raw (unreliable) machine layer
+        #: delivers the message anyway — exactly like real hardware
+        #: without checksums — while the reliable CMI layer detects the
+        #: flag (its stand-in for a failed checksum) and waits for the
+        #: retransmission.
+        self.corrupted = False
 
     # ------------------------------------------------------------------
     # buffer-ownership protocol

@@ -80,6 +80,19 @@ class ConverseRuntime:
             self._cmi = CMI(self)
         return self._cmi
 
+    def enable_reliability(self, config: Any = None) -> Any:
+        """Switch this PE's sends to the CMI reliable-delivery protocol
+        (sequence numbers, acks, retransmission, receiver-side dedup and
+        in-order release).  Off by default — need-based cost; normally
+        enabled machine-wide via ``Machine(reliable=True)`` so every PE
+        can decode the protocol packets."""
+        return self.cmi.enable_reliability(config)
+
+    @property
+    def reliable(self) -> Any:
+        """This PE's reliable-delivery layer (``None`` unless enabled)."""
+        return None if self._cmi is None else self._cmi.reliable
+
     @property
     def cth(self) -> Any:
         """The thread-object module (``Cth*``) for this PE."""

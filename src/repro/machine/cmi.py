@@ -18,13 +18,287 @@ need-based cost.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import MessageError
+from repro.core.errors import MessageError, RetryExhaustedError
 from repro.core.message import HEADER_BYTES, Message
 from repro.sim.network import SendHandle
 
-__all__ = ["CMI"]
+__all__ = ["CMI", "ReliableConfig", "RelStats", "RelPacket", "ReliableDelivery"]
+
+
+# ----------------------------------------------------------------------
+# reliable delivery (off by default — need-based cost)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Tuning knobs of the reliable-delivery protocol.
+
+    The defaults suit the paper's machine models (tens of microseconds
+    per round trip): the initial retransmission timeout comfortably
+    exceeds one RTT, backs off exponentially on repeated loss, and gives
+    up after ``max_retries`` unacknowledged attempts (raising
+    :class:`~repro.core.errors.RetryExhaustedError`, deterministically
+    reproducible from the fault-plan seed).
+    """
+
+    #: initial retransmission timeout (seconds of virtual time).
+    rto: float = 400e-6
+    #: multiplicative backoff applied after every retransmission.
+    backoff: float = 2.0
+    #: ceiling on the backed-off timeout.
+    max_rto: float = 8e-3
+    #: retransmissions allowed per packet before declaring the link dead.
+    max_retries: int = 24
+    #: modelled size of the protocol header on a data packet (bytes).
+    header_bytes: int = 16
+    #: modelled size of an acknowledgement packet (bytes).
+    ack_bytes: int = 16
+
+
+@dataclass
+class RelStats:
+    """Per-PE counters of the reliability protocol (also traced)."""
+
+    data_sent: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    stale_acks: int = 0
+    #: app messages released, in order, exactly once.
+    delivered: int = 0
+    dup_dropped: int = 0
+    corrupt_dropped: int = 0
+    held_out_of_order: int = 0
+
+
+class RelPacket:
+    """What the reliable layer puts on the wire: a data packet carrying
+    one generalized message under a (src, seq) header, or a bare ack.
+
+    Deliberately *not* a :class:`Message` — it never reaches a handler
+    table; the receiving node's arrival interceptor consumes it the way
+    a NIC driver consumes protocol frames."""
+
+    __slots__ = ("kind", "src", "dst", "seq", "inner", "size", "corrupted")
+
+    def __init__(self, kind: str, src: int, dst: int, seq: int,
+                 inner: Optional[Message], size: int) -> None:
+        self.kind = kind          # "data" | "ack"
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.inner = inner
+        self.size = size
+        self.corrupted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bad = " CORRUPT" if self.corrupted else ""
+        return f"<RelPacket {self.kind} {self.src}->{self.dst} seq={self.seq}{bad}>"
+
+
+class _Pending:
+    """Sender-side state of one unacknowledged data packet."""
+
+    __slots__ = ("dst", "seq", "inner", "nbytes", "retries", "rto", "timer")
+
+    def __init__(self, dst: int, seq: int, inner: Message, nbytes: int,
+                 rto: float) -> None:
+        self.dst = dst
+        self.seq = seq
+        self.inner = inner
+        self.nbytes = nbytes
+        self.retries = 0
+        self.rto = rto
+        self.timer: Any = None
+
+
+class ReliableDelivery:
+    """Exactly-once, per-sender-FIFO delivery over a lossy network.
+
+    One instance per PE, enabled explicitly (``Machine(reliable=True)``
+    or ``runtime.enable_reliability()``) — programs that do not ask for
+    reliability never construct it and pay nothing, per the paper's
+    need-based-cost principle.
+
+    Protocol: every outgoing message is wrapped in a :class:`RelPacket`
+    stamped with a per-destination sequence number; the receiver acks
+    every uncorrupted data packet (acks are repeated for duplicates, so
+    a lost ack is healed by the retransmission it provokes), drops
+    duplicates, holds out-of-order packets in a reassembly buffer, and
+    releases messages to the normal delivery path strictly in sequence
+    order.  The sender retransmits on a timer with exponential backoff
+    and a retry cap.
+
+    The receive side runs in the node's arrival interceptor — engine
+    callbacks, outside any tasklet — so acknowledgements flow even when
+    the PE never polls (e.g. after its scheduler exited).  Protocol
+    packets are invisible to the node's message counters: an application
+    message is counted sent once (by the CMI) and received once (when
+    released), which keeps message-conservation invariants — and hence
+    quiescence detection — exact under loss, duplication and reordering.
+    """
+
+    def __init__(self, runtime: Any, config: Optional[ReliableConfig] = None) -> None:
+        self.runtime = runtime
+        self.node = runtime.node
+        self.network = runtime.machine.network
+        self.engine = runtime.machine.engine
+        self.config = config or ReliableConfig()
+        self.stats = RelStats()
+        self._next_seq: Dict[int, int] = {}
+        self._pending: Dict[Tuple[int, int], _Pending] = {}
+        self._expected: Dict[int, int] = {}
+        self._held: Dict[int, Dict[int, Message]] = {}
+        self.node.set_interceptor(self._on_arrival)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def send(self, dest_pe: int, msg: Message, extra_send_cost: float = 0.0,
+             asynchronous: bool = False) -> Optional[SendHandle]:
+        """Transmit ``msg`` reliably.  ``msg`` must already be the wire
+        copy (the reliable layer keeps a reference for retransmission).
+        Returns a completion handle for asynchronous sends."""
+        seq = self._next_seq.get(dest_pe, 0)
+        self._next_seq[dest_pe] = seq + 1
+        nbytes = msg.size + self.config.header_bytes
+        pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto)
+        self._pending[(dest_pe, seq)] = pending
+        self.stats.data_sent += 1
+        self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
+        pkt = RelPacket("data", self.node.pe, dest_pe, seq, msg, nbytes)
+        handle: Optional[SendHandle] = None
+        if asynchronous:
+            handle = self.network.async_send(
+                self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
+            )
+        else:
+            self.network.sync_send(
+                self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
+            )
+        self._arm_timer(pending)
+        return handle
+
+    def _arm_timer(self, pending: _Pending) -> None:
+        pending.timer = self.engine.schedule(pending.rto, self._on_timeout, pending)
+
+    def _on_timeout(self, pending: _Pending) -> None:
+        key = (pending.dst, pending.seq)
+        if key not in self._pending:  # acked in the meantime
+            return
+        if pending.retries >= self.config.max_retries:
+            del self._pending[key]
+            self.runtime.trace_event(
+                "rel_giveup", dest=pending.dst, seq=pending.seq,
+                retries=pending.retries,
+            )
+            raise RetryExhaustedError(
+                f"PE {self.node.pe}: packet seq={pending.seq} to PE "
+                f"{pending.dst} unacknowledged after {pending.retries} "
+                f"retransmissions"
+            )
+        pending.retries += 1
+        self.stats.retransmits += 1
+        self.runtime.trace_event(
+            "rel_retransmit", dest=pending.dst, seq=pending.seq,
+            attempt=pending.retries,
+        )
+        # A fresh wire object per transmission: fault corruption flags one
+        # copy without poisoning the packet for later attempts.
+        pkt = RelPacket("data", self.node.pe, pending.dst, pending.seq,
+                        pending.inner, pending.nbytes)
+        self.network.inject(self.node.pe, pending.dst, pending.nbytes, pkt)
+        pending.rto = min(pending.rto * self.config.backoff, self.config.max_rto)
+        self._arm_timer(pending)
+
+    # ------------------------------------------------------------------
+    # receiver side (arrival interceptor: engine-callback context)
+    # ------------------------------------------------------------------
+    def _on_arrival(self, payload: Any) -> bool:
+        if not isinstance(payload, RelPacket):
+            return False
+        if payload.kind == "ack":
+            self._on_ack(payload)
+        else:
+            self._on_data(payload)
+        return True
+
+    def _on_ack(self, pkt: RelPacket) -> None:
+        if pkt.corrupted:
+            self.stats.corrupt_dropped += 1
+            self.runtime.trace_event("rel_corrupt", src=pkt.src, seq=pkt.seq,
+                                     ack=True)
+            return
+        pending = self._pending.pop((pkt.src, pkt.seq), None)
+        if pending is None:
+            # An ack for a packet already acked (the receiver re-acks
+            # duplicates); harmless.
+            self.stats.stale_acks += 1
+            return
+        self.stats.acks_received += 1
+        if pending.timer is not None:
+            pending.timer.cancel()
+
+    def _on_data(self, pkt: RelPacket) -> None:
+        src = pkt.src
+        if pkt.corrupted:
+            # A failed checksum: no ack, the sender will retransmit.
+            self.stats.corrupt_dropped += 1
+            self.runtime.trace_event("rel_corrupt", src=src, seq=pkt.seq)
+            return
+        self._send_ack(src, pkt.seq)
+        expected = self._expected.get(src, 0)
+        if pkt.seq < expected:
+            self.stats.dup_dropped += 1
+            self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            return
+        held = self._held.setdefault(src, {})
+        if pkt.seq in held:
+            self.stats.dup_dropped += 1
+            self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            return
+        if pkt.seq > expected:
+            held[pkt.seq] = pkt.inner
+            self.stats.held_out_of_order += 1
+            self.runtime.trace_event("rel_hold", src=src, seq=pkt.seq,
+                                     expected=expected)
+            return
+        # In sequence: release it plus any consecutive run it unblocks.
+        self._release(src, pkt.seq, pkt.inner)
+        nxt = expected + 1
+        while nxt in held:
+            self._release(src, nxt, held.pop(nxt))
+            nxt += 1
+        self._expected[src] = nxt
+
+    def _send_ack(self, dest: int, seq: int) -> None:
+        self.stats.acks_sent += 1
+        pkt = RelPacket("ack", self.node.pe, dest, seq, None,
+                        self.config.ack_bytes)
+        self.network.inject(self.node.pe, dest, self.config.ack_bytes, pkt)
+
+    def _release(self, src: int, seq: int, inner: Message) -> None:
+        """Hand one in-order message to the normal delivery path.  Going
+        back through ``node.deliver`` keeps stats, tracing hooks and
+        blocked-tasklet wakeups identical to unreliable delivery (the
+        interceptor passes plain Messages straight through)."""
+        self.stats.delivered += 1
+        self.runtime.trace_event("rel_release", src=src, seq=seq)
+        self.node.deliver(inner)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of locally-sent packets not yet acknowledged."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"<ReliableDelivery pe={self.node.pe} sent={s.data_sent} "
+            f"retx={s.retransmits} delivered={s.delivered} dups={s.dup_dropped}>"
+        )
 
 
 class CMI:
@@ -38,6 +312,26 @@ class CMI:
         self._emi_groups: Any = None
         self._emi_gptr: Any = None
         self._emi_scatter: Any = None
+        #: optional reliable-delivery layer; ``None`` (the default) keeps
+        #: every send on the raw machine path with zero added cost.
+        self._reliable: Optional[ReliableDelivery] = None
+
+    # ------------------------------------------------------------------
+    # reliability (opt-in)
+    # ------------------------------------------------------------------
+    def enable_reliability(self, config: Optional[ReliableConfig] = None) -> ReliableDelivery:
+        """Build (idempotently) the reliable-delivery layer for this PE.
+        All point-to-point and broadcast sends from this PE are wrapped
+        from now on; ``immediate_send`` stays raw (an interrupt-style
+        message that tolerated loss would not be worth preempting for)."""
+        if self._reliable is None:
+            self._reliable = ReliableDelivery(self.runtime, config)
+        return self._reliable
+
+    @property
+    def reliable(self) -> Optional[ReliableDelivery]:
+        """The reliability layer, or ``None`` when disabled."""
+        return self._reliable
 
     # ------------------------------------------------------------------
     # identity & timers
@@ -117,6 +411,10 @@ class CMI:
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         self.runtime.trace_event("send", dest=dest_pe, size=msg.size, handler=msg.handler)
+        if self._reliable is not None:
+            self._reliable.send(dest_pe, self._wire_copy(msg),
+                                extra_send_cost=self.model.cvs_send_extra)
+            return
         self.network.sync_send(
             self.node, dest_pe, msg.size, self._wire_copy(msg),
             extra_send_cost=self.model.cvs_send_extra,
@@ -132,6 +430,10 @@ class CMI:
         self.runtime.trace_event(
             "send", dest=dest_pe, size=msg.size, handler=msg.handler, asynchronous=True
         )
+        if self._reliable is not None:
+            return self._reliable.send(dest_pe, self._wire_copy(msg),
+                                       extra_send_cost=self.model.cvs_send_extra,
+                                       asynchronous=True)
         return self.network.async_send(
             self.node, dest_pe, msg.size, self._wire_copy(msg),
             extra_send_cost=self.model.cvs_send_extra,
@@ -184,6 +486,10 @@ class CMI:
         self.runtime.trace_event(
             "send", dest=dest_pe, size=msg.size, handler=handler_id, vector=len(pieces)
         )
+        if self._reliable is not None:
+            return self._reliable.send(dest_pe, msg,
+                                       extra_send_cost=self.model.cvs_send_extra,
+                                       asynchronous=True)
         return self.network.async_send(
             self.node, dest_pe, msg.size, msg,
             extra_send_cost=self.model.cvs_send_extra,
@@ -200,6 +506,23 @@ class CMI:
         self.runtime.trace_event(
             "broadcast", size=msg.size, handler=msg.handler, include_self=include_self
         )
+        if self._reliable is not None:
+            # A reliable broadcast is per-destination reliable sends: every
+            # copy needs its own sequence number, ack and retransmission
+            # state.  (The sender therefore pays full per-destination send
+            # overhead instead of the broadcast_factor discount — the cost
+            # of reliability, charged only to those who asked for it.)
+            self.network.stats.broadcasts += 1
+            handle: Optional[SendHandle] = None
+            for dst in range(self.num_pes()):
+                if not include_self and dst == self.node.pe:
+                    continue
+                handle = self._reliable.send(
+                    dst, self._wire_copy(msg),
+                    extra_send_cost=self.model.cvs_send_extra,
+                    asynchronous=asynchronous,
+                ) or handle
+            return handle
         return self.network.broadcast(
             self.node, msg.size, lambda dst: self._wire_copy(msg),
             include_self=include_self,

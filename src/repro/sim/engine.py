@@ -39,21 +39,29 @@ class ScheduledEvent:
     Instances are returned by :meth:`SimEngine.schedule`; calling
     :meth:`cancel` before the event fires prevents the callback from
     running.  Cancellation is O(1): the heap entry is left in place and
-    skipped when popped.
+    skipped when popped — but the owning engine tracks the number of
+    cancelled entries and compacts the heap when they dominate, so
+    schedule/cancel-heavy protocols (retransmission timers) do not leak.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, engine: Optional["SimEngine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -72,9 +80,14 @@ class SimEngine:
     primitives; they never touch the heap directly.
     """
 
+    #: heaps smaller than this are never compacted (compaction overhead
+    #: would exceed the memory it reclaims).
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[ScheduledEvent] = []
+        self._cancelled: int = 0
         self._seq: int = 0
         #: tasklets runnable at the current instant, in FIFO order.
         self._ready: Deque[Tasklet] = deque()
@@ -110,7 +123,13 @@ class SimEngine:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, cancelled entries included (the quantity
+        the compaction regression test bounds)."""
+        return len(self._heap)
 
     @property
     def live_tasklets(self) -> List[Tasklet]:
@@ -129,13 +148,28 @@ class SimEngine:
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
         self._seq += 1
-        ev = ScheduledEvent(self.now + delay, self._seq, callback, args)
+        ev = ScheduledEvent(self.now + delay, self._seq, callback, args, engine=self)
         heapq.heappush(self._heap, ev)
         return ev
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at absolute virtual ``time``."""
         return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping callback from :meth:`ScheduledEvent.cancel`: when
+        cancelled entries exceed half the heap, rebuild it without them.
+        Compaction is deterministic (a pure function of the heap's
+        contents), so it never perturbs event order."""
+        self._cancelled += 1
+        if (len(self._heap) >= self.COMPACT_MIN_HEAP
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # tasklet lifecycle
@@ -277,6 +311,7 @@ class SimEngine:
                     if not candidate.cancelled:
                         ev = candidate
                         break
+                    self._cancelled -= 1
                 if ev is None:
                     return "quiescent"
                 if until is not None and ev.time > until:
@@ -329,3 +364,4 @@ class SimEngine:
         self._tasklets.clear()
         self._ready.clear()
         self._heap.clear()
+        self._cancelled = 0

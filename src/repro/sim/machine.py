@@ -34,7 +34,7 @@ from repro.core.runtime import ConverseRuntime
 from repro.sim.console import Console
 from repro.sim.engine import SimEngine
 from repro.sim.models import GENERIC, MachineModel
-from repro.sim.network import Network
+from repro.sim.network import FaultPlan, Network
 from repro.sim.node import Node
 from repro.sim.topology import make_topology
 from repro.tracing.tracer import make_tracer
@@ -64,11 +64,21 @@ class Machine:
     seed:
         Seed for the machine's deterministic RNG (used by randomized load
         balancers and workloads).
+    faults:
+        Optional :class:`~repro.sim.network.FaultPlan` making the network
+        hostile (seeded drop/duplicate/delay/reorder/corrupt).  ``None``
+        (default) leaves the delivery path untouched.
+    reliable:
+        ``False`` (default) — raw machine-layer delivery; ``True`` — wrap
+        every PE's sends in the CMI reliable-delivery protocol with
+        default tuning; a :class:`~repro.machine.cmi.ReliableConfig` —
+        the same with explicit tuning.
     """
 
     def __init__(self, num_pes: int, model: MachineModel = GENERIC,
                  queue: Any = "fifo", ldb: str = "direct",
-                 trace: Any = False, echo: bool = False, seed: int = 0) -> None:
+                 trace: Any = False, echo: bool = False, seed: int = 0,
+                 faults: Any = None, reliable: Any = False) -> None:
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
@@ -78,6 +88,14 @@ class Machine:
         self.network = Network(self.engine, model, self.topology)
         self.console = Console(self, echo=echo)
         self.tracer = make_tracer(trace)
+        self.network.tracer = self.tracer
+        if faults is not None:
+            if not isinstance(faults, FaultPlan):
+                raise SimulationError(
+                    f"faults must be a FaultPlan or None, got {type(faults).__name__}"
+                )
+            self.network.fault_plan = faults
+        self.fault_plan = self.network.fault_plan
         self.rng = random.Random(seed)
         self.nodes: List[Node] = [Node(self, pe) for pe in range(num_pes)]
         self.network.nodes = {n.pe: n for n in self.nodes}
@@ -92,6 +110,18 @@ class Machine:
         # PE registers them at the same point — before any user handlers.
         for rt in self.runtimes:
             rt.cmi.groups
+        # Reliability must be machine-wide: every PE needs the protocol's
+        # arrival interceptor installed before the first send, or data
+        # packets would land in application inboxes undecoded.
+        self.reliable_config = None
+        if reliable:
+            from repro.machine.cmi import ReliableConfig
+
+            self.reliable_config = (
+                reliable if isinstance(reliable, ReliableConfig) else ReliableConfig()
+            )
+            for rt in self.runtimes:
+                rt.enable_reliability(self.reliable_config)
         if self.tracer is not None:
             for node in self.nodes:
                 node.add_delivery_hook(self._trace_delivery(node))

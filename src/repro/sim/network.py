@@ -11,11 +11,22 @@ Receive-side software overhead is *not* charged here — it is charged by
 whoever picks the message up (the CMI, or a raw receiver in the native
 baseline benchmarks), because that is where the cost is paid on a real
 machine.
+
+**Deterministic fault injection.**  The paper's CMI assumes a
+well-behaved machine layer; a production message layer cannot.  A
+:class:`FaultPlan` makes this network hostile on purpose: per-link,
+seeded probabilities of dropping, duplicating, delaying, reordering and
+corrupting in-flight packets.  Every decision comes from one
+``random.Random(seed)`` consumed in a fixed per-packet order, so a run
+with a given plan seed is exactly reproducible — a failing fuzz seed is
+a deterministic test case.  With no plan installed (the default) the
+delivery path is byte-for-byte the pre-fault code: need-based cost.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -23,7 +34,8 @@ from repro.core.errors import SimulationError
 from repro.sim.models import MachineModel
 from repro.sim.topology import Topology
 
-__all__ = ["NetworkStats", "SendHandle", "Network"]
+__all__ = ["NetworkStats", "SendHandle", "Network",
+           "FaultSpec", "FaultStats", "FaultPlan"]
 
 
 @dataclass
@@ -41,6 +53,146 @@ class NetworkStats:
         self.bytes += nbytes
         key = (src, dst)
         self.per_channel[key] = self.per_channel.get(key, 0) + 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-link fault probabilities and magnitudes.
+
+    All rates are in ``[0, 1]``.  ``delay`` keeps per-channel FIFO order
+    (it pushes later packets back too, like a congested switch);
+    ``reorder`` exempts the packet from the FIFO bookkeeping so later
+    sends may overtake it.  ``corrupt`` flags the payload in flight
+    (``payload.corrupted = True`` where the payload supports it) — the
+    simulator's stand-in for a bit flip caught by a checksum.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    #: maximum extra latency (seconds) added by a delay fault.
+    delay_max: float = 40e-6
+    #: maximum deferral (seconds) applied to a reordered packet.
+    reorder_max: float = 120e-6
+
+    def validate(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder", "corrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(
+                    f"fault rate {name}={rate} outside [0, 1]"
+                )
+        if self.delay_max < 0 or self.reorder_max < 0:
+            raise SimulationError("fault jitter bounds must be >= 0")
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults, exposed on :class:`FaultPlan`."""
+
+    packets: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    reorders: int = 0
+    corruptions: int = 0
+    per_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, action: str) -> None:
+        setattr(self, action, getattr(self, action) + 1)
+        key = (src, dst)
+        self.per_link[key] = self.per_link.get(key, 0) + 1
+
+
+class FaultPlan:
+    """A seeded, per-link schedule of network faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the plan's private RNG.  Two runs of the same workload
+        with the same seed inject *identical* faults (the simulation
+        engine is deterministic, so packets reach the plan in the same
+        order); this is what makes fuzz failures reproducible.
+    drop, duplicate, delay, reorder, corrupt, delay_max, reorder_max:
+        Default :class:`FaultSpec` rates applied to every link.
+    links:
+        Optional ``{(src_pe, dst_pe): FaultSpec}`` overrides for
+        individual directed links (e.g. drop only the ack direction).
+    """
+
+    def __init__(self, seed: int = 0, *, drop: float = 0.0,
+                 duplicate: float = 0.0, delay: float = 0.0,
+                 reorder: float = 0.0, corrupt: float = 0.0,
+                 delay_max: float = 40e-6, reorder_max: float = 120e-6,
+                 links: Optional[Dict[Tuple[int, int], FaultSpec]] = None) -> None:
+        self.seed = seed
+        self.default = FaultSpec(
+            drop=drop, duplicate=duplicate, delay=delay, reorder=reorder,
+            corrupt=corrupt, delay_max=delay_max, reorder_max=reorder_max,
+        )
+        self.default.validate()
+        self.links: Dict[Tuple[int, int], FaultSpec] = dict(links or {})
+        for spec in self.links.values():
+            spec.validate()
+        self.rng = random.Random(seed)
+        self.stats = FaultStats()
+
+    def spec_for(self, src: int, dst: int) -> FaultSpec:
+        """The effective spec for one directed link."""
+        return self.links.get((src, dst), self.default)
+
+    # ------------------------------------------------------------------
+    # per-packet decisions
+    # ------------------------------------------------------------------
+    def decide(self, src: int, dst: int) -> Tuple[bool, bool, list]:
+        """Decide the fate of one packet on link ``src -> dst``.
+
+        Returns ``(dropped, corrupted, copies)`` where ``copies`` is a
+        list of ``(extra_delay_seconds, keep_fifo, action)`` — one entry
+        per delivered copy (two when duplicated; drops return early with
+        none).  ``action`` names the timing fault (``"delay"``,
+        ``"reorder"``, ``"duplicate"``) or is ``None``.  The RNG is
+        consumed in a fixed order (drop, corrupt, duplicate, then
+        per-copy timing) so traces are reproducible.
+        """
+        spec = self.spec_for(src, dst)
+        r = self.rng
+        self.stats.packets += 1
+        if spec.drop and r.random() < spec.drop:
+            self.stats.record(src, dst, "drops")
+            return True, False, []
+        corrupted = bool(spec.corrupt) and r.random() < spec.corrupt
+        if corrupted:
+            self.stats.record(src, dst, "corruptions")
+        ncopies = 1
+        if spec.duplicate and r.random() < spec.duplicate:
+            self.stats.record(src, dst, "duplicates")
+            ncopies = 2
+        copies = []
+        for i in range(ncopies):
+            if spec.reorder and r.random() < spec.reorder:
+                self.stats.record(src, dst, "reorders")
+                copies.append((r.uniform(0.0, spec.reorder_max), False, "reorder"))
+            elif spec.delay and r.random() < spec.delay:
+                self.stats.record(src, dst, "delays")
+                copies.append((r.uniform(0.0, spec.delay_max), i == 0, "delay"))
+            elif i == 0:
+                copies.append((0.0, True, None))
+            else:
+                # The duplicate copy trails the original slightly and is
+                # never part of the channel's FIFO bookkeeping.
+                copies.append((r.uniform(0.0, spec.delay_max), False, "duplicate"))
+        return False, corrupted, copies
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"<FaultPlan seed={self.seed} drops={s.drops} dups={s.duplicates}"
+            f" delays={s.delays} reorders={s.reorders} corrupt={s.corruptions}>"
+        )
 
 
 class SendHandle:
@@ -96,12 +248,18 @@ class Network:
         self.stats = NetworkStats()
         self._last_arrival: Dict[Tuple[int, int], float] = {}
         self._seq = itertools.count()
+        #: optional :class:`FaultPlan`; ``None`` (the default) keeps the
+        #: delivery path identical to the fault-free implementation.
+        self.fault_plan: Optional[FaultPlan] = None
+        #: optional tracer (installed by the machine) for fault events.
+        self.tracer: Any = None
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _arrival_time(self, src: int, dst: int, nbytes: int) -> float:
-        wire = self.model.wire_time(nbytes, self.topology.hops(src, dst))
+    def _arrival_time(self, src: int, dst: int, nbytes: int,
+                      extra: float = 0.0) -> float:
+        wire = self.model.wire_time(nbytes, self.topology.hops(src, dst)) + extra
         t = self.engine.now + wire
         key = (src, dst)
         last = self._last_arrival.get(key)
@@ -127,13 +285,62 @@ class Network:
                 depart_delay, self._depart_later, src, dst, nbytes, payload, deliver
             )
         else:
-            t = self._arrival_time(src, dst, nbytes)
-            self.engine.schedule_at(t, deliver, payload)
+            self._launch(src, dst, nbytes, payload, deliver)
 
     def _depart_later(self, src: int, dst: int, nbytes: int, payload: Any,
                       deliver: Any = None) -> None:
-        t = self._arrival_time(src, dst, nbytes)
-        self.engine.schedule_at(t, deliver or self.nodes[dst].deliver, payload)
+        self._launch(src, dst, nbytes, payload, deliver or self.nodes[dst].deliver)
+
+    def _launch(self, src: int, dst: int, nbytes: int, payload: Any,
+                deliver: Any) -> None:
+        """Put one packet on the wire, applying the fault plan if any."""
+        plan = self.fault_plan
+        if plan is None:
+            t = self._arrival_time(src, dst, nbytes)
+            self.engine.schedule_at(t, deliver, payload)
+            return
+        dropped, corrupted, copies = plan.decide(src, dst)
+        if dropped:
+            self._trace_fault(src, dst, "drop", nbytes)
+            return
+        if corrupted:
+            self._trace_fault(src, dst, "corrupt", nbytes)
+            if hasattr(payload, "corrupted"):
+                payload.corrupted = True
+            # Payloads without a corruption flag (raw native-layer sends)
+            # arrive damaged but undetectably so, like checksum-less
+            # hardware; the decision still burned RNG draws so the
+            # schedule stays seed-reproducible.
+        for extra, keep_fifo, action in copies:
+            if keep_fifo:
+                t = self._arrival_time(src, dst, nbytes, extra=extra)
+            else:
+                # Reordered/duplicate copies leave the channel's FIFO
+                # bookkeeping: later sends may overtake them.
+                wire = self.model.wire_time(nbytes, self.topology.hops(src, dst))
+                t = self.engine.now + wire + extra
+            if action is not None:
+                self._trace_fault(src, dst, action, nbytes)
+            self.engine.schedule_at(t, deliver, payload)
+
+    def _trace_fault(self, src: int, dst: int, action: str, nbytes: int) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                src, self.engine.now, "fault",
+                {"action": action, "dst": dst, "size": nbytes},
+            )
+
+    # ------------------------------------------------------------------
+    # protocol injection (reliable-delivery layer)
+    # ------------------------------------------------------------------
+    def inject(self, src_pe: int, dst: int, nbytes: int, payload: Any) -> None:
+        """Schedule a delivery without charging any sender CPU time.
+
+        Used by the CMI reliability protocol for acknowledgements and
+        retransmissions, which run at "interrupt level" (engine callbacks,
+        outside any tasklet) — modelled as NIC-driven transfers that cost
+        wire time but no processor time.  Fault injection applies."""
+        self._schedule_delivery(src_pe, dst, nbytes, payload)
 
     # ------------------------------------------------------------------
     # synchronous send

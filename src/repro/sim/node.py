@@ -55,6 +55,10 @@ class Node:
         self.runtime: Any = None
         #: observers called on every delivery, e.g. tracing.
         self._delivery_hooks: list[Callable[[Any], None]] = []
+        #: optional arrival interceptor (the CMI reliable-delivery layer):
+        #: runs *before* the inbox, at "interrupt level", and may consume
+        #: protocol packets entirely.
+        self._interceptor: Optional[Callable[[Any], bool]] = None
 
     # ------------------------------------------------------------------
     # CPU time
@@ -85,11 +89,26 @@ class Node:
     # ------------------------------------------------------------------
     # inbox
     # ------------------------------------------------------------------
+    def set_interceptor(self, fn: Callable[[Any], bool]) -> None:
+        """Install the arrival interceptor.  ``fn(payload)`` runs on every
+        network delivery before any inbox/stats processing; returning True
+        consumes the payload (it never reaches the inbox).  One
+        interceptor per node — it is the machine layer's driver, not an
+        observer (observers use :meth:`add_delivery_hook`)."""
+        if self._interceptor is not None:
+            raise SimulationError(
+                f"PE {self.pe} already has an arrival interceptor"
+            )
+        self._interceptor = fn
+
     def deliver(self, payload: Any) -> None:
         """Network-facing: append an arrival and wake blocked tasklets.
 
         Runs inside an engine event callback (never in a tasklet).
         """
+        interceptor = self._interceptor
+        if interceptor is not None and interceptor(payload):
+            return
         self.inbox.append(payload)
         self.stats.msgs_received += 1
         self.stats.bytes_received += getattr(payload, "size", 0) or 0

@@ -34,6 +34,15 @@ class PeProfile:
     bytes_sent: int = 0
     #: total virtual time spent inside handlers.
     handler_time: float = 0.0
+    # --- fault injection / reliable delivery --------------------------
+    #: network faults injected on links *leaving* this PE, by action.
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: reliability-protocol retransmissions initiated by this PE.
+    retransmits: int = 0
+    #: duplicates this PE's reliable layer suppressed.
+    dups_suppressed: int = 0
+    #: in-order messages the reliable layer released to the app here.
+    rel_released: int = 0
 
 
 @dataclass
@@ -59,6 +68,21 @@ class TraceSummary:
         if not self.profiles:
             return None
         return max(self.profiles.values(), key=lambda p: p.handlers).pe
+
+    def fault_totals(self) -> Dict[str, int]:
+        """Machine-wide fault and reliability counters derived from the
+        trace: injected faults by action, plus the protocol's responses
+        (retransmits, suppressed duplicates, released messages)."""
+        totals: Dict[str, int] = {}
+        for p in self.profiles.values():
+            for action, n in p.faults.items():
+                totals[action] = totals.get(action, 0) + n
+            totals["retransmits"] = totals.get("retransmits", 0) + p.retransmits
+            totals["dups_suppressed"] = (
+                totals.get("dups_suppressed", 0) + p.dups_suppressed
+            )
+            totals["rel_released"] = totals.get("rel_released", 0) + p.rel_released
+        return totals
 
 
 def summarize(tracer: MemoryTracer) -> TraceSummary:
@@ -94,6 +118,15 @@ def summarize(tracer: MemoryTracer) -> TraceSummary:
             p.threads_created += 1
         elif ev.kind == "object_create":
             p.objects_created += 1
+        elif ev.kind == "fault":
+            action = str(ev.fields.get("action", "?"))
+            p.faults[action] = p.faults.get(action, 0) + 1
+        elif ev.kind == "rel_retransmit":
+            p.retransmits += 1
+        elif ev.kind == "rel_dup":
+            p.dups_suppressed += 1
+        elif ev.kind == "rel_release":
+            p.rel_released += 1
     return s
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Tuple
 
-__all__ = ["STANDARD_KINDS", "TraceEvent", "SchemaDeclaration"]
+__all__ = ["STANDARD_KINDS", "FAULT_KINDS", "TraceEvent", "SchemaDeclaration"]
 
 #: Event kinds every language implementation must emit (the "standard
 #: format").  Runtime-internal kinds (enqueue/dequeue/...) are also listed
@@ -41,6 +41,24 @@ STANDARD_KINDS = frozenset(
         "idle_end",
         "converse_exit",
         "user",            # language-specific event (self-describing part)
+    }
+)
+
+#: Event kinds emitted by the fault-injection network and the CMI
+#: reliable-delivery protocol.  Not part of the paper's mandatory
+#: standard format (``TraceEvent.standard`` is False for them) but
+#: emitted uniformly by the core so tools can audit hostile-network runs:
+#: every injected fault and every protocol reaction is in the trace.
+FAULT_KINDS = frozenset(
+    {
+        "fault",           # the network injected a fault (fields: action, dst, size)
+        "rel_data",        # a reliable data packet was first transmitted
+        "rel_retransmit",  # retransmission after an ack timeout
+        "rel_giveup",      # retry cap exhausted (a RetryExhaustedError follows)
+        "rel_release",     # an in-order message was released to the app
+        "rel_dup",         # a duplicate data packet was suppressed
+        "rel_hold",        # an out-of-order packet entered the reassembly buffer
+        "rel_corrupt",     # a corrupted packet was detected and discarded
     }
 )
 

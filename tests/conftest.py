@@ -12,6 +12,17 @@ from repro.sim.machine import Machine
 from repro.sim.models import GENERIC, MachineModel
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seeds",
+        type=int,
+        default=25,
+        help="number of fault-plan seeds the schedule-fuzzing harness in "
+        "tests/faults sweeps (each seed is a fully deterministic run; a "
+        "failing seed value reproduces the failure exactly)",
+    )
+
+
 @pytest.fixture
 def machine2() -> Machine:
     m = Machine(2, model=GENERIC)

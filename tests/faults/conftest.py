@@ -1,0 +1,24 @@
+"""Seed-sweep plumbing for the schedule-fuzzing harness.
+
+Any test in this package taking a ``fault_seed`` argument is parametrized
+over ``range(--seeds)`` (default 25, see ``tests/conftest.py``).  Each
+seed names one fully deterministic hostile schedule: to reproduce a CI
+failure locally, run the failing test id — the seed in its parametrized
+name is the entire repro.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_generate_tests(metafunc):
+    if "fault_seed" in metafunc.fixturenames:
+        n = metafunc.config.getoption("--seeds")
+        metafunc.parametrize("fault_seed", range(n))
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "/tests/faults/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.faults)

@@ -1,0 +1,129 @@
+"""Unit tests for the CMI reliable-delivery layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, Machine, ReliableConfig, api
+from repro.core.errors import RetryExhaustedError
+from repro.sim.models import GENERIC
+
+
+def _one_way(faults, reliable, payloads=("a", "b", "c")):
+    """PE 0 sends ``payloads`` to PE 1; returns (received, machine stats)."""
+    with Machine(2, model=GENERIC, faults=faults, reliable=reliable) as m:
+        got = []
+
+        def main():
+            me = api.CmiMyPe()
+
+            def on_msg(msg):
+                got.append(msg.payload)
+                if len(got) == len(payloads):
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_msg, "t.msg")
+            if me == 0:
+                for p in payloads:
+                    api.CmiSyncSend(1, api.CmiNew(h, p))
+            else:
+                api.CsdScheduler(-1)
+
+        m.launch(main)
+        reason = m.run()
+        rel = [m.runtime(pe).reliable for pe in range(2)]
+        return got, reason, rel
+
+
+def test_clean_network_delivers_with_zero_retransmits():
+    got, reason, rel = _one_way(None, True)
+    assert got == ["a", "b", "c"]
+    assert reason == "quiescent"
+    assert rel[0].stats.retransmits == 0
+    assert rel[0].stats.acks_received == 3
+    assert rel[1].stats.delivered == 3
+    assert rel[0].in_flight == 0
+
+
+def test_dropped_data_is_retransmitted():
+    plan = FaultPlan(11, links={(0, 1): FaultSpec(drop=0.5)})
+    got, reason, rel = _one_way(plan, True)
+    assert got == ["a", "b", "c"]
+    assert rel[0].stats.retransmits > 0
+    assert rel[1].stats.delivered == 3
+    assert rel[0].in_flight == 0
+
+
+def test_lost_acks_cause_dup_suppression():
+    """Drops only on the 1->0 (ack) direction: every data packet arrives,
+    but lost acks force retransmits whose copies the receiver must drop."""
+    plan = FaultPlan(13, links={(1, 0): FaultSpec(drop=0.6)})
+    got, reason, rel = _one_way(plan, True, payloads=tuple(range(8)))
+    assert got == list(range(8))
+    assert rel[0].stats.retransmits > 0
+    assert rel[1].stats.dup_dropped > 0
+    assert rel[1].stats.delivered == 8
+
+
+def test_corrupt_data_detected_and_recovered():
+    plan = FaultPlan(17, links={(0, 1): FaultSpec(corrupt=0.5)})
+    got, reason, rel = _one_way(plan, True, payloads=tuple(range(6)))
+    assert got == list(range(6))
+    assert rel[1].stats.corrupt_dropped > 0
+    assert rel[1].stats.delivered == 6
+
+
+def test_dead_link_raises_retry_exhausted():
+    plan = FaultPlan(5, links={(0, 1): FaultSpec(drop=1.0)})
+    cfg = ReliableConfig(max_retries=4)
+    with pytest.raises(RetryExhaustedError):
+        with Machine(2, model=GENERIC, faults=plan, reliable=cfg) as m:
+            def main():
+                me = api.CmiMyPe()
+                h = api.CmiRegisterHandler(lambda msg: None, "t.msg")
+                if me == 0:
+                    api.CmiSyncSend(1, api.CmiNew(h, "doomed"))
+                api.CsdScheduler(-1)
+
+            m.launch(main)
+            m.run()
+
+
+def test_retry_exhaustion_is_deterministic():
+    """The giveup happens at the same virtual time with the same stats on
+    every run of the same seed."""
+    def run_once():
+        plan = FaultPlan(5, links={(0, 1): FaultSpec(drop=1.0)})
+        cfg = ReliableConfig(max_retries=3)
+        m = Machine(2, model=GENERIC, faults=plan, reliable=cfg)
+        try:
+            def main():
+                me = api.CmiMyPe()
+                h = api.CmiRegisterHandler(lambda msg: None, "t.msg")
+                if me == 0:
+                    api.CmiSyncSend(1, api.CmiNew(h, "doomed"))
+                api.CsdScheduler(-1)
+
+            m.launch(main)
+            with pytest.raises(RetryExhaustedError):
+                m.run()
+            return (m.now, m.runtime(0).reliable.stats.retransmits,
+                    m.fault_plan.stats.drops)
+        finally:
+            m.shutdown()
+
+    assert run_once() == run_once()
+
+
+def test_reliability_preserves_per_sender_order_under_reorder():
+    plan = FaultPlan(23, links={(0, 1): FaultSpec(reorder=0.6,
+                                                  reorder_max=200e-6)})
+    got, reason, rel = _one_way(plan, True, payloads=tuple(range(12)))
+    assert got == list(range(12))
+    assert rel[1].stats.held_out_of_order > 0
+
+
+def test_enable_reliability_is_idempotent():
+    with Machine(2, model=GENERIC, reliable=True) as m:
+        rel = m.runtime(0).reliable
+        assert m.runtime(0).enable_reliability() is rel

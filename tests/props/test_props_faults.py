@@ -1,0 +1,43 @@
+"""Property-based tests: reliability gives exactly-once, per-sender-FIFO
+delivery for *any* fault mix in [0, 0.3] and any seed.
+
+Hypothesis explores the (rates x seed) space; each example is one fully
+deterministic simulated run, so shrunk counterexamples replay exactly.
+Example counts are small — each example spins up a whole machine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from tests.faults.harness import hostile_plan, run_pingpong, run_quiescence
+
+rates = st.floats(min_value=0.0, max_value=0.3, allow_nan=False,
+                  allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, drop=rates, duplicate=rates, reorder=rates)
+def test_pingpong_exactly_once_any_mix(seed, drop, duplicate, reorder):
+    r = run_pingpong(rounds=6,
+                     faults=hostile_plan(seed, drop=drop,
+                                         duplicate=duplicate,
+                                         reorder=reorder),
+                     reliable=True)
+    assert r["reason"] == "quiescent"
+    # exactly-once AND per-sender order: the received lists must equal
+    # the expected sequences, not merely contain them
+    assert r["recv"] == r["expected"]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, drop=rates, corrupt=rates)
+def test_quiescence_exact_tally_any_mix(seed, drop, corrupt):
+    r = run_quiescence(num_pes=3, seeds_per_pe=1, ttl=3,
+                       faults=hostile_plan(seed, drop=drop,
+                                           corrupt=corrupt),
+                       reliable=True)
+    assert r["reason"] == "quiescent"
+    assert r["total_handled"] == r["expected_total"]
+    assert r["declared"] == 1
