@@ -1,7 +1,10 @@
 PY      ?= python
 SEEDS   ?= 25
+# Workload size multiplier and repeats for the wall-clock throughput suite.
+PERF_SCALE   ?= 1.0
+PERF_REPEATS ?= 3
 
-.PHONY: test fuzz bench
+.PHONY: test fuzz bench perf
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -15,3 +18,11 @@ fuzz:
 
 bench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Wall-clock simulator throughput per switch backend (thread baseline,
+# greenlet when installed via `pip install -e .[fast]`).  Writes the
+# perf-trajectory report every later PR regresses against.
+perf:
+	PYTHONPATH=src $(PY) -m repro.bench throughput \
+		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
+		--out BENCH_throughput.json

@@ -1,0 +1,47 @@
+"""THROUGHPUT — wall-clock simulator speed per tasklet switch backend.
+
+Unlike the figure benchmarks (virtual-time latency curves from the
+paper), this file measures the *simulator itself*: delivered messages per
+wall-clock second on five message-dense workloads, once per available
+switch backend.  pytest-benchmark times each (workload, backend) cell; a
+summary table and ``benchmarks/reports/throughput.txt`` record the rates.
+
+``make perf`` runs the same suite through ``python -m repro.bench
+throughput`` and writes ``BENCH_throughput.json`` at the repo root — the
+perf trajectory later PRs regress against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import banner, emit_report
+from repro.bench.throughput import WORKLOADS, run_workload
+from repro.sim.switching import available_backends
+
+#: keep pytest-benchmark runs quick; ``make perf`` uses full scale.
+BENCH_SCALE = 0.25
+
+_rates: dict = {}
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_throughput(benchmark, workload: str, backend: str) -> None:
+    result = benchmark.pedantic(
+        run_workload, args=(workload,),
+        kwargs={"backend": backend, "scale": BENCH_SCALE},
+        rounds=3, iterations=1,
+    )
+    _rates[(workload, backend)] = result["msgs_per_sec"]
+    assert result["messages"] > 0
+    assert result["msgs_per_sec"] > 0
+
+
+def teardown_module(_module) -> None:
+    if not _rates:
+        return
+    lines = [banner("Simulator throughput (wall clock, msgs/sec)")]
+    for (workload, backend), rate in sorted(_rates.items()):
+        lines.append(f"  {workload:16s} {backend:9s} {rate:>12,.0f} msgs/sec")
+    emit_report("throughput", "\n".join(lines))

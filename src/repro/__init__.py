@@ -35,6 +35,7 @@ from repro.core.message import BitVector, Message
 from repro.machine.cmi import ReliableConfig
 from repro.sim.machine import Machine, run_spmd
 from repro.sim.network import FaultPlan, FaultSpec
+from repro.sim.switching import available_backends, best_backend_name
 from repro.sim.models import (
     ALL_MODELS,
     ATM_HP,
@@ -56,6 +57,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "ReliableConfig",
+    "available_backends",
+    "best_backend_name",
     "ConverseError",
     "MachineModel",
     "GENERIC",

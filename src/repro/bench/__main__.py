@@ -7,6 +7,11 @@
 Prints the same paper-vs-measured tables the benchmark suite produces
 (without pytest-benchmark's wall-clock layer) — handy for eyeballing
 model changes quickly.
+
+The ``throughput`` subcommand instead measures *wall-clock* simulator
+throughput per tasklet switch backend (see :mod:`repro.bench.throughput`):
+
+    python -m repro.bench throughput --out BENCH_throughput.json
 """
 
 from __future__ import annotations
@@ -31,6 +36,12 @@ FIGURES = {
 
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "throughput":
+        from repro.bench.throughput import main as throughput_main
+
+        return throughput_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the Converse paper's latency figures.",

@@ -60,6 +60,19 @@ class CsdScheduler:
         self._depth = 0
         #: total messages delivered to handlers via this scheduler.
         self.delivered = 0
+        #: the idle-wait predicate, hoisted: one bound method per
+        #: scheduler instead of a fresh closure allocated on every idle
+        #: cycle of the run() loop.
+        self._idle_wake = self._idle_wake_predicate
+
+    def _idle_wake_predicate(self) -> bool:
+        """True when an idling scheduler loop has a reason to wake up:
+        network input, queued work, or an exit request."""
+        return bool(
+            self.runtime.has_pending_network
+            or len(self.queue)
+            or self._stop_requests > 0
+        )
 
     # ------------------------------------------------------------------
     # queue side
@@ -76,12 +89,14 @@ class CsdScheduler:
         Charges ``enqueue_cost`` — this is the cost the Figure 6
         experiment isolates.
         """
-        node = self.runtime.node
+        rt = self.runtime
+        node = rt.node
         if msg.cmi_owned:
             msg.grab()
         self.queue.push(msg, msg.prio if prio is None else prio)
-        node.charge(self.runtime.model.enqueue_cost)
-        self.runtime.trace_event("enqueue", handler=msg.handler)
+        node.charge(rt.model.enqueue_cost)
+        if rt.tracing:
+            rt.trace_event("enqueue", handler=msg.handler)
         # Another tasklet on this PE may be idling inside the scheduler.
         node.kick()
 
@@ -130,10 +145,11 @@ class CsdScheduler:
         msg = self.queue.pop()
         if msg is None:
             return False
-        node = self.runtime.node
-        node.charge(self.runtime.model.dequeue_cost)
-        self.runtime.trace_event("dequeue", handler=msg.handler)
-        self.runtime.invoke_handler(msg, from_queue=True)
+        rt = self.runtime
+        rt.node.charge(rt.model.dequeue_cost)
+        if rt.tracing:
+            rt.trace_event("dequeue", handler=msg.handler)
+        rt.invoke_handler(msg, from_queue=True)
         self.delivered += 1
         return True
 
@@ -178,12 +194,9 @@ class CsdScheduler:
                 if self.runtime.has_pending_network:
                     continue
                 # Idle: block until something arrives, is enqueued, or an
-                # exit request lands.
-                node.wait_until(
-                    lambda: self.runtime.has_pending_network
-                    or len(self.queue)
-                    or self._stop_requests > 0
-                )
+                # exit request lands (one hoisted predicate — no closure
+                # allocation per idle cycle).
+                node.wait_until(self._idle_wake)
         finally:
             self._depth -= 1
         return count

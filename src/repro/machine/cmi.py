@@ -167,7 +167,8 @@ class ReliableDelivery:
         pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto)
         self._pending[(dest_pe, seq)] = pending
         self.stats.data_sent += 1
-        self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
         pkt = RelPacket("data", self.node.pe, dest_pe, seq, msg, nbytes)
         handle: Optional[SendHandle] = None
         if asynchronous:
@@ -252,12 +253,14 @@ class ReliableDelivery:
         expected = self._expected.get(src, 0)
         if pkt.seq < expected:
             self.stats.dup_dropped += 1
-            self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
             return
         held = self._held.setdefault(src, {})
         if pkt.seq in held:
             self.stats.dup_dropped += 1
-            self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
             return
         if pkt.seq > expected:
             held[pkt.seq] = pkt.inner
@@ -285,7 +288,8 @@ class ReliableDelivery:
         blocked-tasklet wakeups identical to unreliable delivery (the
         interceptor passes plain Messages straight through)."""
         self.stats.delivered += 1
-        self.runtime.trace_event("rel_release", src=src, seq=seq)
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_release", src=src, seq=seq)
         self.node.deliver(inner)
 
     @property
@@ -410,7 +414,8 @@ class CMI:
         self.runtime.check_active()
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
-        self.runtime.trace_event("send", dest=dest_pe, size=msg.size, handler=msg.handler)
+        if self.runtime.tracing:
+            self.runtime.trace_event("send", dest=dest_pe, size=msg.size, handler=msg.handler)
         if self._reliable is not None:
             self._reliable.send(dest_pe, self._wire_copy(msg),
                                 extra_send_cost=self.model.cvs_send_extra)
@@ -427,9 +432,11 @@ class CMI:
         self.runtime.check_active()
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
-        self.runtime.trace_event(
-            "send", dest=dest_pe, size=msg.size, handler=msg.handler, asynchronous=True
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "send", dest=dest_pe, size=msg.size, handler=msg.handler,
+                asynchronous=True,
+            )
         if self._reliable is not None:
             return self._reliable.send(dest_pe, self._wire_copy(msg),
                                        extra_send_cost=self.model.cvs_send_extra,
@@ -450,9 +457,11 @@ class CMI:
         self.runtime.check_active()
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
-        self.runtime.trace_event(
-            "send", dest=dest_pe, size=msg.size, handler=msg.handler, immediate=True
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "send", dest=dest_pe, size=msg.size, handler=msg.handler,
+                immediate=True,
+            )
         self.network.sync_send(
             self.node, dest_pe, msg.size, self._wire_copy(msg),
             extra_send_cost=self.model.cvs_send_extra, immediate=True,
@@ -483,9 +492,11 @@ class CMI:
         msg = Message(handler_id, payload, size=len(payload), src_pe=self.node.pe)
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
-        self.runtime.trace_event(
-            "send", dest=dest_pe, size=msg.size, handler=handler_id, vector=len(pieces)
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "send", dest=dest_pe, size=msg.size, handler=handler_id,
+                vector=len(pieces),
+            )
         if self._reliable is not None:
             return self._reliable.send(dest_pe, msg,
                                        extra_send_cost=self.model.cvs_send_extra,
@@ -503,9 +514,11 @@ class CMI:
         dests = self.num_pes() - (0 if include_self else 1)
         self.node.stats.msgs_sent += dests
         self.node.stats.bytes_sent += msg.size * dests
-        self.runtime.trace_event(
-            "broadcast", size=msg.size, handler=msg.handler, include_self=include_self
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "broadcast", size=msg.size, handler=msg.handler,
+                include_self=include_self,
+            )
         if self._reliable is not None:
             # A reliable broadcast is per-destination reliable sends: every
             # copy needs its own sequence number, ack and retransmission

@@ -28,7 +28,9 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from repro.core.errors import NotInTaskletError, SimulationError
-from repro.sim.tasklet import Tasklet
+from repro.sim.context import _set_current
+from repro.sim.switching import SwitchBackend, resolve_backend
+from repro.sim.tasklet import BaseTasklet as Tasklet
 
 __all__ = ["ScheduledEvent", "SimEngine"]
 
@@ -42,6 +44,10 @@ class ScheduledEvent:
     skipped when popped — but the owning engine tracks the number of
     cancelled entries and compacts the heap when they dominate, so
     schedule/cancel-heavy protocols (retransmission timers) do not leak.
+
+    Cancelling also drops the ``callback``/``args`` references at once:
+    a cancelled retransmission timer must not keep its message buffer
+    alive until heap compaction gets around to evicting the entry.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine")
@@ -56,12 +62,16 @@ class ScheduledEvent:
         self.engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent."""
+        """Prevent the callback from firing and release the callback and
+        argument references immediately.  Idempotent."""
         if self.cancelled:
             return
         self.cancelled = True
-        if self.engine is not None:
-            self.engine._note_cancelled()
+        self.callback = None
+        self.args = ()
+        engine, self.engine = self.engine, None
+        if engine is not None:
+            engine._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -84,7 +94,10 @@ class SimEngine:
     #: would exceed the memory it reclaims).
     COMPACT_MIN_HEAP = 64
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Any = None) -> None:
+        #: the tasklet switch backend (see :mod:`repro.sim.switching`):
+        #: ``None``/name/"fast"/instance, resolved once at construction.
+        self.backend: SwitchBackend = resolve_backend(backend)
         self.now: float = 0.0
         self._heap: List[ScheduledEvent] = []
         self._cancelled: int = 0
@@ -184,7 +197,7 @@ class SimEngine:
         transfer resumes it — this is how ``CthCreate`` builds threads that
         are not yet awakened.
         """
-        t = Tasklet(self, fn, name=name, node=node)
+        t = self.backend.create(self, fn, name=name, node=node)
         self._tasklets.append(t)
         if start:
             self.make_ready(t)
@@ -215,15 +228,25 @@ class SimEngine:
         Fast path: when no other tasklet is ready and no event is due
         before the wake-up time, the clock simply advances in place — the
         outcome is observationally identical (nothing else could have run
-        in between) and it avoids two thread context switches.
+        in between) and it avoids two context switches.
         """
-        t = self.require_tasklet()
         if duration < 0:
             raise SimulationError(f"cannot sleep a negative duration ({duration})")
+        self.sleep_current(self.require_tasklet(), duration)
+
+    def sleep_current(self, t: Tasklet, duration: float) -> None:
+        """:meth:`sleep` minus the validation — for hot callers
+        (``Node.charge``) that already hold the current tasklet and have
+        validated ``duration``."""
         wake = self.now + duration
         if not self._ready and (self._run_until is None or wake <= self._run_until):
-            head = self._heap[0] if self._heap else None
-            if head is None or head.time >= wake:
+            # Cancelled entries at the head of the heap are dead weight:
+            # prune them now so they cannot veto the in-place advance.
+            heap = self._heap
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            if not heap or heap[0].time >= wake:
                 self.now = wake
                 return
         self.schedule(duration, self.make_ready, t)
@@ -289,15 +312,19 @@ class SimEngine:
             raise SimulationError("SimEngine.run() must not be called from a tasklet")
         self._running = True
         self._run_until = until
+        # The ready deque object is stable for the lifetime of a run()
+        # (only shutdown() replaces engine state), so hoist it; the heap
+        # must be re-read each pass because compaction rebinds it.
+        ready = self._ready
         try:
             fired = 0
             while True:
                 # Drain tasklets that are runnable at this instant first;
                 # events only fire when the instant's work is finished.
-                while self._ready:
+                while ready:
                     if self._failure is not None:
                         raise self._failure
-                    t = self._ready.popleft()
+                    t = ready.popleft()
                     if t.finished:
                         continue
                     t.ready = False
@@ -335,15 +362,13 @@ class SimEngine:
 
     def _run_tasklet(self, t: Tasklet) -> None:
         """Hand the baton to ``t`` and wait for it to come back."""
-        from repro.sim import context
-
         self._current = t
-        context._set_current(t)
+        _set_current(t)
         try:
             t.resume_from_engine()
         finally:
             self._current = None
-            context._set_current(None)
+            _set_current(None)
 
     # ------------------------------------------------------------------
     # shutdown

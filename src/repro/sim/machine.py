@@ -73,17 +73,25 @@ class Machine:
         every PE's sends in the CMI reliable-delivery protocol with
         default tuning; a :class:`~repro.machine.cmi.ReliableConfig` —
         the same with explicit tuning.
+    backend:
+        Tasklet switch backend (see :mod:`repro.sim.switching`):
+        ``None`` (default — the ``REPRO_SIM_BACKEND`` env var, else the
+        portable ``"thread"`` baton), ``"thread"``, ``"greenlet"``, or
+        ``"fast"``/``"auto"`` for the quickest available.  Backends are
+        observationally identical — same schedules, byte-identical
+        traces — and differ only in wall-clock switch cost.
     """
 
     def __init__(self, num_pes: int, model: MachineModel = GENERIC,
                  queue: Any = "fifo", ldb: str = "direct",
                  trace: Any = False, echo: bool = False, seed: int = 0,
-                 faults: Any = None, reliable: Any = False) -> None:
+                 faults: Any = None, reliable: Any = False,
+                 backend: Any = None) -> None:
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
         self.model = model
-        self.engine = SimEngine()
+        self.engine = SimEngine(backend=backend)
         self.topology = make_topology(model.topology, num_pes)
         self.network = Network(self.engine, model, self.topology)
         self.console = Console(self, echo=echo)
@@ -171,6 +179,11 @@ class Machine:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self.engine.now
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the tasklet switch backend this machine runs on."""
+        return self.engine.backend.name
 
     # ------------------------------------------------------------------
     # launching user code

@@ -271,13 +271,11 @@ class Network:
     def _schedule_delivery(self, src: int, dst: int, nbytes: int, payload: Any,
                            depart_delay: float = 0.0,
                            immediate: bool = False) -> None:
-        if dst not in self.nodes:
+        node = self.nodes.get(dst)
+        if node is None:
             raise SimulationError(f"no node with PE number {dst}")
         self.stats.record(src, dst, nbytes)
-        deliver = (
-            self.nodes[dst].deliver_immediate if immediate
-            else self.nodes[dst].deliver
-        )
+        deliver = node.deliver_immediate if immediate else node.deliver
         if depart_delay > 0.0:
             # Async send: the wire transfer starts once the local engine
             # finishes with the buffer.

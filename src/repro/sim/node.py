@@ -68,18 +68,21 @@ class Node:
 
         Must be called from a tasklet that belongs to this node; the
         tasklet sleeps, so other PEs (and the network) progress meanwhile.
-        Zero-cost charges return immediately without a context switch.
+        Zero-cost charges return immediately without a context switch, and
+        when nothing else can interleave (no ready tasklet, no earlier
+        event) the clock advances in place without parking at all.
         """
         if dt < 0:
             raise SimulationError(f"cannot charge negative time ({dt})")
         self.stats.busy_time += dt
         if dt > 0.0:
-            cur = self.engine.current_tasklet
+            engine = self.engine
+            cur = engine._current
             if cur is None or cur.node is not self:
                 raise SimulationError(
                     f"charge() on PE {self.pe} from a tasklet not on this PE"
                 )
-            self.engine.sleep(dt)
+            engine.sleep_current(cur, dt)
 
     @property
     def now(self) -> float:
@@ -110,12 +113,17 @@ class Node:
         if interceptor is not None and interceptor(payload):
             return
         self.inbox.append(payload)
-        self.stats.msgs_received += 1
-        self.stats.bytes_received += getattr(payload, "size", 0) or 0
-        for hook in self._delivery_hooks:
-            hook(payload)
-        while self._waiters:
-            self.engine.make_ready(self._waiters.popleft())
+        stats = self.stats
+        stats.msgs_received += 1
+        stats.bytes_received += getattr(payload, "size", 0) or 0
+        if self._delivery_hooks:
+            for hook in self._delivery_hooks:
+                hook(payload)
+        waiters = self._waiters
+        if waiters:
+            make_ready = self.engine.make_ready
+            while waiters:
+                make_ready(waiters.popleft())
 
     def add_delivery_hook(self, hook: Callable[[Any], None]) -> None:
         """Register an observer invoked on every arrival (tracing)."""

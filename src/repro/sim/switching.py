@@ -1,0 +1,168 @@
+"""Pluggable tasklet switch backends — need-based cost for context switches.
+
+The paper's central design rule is that modules pay only for the features
+they use; the simulator applies the same rule to its own machinery.  A
+tasklet park/resume is the hottest operation in the whole system (every
+delivered message crosses it at least once), and the portable
+implementation — an OS-thread baton — costs two scheduler round-trips,
+roughly 10 µs.  Where the optional `greenlet <https://pypi.org/project/
+greenlet/>`_ package is installed, the same discipline can run as an
+in-process stack switch costing ~100 ns, with byte-identical traces.
+
+This module is the seam between the two:
+
+* :class:`ThreadSwitchBackend` — the default, dependency-free backend;
+  always available.
+* :class:`GreenletSwitchBackend` — the fast backend; available when
+  ``greenlet`` is importable (install the ``repro[fast]`` extra).
+
+Selection (first match wins):
+
+1. ``Machine(backend=...)`` / ``SimEngine(backend=...)`` with a backend
+   name, ``"fast"``/``"auto"``, or a :class:`SwitchBackend` instance;
+2. the ``REPRO_SIM_BACKEND`` environment variable (same values);
+3. the portable default, ``"thread"`` — no environment without greenlet
+   ever breaks, it is merely slower.
+
+``"fast"`` and ``"auto"`` pick the quickest *available* backend and never
+fail; naming ``"greenlet"`` explicitly raises when it is not installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Type, Union
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "ENV_VAR",
+    "SwitchBackend",
+    "ThreadSwitchBackend",
+    "GreenletSwitchBackend",
+    "BACKENDS",
+    "available_backends",
+    "best_backend_name",
+    "resolve_backend",
+]
+
+#: environment variable consulted when no explicit backend is requested.
+ENV_VAR = "REPRO_SIM_BACKEND"
+
+
+class SwitchBackend:
+    """Factory for tasklets of one switching flavour.
+
+    A backend is stateless; engines share instances freely.  Subclasses
+    set :attr:`name` and implement :meth:`create`.
+    """
+
+    #: the name the backend is selected by.
+    name: str = "?"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current interpreter."""
+        return True
+
+    def create(self, engine: Any, fn: Callable[[], Any], name: str = "tasklet",
+               node: Any = None) -> Any:
+        """Build one tasklet managed by this backend."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SwitchBackend {self.name!r}>"
+
+
+class ThreadSwitchBackend(SwitchBackend):
+    """OS-thread baton switching: portable, dependency-free, ~10 µs per
+    switch.  The default."""
+
+    name = "thread"
+
+    def create(self, engine: Any, fn: Callable[[], Any], name: str = "tasklet",
+               node: Any = None) -> Any:
+        from repro.sim.tasklet import Tasklet
+
+        return Tasklet(engine, fn, name=name, node=node)
+
+
+class GreenletSwitchBackend(SwitchBackend):
+    """Greenlet stack switching: ~100 ns per switch, no OS threads.
+
+    Requires the ``greenlet`` package (the ``repro[fast]`` extra).
+    Semantics are identical to the thread backend — same park/resume/
+    transfer/kill behaviour, byte-identical traces — because both sides
+    of the baton run the same engine code; only the hand-off mechanism
+    differs.
+    """
+
+    name = "greenlet"
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import greenlet  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def create(self, engine: Any, fn: Callable[[], Any], name: str = "tasklet",
+               node: Any = None) -> Any:
+        from repro.sim._greenlet_backend import GreenletTasklet
+
+        return GreenletTasklet(engine, fn, name=name, node=node)
+
+
+#: registry of selectable backends, in preference order for ``"fast"``.
+BACKENDS: Dict[str, Type[SwitchBackend]] = {
+    "greenlet": GreenletSwitchBackend,
+    "thread": ThreadSwitchBackend,
+}
+
+#: aliases that mean "the quickest available backend".
+_FAST_ALIASES = ("fast", "auto", "best")
+
+
+def available_backends() -> List[str]:
+    """Names of the backends usable in this interpreter (always includes
+    ``"thread"``)."""
+    return [name for name, cls in BACKENDS.items() if cls.available()]
+
+
+def best_backend_name() -> str:
+    """The quickest available backend's name (what ``"fast"`` resolves
+    to)."""
+    for name, cls in BACKENDS.items():
+        if cls.available():
+            return name
+    raise SimulationError("no switch backend available")  # pragma: no cover
+
+
+def resolve_backend(spec: Union[None, str, SwitchBackend] = None) -> SwitchBackend:
+    """Turn a backend specification into a :class:`SwitchBackend`.
+
+    ``spec`` may be ``None`` (consult :data:`ENV_VAR`, default
+    ``"thread"``), a backend name, one of the fast aliases, or an already
+    constructed backend (returned as-is, for tests that stub switching).
+    """
+    if isinstance(spec, SwitchBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_VAR) or "thread"
+    key = spec.strip().lower()
+    if key in _FAST_ALIASES:
+        key = best_backend_name()
+    cls = BACKENDS.get(key)
+    if cls is None:
+        raise SimulationError(
+            f"unknown switch backend {spec!r}; choose from "
+            f"{', '.join(sorted(BACKENDS))} or fast/auto"
+        )
+    if not cls.available():
+        raise SimulationError(
+            f"switch backend {key!r} is not available in this environment "
+            "(install the repro[fast] extra for greenlet support, or use "
+            "backend='fast' to fall back automatically)"
+        )
+    return cls()

@@ -140,7 +140,8 @@ class CthModule:
             raise ThreadError(f"thread function must be callable, got {fn!r}")
         self.threads_created += 1
         thr = CthThread(self, fn, arg, stacksize)
-        self.runtime.trace_event("thread_create", thread=thr.id)
+        if self.runtime.tracing:
+            self.runtime.trace_event("thread_create", thread=thr.id)
         return thr
 
     # ------------------------------------------------------------------
@@ -154,7 +155,8 @@ class CthModule:
         if thr.tasklet is cur:
             return
         thr.resumer = cur
-        self.runtime.trace_event("thread_resume", thread=thr.id)
+        if self.runtime.tracing:
+            self.runtime.trace_event("thread_resume", thread=thr.id)
         self.engine.transfer(thr.tasklet)
 
     def suspend(self) -> None:
@@ -162,7 +164,8 @@ class CthModule:
         per its suspend strategy (default: the ready pool, falling back to
         the thread's resumer)."""
         me = self.self_thread()
-        self.runtime.trace_event("thread_suspend", thread=me.id)
+        if self.runtime.tracing:
+            self.runtime.trace_event("thread_suspend", thread=me.id)
         if me.suspend_fn is not None:
             me.suspend_fn(me, me.suspend_arg)
             return

@@ -5,17 +5,26 @@ over ``range(--seeds)`` (default 25, see ``tests/conftest.py``).  Each
 seed names one fully deterministic hostile schedule: to reproduce a CI
 failure locally, run the failing test id — the seed in its parametrized
 name is the entire repro.
+
+Tests taking a ``sim_backend`` argument are additionally parametrized
+over every *installed* tasklet switch backend (always ``thread``; also
+``greenlet`` when the ``repro[fast]`` extra is present), so the whole
+hostile sweep doubles as a cross-backend equivalence check.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.sim.switching import available_backends
+
 
 def pytest_generate_tests(metafunc):
     if "fault_seed" in metafunc.fixturenames:
         n = metafunc.config.getoption("--seeds")
         metafunc.parametrize("fault_seed", range(n))
+    if "sim_backend" in metafunc.fixturenames:
+        metafunc.parametrize("sim_backend", available_backends())
 
 
 def pytest_collection_modifyitems(items):

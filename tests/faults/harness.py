@@ -60,7 +60,7 @@ def trace_bytes(tracer: MemoryTracer) -> bytes:
 # ----------------------------------------------------------------------
 def run_pingpong(rounds: int = 10, *, faults: Optional[FaultPlan] = None,
                  reliable: Any = True, trace: Any = False,
-                 model: Any = GENERIC) -> Dict[str, Any]:
+                 model: Any = GENERIC, backend: Any = None) -> Dict[str, Any]:
     """PE 0 and PE 1 bounce one numbered ball ``2 * rounds`` hops.
 
     Ball ``n`` travels to PE ``1`` when ``n`` is even, PE ``0`` when odd;
@@ -69,7 +69,7 @@ def run_pingpong(rounds: int = 10, *, faults: Optional[FaultPlan] = None,
     through the reliability layer breaks the sequence.
     """
     with Machine(2, model=model, faults=faults, reliable=reliable,
-                 trace=trace) as m:
+                 trace=trace, backend=backend) as m:
         recv: Dict[int, List[int]] = {0: [], 1: []}
 
         def main() -> None:
@@ -108,11 +108,12 @@ def run_pingpong(rounds: int = 10, *, faults: Optional[FaultPlan] = None,
 # ----------------------------------------------------------------------
 def run_broadcast(num_pes: int = 4, count: int = 8, *,
                   faults: Optional[FaultPlan] = None, reliable: Any = True,
-                  trace: Any = False, model: Any = GENERIC) -> Dict[str, Any]:
+                  trace: Any = False, model: Any = GENERIC,
+                  backend: Any = None) -> Dict[str, Any]:
     """PE 0 broadcasts ``count`` numbered messages; every other PE must
     receive exactly ``0 .. count-1`` in order (per-sender FIFO)."""
     with Machine(num_pes, model=model, faults=faults, reliable=reliable,
-                 trace=trace) as m:
+                 trace=trace, backend=backend) as m:
         recv: Dict[int, List[int]] = {pe: [] for pe in range(num_pes)}
 
         def main() -> None:
@@ -145,7 +146,8 @@ def run_broadcast(num_pes: int = 4, count: int = 8, *,
 # ----------------------------------------------------------------------
 def run_quiescence(num_pes: int = 4, seeds_per_pe: int = 2, ttl: int = 5, *,
                    faults: Optional[FaultPlan] = None, reliable: Any = True,
-                   trace: Any = False, model: Any = GENERIC) -> Dict[str, Any]:
+                   trace: Any = False, model: Any = GENERIC,
+                   backend: Any = None) -> Dict[str, Any]:
     """Every PE injects ``seeds_per_pe`` relay messages that hop around
     the ring ``ttl`` further times; PE 0 runs the counter-wave quiescence
     detector, which fires ``CsdExitAll`` when the relays die out.
@@ -156,7 +158,7 @@ def run_quiescence(num_pes: int = 4, seeds_per_pe: int = 2, ttl: int = 5, *,
     the detector, a duplicate inflates the tally.
     """
     with Machine(num_pes, model=model, faults=faults, reliable=reliable,
-                 trace=trace) as m:
+                 trace=trace, backend=backend) as m:
         QD.attach(m)
         handled: Dict[int, int] = {pe: 0 for pe in range(num_pes)}
         declared: List[int] = []
@@ -199,12 +201,13 @@ def run_quiescence(num_pes: int = 4, seeds_per_pe: int = 2, ttl: int = 5, *,
 # ----------------------------------------------------------------------
 def run_quickstart_workload(*, faults: Optional[FaultPlan] = None,
                             reliable: Any = False,
-                            model: Any = GENERIC) -> Tuple[bytes, int]:
+                            model: Any = GENERIC,
+                            backend: Any = None) -> Tuple[bytes, int]:
     """The greet/reply workload of ``examples/quickstart.py``, traced to
     memory.  Returns ``(trace_bytes, replies_seen)``."""
     tracer = MemoryTracer()
     with Machine(4, model=model, trace=tracer, faults=faults,
-                 reliable=reliable) as m:
+                 reliable=reliable, backend=backend) as m:
         state = {"replies": 0}
 
         def main() -> None:

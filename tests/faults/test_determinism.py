@@ -4,11 +4,24 @@ Two runs with the same configuration — including the same fault seed —
 must produce byte-identical traces; changing the seed must change the
 trace.  This is the property that makes every fuzz failure reproducible
 from its seed alone.
+
+The switch backend must be invisible to this property: the same workload
+and seed produce byte-identical traces on *every* installed backend
+(thread vs greenlet), because both run the same engine code in the same
+order — only the baton hand-off mechanism differs.
 """
 
 from __future__ import annotations
 
-from tests.faults.harness import hostile_plan, run_quickstart_workload
+import pytest
+
+from repro.sim.switching import available_backends
+from tests.faults.harness import (
+    hostile_plan,
+    run_pingpong,
+    run_quickstart_workload,
+    trace_bytes,
+)
 
 
 def test_quickstart_trace_identical_without_faults():
@@ -35,3 +48,45 @@ def test_quickstart_trace_differs_across_fault_seeds():
         assert replies == 3  # delivery still exact for every seed
         traces.add(t)
     assert len(traces) > 1
+
+
+# ----------------------------------------------------------------------
+# cross-backend equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(3))
+def test_quickstart_trace_identical_across_backends(seed):
+    """Same workload + same fault seed -> byte-identical trace on every
+    installed switch backend.  (With only the thread backend installed
+    this degenerates to a same-backend rerun, which must still hold.)"""
+    ref = None
+    for backend in available_backends():
+        t, replies = run_quickstart_workload(faults=hostile_plan(seed),
+                                             reliable=True, backend=backend)
+        assert replies == 3
+        if ref is None:
+            ref = t
+        else:
+            assert t == ref, f"backend {backend!r} diverged from reference"
+
+
+def test_pingpong_trace_identical_across_backends():
+    traces = {
+        backend: trace_bytes(
+            run_pingpong(rounds=6, faults=hostile_plan(2), reliable=True,
+                         trace=True, backend=backend)["tracer"]
+        )
+        for backend in available_backends()
+    }
+    assert len(set(traces.values())) == 1, sorted(traces)
+
+
+def test_greenlet_backend_matches_thread_traces():
+    """The headline tentpole claim, run only where greenlet is installed:
+    the fast backend is observationally identical to the portable one."""
+    pytest.importorskip("greenlet")
+    for seed in range(3):
+        a, _ = run_quickstart_workload(faults=hostile_plan(seed),
+                                       reliable=True, backend="thread")
+        b, _ = run_quickstart_workload(faults=hostile_plan(seed),
+                                       reliable=True, backend="greenlet")
+        assert a == b, f"seed {seed}: greenlet trace diverged from thread"

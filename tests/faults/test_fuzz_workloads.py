@@ -20,9 +20,9 @@ from tests.faults.harness import (
 )
 
 
-def test_pingpong_exactly_once(fault_seed):
+def test_pingpong_exactly_once(fault_seed, sim_backend):
     r = run_pingpong(rounds=8, faults=hostile_plan(fault_seed),
-                     reliable=True)
+                     reliable=True, backend=sim_backend)
     assert r["reason"] == "quiescent"
     assert r["recv"] == r["expected"]
     # the protocol must fully drain: nothing left awaiting an ack
@@ -30,17 +30,18 @@ def test_pingpong_exactly_once(fault_seed):
     assert stats[0].delivered + stats[1].delivered == 16
 
 
-def test_broadcast_exactly_once_in_order(fault_seed):
+def test_broadcast_exactly_once_in_order(fault_seed, sim_backend):
     r = run_broadcast(num_pes=4, count=6, faults=hostile_plan(fault_seed),
-                      reliable=True)
+                      reliable=True, backend=sim_backend)
     assert r["reason"] == "quiescent"
     for pe in range(1, 4):
         assert r["recv"][pe] == r["expected"], f"PE {pe}: {r['recv'][pe]}"
 
 
-def test_quiescence_correct_under_faults(fault_seed):
+def test_quiescence_correct_under_faults(fault_seed, sim_backend):
     r = run_quiescence(num_pes=4, seeds_per_pe=2, ttl=4,
-                       faults=hostile_plan(fault_seed), reliable=True)
+                       faults=hostile_plan(fault_seed), reliable=True,
+                       backend=sim_backend)
     assert r["reason"] == "quiescent"
     assert r["total_handled"] == r["expected_total"], r["handled"]
     assert r["declared"] == 1

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.core.errors import NotInTaskletError, SimulationError
@@ -58,6 +60,30 @@ def test_cancel_is_idempotent():
     ev = eng.schedule(1e-6, lambda: None)
     ev.cancel()
     ev.cancel()
+    assert eng.run() == "quiescent"
+
+
+def test_cancel_releases_callback_and_args():
+    """Regression: a cancelled event must drop its callback/args
+    references immediately, not when the dead heap entry is finally
+    popped — with retransmission-style timer churn the heap can hold a
+    cancelled entry (and, before the fix, its captured message buffer)
+    long past its useful life."""
+    import weakref
+
+    class Payload:
+        pass
+
+    eng = SimEngine()
+    payload = Payload()
+    ref = weakref.ref(payload)
+    ev = eng.schedule(1.0, lambda p: None, payload)
+    ev.cancel()
+    del payload
+    gc.collect()
+    assert ref() is None, "cancelled event still pins its argument"
+    assert ev.callback is None
+    assert ev.args == ()
     assert eng.run() == "quiescent"
 
 

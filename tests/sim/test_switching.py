@@ -1,0 +1,231 @@
+"""Switch-backend resolution and cross-backend tasklet semantics.
+
+The resolution tests exercise :mod:`repro.sim.switching` directly.  The
+GreenletTasklet tests run against the real ``greenlet`` package when the
+``repro[fast]`` extra is installed, and otherwise against
+:mod:`tests.sim.fake_greenlet` — a thread-emulated stand-in with the same
+control-transfer semantics — so the backend's baton logic is covered in
+every environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.machine import Machine
+from repro.sim.switching import (
+    ENV_VAR,
+    BACKENDS,
+    GreenletSwitchBackend,
+    SwitchBackend,
+    ThreadSwitchBackend,
+    available_backends,
+    best_backend_name,
+    resolve_backend,
+)
+from tests.sim.fake_greenlet import installed as fake_greenlet_installed
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+def test_thread_backend_always_available():
+    assert "thread" in available_backends()
+    assert ThreadSwitchBackend.available()
+
+
+def test_default_resolution_is_thread(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_backend(None).name == "thread"
+    assert resolve_backend("thread").name == "thread"
+
+
+@pytest.mark.parametrize("alias", ["fast", "auto", "best", "FAST", " auto "])
+def test_fast_aliases_resolve_and_never_fail(alias):
+    assert resolve_backend(alias).name == best_backend_name()
+
+
+def test_backend_instance_passes_through():
+    backend = ThreadSwitchBackend()
+    assert resolve_backend(backend) is backend
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(SimulationError, match="unknown switch backend"):
+        resolve_backend("fibers")
+
+
+def test_unavailable_backend_names_the_fix():
+    if GreenletSwitchBackend.available():
+        pytest.skip("greenlet installed; no unavailable backend to test")
+    with pytest.raises(SimulationError, match=r"repro\[fast\]"):
+        resolve_backend("greenlet")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "thread")
+    assert resolve_backend(None).name == "thread"
+    monkeypatch.setenv(ENV_VAR, "fast")
+    assert resolve_backend(None).name == best_backend_name()
+    monkeypatch.setenv(ENV_VAR, "no-such-backend")
+    with pytest.raises(SimulationError, match="unknown switch backend"):
+        resolve_backend(None)
+
+
+def test_explicit_argument_beats_env_var(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "no-such-backend")
+    assert resolve_backend("thread").name == "thread"
+
+
+def test_machine_exposes_backend_name():
+    with Machine(1, backend="thread") as m:
+        assert m.backend_name == "thread"
+    with Machine(1, backend="auto") as m:
+        assert m.backend_name == best_backend_name()
+
+
+def test_registry_preference_order():
+    """"fast" must prefer greenlet over thread whenever it is present."""
+    assert list(BACKENDS) == ["greenlet", "thread"]
+
+
+def test_custom_backend_is_pluggable():
+    """Third implementations slot in without touching the engine: the
+    seam is the SwitchBackend factory, nothing else."""
+    created = []
+
+    class CountingBackend(SwitchBackend):
+        name = "counting"
+
+        def create(self, engine, fn, name="tasklet", node=None):
+            from repro.sim.tasklet import Tasklet
+
+            created.append(name)
+            return Tasklet(engine, fn, name=name, node=node)
+
+    eng = SimEngine(backend=CountingBackend())
+    t = eng.spawn(lambda: 7, name="probe")
+    eng.run()
+    eng.shutdown()
+    assert t.result == 7
+    assert created == ["probe"]
+
+
+# ----------------------------------------------------------------------
+# GreenletTasklet semantics (real greenlet, or the thread-emulated fake)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def greenlet_backend():
+    """A usable greenlet switch backend: real where installed, otherwise
+    the fake module is injected for the duration of the test."""
+    with fake_greenlet_installed():
+        yield GreenletSwitchBackend()
+
+
+def test_greenlet_result_captured(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+    t = eng.spawn(lambda: 41 + 1)
+    eng.run()
+    eng.shutdown()
+    assert t.finished
+    assert t.result == 42
+    assert t.error is None
+
+
+def test_greenlet_error_captured_and_reported(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+
+    def boom():
+        raise RuntimeError("x")
+
+    t = eng.spawn(boom)
+    with pytest.raises(RuntimeError):
+        eng.run()
+    eng.shutdown()
+    assert t.finished
+    assert isinstance(t.error, RuntimeError)
+
+
+def test_greenlet_park_from_foreign_context_rejected(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+    t = eng.spawn(lambda: eng.suspend(), start=False)
+    with pytest.raises(SimulationError, match="foreign context"):
+        t.park()  # we are the driver, not the tasklet's greenlet
+    eng.shutdown()
+
+
+def test_greenlet_kill_before_start_never_runs_user_code(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+    ran = []
+    t = eng.spawn(lambda: ran.append(1), start=False)
+    t.kill()
+    t.join()
+    assert t.finished
+    assert ran == []
+
+
+def test_greenlet_finally_blocks_run_on_kill(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+    cleanup = []
+
+    def body():
+        try:
+            eng.suspend()
+        finally:
+            cleanup.append("cleaned")
+
+    eng.spawn(body)
+    eng.run()
+    eng.shutdown()
+    assert cleanup == ["cleaned"]
+
+
+def test_greenlet_kill_is_not_catchable_as_exception(greenlet_backend):
+    eng = SimEngine(backend=greenlet_backend)
+    swallowed = []
+
+    def body():
+        try:
+            eng.suspend()
+        except Exception:  # noqa: BLE001 - the point of the test
+            swallowed.append(True)
+
+    t = eng.spawn(body)
+    eng.run()
+    eng.shutdown()
+    assert swallowed == []
+    assert t.finished
+
+
+def test_greenlet_machine_workload_matches_thread(greenlet_backend):
+    """One full message-driven workload per backend: identical results."""
+    from repro import api
+    from repro.sim.models import GENERIC
+
+    def run(backend):
+        recv = []
+        with Machine(2, model=GENERIC, backend=backend) as m:
+            def main():
+                me = api.CmiMyPe()
+
+                def on_ball(msg):
+                    recv.append((me, msg.payload))
+                    if msg.payload < 9:
+                        api.CmiSyncSend(1 - me, api.CmiNew(h, msg.payload + 1))
+                    else:
+                        api.CsdExitScheduler()
+
+                h = api.CmiRegisterHandler(on_ball, "sw.ball")
+                if me == 0:
+                    api.CmiSyncSend(1, api.CmiNew(h, 0))
+                api.CsdScheduler(-1)
+
+            m.launch(main)
+            m.run()
+        return recv
+
+    assert run(greenlet_backend) == run("thread")
