@@ -4,7 +4,7 @@ SEEDS   ?= 25
 PERF_SCALE   ?= 1.0
 PERF_REPEATS ?= 3
 
-.PHONY: test fuzz bench perf
+.PHONY: test fuzz bench perf trace-demo
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -26,3 +26,10 @@ perf:
 	PYTHONPATH=src $(PY) -m repro.bench throughput \
 		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
 		--out BENCH_throughput.json
+
+# Run a small traced + metered demo workload and emit the observability
+# artifact set: trace-demo.jsonl (raw trace), trace-demo.chrome.json
+# (open in ui.perfetto.dev) and trace-demo.metrics.json, plus a text
+# report with handler profiles and the critical path on stdout.
+trace-demo:
+	PYTHONPATH=src $(PY) -m repro.trace demo -o trace-demo

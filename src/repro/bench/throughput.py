@@ -38,8 +38,12 @@ from repro.sim.switching import available_backends
 
 __all__ = [
     "WORKLOADS",
+    "TRACE_MODES",
     "run_workload",
     "run_suite",
+    "compare_modes",
+    "render_mode_table",
+    "check_baseline",
     "write_report",
     "main",
 ]
@@ -48,15 +52,19 @@ __all__ = [
 # ======================================================================
 # workloads
 #
-# Each workload function takes (backend, scale) and returns the number of
-# delivered messages; the caller times it.  Message counts are exact and
-# asserted, so a scheduling regression cannot silently shrink the work.
+# Each workload function takes (backend, scale, machine_kwargs) and
+# returns the number of delivered messages; the caller times it.  Message
+# counts are exact and asserted, so a scheduling regression cannot
+# silently shrink the work.  ``machine_kwargs`` lets the harness measure
+# the same schedule under observability modes (trace=..., metrics=...).
 # ======================================================================
 
-def _wl_pingpong(backend: Any, scale: float) -> int:
+def _wl_pingpong(backend: Any, scale: float,
+                 machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     rounds = max(1, int(2000 * scale))
     recv = {0: 0, 1: 0}
-    with Machine(2, model=GENERIC, backend=backend) as m:
+    with Machine(2, model=GENERIC, backend=backend,
+                 **(machine_kwargs or {})) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
             other = 1 - me
@@ -81,11 +89,13 @@ def _wl_pingpong(backend: Any, scale: float) -> int:
     return delivered
 
 
-def _wl_broadcast_storm(backend: Any, scale: float) -> int:
+def _wl_broadcast_storm(backend: Any, scale: float,
+                        machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     num_pes = 8
     count = max(1, int(150 * scale))
     got = {pe: 0 for pe in range(num_pes)}
-    with Machine(num_pes, model=GENERIC, backend=backend) as m:
+    with Machine(num_pes, model=GENERIC, backend=backend,
+                 **(machine_kwargs or {})) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
 
@@ -109,13 +119,15 @@ def _wl_broadcast_storm(backend: Any, scale: float) -> int:
     return delivered
 
 
-def _wl_relay_ring(backend: Any, scale: float) -> int:
+def _wl_relay_ring(backend: Any, scale: float,
+                   machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     num_pes = 8
     seeds = 2
     ttl = max(1, int(60 * scale))
     per_pe = seeds * (ttl + 1)
     handled = {pe: 0 for pe in range(num_pes)}
-    with Machine(num_pes, model=GENERIC, backend=backend) as m:
+    with Machine(num_pes, model=GENERIC, backend=backend,
+                 **(machine_kwargs or {})) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
 
@@ -141,10 +153,12 @@ def _wl_relay_ring(backend: Any, scale: float) -> int:
     return delivered
 
 
-def _wl_priority_churn(backend: Any, scale: float) -> int:
+def _wl_priority_churn(backend: Any, scale: float,
+                       machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     total = max(2, int(4000 * scale))
     state = {"spawned": 0, "run": 0}
-    with Machine(1, model=GENERIC, queue="int", backend=backend) as m:
+    with Machine(1, model=GENERIC, queue="int", backend=backend,
+                 **(machine_kwargs or {})) as m:
         def main_fn() -> None:
             from repro.core.message import Message
 
@@ -169,11 +183,13 @@ def _wl_priority_churn(backend: Any, scale: float) -> int:
     return state["run"]
 
 
-def _wl_thread_switch(backend: Any, scale: float) -> int:
+def _wl_thread_switch(backend: Any, scale: float,
+                      machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     nthreads = 8
     yields = max(1, int(500 * scale))
     done = {"count": 0}
-    with Machine(1, model=GENERIC, backend=backend) as m:
+    with Machine(1, model=GENERIC, backend=backend,
+                 **(machine_kwargs or {})) as m:
         rt = m.runtime(0)
 
         def main_fn() -> None:
@@ -200,7 +216,7 @@ def _wl_thread_switch(backend: Any, scale: float) -> int:
 
 
 #: name -> workload function; insertion order is report order.
-WORKLOADS: Dict[str, Callable[[Any, float], int]] = {
+WORKLOADS: Dict[str, Callable[..., int]] = {
     "pingpong": _wl_pingpong,
     "broadcast_storm": _wl_broadcast_storm,
     "relay_ring": _wl_relay_ring,
@@ -213,14 +229,61 @@ WORKLOADS: Dict[str, Callable[[Any, float], int]] = {
 # harness
 # ======================================================================
 
-def run_workload(name: str, backend: Any = "thread",
-                 scale: float = 1.0) -> Dict[str, float]:
+#: observability modes the suite can measure: trace spec + metrics flag
+#: applied to every Machine the workload builds.  ``jsonl`` streams to a
+#: throwaway file so the measurement includes the serialization cost.
+TRACE_MODES = ("off", "count", "memory", "jsonl")
+
+
+def _machine_kwargs(trace: str, metrics: bool,
+                    jsonl_path: Optional[str]) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if trace == "count":
+        kwargs["trace"] = "count"
+    elif trace == "memory":
+        kwargs["trace"] = "memory"
+    elif trace == "jsonl":
+        kwargs["trace"] = f"jsonl:{jsonl_path}"
+    elif trace != "off":
+        raise ValueError(f"unknown trace mode {trace!r}; use one of {TRACE_MODES}")
+    if metrics:
+        kwargs["metrics"] = True
+    return kwargs
+
+
+def run_workload(name: str, backend: Any = "thread", scale: float = 1.0,
+                 trace: str = "off", metrics: bool = False) -> Dict[str, float]:
     """Run one workload once on one backend; returns
-    ``{"messages", "seconds", "msgs_per_sec"}`` (wall-clock)."""
+    ``{"messages", "seconds", "msgs_per_sec"}`` (wall-clock).
+
+    ``trace`` (one of :data:`TRACE_MODES`) and ``metrics`` turn the
+    observability layers on for the measured machines — the knobs the
+    overhead table in EXPERIMENTS.md sweeps.
+    """
     fn = WORKLOADS[name]
-    t0 = time.perf_counter()
-    messages = fn(backend, scale)
-    seconds = time.perf_counter() - t0
+    jsonl_path = None
+    tmp = None
+    if trace == "jsonl":
+        import tempfile
+
+        tmp = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", prefix=f"tp-{name}-", delete=False
+        )
+        tmp.close()
+        jsonl_path = tmp.name
+    kwargs = _machine_kwargs(trace, metrics, jsonl_path)
+    try:
+        t0 = time.perf_counter()
+        messages = fn(backend, scale, kwargs or None)
+        seconds = time.perf_counter() - t0
+    finally:
+        if jsonl_path is not None:
+            import os
+
+            try:
+                os.unlink(jsonl_path)
+            except OSError:
+                pass
     return {
         "messages": messages,
         "seconds": seconds,
@@ -229,7 +292,9 @@ def run_workload(name: str, backend: Any = "thread",
 
 
 def run_suite(backends: Optional[Sequence[str]] = None, scale: float = 1.0,
-              repeats: int = 3, quiet: bool = False) -> Dict[str, Any]:
+              repeats: int = 3, quiet: bool = False,
+              workloads: Optional[Sequence[str]] = None,
+              trace: str = "off", metrics: bool = False) -> Dict[str, Any]:
     """Measure every workload on every requested backend.
 
     ``repeats`` runs are taken per (workload, backend) cell and the best
@@ -238,13 +303,18 @@ def run_suite(backends: Optional[Sequence[str]] = None, scale: float = 1.0,
     :func:`write_report` for the file format).
     """
     names = list(backends) if backends else available_backends()
+    selected = list(workloads) if workloads else list(WORKLOADS)
+    bad = [w for w in selected if w not in WORKLOADS]
+    if bad:
+        raise ValueError(f"unknown workload(s): {', '.join(bad)}")
     results: Dict[str, Any] = {}
-    for wl in WORKLOADS:
+    for wl in selected:
         results[wl] = {}
         for be in names:
             best: Optional[Dict[str, float]] = None
             for _ in range(max(1, repeats)):
-                r = run_workload(wl, backend=be, scale=scale)
+                r = run_workload(wl, backend=be, scale=scale,
+                                 trace=trace, metrics=metrics)
                 if best is None or r["seconds"] < best["seconds"]:
                     best = r
             results[wl][be] = best
@@ -270,6 +340,8 @@ def run_suite(backends: Optional[Sequence[str]] = None, scale: float = 1.0,
             "repeats": repeats,
             "backends_available": available_backends(),
             "backends_measured": names,
+            "trace": trace,
+            "metrics": metrics,
         },
         "workloads": results,
         "speedups": speedups,
@@ -281,6 +353,84 @@ def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def compare_modes(modes: Sequence[str] = TRACE_MODES,
+                  workloads: Optional[Sequence[str]] = None,
+                  backend: str = "thread", scale: float = 1.0,
+                  repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Measure observability overhead: msgs/sec per (mode, workload).
+
+    Modes are the :data:`TRACE_MODES` trace sinks plus ``metrics`` (trace
+    off, registry on) — the sweep behind the EXPERIMENTS.md overhead
+    table.  Returns ``{mode: {workload: msgs_per_sec}}``.
+    """
+    selected = list(workloads) if workloads else list(WORKLOADS)
+    out: Dict[str, Dict[str, float]] = {}
+    for mode in modes:
+        trace, metrics = (mode, False) if mode != "metrics" else ("off", True)
+        out[mode] = {}
+        for wl in selected:
+            best = None
+            for _ in range(max(1, repeats)):
+                r = run_workload(wl, backend=backend, scale=scale,
+                                 trace=trace, metrics=metrics)
+                if best is None or r["seconds"] < best["seconds"]:
+                    best = r
+            out[mode][wl] = best["msgs_per_sec"]
+    return out
+
+
+def render_mode_table(table: Dict[str, Dict[str, float]]) -> str:
+    """Text table for :func:`compare_modes` output: absolute msgs/sec
+    plus percent overhead relative to the first mode (usually ``off``)."""
+    modes = list(table)
+    workloads = list(next(iter(table.values())) or {})
+    base_mode = modes[0]
+    lines = [f"{'workload':<16} " + " ".join(f"{m:>14}" for m in modes)]
+    for wl in workloads:
+        row = [f"{wl:<16} "]
+        base = table[base_mode][wl]
+        for m in modes:
+            v = table[m][wl]
+            if m == base_mode or not base:
+                row.append(f"{v:>14,.0f}")
+            else:
+                pct = (base - v) / base * 100
+                row.append(f"{v:>9,.0f} {pct:+.0f}%")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def check_baseline(report: Dict[str, Any], baseline_path: str,
+                   workloads: Sequence[str], max_regression: float,
+                   backend: str = "thread") -> List[str]:
+    """Compare measured throughput against a saved report.
+
+    Returns a list of failure strings: one per workload whose measured
+    ``msgs_per_sec`` fell more than ``max_regression`` percent below the
+    baseline's.  Missing baseline cells are skipped (not failures), so a
+    new workload does not break CI until a baseline including it lands.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    for wl in workloads:
+        base_cell = baseline.get("workloads", {}).get(wl, {}).get(backend)
+        cell = report.get("workloads", {}).get(wl, {}).get(backend)
+        if not base_cell or not cell:
+            continue
+        base, got = base_cell["msgs_per_sec"], cell["msgs_per_sec"]
+        floor = base * (1 - max_regression / 100.0)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(f"  baseline {wl:16s} {backend}: {got:,.0f} vs {base:,.0f} "
+              f"msgs/sec (floor {floor:,.0f}) {verdict}")
+        if got < floor:
+            failures.append(
+                f"{wl}/{backend}: {got:,.0f} msgs/sec is more than "
+                f"{max_regression}% below baseline {base:,.0f}"
+            )
+    return failures
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -306,6 +456,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="PATH",
         help="write the JSON report here (default: print summary only)",
     )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        choices=sorted(WORKLOADS),
+        help="subset of workloads to run (default: all)",
+    )
+    parser.add_argument(
+        "--trace", default="off", choices=TRACE_MODES,
+        help="tracer mode for the measured machines (default: off)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the metrics registry on the measured machines",
+    )
+    parser.add_argument(
+        "--modes", nargs="+", default=None, metavar="MODE",
+        choices=list(TRACE_MODES) + ["metrics"],
+        help="instead of one run: sweep observability modes and print the "
+             "overhead table (off/count/memory/jsonl/metrics)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a saved report (e.g. BENCH_throughput.json); "
+             "exit 1 when a workload regresses past --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=5.0, metavar="PCT",
+        help="allowed throughput drop vs --baseline, percent (default 5)",
+    )
     args = parser.parse_args(argv)
     bad = [b for b in (args.backends or []) if b not in available_backends()]
     if bad:
@@ -313,16 +491,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"backend(s) not available here: {', '.join(bad)} "
             f"(available: {', '.join(available_backends())})"
         )
+    if args.modes:
+        backend = (args.backends or available_backends())[0]
+        print(f"observability overhead (scale={args.scale}, "
+              f"repeats={args.repeats}, backend={backend}, msgs/sec)")
+        table = compare_modes(modes=args.modes, workloads=args.workloads,
+                              backend=backend, scale=args.scale,
+                              repeats=args.repeats)
+        print(render_mode_table(table))
+        return 0
     print(f"simulator throughput (scale={args.scale}, repeats={args.repeats}, "
+          f"trace={args.trace}, metrics={args.metrics}, "
           f"backends: {', '.join(args.backends or available_backends())})")
     report = run_suite(backends=args.backends, scale=args.scale,
-                       repeats=args.repeats)
+                       repeats=args.repeats, workloads=args.workloads,
+                       trace=args.trace, metrics=args.metrics)
     for wl, sp in report["speedups"].items():
         for label, factor in sp.items():
             print(f"  {wl:16s} {label}: {factor}x")
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
+    if args.baseline:
+        failures = check_baseline(
+            report, args.baseline,
+            workloads=args.workloads or list(WORKLOADS),
+            max_regression=args.max_regression,
+        )
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
     return 0
 
 

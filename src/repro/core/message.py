@@ -188,7 +188,7 @@ class Message:
 
     __slots__ = (
         "handler", "_payload", "size", "prio", "src_pe",
-        "_cmi_owned", "_valid", "corrupted",
+        "_cmi_owned", "_valid", "corrupted", "msg_id",
     )
 
     def __init__(self, handler: int, payload: Any = None, size: Optional[int] = None,
@@ -205,6 +205,12 @@ class Message:
         self.src_pe = src_pe
         self._cmi_owned = False
         self._valid = True
+        #: machine-wide trace correlation id, stamped by the CMI on wire
+        #: copies when tracing is enabled (``None`` otherwise).  Lets
+        #: offline tools join a ``send`` event to the ``receive`` and
+        #: ``handler_begin`` it caused — the edges of the dependency DAG
+        #: the critical-path extractor walks.
+        self.msg_id: Optional[int] = None
         #: set by the simulated network's fault injector when this wire
         #: copy was damaged in flight.  The raw (unreliable) machine layer
         #: delivers the message anyway — exactly like real hardware

@@ -44,6 +44,24 @@ class ConverseRuntime:
         #: instrumentation.  The machine's tracer is fixed at
         #: construction, so the flag never goes stale.
         self.tracing = getattr(machine, "tracer", None) is not None
+        #: the machine's metrics registry (``None`` when disabled) and
+        #: the cached flag hot paths guard metric updates with — the same
+        #: discipline as ``self.tracing``.  Fixed at construction.
+        self.metrics = getattr(machine, "metrics", None)
+        self.metering = self.metrics is not None
+        if self.metering:
+            from repro.metrics.registry import TIME_BUCKETS
+
+            self._mx_handler_time = self.metrics.histogram(
+                "csd.handler_time", TIME_BUCKETS,
+                help="virtual time spent inside one handler invocation (s)",
+            )
+            self._mx_handlers = self.metrics.counter(
+                "csd.handlers_run", help="handler invocations dispatched"
+            )
+        else:
+            self._mx_handler_time = None
+            self._mx_handlers = None
         self.handlers = HandlerTable()
         self.scheduler = CsdScheduler(self, queue)
         #: messages received while an SPM module waited inside
@@ -199,12 +217,18 @@ class ConverseRuntime:
                 from_queue=from_queue,
                 src=msg.src_pe,
                 size=msg.size,
+                msg=msg.msg_id,
             )
+        if self.metering:
+            self._mx_handlers.inc(self.node.pe)
+            t0 = self.node.now
         msg.mark_cmi_owned()
         try:
             fn(msg)
         finally:
             msg.recycle()
+            if self.metering:
+                self._mx_handler_time.observe(self.node.pe, self.node.now - t0)
             if self.tracing:
                 self.trace_event("handler_end", handler=msg.handler)
 
@@ -244,7 +268,8 @@ class ConverseRuntime:
         call may follow on this PE (enforced loosely: the flag is checked
         by the C-style API layer)."""
         self.exited = True
-        self.trace_event("converse_exit")
+        if self.tracing:
+            self.trace_event("converse_exit")
 
     def check_active(self) -> None:
         """Raise if ConverseExit already ran on this PE."""

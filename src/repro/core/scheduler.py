@@ -64,6 +64,39 @@ class CsdScheduler:
         #: scheduler instead of a fresh closure allocated on every idle
         #: cycle of the run() loop.
         self._idle_wake = self._idle_wake_predicate
+        #: how many scheduler loops on this PE are currently parked idle.
+        #: ``idle_begin``/``idle_end`` are emitted only on the 0<->1
+        #: transitions, so per-PE idle events alternate strictly even
+        #: when several loops (nested or sibling tasklets) idle at once.
+        self._idle_depth = 0
+        # Metric handles, cached once (need-based cost: with metrics off
+        # every hot-path update is a single flag test).
+        if runtime.metering:
+            from repro.metrics.registry import DEPTH_BUCKETS, TIME_BUCKETS
+
+            metrics = runtime.metrics
+            self._mx_depth = metrics.gauge(
+                "csd.queue_depth", help="Csd scheduler queue depth (messages)"
+            )
+            self._mx_queue_wait = metrics.histogram(
+                "csd.queue_wait", TIME_BUCKETS,
+                help="virtual time a message waited in the Csd queue, "
+                     "CsdEnqueue -> dequeue (s)",
+            )
+            self._mx_idle_time = metrics.counter(
+                "csd.idle_time", help="virtual time the PE sat idle in the "
+                                      "scheduler loop (s)",
+            )
+            self._mx_depth_dist = metrics.histogram(
+                "csd.queue_depth_dist", DEPTH_BUCKETS,
+                help="queue depth observed at every enqueue",
+            )
+            #: enqueue timestamps keyed by message identity; entries live
+            #: exactly as long as the message sits in the queue.
+            self._enq_times: dict = {}
+        else:
+            self._mx_depth = None
+            self._enq_times = None
 
     def _idle_wake_predicate(self) -> bool:
         """True when an idling scheduler loop has a reason to wake up:
@@ -96,7 +129,9 @@ class CsdScheduler:
         self.queue.push(msg, msg.prio if prio is None else prio)
         node.charge(rt.model.enqueue_cost)
         if rt.tracing:
-            rt.trace_event("enqueue", handler=msg.handler)
+            rt.trace_event("enqueue", handler=msg.handler, depth=len(self.queue))
+        if rt.metering:
+            self._note_enqueued(msg)
         # Another tasklet on this PE may be idling inside the scheduler.
         node.kick()
 
@@ -107,7 +142,17 @@ class CsdScheduler:
         if msg.cmi_owned:
             msg.grab()
         self.queue.push(msg, msg.prio if prio is None else prio)
+        if self.runtime.metering:
+            self._note_enqueued(msg)
         self.runtime.node.kick()
+
+    def _note_enqueued(self, msg: Message) -> None:
+        """Metrics bookkeeping for one enqueue (metering is on)."""
+        depth = len(self.queue)
+        pe = self.runtime.node.pe
+        self._mx_depth.set(pe, depth)
+        self._mx_depth_dist.observe(pe, depth)
+        self._enq_times[id(msg)] = self.runtime.node.now
 
     # ------------------------------------------------------------------
     # control
@@ -148,10 +193,45 @@ class CsdScheduler:
         rt = self.runtime
         rt.node.charge(rt.model.dequeue_cost)
         if rt.tracing:
-            rt.trace_event("dequeue", handler=msg.handler)
+            rt.trace_event("dequeue", handler=msg.handler, depth=len(self.queue))
+        if rt.metering:
+            pe = rt.node.pe
+            self._mx_depth.set(pe, len(self.queue))
+            t0 = self._enq_times.pop(id(msg), None)
+            if t0 is not None:
+                self._mx_queue_wait.observe(pe, rt.node.now - t0)
         rt.invoke_handler(msg, from_queue=True)
         self.delivered += 1
         return True
+
+    def _idle_wait(self, node: Any) -> None:
+        """Park until the idle-wake predicate fires, bracketing the span
+        with ``idle_begin``/``idle_end`` events and idle-time metering.
+
+        Only the loop that took the PE from 0 to 1 idlers emits the
+        events (and only when it wakes does ``idle_end`` follow), so the
+        per-PE idle trace alternates strictly even with nested or
+        sibling scheduler loops.  With tracing and metering both off
+        this is a plain ``wait_until`` — need-based cost.
+        """
+        rt = self.runtime
+        if not (rt.tracing or rt.metering):
+            node.wait_until(self._idle_wake)
+            return
+        outermost = self._idle_depth == 0
+        self._idle_depth += 1
+        t0 = node.now
+        if outermost and rt.tracing:
+            rt.trace_event("idle_begin")
+        try:
+            node.wait_until(self._idle_wake)
+        finally:
+            self._idle_depth -= 1
+            if outermost:
+                if rt.tracing:
+                    rt.trace_event("idle_end")
+                if rt.metering:
+                    self._mx_idle_time.inc(node.pe, node.now - t0)
 
     # ------------------------------------------------------------------
     # the loop
@@ -196,7 +276,7 @@ class CsdScheduler:
                 # Idle: block until something arrives, is enqueued, or an
                 # exit request lands (one hoisted predicate — no closure
                 # allocation per idle cycle).
-                node.wait_until(self._idle_wake)
+                self._idle_wait(node)
         finally:
             self._depth -= 1
         return count

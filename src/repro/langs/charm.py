@@ -255,7 +255,8 @@ class Charm(LanguageRuntime):
         payload = (cls, args, cid)
         msg = Message(self._h_create_net, payload,
                       size=estimate_size(args) + 32, prio=prio)
-        self.runtime.trace_event("object_create", cid=str(cid), cls=cls.__name__)
+        if self.runtime.tracing:
+            self.runtime.trace_event("object_create", cid=str(cid), cls=cls.__name__)
         if on_pe is None:
             self.runtime.cld.enqueue(msg)
         elif on_pe == self.my_pe:
@@ -371,9 +372,10 @@ class Charm(LanguageRuntime):
             raise CharmError(
                 f"{type(obj).__name__} has no entry method {method!r}"
             )
-        self.runtime.trace_event(
-            "user", event="entry", cls=type(obj).__name__, method=method
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "user", event="entry", cls=type(obj).__name__, method=method
+            )
         fn(*args)
 
     # ==================================================================
@@ -397,9 +399,10 @@ class Charm(LanguageRuntime):
             return
         self._forwarding[cid] = dest_pe
         activity = self.chare_activity.pop(cid, 0)
-        self.runtime.trace_event(
-            "user", event="migrate", cid=str(cid), dest=dest_pe
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "user", event="migrate", cid=str(cid), dest=dest_pe
+            )
         msg = Message(self._h_migrate, (cid, obj, activity), size=64)
         self.cmi.sync_send(dest_pe, msg)
 
@@ -508,9 +511,11 @@ class Charm(LanguageRuntime):
                 obj.charm = self
                 obj.mype = self.my_pe
                 elems[index] = obj
-                self.runtime.trace_event(
-                    "object_create", aid=str(aid), index=index, cls=cls.__name__
-                )
+                if self.runtime.tracing:
+                    self.runtime.trace_event(
+                        "object_create", aid=str(aid), index=index,
+                        cls=cls.__name__,
+                    )
                 obj.__init__(*args)
             for pending in self._pending_array.pop(aid, []):
                 self._deliver_array_invoke(aid, *pending)

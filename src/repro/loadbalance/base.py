@@ -56,6 +56,23 @@ class CldBalancer:
         self.handler_id = runtime.register_handler(
             self._on_seed_arrival, f"cld.{self.name}"
         )
+        # Metric handles, cached once (flag-guarded on the seed path).
+        if runtime.metering:
+            metrics = runtime.metrics
+            self._mx_created = metrics.counter(
+                "cld.seeds_created", help="seeds handed to CldEnqueue"
+            )
+            self._mx_forwarded = metrics.counter(
+                "cld.seeds_forwarded", help="seeds pushed to another PE"
+            )
+            self._mx_rooted = metrics.counter(
+                "cld.seeds_rooted", help="seeds that took root (entered the "
+                                         "Csd queue)"
+            )
+        else:
+            self._mx_created = None
+            self._mx_forwarded = None
+            self._mx_rooted = None
 
     # ------------------------------------------------------------------
     # load metric
@@ -89,6 +106,8 @@ class CldBalancer:
         if not isinstance(msg, Message):
             raise LoadBalanceError(f"CldEnqueue needs a Message, got {type(msg).__name__}")
         self.stats.created += 1
+        if self.runtime.metering:
+            self._mx_created.inc(self.runtime.my_pe)
         if prio is not None:
             msg.prio = prio
         dest = self.choose_initial(msg)
@@ -99,7 +118,10 @@ class CldBalancer:
 
     def _root(self, msg: Message) -> None:
         self.stats.rooted += 1
-        self.runtime.trace_event("user", event="seed_root", handler=msg.handler)
+        if self.runtime.tracing:
+            self.runtime.trace_event("user", event="seed_root", handler=msg.handler)
+        if self.runtime.metering:
+            self._mx_rooted.inc(self.runtime.my_pe)
         self.runtime.scheduler.enqueue(msg)
 
     def _forward(self, msg: Message, dest: int, hops: int) -> None:
@@ -109,9 +131,12 @@ class CldBalancer:
         if msg.cmi_owned:
             msg.grab()
         self.stats.forwarded += 1
-        self.runtime.trace_event(
-            "user", event="seed_forward", dest=dest, hops=hops
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "user", event="seed_forward", dest=dest, hops=hops
+            )
+        if self.runtime.metering:
+            self._mx_forwarded.inc(self.runtime.my_pe)
         wrapper = Message(
             handler=self.handler_id,
             payload=(msg, hops),

@@ -101,10 +101,11 @@ class RelPacket:
 class _Pending:
     """Sender-side state of one unacknowledged data packet."""
 
-    __slots__ = ("dst", "seq", "inner", "nbytes", "retries", "rto", "timer")
+    __slots__ = ("dst", "seq", "inner", "nbytes", "retries", "rto", "timer",
+                 "sent_at")
 
     def __init__(self, dst: int, seq: int, inner: Message, nbytes: int,
-                 rto: float) -> None:
+                 rto: float, sent_at: float = 0.0) -> None:
         self.dst = dst
         self.seq = seq
         self.inner = inner
@@ -112,6 +113,8 @@ class _Pending:
         self.retries = 0
         self.rto = rto
         self.timer: Any = None
+        #: virtual send time of the *first* transmission, for RTT metering.
+        self.sent_at = sent_at
 
 
 class ReliableDelivery:
@@ -151,6 +154,26 @@ class ReliableDelivery:
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._expected: Dict[int, int] = {}
         self._held: Dict[int, Dict[int, Message]] = {}
+        if runtime.metering:
+            from repro.metrics.registry import TIME_BUCKETS
+
+            metrics = runtime.metrics
+            self._mx_rtt = metrics.histogram(
+                "rel.rtt", TIME_BUCKETS,
+                help="data-packet round-trip time, first transmission -> "
+                     "ack, non-retransmitted packets only (s)",
+            )
+            self._mx_retransmits = metrics.counter(
+                "rel.retransmits", help="reliable-layer retransmissions"
+            )
+            self._mx_data_sent = metrics.counter(
+                "rel.data_sent", help="reliable data packets first transmitted"
+            )
+            self._mx_dups = metrics.counter(
+                "rel.dups_dropped", help="duplicate data packets suppressed"
+            )
+        else:
+            self._mx_rtt = None
         self.node.set_interceptor(self._on_arrival)
 
     # ------------------------------------------------------------------
@@ -164,11 +187,14 @@ class ReliableDelivery:
         seq = self._next_seq.get(dest_pe, 0)
         self._next_seq[dest_pe] = seq + 1
         nbytes = msg.size + self.config.header_bytes
-        pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto)
+        pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto,
+                           sent_at=self.node.now)
         self._pending[(dest_pe, seq)] = pending
         self.stats.data_sent += 1
         if self.runtime.tracing:
             self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
+        if self.runtime.metering:
+            self._mx_data_sent.inc(self.node.pe)
         pkt = RelPacket("data", self.node.pe, dest_pe, seq, msg, nbytes)
         handle: Optional[SendHandle] = None
         if asynchronous:
@@ -191,10 +217,11 @@ class ReliableDelivery:
             return
         if pending.retries >= self.config.max_retries:
             del self._pending[key]
-            self.runtime.trace_event(
-                "rel_giveup", dest=pending.dst, seq=pending.seq,
-                retries=pending.retries,
-            )
+            if self.runtime.tracing:
+                self.runtime.trace_event(
+                    "rel_giveup", dest=pending.dst, seq=pending.seq,
+                    retries=pending.retries,
+                )
             raise RetryExhaustedError(
                 f"PE {self.node.pe}: packet seq={pending.seq} to PE "
                 f"{pending.dst} unacknowledged after {pending.retries} "
@@ -202,10 +229,13 @@ class ReliableDelivery:
             )
         pending.retries += 1
         self.stats.retransmits += 1
-        self.runtime.trace_event(
-            "rel_retransmit", dest=pending.dst, seq=pending.seq,
-            attempt=pending.retries,
-        )
+        if self.runtime.tracing:
+            self.runtime.trace_event(
+                "rel_retransmit", dest=pending.dst, seq=pending.seq,
+                attempt=pending.retries,
+            )
+        if self.runtime.metering:
+            self._mx_retransmits.inc(self.node.pe)
         # A fresh wire object per transmission: fault corruption flags one
         # copy without poisoning the packet for later attempts.
         pkt = RelPacket("data", self.node.pe, pending.dst, pending.seq,
@@ -229,8 +259,9 @@ class ReliableDelivery:
     def _on_ack(self, pkt: RelPacket) -> None:
         if pkt.corrupted:
             self.stats.corrupt_dropped += 1
-            self.runtime.trace_event("rel_corrupt", src=pkt.src, seq=pkt.seq,
-                                     ack=True)
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_corrupt", src=pkt.src,
+                                         seq=pkt.seq, ack=True)
             return
         pending = self._pending.pop((pkt.src, pkt.seq), None)
         if pending is None:
@@ -239,6 +270,10 @@ class ReliableDelivery:
             self.stats.stale_acks += 1
             return
         self.stats.acks_received += 1
+        if self.runtime.metering and pending.retries == 0:
+            # Karn's rule: only unambiguous (never-retransmitted) samples
+            # enter the RTT distribution.
+            self._mx_rtt.observe(self.node.pe, self.node.now - pending.sent_at)
         if pending.timer is not None:
             pending.timer.cancel()
 
@@ -247,26 +282,24 @@ class ReliableDelivery:
         if pkt.corrupted:
             # A failed checksum: no ack, the sender will retransmit.
             self.stats.corrupt_dropped += 1
-            self.runtime.trace_event("rel_corrupt", src=src, seq=pkt.seq)
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_corrupt", src=src, seq=pkt.seq)
             return
         self._send_ack(src, pkt.seq)
         expected = self._expected.get(src, 0)
         if pkt.seq < expected:
-            self.stats.dup_dropped += 1
-            if self.runtime.tracing:
-                self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            self._note_dup(src, pkt.seq)
             return
         held = self._held.setdefault(src, {})
         if pkt.seq in held:
-            self.stats.dup_dropped += 1
-            if self.runtime.tracing:
-                self.runtime.trace_event("rel_dup", src=src, seq=pkt.seq)
+            self._note_dup(src, pkt.seq)
             return
         if pkt.seq > expected:
             held[pkt.seq] = pkt.inner
             self.stats.held_out_of_order += 1
-            self.runtime.trace_event("rel_hold", src=src, seq=pkt.seq,
-                                     expected=expected)
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_hold", src=src, seq=pkt.seq,
+                                         expected=expected)
             return
         # In sequence: release it plus any consecutive run it unblocks.
         self._release(src, pkt.seq, pkt.inner)
@@ -275,6 +308,14 @@ class ReliableDelivery:
             self._release(src, nxt, held.pop(nxt))
             nxt += 1
         self._expected[src] = nxt
+
+    def _note_dup(self, src: int, seq: int) -> None:
+        """Record one suppressed duplicate (stats, trace, metrics)."""
+        self.stats.dup_dropped += 1
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_dup", src=src, seq=seq)
+        if self.runtime.metering:
+            self._mx_dups.inc(self.node.pe)
 
     def _send_ack(self, dest: int, seq: int) -> None:
         self.stats.acks_sent += 1
@@ -319,6 +360,27 @@ class CMI:
         #: optional reliable-delivery layer; ``None`` (the default) keeps
         #: every send on the raw machine path with zero added cost.
         self._reliable: Optional[ReliableDelivery] = None
+        # Metric handles, cached once per PE (need-based cost: with
+        # metrics off every send pays one flag test and nothing else).
+        if runtime.metering:
+            from repro.metrics.registry import SIZE_BUCKETS
+
+            metrics = runtime.metrics
+            self._mx_sends = metrics.counter(
+                "cmi.sends", help="point-to-point messages sent (all flavours)"
+            )
+            self._mx_send_bytes = metrics.counter(
+                "cmi.send_bytes", help="payload bytes sent point-to-point"
+            )
+            self._mx_broadcasts = metrics.counter(
+                "cmi.broadcasts", help="broadcast operations initiated"
+            )
+            self._mx_msg_bytes = metrics.histogram(
+                "cmi.msg_bytes", SIZE_BUCKETS,
+                help="per-message payload size at send time (bytes)",
+            )
+        else:
+            self._mx_sends = None
 
     # ------------------------------------------------------------------
     # reliability (opt-in)
@@ -391,15 +453,33 @@ class CMI:
     # ------------------------------------------------------------------
     # point-to-point sends
     # ------------------------------------------------------------------
-    def _wire_copy(self, msg: Message) -> Message:
+    def _wire_copy(self, msg: Message, msg_id: Optional[int] = None) -> Message:
         """The message instance that crosses the wire.  A fresh object so
         the sender's buffer and the receiver's buffer have independent
         ownership state (payload objects are shared and treated as
         immutable by convention, like registered send buffers)."""
-        return Message(
+        wire = Message(
             msg.handler, msg.payload, size=msg.size, prio=msg.prio,
             src_pe=self.node.pe,
         )
+        wire.msg_id = msg_id
+        return wire
+
+    def _next_msg_id(self) -> int:
+        """Allocate a machine-wide trace correlation id.  Only called
+        with tracing on, so untraced runs never pay for (or depend on)
+        the counter."""
+        m = self.runtime.machine
+        m._msg_id_seq += 1
+        return m._msg_id_seq
+
+    def _meter_send(self, size: int, n: int = 1) -> None:
+        """Metrics bookkeeping for ``n`` point-to-point sends of ``size``
+        bytes each (metering is on)."""
+        pe = self.node.pe
+        self._mx_sends.inc(pe, n)
+        self._mx_send_bytes.inc(pe, size * n)
+        self._mx_msg_bytes.observe(pe, size)
 
     def _check_dest(self, dest_pe: int) -> None:
         if not 0 <= dest_pe < self.num_pes():
@@ -415,13 +495,19 @@ class CMI:
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         if self.runtime.tracing:
-            self.runtime.trace_event("send", dest=dest_pe, size=msg.size, handler=msg.handler)
+            wire = self._wire_copy(msg, msg_id=self._next_msg_id())
+            self.runtime.trace_event("send", dest=dest_pe, size=msg.size,
+                                     handler=msg.handler, msg=wire.msg_id)
+        else:
+            wire = self._wire_copy(msg)
+        if self.runtime.metering:
+            self._meter_send(msg.size)
         if self._reliable is not None:
-            self._reliable.send(dest_pe, self._wire_copy(msg),
+            self._reliable.send(dest_pe, wire,
                                 extra_send_cost=self.model.cvs_send_extra)
             return
         self.network.sync_send(
-            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            self.node, dest_pe, msg.size, wire,
             extra_send_cost=self.model.cvs_send_extra,
         )
 
@@ -433,16 +519,21 @@ class CMI:
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         if self.runtime.tracing:
+            wire = self._wire_copy(msg, msg_id=self._next_msg_id())
             self.runtime.trace_event(
                 "send", dest=dest_pe, size=msg.size, handler=msg.handler,
-                asynchronous=True,
+                asynchronous=True, msg=wire.msg_id,
             )
+        else:
+            wire = self._wire_copy(msg)
+        if self.runtime.metering:
+            self._meter_send(msg.size)
         if self._reliable is not None:
-            return self._reliable.send(dest_pe, self._wire_copy(msg),
+            return self._reliable.send(dest_pe, wire,
                                        extra_send_cost=self.model.cvs_send_extra,
                                        asynchronous=True)
         return self.network.async_send(
-            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            self.node, dest_pe, msg.size, wire,
             extra_send_cost=self.model.cvs_send_extra,
         )
 
@@ -458,12 +549,17 @@ class CMI:
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         if self.runtime.tracing:
+            wire = self._wire_copy(msg, msg_id=self._next_msg_id())
             self.runtime.trace_event(
                 "send", dest=dest_pe, size=msg.size, handler=msg.handler,
-                immediate=True,
+                immediate=True, msg=wire.msg_id,
             )
+        else:
+            wire = self._wire_copy(msg)
+        if self.runtime.metering:
+            self._meter_send(msg.size)
         self.network.sync_send(
-            self.node, dest_pe, msg.size, self._wire_copy(msg),
+            self.node, dest_pe, msg.size, wire,
             extra_send_cost=self.model.cvs_send_extra, immediate=True,
         )
 
@@ -493,10 +589,13 @@ class CMI:
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         if self.runtime.tracing:
+            msg.msg_id = self._next_msg_id()
             self.runtime.trace_event(
                 "send", dest=dest_pe, size=msg.size, handler=handler_id,
-                vector=len(pieces),
+                vector=len(pieces), msg=msg.msg_id,
             )
+        if self.runtime.metering:
+            self._meter_send(msg.size)
         if self._reliable is not None:
             return self._reliable.send(dest_pe, msg,
                                        extra_send_cost=self.model.cvs_send_extra,
@@ -514,11 +613,27 @@ class CMI:
         dests = self.num_pes() - (0 if include_self else 1)
         self.node.stats.msgs_sent += dests
         self.node.stats.bytes_sent += msg.size * dests
+        ids: Dict[int, int] = {}
         if self.runtime.tracing:
+            # Pre-allocate one correlation id per destination copy so the
+            # broadcast event can announce them: offline tools join each
+            # copy's receive/handler_begin back to this single event.
+            ids = {
+                dst: self._next_msg_id()
+                for dst in range(self.num_pes())
+                if include_self or dst != self.node.pe
+            }
             self.runtime.trace_event(
                 "broadcast", size=msg.size, handler=msg.handler,
                 include_self=include_self,
+                msg_ids=sorted(ids.values()),
             )
+        if self.runtime.metering:
+            pe = self.node.pe
+            self._mx_broadcasts.inc(pe)
+            self._mx_sends.inc(pe, dests)
+            self._mx_send_bytes.inc(pe, msg.size * dests)
+            self._mx_msg_bytes.observe(pe, msg.size)
         if self._reliable is not None:
             # A reliable broadcast is per-destination reliable sends: every
             # copy needs its own sequence number, ack and retransmission
@@ -531,13 +646,14 @@ class CMI:
                 if not include_self and dst == self.node.pe:
                     continue
                 handle = self._reliable.send(
-                    dst, self._wire_copy(msg),
+                    dst, self._wire_copy(msg, msg_id=ids.get(dst)),
                     extra_send_cost=self.model.cvs_send_extra,
                     asynchronous=asynchronous,
                 ) or handle
             return handle
         return self.network.broadcast(
-            self.node, msg.size, lambda dst: self._wire_copy(msg),
+            self.node, msg.size,
+            lambda dst: self._wire_copy(msg, msg_id=ids.get(dst)),
             include_self=include_self,
             extra_send_cost=self.model.cvs_send_extra,
             asynchronous=asynchronous,

@@ -1,0 +1,27 @@
+"""Runtime metrics: counters, gauges and fixed-bucket histograms with
+per-PE labelling, near-zero cost when disabled (see
+:mod:`repro.metrics.registry`)."""
+
+from repro.metrics.registry import (
+    DEPTH_BUCKETS,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    make_registry,
+    render_metrics_report,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "make_registry",
+    "render_metrics_report",
+    "TIME_BUCKETS",
+    "SIZE_BUCKETS",
+    "DEPTH_BUCKETS",
+]

@@ -37,6 +37,7 @@ from repro.sim.models import GENERIC, MachineModel
 from repro.sim.network import FaultPlan, Network
 from repro.sim.node import Node
 from repro.sim.topology import make_topology
+from repro.metrics.registry import make_registry
 from repro.tracing.tracer import make_tracer
 
 __all__ = ["Machine", "run_spmd"]
@@ -57,8 +58,18 @@ class Machine:
     ldb:
         Seed load-balancing strategy name (default ``"direct"``).
     trace:
-        ``False`` (default), ``True``/``"memory"``, ``"count"``, or a
-        path/file for JSONL (see :func:`repro.tracing.tracer.make_tracer`).
+        ``False`` (default), ``True``/``"memory"``, ``"count"``,
+        ``"jsonl:<path>"``, or a path/file for JSONL (see
+        :func:`repro.tracing.tracer.make_tracer`).
+    metrics:
+        ``False`` (default) — no metrics, zero hot-path cost beyond a
+        flag test; ``True`` — build a fresh
+        :class:`~repro.metrics.registry.MetricsRegistry`; an existing
+        registry — use it (so callers can hold the handle before the
+        run).  The registry is wired through the CMI, the Csd scheduler,
+        Cth threads, the reliable-delivery layer and the Cld balancers;
+        read it back via ``machine.metrics`` /
+        :meth:`metrics_snapshot`.
     echo:
         Echo ``CmiPrintf`` output to the real stdout.
     seed:
@@ -86,7 +97,7 @@ class Machine:
                  queue: Any = "fifo", ldb: str = "direct",
                  trace: Any = False, echo: bool = False, seed: int = 0,
                  faults: Any = None, reliable: Any = False,
-                 backend: Any = None) -> None:
+                 backend: Any = None, metrics: Any = False) -> None:
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
@@ -97,6 +108,10 @@ class Machine:
         self.console = Console(self, echo=echo)
         self.tracer = make_tracer(trace)
         self.network.tracer = self.tracer
+        self.metrics = make_registry(metrics)
+        #: machine-wide trace correlation id allocator (see
+        #: ``CMI._next_msg_id``); advanced only when tracing is on.
+        self._msg_id_seq = 0
         if faults is not None:
             if not isinstance(faults, FaultPlan):
                 raise SimulationError(
@@ -133,6 +148,9 @@ class Machine:
         if self.tracer is not None:
             for node in self.nodes:
                 node.add_delivery_hook(self._trace_delivery(node))
+        if self.metrics is not None:
+            for node in self.nodes:
+                node.attach_metrics(self.metrics)
         self._quiescence_callbacks: List[Callable[[], None]] = []
         self._mains: List[Any] = []
         self._shut_down = False
@@ -156,6 +174,7 @@ class Machine:
                     "handler": getattr(payload, "handler", None),
                     "size": getattr(payload, "size", 0),
                     "src": getattr(payload, "src_pe", None),
+                    "msg": getattr(payload, "msg_id", None),
                 },
             )
 
@@ -184,6 +203,15 @@ class Machine:
     def backend_name(self) -> str:
         """Name of the tasklet switch backend this machine runs on."""
         return self.engine.backend.name
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data snapshot of the metrics registry (raises when the
+        machine was built without ``metrics=``)."""
+        if self.metrics is None:
+            raise SimulationError(
+                "machine was built without metrics; pass metrics=True"
+            )
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # launching user code

@@ -59,6 +59,21 @@ class Node:
         #: runs *before* the inbox, at "interrupt level", and may consume
         #: protocol packets entirely.
         self._interceptor: Optional[Callable[[Any], bool]] = None
+        #: receive-side metric handles; ``None`` until the machine calls
+        #: :meth:`attach_metrics`, so the guard on the delivery path is a
+        #: single attribute test when metrics are off.
+        self._mx_recvs: Any = None
+        self._mx_recv_bytes: Any = None
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Cache receive-side metric handles from the machine's registry
+        (called once at machine construction when metrics are enabled)."""
+        self._mx_recvs = metrics.counter(
+            "cmi.receives", help="messages delivered to this PE's inbox"
+        )
+        self._mx_recv_bytes = metrics.counter(
+            "cmi.recv_bytes", help="modelled payload bytes received"
+        )
 
     # ------------------------------------------------------------------
     # CPU time
@@ -116,6 +131,9 @@ class Node:
         stats = self.stats
         stats.msgs_received += 1
         stats.bytes_received += getattr(payload, "size", 0) or 0
+        if self._mx_recvs is not None:
+            self._mx_recvs.inc(self.pe)
+            self._mx_recv_bytes.inc(self.pe, getattr(payload, "size", 0) or 0)
         if self._delivery_hooks:
             for hook in self._delivery_hooks:
                 hook(payload)
@@ -139,6 +157,9 @@ class Node:
         time, a simplification over a real interrupt.)"""
         self.stats.msgs_received += 1
         self.stats.bytes_received += getattr(payload, "size", 0) or 0
+        if self._mx_recvs is not None:
+            self._mx_recvs.inc(self.pe)
+            self._mx_recv_bytes.inc(self.pe, getattr(payload, "size", 0) or 0)
         for hook in self._delivery_hooks:
             hook(payload)
 

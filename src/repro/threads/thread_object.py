@@ -112,6 +112,18 @@ class CthModule:
             self._on_resume_msg, "cth.resume"
         )
         self.threads_created = 0
+        # Metric handles, cached once (same flag-guard discipline as
+        # tracing: with metrics off each verb costs one flag test).
+        if runtime.metering:
+            self._mx_created = runtime.metrics.counter(
+                "cth.threads_created", help="Cth threads created"
+            )
+            self._mx_switches = runtime.metrics.counter(
+                "cth.switches", help="CthResume context switches"
+            )
+        else:
+            self._mx_created = None
+            self._mx_switches = None
 
     # ------------------------------------------------------------------
     # identity
@@ -142,6 +154,8 @@ class CthModule:
         thr = CthThread(self, fn, arg, stacksize)
         if self.runtime.tracing:
             self.runtime.trace_event("thread_create", thread=thr.id)
+        if self.runtime.metering:
+            self._mx_created.inc(self.node.pe)
         return thr
 
     # ------------------------------------------------------------------
@@ -157,6 +171,8 @@ class CthModule:
         thr.resumer = cur
         if self.runtime.tracing:
             self.runtime.trace_event("thread_resume", thread=thr.id)
+        if self.runtime.metering:
+            self._mx_switches.inc(self.node.pe)
         self.engine.transfer(thr.tasklet)
 
     def suspend(self) -> None:

@@ -1,0 +1,13 @@
+"""The trace CLI: ``python -m repro.trace {summarize,export,critpath,
+metrics,demo}``.
+
+A thin command-line front end over :mod:`repro.tracing` (analysis,
+critical path, exporters) and :mod:`repro.metrics` (snapshot rendering),
+consuming JSONL trace files written by
+``Machine(trace="jsonl:<path>")`` and metrics JSON written by
+``MetricsRegistry.save``.  See :func:`repro.trace.cli.main`.
+"""
+
+from repro.trace.cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,229 @@
+"""Command-line trace tooling.
+
+Subcommands::
+
+    python -m repro.trace summarize run.jsonl        # text report
+    python -m repro.trace export run.jsonl -o run.chrome.json
+    python -m repro.trace critpath run.jsonl         # critical path only
+    python -m repro.trace metrics run.metrics.json   # metrics table
+    python -m repro.trace demo -o demo               # generate demo artifacts
+
+``summarize``/``export``/``critpath`` read JSONL traces produced by
+``Machine(trace="jsonl:<path>")``; ``metrics`` reads a JSON snapshot
+produced by ``MetricsRegistry.save``.  ``demo`` runs a small traced and
+metered workload and writes ``<prefix>.jsonl``, ``<prefix>.chrome.json``
+and ``<prefix>.metrics.json`` — the artifact set CI validates and
+uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, List, Optional
+
+from repro.tracing.critpath import critical_path
+from repro.tracing.export import (
+    chrome_trace,
+    save_chrome_trace,
+    text_report,
+    validate_chrome_trace,
+)
+from repro.tracing.tracer import load_jsonl
+
+__all__ = ["main"]
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    tracer = load_jsonl(args.trace)
+    snapshot = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    print(text_report(tracer, metrics_snapshot=snapshot,
+                      critpath=not args.no_critpath, top=args.top))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    tracer = load_jsonl(args.trace)
+    if args.format == "text":
+        report = text_report(tracer)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+        return 0
+    if not args.output:
+        print("export --format chrome requires -o/--output", file=sys.stderr)
+        return 2
+    doc = save_chrome_trace(tracer, args.output,
+                            flows=not args.no_flows,
+                            counters=not args.no_counters)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"invalid: {p}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.output}: {len(doc['traceEvents'])} events "
+          f"({doc['otherData']['pes']} PEs) — open in ui.perfetto.dev")
+    return 0
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    tracer = load_jsonl(args.trace)
+    print(critical_path(tracer).render(limit=args.limit))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.metrics.registry import render_metrics_report
+
+    with open(args.snapshot, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    print(render_metrics_report(snapshot))
+    return 0
+
+
+def _demo_main() -> None:
+    """The demo workload, launched SPMD on every PE: a multi-round token
+    ring (point-to-point sends and scheduler turnaround on each PE) ending
+    in a broadcast shutdown, plus a threaded phase on PE 0 so the trace
+    contains Cth events."""
+    from repro.core import api
+
+    me, num = api.CmiMyPe(), api.CmiNumPes()
+    rounds = 4
+
+    def on_token(msg: Any) -> None:
+        remaining = msg.payload
+        api.CmiCharge(2e-6)  # a little modelled compute per hop
+        if remaining > 0:
+            nxt = (api.CmiMyPe() + 1) % api.CmiNumPes()
+            api.CmiSyncSend(nxt, api.CmiNew(h_token, remaining - 1, size=64))
+        else:
+            api.CmiSyncBroadcastAll(api.CmiNew(h_done, None, size=16))
+
+    def on_done(_msg: Any) -> None:
+        api.CsdExitScheduler()
+
+    h_token = api.CmiRegisterHandler(on_token, "demo.token")
+    h_done = api.CmiRegisterHandler(on_done, "demo.done")
+
+    if me == 0:
+        # A short Cth phase interleaved with the ring: two threads on the
+        # scheduler strategy, so their yields flow through the Csd queue
+        # as generalized resume-messages.
+        def worker(tag: Any) -> None:
+            for _ in range(3):
+                api.CmiCharge(1e-6)
+                api.CthYield()
+
+        for t in (api.CthCreate(worker, "a"), api.CthCreate(worker, "b")):
+            api.CthUseSchedulerStrategy(t)
+            api.CthAwaken(t)
+        # Kick off the ring: rounds * num hops, then a broadcast stops
+        # every PE's scheduler.
+        api.CmiSyncSend(1 % num, api.CmiNew(h_token, rounds * num, size=64))
+    api.CsdScheduler(-1)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.metrics.registry import MetricsRegistry
+    from repro.sim.machine import Machine
+    from repro.sim.models import MYRINET_FM
+
+    prefix = args.output
+    trace_path = f"{prefix}.jsonl"
+    chrome_path = f"{prefix}.chrome.json"
+    metrics_path = f"{prefix}.metrics.json"
+
+    registry = MetricsRegistry()
+    with Machine(args.pes, model=MYRINET_FM, trace=f"jsonl:{trace_path}",
+                 metrics=registry) as machine:
+        machine.launch(_demo_main)
+        machine.run()
+    registry.save(metrics_path)
+
+    # Reload the on-disk trace (exercising the same path external tools
+    # take) and derive the report + Chrome export from it.
+    tracer = load_jsonl(trace_path)
+    doc = save_chrome_trace(tracer, chrome_path)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"invalid chrome trace: {p}", file=sys.stderr)
+        return 1
+    print(text_report(tracer, metrics_snapshot=registry.snapshot()))
+    print()
+    print(f"wrote {trace_path} ({len(tracer.events)} events), "
+          f"{chrome_path} ({len(doc['traceEvents'])} chrome events), "
+          f"{metrics_path} ({len(registry)} metrics)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Analyze, export and demo repro trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="text report over a JSONL trace")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--metrics", help="metrics snapshot JSON to append")
+    p.add_argument("--top", type=int, default=12,
+                   help="handler-profile rows to show")
+    p.add_argument("--no-critpath", action="store_true",
+                   help="skip critical-path extraction")
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("export", help="convert to Chrome Trace Event JSON")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--format", choices=("chrome", "text"), default="chrome",
+                   help="output format (default: chrome)")
+    p.add_argument("-o", "--output",
+                   help="output path (required for --format chrome; "
+                        "load in ui.perfetto.dev)")
+    p.add_argument("--no-flows", action="store_true",
+                   help="omit message flow arrows")
+    p.add_argument("--no-counters", action="store_true",
+                   help="omit queue-depth counter tracks")
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("critpath", help="extract the critical path")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--limit", type=int, default=40,
+                   help="max segments to print")
+    p.set_defaults(fn=_cmd_critpath)
+
+    p = sub.add_parser("metrics", help="render a metrics snapshot JSON")
+    p.add_argument("snapshot", help="metrics JSON written by MetricsRegistry.save")
+    p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser("demo", help="run a traced+metered demo workload")
+    p.add_argument("-o", "--output", default="trace-demo",
+                   help="artifact prefix (default: trace-demo)")
+    p.add_argument("--pes", type=int, default=4, help="number of PEs")
+    p.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe mid-report; redirect
+        # stdout to devnull so the interpreter's shutdown flush stays
+        # quiet, and exit cleanly like any well-behaved filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

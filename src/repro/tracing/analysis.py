@@ -15,7 +15,19 @@ from typing import Dict, List, Optional, Tuple
 from repro.tracing.events import TraceEvent
 from repro.tracing.tracer import MemoryTracer
 
-__all__ = ["PeProfile", "TraceSummary", "summarize", "timeline"]
+__all__ = [
+    "PeProfile",
+    "TraceSummary",
+    "summarize",
+    "timeline",
+    "HandlerProfile",
+    "PeBreakdown",
+    "handler_profiles",
+    "message_latencies",
+    "latency_stats",
+    "queue_depth_series",
+    "utilization",
+]
 
 
 @dataclass
@@ -128,6 +140,180 @@ def summarize(tracer: MemoryTracer) -> TraceSummary:
         elif ev.kind == "rel_release":
             p.rel_released += 1
     return s
+
+
+@dataclass
+class HandlerProfile:
+    """Virtual-time profile of one handler (by registered name)."""
+
+    name: str
+    count: int = 0
+    total_time: float = 0.0
+    max_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Exact mean per-invocation virtual time (0 when never run)."""
+        return self.total_time / self.count if self.count else 0.0
+
+
+@dataclass
+class PeBreakdown:
+    """Where one PE's wall of virtual time went.
+
+    ``busy`` is time with at least one handler on the stack, ``idle`` is
+    time parked in the scheduler's idle wait, and ``overhead`` is the
+    remainder of the observed span — scheduling, queueing and
+    communication costs outside any handler.
+    """
+
+    pe: int
+    span: float = 0.0
+    busy: float = 0.0
+    idle: float = 0.0
+
+    @property
+    def overhead(self) -> float:
+        """span - busy - idle (clamped at zero against rounding)."""
+        return max(0.0, self.span - self.busy - self.idle)
+
+    def fraction(self, part: float) -> float:
+        """``part`` as a fraction of the span (0 when the span is 0)."""
+        return part / self.span if self.span else 0.0
+
+
+def handler_profiles(tracer: MemoryTracer) -> Dict[str, HandlerProfile]:
+    """Per-handler virtual-time profiles, keyed by registered name.
+
+    ``handler_begin``/``handler_end`` are paired with a per-PE stack, so
+    nested invocations (a handler that runs the scheduler which runs
+    another handler) are attributed *inclusively* to each open handler.
+    """
+    profiles: Dict[str, HandlerProfile] = {}
+    stacks: Dict[int, List[Tuple[str, float]]] = {}
+    for ev in tracer.events:
+        if ev.kind == "handler_begin":
+            name = str(ev.fields.get("name") or f"handler#{ev.fields.get('handler')}")
+            stacks.setdefault(ev.pe, []).append((name, ev.time))
+        elif ev.kind == "handler_end":
+            stack = stacks.get(ev.pe)
+            if not stack:
+                continue
+            name, start = stack.pop()
+            p = profiles.setdefault(name, HandlerProfile(name))
+            dt = ev.time - start
+            p.count += 1
+            p.total_time += dt
+            if dt > p.max_time:
+                p.max_time = dt
+    return profiles
+
+
+def message_latencies(tracer: MemoryTracer) -> List[float]:
+    """Send-to-dispatch latency of every correlated message (seconds).
+
+    Joins each ``send`` event to the ``handler_begin`` that consumed the
+    same correlation id (``msg``); broadcasts contribute one latency per
+    destination copy (their ``msg_ids`` list).  Messages without ids
+    (tracing was on but the event predates correlation, or local
+    enqueues) are skipped.
+    """
+    send_times: Dict[int, float] = {}
+    out: List[float] = []
+    for ev in tracer.events:
+        if ev.kind == "send":
+            mid = ev.fields.get("msg")
+            if mid is not None:
+                send_times[mid] = ev.time
+        elif ev.kind == "broadcast":
+            for mid in ev.fields.get("msg_ids", ()) or ():
+                send_times[mid] = ev.time
+        elif ev.kind == "handler_begin":
+            mid = ev.fields.get("msg")
+            if mid is not None:
+                t0 = send_times.pop(mid, None)
+                if t0 is not None:
+                    out.append(ev.time - t0)
+    return out
+
+
+def latency_stats(latencies: List[float]) -> Dict[str, float]:
+    """count/mean/min/max/p50/p90/p99 over a latency list (empty-safe)."""
+    if not latencies:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    xs = sorted(latencies)
+    n = len(xs)
+
+    def pct(q: float) -> float:
+        return xs[min(n - 1, int(q * n))]
+
+    return {
+        "count": n,
+        "mean": sum(xs) / n,
+        "min": xs[0],
+        "max": xs[-1],
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "p99": pct(0.99),
+    }
+
+
+def queue_depth_series(tracer: MemoryTracer) -> Dict[int, List[Tuple[float, int]]]:
+    """Per-PE time series of Csd queue depth.
+
+    Each ``enqueue``/``dequeue`` event carries the post-operation depth;
+    the series is ``[(time, depth), ...]`` in event order.
+    """
+    series: Dict[int, List[Tuple[float, int]]] = {}
+    for ev in tracer.events:
+        if ev.kind in ("enqueue", "dequeue"):
+            depth = ev.fields.get("depth")
+            if depth is not None:
+                series.setdefault(ev.pe, []).append((ev.time, int(depth)))
+    return series
+
+
+def utilization(tracer: MemoryTracer) -> Dict[int, PeBreakdown]:
+    """Busy/idle/overhead breakdown per PE over the trace's span.
+
+    Busy intervals are merged across handler nesting (depth 0 -> 1 opens,
+    1 -> 0 closes); idle intervals come from the scheduler's strictly
+    alternating ``idle_begin``/``idle_end`` pairs.
+    """
+    events = tracer.events
+    if not events:
+        return {}
+    first = events[0].time
+    last = max(e.time for e in events)
+    out: Dict[int, PeBreakdown] = {}
+    depth: Dict[int, int] = {}
+    busy_since: Dict[int, float] = {}
+    idle_since: Dict[int, float] = {}
+    for ev in events:
+        b = out.setdefault(ev.pe, PeBreakdown(ev.pe, span=last - first))
+        if ev.kind == "handler_begin":
+            d = depth.get(ev.pe, 0)
+            if d == 0:
+                busy_since[ev.pe] = ev.time
+            depth[ev.pe] = d + 1
+        elif ev.kind == "handler_end":
+            d = depth.get(ev.pe, 0)
+            if d == 1:
+                b.busy += ev.time - busy_since.pop(ev.pe, ev.time)
+            depth[ev.pe] = max(0, d - 1)
+        elif ev.kind == "idle_begin":
+            idle_since[ev.pe] = ev.time
+        elif ev.kind == "idle_end":
+            t0 = idle_since.pop(ev.pe, None)
+            if t0 is not None:
+                b.idle += ev.time - t0
+    # Spans still open at trace end extend to the last timestamp.
+    for pe, t0 in busy_since.items():
+        out[pe].busy += last - t0
+    for pe, t0 in idle_since.items():
+        out[pe].idle += last - t0
+    return out
 
 
 def timeline(tracer: MemoryTracer, pe: Optional[int] = None,

@@ -1,0 +1,215 @@
+"""Critical-path extraction over the message dependency DAG.
+
+A traced run induces a DAG: handler executions are nodes, and an
+execution depends on (a) the previous execution on the same PE (the
+processor is serial) and (b) the send of the message that triggered it
+(the communication edge, joined via the ``msg`` correlation id stamped
+by the CMI).  The *critical path* is the longest chain of such
+dependencies ending at the last activity — the sequence of work and
+communication that bounds the run's virtual makespan; everything off the
+path had slack.
+
+The extractor walks backward from the execution with the greatest end
+time.  At each step the *binding* predecessor is whichever constraint
+released the execution last: if the trigger message arrived after the
+PE's previous execution finished, the PE sat waiting and the message
+edge binds (hop to the sending execution, possibly on another PE);
+otherwise the PE was the bottleneck and the same-PE edge binds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracing.tracer import MemoryTracer
+
+__all__ = ["Execution", "CritSegment", "CriticalPath", "critical_path"]
+
+
+@dataclass
+class Execution:
+    """One handler invocation reconstructed from begin/end events."""
+
+    pe: int
+    begin: float
+    end: float
+    name: str
+    #: correlation id of the message that triggered it (None for local
+    #: dispatches that predate correlation, e.g. Ccd ticks).
+    msg_id: Optional[int] = None
+    #: index of the previous execution on the same PE, -1 for the first.
+    prev_on_pe: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+
+@dataclass
+class CritSegment:
+    """One step of the critical path (oldest first after extraction)."""
+
+    #: ``"exec"`` — a handler ran; ``"msg"`` — a message was in flight;
+    #: ``"wait"`` — the PE was the bottleneck between two executions.
+    kind: str
+    pe: int
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The extracted path plus aggregate accounting."""
+
+    segments: List[CritSegment] = field(default_factory=list)
+
+    @property
+    def span(self) -> float:
+        """Virtual time covered by the path."""
+        if not self.segments:
+            return 0.0
+        return self.segments[-1].end - self.segments[0].start
+
+    def total(self, kind: str) -> float:
+        """Summed duration of one segment kind along the path."""
+        return sum(s.duration for s in self.segments if s.kind == kind)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Path time by segment kind (exec / msg / wait)."""
+        return {k: self.total(k) for k in ("exec", "msg", "wait")}
+
+    def pes(self) -> List[int]:
+        """PEs visited, in path order, without repeats of runs."""
+        out: List[int] = []
+        for s in self.segments:
+            if s.kind == "exec" and (not out or out[-1] != s.pe):
+                out.append(s.pe)
+        return out
+
+    def render(self, limit: int = 40) -> str:
+        """Human-readable listing (oldest segment first)."""
+        if not self.segments:
+            return "(empty trace: no handler executions found)"
+        lines = [
+            f"critical path: {self.span * 1e6:.2f}us over "
+            f"{sum(1 for s in self.segments if s.kind == 'exec')} executions, "
+            f"PEs {self.pes()}"
+        ]
+        bd = self.breakdown()
+        lines.append(
+            "  time in handlers {exec:.2f}us, in flight {msg:.2f}us, "
+            "waiting on PE {wait:.2f}us".format(
+                exec=bd["exec"] * 1e6, msg=bd["msg"] * 1e6, wait=bd["wait"] * 1e6
+            )
+        )
+        shown = self.segments if len(self.segments) <= limit else self.segments[-limit:]
+        if shown is not self.segments:
+            lines.append(f"  ... ({len(self.segments) - limit} earlier segments)")
+        for s in shown:
+            lines.append(
+                f"  {s.start * 1e6:12.2f}us +{s.duration * 1e6:9.2f}us "
+                f"pe{s.pe:<3} {s.kind:<5} {s.label}"
+            )
+        return "\n".join(lines)
+
+
+def _collect_executions(tracer: MemoryTracer) -> Tuple[List[Execution], Dict[int, Tuple[float, int]]]:
+    """Pair begin/end events into executions and index sends.
+
+    Returns the executions (in begin order) and a map of correlation id
+    -> (send time, index of the sending execution or -1 when the send
+    happened outside any handler, e.g. from an SPM main).
+    """
+    execs: List[Execution] = []
+    open_stack: Dict[int, List[int]] = {}   # pe -> indices of open execs
+    last_closed: Dict[int, int] = {}        # pe -> index of last finished exec
+    sends: Dict[int, Tuple[float, int]] = {}
+    for ev in tracer.events:
+        if ev.kind == "handler_begin":
+            execs.append(
+                Execution(
+                    pe=ev.pe,
+                    begin=ev.time,
+                    end=ev.time,
+                    name=str(ev.fields.get("name")
+                             or f"handler#{ev.fields.get('handler')}"),
+                    msg_id=ev.fields.get("msg"),
+                    prev_on_pe=last_closed.get(ev.pe, -1),
+                )
+            )
+            open_stack.setdefault(ev.pe, []).append(len(execs) - 1)
+        elif ev.kind == "handler_end":
+            stack = open_stack.get(ev.pe)
+            if stack:
+                idx = stack.pop()
+                execs[idx].end = ev.time
+                last_closed[ev.pe] = idx
+        elif ev.kind == "send":
+            mid = ev.fields.get("msg")
+            if mid is not None:
+                stack = open_stack.get(ev.pe)
+                sender = stack[-1] if stack else -1
+                sends[mid] = (ev.time, sender)
+        elif ev.kind == "broadcast":
+            stack = open_stack.get(ev.pe)
+            sender = stack[-1] if stack else -1
+            for mid in ev.fields.get("msg_ids", ()) or ():
+                sends[mid] = (ev.time, sender)
+    return execs, sends
+
+
+def critical_path(tracer: MemoryTracer) -> CriticalPath:
+    """Extract the critical path from a memory trace.
+
+    Requires a trace recorded with correlation ids (any trace from this
+    runtime with tracing on); executions whose trigger cannot be joined
+    fall back to same-PE ordering edges only.
+    """
+    execs, sends = _collect_executions(tracer)
+    path = CriticalPath()
+    if not execs:
+        return path
+    cur = max(range(len(execs)), key=lambda i: execs[i].end)
+    #: the virtual time at which the path *leaves* the current execution:
+    #: its end for the path's last node, the send instant when the path
+    #: departed via a message edge — so exec segments are clipped to the
+    #: on-path portion and exec + msg + wait sums exactly to the span.
+    departure = execs[cur].end
+    segments: List[CritSegment] = []
+    while cur >= 0:
+        e = execs[cur]
+        segments.append(
+            CritSegment("exec", e.pe, e.begin, max(e.begin, min(e.end, departure)),
+                        e.name)
+        )
+        send = sends.get(e.msg_id) if e.msg_id is not None else None
+        prev = execs[e.prev_on_pe] if e.prev_on_pe >= 0 else None
+        # Which constraint released this execution last?
+        msg_ready = send[0] if send is not None else float("-inf")
+        pe_ready = prev.end if prev is not None else float("-inf")
+        if send is not None and msg_ready >= pe_ready:
+            send_time, sender = send
+            segments.append(
+                CritSegment("msg", e.pe, send_time, e.begin,
+                            f"message in flight (msg {e.msg_id})")
+            )
+            cur = sender
+            departure = send_time
+        elif prev is not None:
+            segments.append(
+                CritSegment("wait", e.pe, prev.end, e.begin,
+                            "PE busy/scheduling gap")
+            )
+            cur = e.prev_on_pe
+            departure = prev.end
+        else:
+            break
+    segments.reverse()
+    path.segments = segments
+    return path

@@ -1,0 +1,242 @@
+"""Trace exporters: Chrome Trace Event JSON (Perfetto-loadable) and a
+plain-text run report.
+
+The Chrome format (``chrome://tracing`` / https://ui.perfetto.dev) is a
+JSON object with a ``traceEvents`` list.  The mapping chosen here:
+
+* one *process* per PE (``pid`` = PE number, named via ``M`` metadata
+  events), with track 0 (``tid`` 0) carrying the scheduler's view:
+  handler executions and idle spans as complete (``X``) events;
+* one extra track per Cth thread (``tid`` = thread id) built from
+  ``thread_resume``/``thread_suspend`` pairs;
+* message flow arrows (``s``/``f`` events) joining each ``send`` to the
+  ``handler_begin`` that consumed the same correlation id;
+* Csd queue depth as counter (``C``) events.
+
+Timestamps are microseconds of virtual time (the format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.tracing.analysis import (
+    handler_profiles,
+    latency_stats,
+    message_latencies,
+    summarize,
+    utilization,
+)
+from repro.tracing.critpath import critical_path
+from repro.tracing.tracer import MemoryTracer
+
+__all__ = ["chrome_trace", "save_chrome_trace", "validate_chrome_trace",
+           "text_report"]
+
+
+def _us(t: float) -> float:
+    return t * 1e6
+
+
+def chrome_trace(tracer: MemoryTracer, flows: bool = True,
+                 counters: bool = True) -> Dict[str, Any]:
+    """Convert a memory trace to a Chrome Trace Event document (a dict;
+    dump with :func:`save_chrome_trace`)."""
+    out: List[Dict[str, Any]] = []
+    pes = sorted({e.pe for e in tracer.events})
+    for pe in pes:
+        out.append({"ph": "M", "name": "process_name", "pid": pe, "tid": 0,
+                    "args": {"name": f"PE {pe}"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pe, "tid": 0,
+                    "args": {"name": "scheduler"}})
+
+    open_handlers: Dict[int, List[Dict[str, Any]]] = {}
+    open_idle: Dict[int, float] = {}
+    thread_running: Dict[tuple, float] = {}   # (pe, thread id) -> resume time
+    named_threads: set = set()
+    send_flows: Dict[int, Dict[str, Any]] = {}
+
+    for ev in tracer.events:
+        kind = ev.kind
+        if kind == "handler_begin":
+            open_handlers.setdefault(ev.pe, []).append({
+                "name": str(ev.fields.get("name")
+                            or f"handler#{ev.fields.get('handler')}"),
+                "ts": ev.time,
+                "args": {k: v for k, v in ev.fields.items() if v is not None},
+            })
+            mid = ev.fields.get("msg")
+            if flows and mid is not None and mid in send_flows:
+                src = send_flows.pop(mid)
+                out.append(src)
+                out.append({"ph": "f", "bp": "e", "id": mid, "cat": "msg",
+                            "name": "msg", "pid": ev.pe, "tid": 0,
+                            "ts": _us(ev.time)})
+        elif kind == "handler_end":
+            stack = open_handlers.get(ev.pe)
+            if stack:
+                h = stack.pop()
+                out.append({"ph": "X", "cat": "handler", "name": h["name"],
+                            "pid": ev.pe, "tid": 0, "ts": _us(h["ts"]),
+                            "dur": _us(ev.time - h["ts"]), "args": h["args"]})
+        elif kind == "idle_begin":
+            open_idle[ev.pe] = ev.time
+        elif kind == "idle_end":
+            t0 = open_idle.pop(ev.pe, None)
+            if t0 is not None:
+                out.append({"ph": "X", "cat": "idle", "name": "idle",
+                            "pid": ev.pe, "tid": 0, "ts": _us(t0),
+                            "dur": _us(ev.time - t0), "args": {}})
+        elif kind == "send":
+            mid = ev.fields.get("msg")
+            if flows and mid is not None:
+                send_flows[mid] = {"ph": "s", "id": mid, "cat": "msg",
+                                   "name": "msg", "pid": ev.pe, "tid": 0,
+                                   "ts": _us(ev.time)}
+        elif kind == "broadcast":
+            if flows:
+                for mid in ev.fields.get("msg_ids", ()) or ():
+                    send_flows[mid] = {"ph": "s", "id": mid, "cat": "msg",
+                                       "name": "bcast", "pid": ev.pe, "tid": 0,
+                                       "ts": _us(ev.time)}
+        elif kind == "thread_resume":
+            tid = ev.fields.get("thread")
+            if tid is not None:
+                thread_running[(ev.pe, tid)] = ev.time
+                if (ev.pe, tid) not in named_threads:
+                    named_threads.add((ev.pe, tid))
+                    out.append({"ph": "M", "name": "thread_name",
+                                "pid": ev.pe, "tid": tid,
+                                "args": {"name": f"cth{tid}"}})
+        elif kind == "thread_suspend":
+            tid = ev.fields.get("thread")
+            t0 = thread_running.pop((ev.pe, tid), None)
+            if t0 is not None:
+                out.append({"ph": "X", "cat": "thread", "name": f"cth{tid}",
+                            "pid": ev.pe, "tid": tid, "ts": _us(t0),
+                            "dur": _us(ev.time - t0), "args": {}})
+        elif kind in ("enqueue", "dequeue"):
+            depth = ev.fields.get("depth")
+            if counters and depth is not None:
+                out.append({"ph": "C", "name": "queue_depth", "pid": ev.pe,
+                            "tid": 0, "ts": _us(ev.time),
+                            "args": {"depth": depth}})
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.tracing.export",
+                          "pes": len(pes)}}
+
+
+def save_chrome_trace(tracer: MemoryTracer, path: Any, **kwargs: Any) -> Dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the doc."""
+    doc = chrome_trace(tracer, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural validation of a Chrome Trace document.
+
+    Returns a list of problems (empty when the document is well formed):
+    the shape CI asserts on before uploading the artifact.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a dict, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    open_flows: Dict[Any, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not a dict")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "s", "f", "C", "B", "E", "i"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if "pid" not in ev:
+            problems.append(f"event {i}: missing pid")
+        if ph != "M" and not isinstance(ev.get("ts", 0), (int, float)):
+            problems.append(f"event {i}: non-numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X event needs dur >= 0, got {dur!r}")
+        if ph in ("s", "f"):
+            if "id" not in ev:
+                problems.append(f"event {i}: flow event missing id")
+            elif ph == "s":
+                open_flows[ev["id"]] = i
+            else:
+                if ev["id"] not in open_flows:
+                    problems.append(
+                        f"event {i}: flow finish id {ev['id']!r} without start"
+                    )
+        if ph == "M" and ev.get("name") not in ("process_name", "thread_name",
+                                                "process_labels",
+                                                "process_sort_index",
+                                                "thread_sort_index"):
+            problems.append(f"event {i}: unknown metadata {ev.get('name')!r}")
+    return problems
+
+
+def text_report(tracer: MemoryTracer,
+                metrics_snapshot: Optional[Dict[str, Any]] = None,
+                critpath: bool = True, top: int = 12) -> str:
+    """A plain-text report over a trace: per-PE summary, busy/idle
+    breakdown, handler profiles, message latency, and (optionally) the
+    critical path.  ``metrics_snapshot`` appends the metrics table."""
+    s = summarize(tracer)
+    lines: List[str] = []
+    lines.append(
+        f"trace: {s.total_events} events, {len(s.profiles)} PEs, "
+        f"span {s.span * 1e6:.2f}us"
+    )
+    util = utilization(tracer)
+    lines.append("")
+    lines.append(f"{'pe':>4} {'sends':>7} {'recvs':>7} {'handlers':>9} "
+                 f"{'busy%':>7} {'idle%':>7} {'ovhd%':>7}")
+    for pe in sorted(s.profiles):
+        p = s.profiles[pe]
+        b = util.get(pe)
+        busy = b.fraction(b.busy) * 100 if b else 0.0
+        idle = b.fraction(b.idle) * 100 if b else 0.0
+        ovhd = b.fraction(b.overhead) * 100 if b else 0.0
+        lines.append(
+            f"{pe:>4} {p.sends:>7} {p.receives:>7} {p.handlers:>9} "
+            f"{busy:>6.1f}% {idle:>6.1f}% {ovhd:>6.1f}%"
+        )
+    profiles = handler_profiles(tracer)
+    if profiles:
+        lines.append("")
+        lines.append(f"{'handler':<32} {'count':>7} {'total us':>10} "
+                     f"{'mean us':>9} {'max us':>9}")
+        ranked = sorted(profiles.values(), key=lambda h: -h.total_time)
+        for h in ranked[:top]:
+            lines.append(
+                f"{h.name:<32} {h.count:>7} {h.total_time * 1e6:>10.2f} "
+                f"{h.mean_time * 1e6:>9.2f} {h.max_time * 1e6:>9.2f}"
+            )
+        if len(ranked) > top:
+            lines.append(f"... ({len(ranked) - top} more handlers)")
+    lat = latency_stats(message_latencies(tracer))
+    if lat["count"]:
+        lines.append("")
+        lines.append(
+            "message latency (send -> dispatch): "
+            f"n={lat['count']} mean={lat['mean'] * 1e6:.2f}us "
+            f"p50={lat['p50'] * 1e6:.2f}us p90={lat['p90'] * 1e6:.2f}us "
+            f"p99={lat['p99'] * 1e6:.2f}us max={lat['max'] * 1e6:.2f}us"
+        )
+    if critpath:
+        lines.append("")
+        lines.append(critical_path(tracer).render())
+    if metrics_snapshot:
+        from repro.metrics.registry import render_metrics_report
+
+        lines.append("")
+        lines.append(render_metrics_report(metrics_snapshot))
+    return "\n".join(lines)

@@ -15,16 +15,29 @@ without storing events.
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from typing import IO, Any, Dict, List, Mapping, Optional
 
 from repro.tracing.events import SchemaDeclaration, TraceEvent
 
-__all__ = ["Tracer", "MemoryTracer", "CountingTracer", "JsonlTracer", "make_tracer"]
+__all__ = [
+    "Tracer",
+    "MemoryTracer",
+    "CountingTracer",
+    "JsonlTracer",
+    "make_tracer",
+    "load_jsonl",
+]
 
 
 class Tracer:
-    """Base sink.  ``record`` must be cheap: it runs on every event."""
+    """Base sink.  ``record`` must be cheap: it runs on every event.
+
+    Every tracer is a context manager: ``with JsonlTracer(path) as t:``
+    guarantees the tail of a buffered trace is flushed even when the
+    block raises (the :class:`~repro.sim.machine.Machine` teardown path
+    calls :meth:`close` too, for tracers it was handed)."""
 
     def __init__(self) -> None:
         self.schemas: List[SchemaDeclaration] = []
@@ -39,6 +52,12 @@ class Tracer:
 
     def close(self) -> None:
         """Flush/close any backing resources."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class MemoryTracer(Tracer):
@@ -128,8 +147,14 @@ def make_tracer(spec: Any) -> Optional[Tracer]:
     """Build a tracer from a machine-constructor argument.
 
     ``False``/``None`` -> no tracing; ``True``/``"memory"`` -> memory;
-    ``"count"`` -> counting; a path or file object -> JSONL; an existing
-    :class:`Tracer` passes through.
+    ``"count"`` -> counting; ``"jsonl:<path>"``, a path-like object, a
+    string that is unambiguously a path (contains a separator or ends in
+    ``.jsonl``), or a file object -> JSONL; an existing :class:`Tracer`
+    passes through.
+
+    Any other string raises ``ValueError``: a typo like ``"counting"``
+    must fail loudly instead of silently creating a stray trace file
+    named after the typo.
     """
     if spec in (None, False):
         return None
@@ -139,4 +164,66 @@ def make_tracer(spec: Any) -> Optional[Tracer]:
         return CountingTracer()
     if isinstance(spec, Tracer):
         return spec
-    return JsonlTracer(spec)
+    if isinstance(spec, str):
+        if spec.startswith("jsonl:"):
+            return JsonlTracer(spec[len("jsonl:"):])
+        if os.sep in spec or "/" in spec or spec.endswith(".jsonl"):
+            return JsonlTracer(spec)
+        raise ValueError(
+            f"unknown tracer spec {spec!r}: use False, True, 'memory', "
+            "'count', 'jsonl:<path>', a path, a file object, or a Tracer"
+        )
+    if isinstance(spec, os.PathLike) or hasattr(spec, "write"):
+        return JsonlTracer(spec)
+    raise ValueError(
+        f"unknown tracer spec {spec!r} of type {type(spec).__name__}"
+    )
+
+
+def load_jsonl(path: Any) -> MemoryTracer:
+    """Reload an on-disk JSONL trace into a :class:`MemoryTracer`.
+
+    The inverse of streaming through a :class:`JsonlTracer`: event lines
+    become :class:`TraceEvent` records (``pe``/``time``/``kind`` pulled
+    out of the payload, everything else restored as ``fields``) and
+    ``__schema__`` lines become :class:`SchemaDeclaration` entries — so
+    the analysis, export and CLI layers consume live tracers and trace
+    files through one interface.
+    """
+    tracer = MemoryTracer()
+    if hasattr(path, "read"):
+        lines = path
+    else:
+        lines = open(path, "r", encoding="utf-8")
+    try:
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            kind = payload.pop("kind", None)
+            if kind == "__schema__":
+                tracer.schemas.append(
+                    SchemaDeclaration(
+                        language=payload.get("language", "?"),
+                        event_name=payload.get("event", "?"),
+                        fields=tuple(
+                            (str(n), str(t)) for n, t in payload.get("fields", [])
+                        ),
+                    )
+                )
+                continue
+            if kind is None or "pe" not in payload or "time" not in payload:
+                raise ValueError(
+                    f"{path}:{lineno}: trace line missing pe/time/kind: {line[:80]}"
+                )
+            pe = payload.pop("pe")
+            time = payload.pop("time")
+            tracer.events.append(TraceEvent(int(pe), float(time), str(kind), payload))
+    finally:
+        if lines is not path:
+            lines.close()
+    return tracer

@@ -1,0 +1,84 @@
+"""Trace well-formedness under the schedule-fuzzing harness.
+
+Whatever hostile schedule the network serves — drops, duplicates,
+reorders, corruption — the *trace* the runtime emits must stay well
+formed: begin/end events strictly paired, durations non-negative, idle
+markers alternating, per-PE time monotone.  The observability layer is
+only trustworthy if these invariants hold on every schedule, not just
+the happy path, so each property runs across the full seed sweep.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from tests.faults.harness import (
+    hostile_plan,
+    run_broadcast,
+    run_pingpong,
+    run_quiescence,
+)
+
+
+def _traced_runs(fault_seed):
+    """The three fuzz workloads, traced, under one hostile seed."""
+    faults = hostile_plan(fault_seed)
+    yield run_pingpong(rounds=6, faults=faults, reliable=True,
+                       trace=True)["tracer"]
+    faults = hostile_plan(fault_seed)
+    yield run_broadcast(num_pes=4, count=4, faults=faults, reliable=True,
+                        trace=True)["tracer"]
+    faults = hostile_plan(fault_seed)
+    yield run_quiescence(num_pes=4, seeds_per_pe=1, ttl=3, faults=faults,
+                         reliable=True, trace=True)["tracer"]
+
+
+def test_handler_begin_end_strictly_paired(fault_seed):
+    """Per PE, handler_begin/handler_end nest like brackets: depth never
+    goes negative, every begin is closed, and each span's duration is
+    non-negative."""
+    for tracer in _traced_runs(fault_seed):
+        depth = defaultdict(int)
+        begin_stack = defaultdict(list)
+        for ev in tracer.events:
+            if ev.kind == "handler_begin":
+                depth[ev.pe] += 1
+                begin_stack[ev.pe].append(ev.time)
+            elif ev.kind == "handler_end":
+                depth[ev.pe] -= 1
+                assert depth[ev.pe] >= 0, \
+                    f"pe {ev.pe}: handler_end without begin at t={ev.time}"
+                t0 = begin_stack[ev.pe].pop()
+                assert ev.time >= t0, \
+                    f"pe {ev.pe}: negative handler duration {ev.time - t0}"
+        for pe, d in depth.items():
+            assert d == 0, f"pe {pe}: {d} handler_begin(s) never closed"
+
+
+def test_idle_markers_alternate_per_pe(fault_seed):
+    """idle_begin/idle_end alternate strictly per PE (the scheduler only
+    emits them on the 0<->1 idle-depth transitions), and idle spans have
+    non-negative duration."""
+    for tracer in _traced_runs(fault_seed):
+        idle_since = {}
+        for ev in tracer.events:
+            if ev.kind == "idle_begin":
+                assert ev.pe not in idle_since, \
+                    f"pe {ev.pe}: nested idle_begin at t={ev.time}"
+                idle_since[ev.pe] = ev.time
+            elif ev.kind == "idle_end":
+                assert ev.pe in idle_since, \
+                    f"pe {ev.pe}: idle_end without idle_begin at t={ev.time}"
+                assert ev.time >= idle_since.pop(ev.pe)
+
+
+def test_per_pe_timestamps_monotone(fault_seed):
+    """Events on one PE appear in non-decreasing virtual-time order."""
+    for tracer in _traced_runs(fault_seed):
+        last = defaultdict(lambda: float("-inf"))
+        for ev in tracer.events:
+            assert ev.time >= last[ev.pe], (
+                f"pe {ev.pe}: time went backwards "
+                f"{last[ev.pe]} -> {ev.time} at {ev.kind}"
+            )
+            last[ev.pe] = ev.time

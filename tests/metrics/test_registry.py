@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.registry import (
+    DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+    make_registry,
+    render_metrics_report,
+)
+
+
+def test_counter_per_pe_and_total():
+    c = Counter("x")
+    c.inc(0)
+    c.inc(0, 2.5)
+    c.inc(3, 4)
+    assert c.value(0) == 3.5
+    assert c.value(3) == 4
+    assert c.value(1) == 0
+    assert c.total == 7.5
+    snap = c.snapshot()
+    assert snap["kind"] == "counter"
+    assert snap["per_pe"] == {"0": 3.5, "3": 4}
+
+
+def test_gauge_tracks_high_water_mark():
+    g = Gauge("depth")
+    g.set(0, 3)
+    g.set(0, 7)
+    g.set(0, 2)
+    g.set(1, 5)
+    assert g.value(0) == 2       # last set wins
+    assert g.max(0) == 7         # but the high-water mark is kept
+    assert g.max() == 7
+    assert g.max(2) == 0
+    snap = g.snapshot()
+    assert snap["max_per_pe"] == {"0": 7, "1": 5}
+
+
+def test_histogram_bucketing_and_exact_moments():
+    h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+        h.observe(0, v)
+    # bounds are inclusive upper edges; 500 lands in the overflow bucket
+    assert h.merged_buckets() == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(556.5)
+    assert h.mean == pytest.approx(556.5 / 5)
+    snap = h.snapshot()
+    assert snap["min"] == 0.5
+    assert snap["max"] == 500.0
+    assert snap["per_pe"]["0"]["count"] == 5
+
+
+def test_histogram_merges_across_pes():
+    h = Histogram("lat", bounds=(1.0, 2.0))
+    h.observe(0, 0.5)
+    h.observe(1, 1.5)
+    h.observe(2, 9.0)
+    assert h.merged_buckets() == [1, 1, 1]
+    assert h.count == 3
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=())
+
+
+def test_registry_get_or_create_returns_same_handle():
+    r = MetricsRegistry()
+    a = r.counter("cmi.sends")
+    b = r.counter("cmi.sends")
+    assert a is b
+    assert len(r) == 1
+    assert "cmi.sends" in r
+    assert r.get("cmi.sends") is a
+    assert r.get("nope") is None
+
+
+def test_registry_kind_mismatch_raises():
+    r = MetricsRegistry()
+    r.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        r.gauge("x")
+    with pytest.raises(ValueError, match="already registered"):
+        r.histogram("x")
+
+
+def test_registry_snapshot_save_report(tmp_path):
+    r = MetricsRegistry()
+    r.counter("a.count").inc(0, 3)
+    r.gauge("b.depth").set(1, 9)
+    r.histogram("c.lat", bounds=TIME_BUCKETS).observe(0, 2e-6)
+    snap = r.snapshot()
+    assert sorted(snap) == ["a.count", "b.depth", "c.lat"]
+    path = tmp_path / "m.json"
+    r.save(path)
+    reloaded = json.loads(path.read_text())
+    assert reloaded == snap
+    report = r.report()
+    assert "a.count" in report and "counter" in report
+    assert render_metrics_report(reloaded) == report
+
+
+def test_render_report_empty():
+    assert "no metrics" in render_metrics_report({})
+
+
+def test_make_registry_contract():
+    assert make_registry(None) is None
+    assert make_registry(False) is None
+    assert isinstance(make_registry(True), MetricsRegistry)
+    r = MetricsRegistry()
+    assert make_registry(r) is r
+    with pytest.raises(ValueError):
+        make_registry("yes")
+    with pytest.raises(ValueError):
+        make_registry(1)
+
+
+def test_default_bucket_constants_sorted():
+    for bounds in (TIME_BUCKETS, DEPTH_BUCKETS):
+        assert list(bounds) == sorted(bounds)

@@ -1,0 +1,124 @@
+"""Tests for the ``python -m repro.trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import api
+from repro.metrics.registry import MetricsRegistry
+from repro.sim.machine import Machine
+from repro.trace.cli import build_parser, main
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """A traced + metered pingpong run on disk: (trace.jsonl, metrics.json)."""
+    trace_path = tmp_path / "run.jsonl"
+    metrics_path = tmp_path / "run.metrics.json"
+    registry = MetricsRegistry()
+    with Machine(2, trace=f"jsonl:{trace_path}", metrics=registry) as m:
+        def main_fn():
+            me = api.CmiMyPe()
+            seen = []
+
+            def on_ball(msg):
+                n = msg.payload
+                seen.append(n)
+                if n + 1 < 8:
+                    api.CmiSyncSend(1 - me, api.CmiNew(h, n + 1, size=16))
+                if len(seen) == 4:
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_ball, "cli.ball")
+            if me == 0:
+                api.CmiSyncSend(1, api.CmiNew(h, 0, size=16))
+            api.CsdScheduler(-1)
+
+        m.launch(main_fn)
+        m.run()
+    registry.save(metrics_path)
+    return trace_path, metrics_path
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_summarize(artifacts, capsys):
+    trace_path, metrics_path = artifacts
+    assert main(["summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "cli.ball" in out and "critical path:" in out
+
+
+def test_summarize_with_metrics_and_no_critpath(artifacts, capsys):
+    trace_path, metrics_path = artifacts
+    assert main(["summarize", str(trace_path), "--metrics", str(metrics_path),
+                 "--no-critpath"]) == 0
+    out = capsys.readouterr().out
+    assert "cmi.sends" in out
+    assert "critical path:" not in out
+
+
+def test_export_chrome(artifacts, tmp_path, capsys):
+    trace_path, _ = artifacts
+    out_path = tmp_path / "run.chrome.json"
+    assert main(["export", str(trace_path), "--format", "chrome",
+                 "-o", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert "perfetto" in capsys.readouterr().out
+
+
+def test_export_default_format_is_chrome(artifacts, tmp_path):
+    trace_path, _ = artifacts
+    out_path = tmp_path / "d.json"
+    assert main(["export", str(trace_path), "-o", str(out_path)]) == 0
+    assert json.loads(out_path.read_text())["traceEvents"]
+
+
+def test_export_chrome_requires_output(artifacts, capsys):
+    trace_path, _ = artifacts
+    assert main(["export", str(trace_path)]) == 2
+    assert "requires -o" in capsys.readouterr().err
+
+
+def test_export_text_to_stdout_and_file(artifacts, tmp_path, capsys):
+    trace_path, _ = artifacts
+    assert main(["export", str(trace_path), "--format", "text"]) == 0
+    assert "trace:" in capsys.readouterr().out
+    out_path = tmp_path / "report.txt"
+    assert main(["export", str(trace_path), "--format", "text",
+                 "-o", str(out_path)]) == 0
+    assert "trace:" in out_path.read_text()
+
+
+def test_critpath(artifacts, capsys):
+    trace_path, _ = artifacts
+    assert main(["critpath", str(trace_path), "--limit", "5"]) == 0
+    assert "critical path:" in capsys.readouterr().out
+
+
+def test_metrics(artifacts, capsys):
+    _, metrics_path = artifacts
+    assert main(["metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cmi.sends" in out and "csd.handlers_run" in out
+
+
+def test_demo_writes_validated_artifacts(tmp_path, capsys):
+    prefix = tmp_path / "demo"
+    assert main(["demo", "-o", str(prefix), "--pes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    trace = tmp_path / "demo.jsonl"
+    chrome = tmp_path / "demo.chrome.json"
+    metrics = tmp_path / "demo.metrics.json"
+    assert trace.exists() and chrome.exists() and metrics.exists()
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    snap = json.loads(metrics.read_text())
+    assert snap["cmi.sends"]["total"] > 0

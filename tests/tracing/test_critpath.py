@@ -1,0 +1,157 @@
+"""Critical-path extractor tests against hand-checked fixtures.
+
+The fixtures build a :class:`MemoryTracer` by hand, so every begin/end/
+send time below is exact and the expected path can be verified on paper:
+the extractor must pick the binding constraint at each hop (message edge
+vs same-PE edge) and its exec/msg/wait durations must sum exactly to the
+path's span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.sim.machine import Machine
+from repro.tracing.critpath import critical_path
+from repro.tracing.tracer import MemoryTracer
+
+
+def _t(events):
+    """Build a MemoryTracer from (pe, time, kind, fields) tuples."""
+    tracer = MemoryTracer()
+    for pe, time, kind, fields in events:
+        tracer.record(pe, time, kind, fields)
+    return tracer
+
+
+def test_three_pe_message_chain():
+    """Hand-checked fixture: A on PE0 sends to B on PE1 sends to C on
+    PE2, every hop released by the message (the PEs were otherwise idle).
+
+    ::
+
+        PE0: A [0,3], send msg1 @2
+        PE1: B [5,8] (msg1), send msg2 @6
+        PE2: C [9,12] (msg2)
+
+    Expected path (oldest first): exec A clipped to its on-path part
+    [0,2], msg1 in flight [2,5], exec B clipped [5,6], msg2 in flight
+    [6,9], exec C [9,12].
+    """
+    tracer = _t([
+        (0, 0.0, "handler_begin", {"name": "A"}),
+        (0, 2.0, "send", {"dest": 1, "msg": 1}),
+        (0, 3.0, "handler_end", {}),
+        (1, 5.0, "handler_begin", {"name": "B", "msg": 1}),
+        (1, 6.0, "send", {"dest": 2, "msg": 2}),
+        (1, 8.0, "handler_end", {}),
+        (2, 9.0, "handler_begin", {"name": "C", "msg": 2}),
+        (2, 12.0, "handler_end", {}),
+    ])
+    path = critical_path(tracer)
+    assert [(s.kind, s.pe, s.start, s.end) for s in path.segments] == [
+        ("exec", 0, 0.0, 2.0),
+        ("msg", 1, 2.0, 5.0),
+        ("exec", 1, 5.0, 6.0),
+        ("msg", 2, 6.0, 9.0),
+        ("exec", 2, 9.0, 12.0),
+    ]
+    assert path.span == 12.0
+    assert path.breakdown() == {"exec": 6.0, "msg": 6.0, "wait": 0.0}
+    assert path.pes() == [0, 1, 2]
+    assert "A" in path.render() and "msg 2" in path.render()
+
+
+def test_pe_busy_edge_binds_over_early_message():
+    """When the trigger message arrived while the PE was still busy, the
+    same-PE edge binds and the path stays on that PE.
+
+    ::
+
+        PE0: A [0,1], send msg1 @0.5
+        PE1: C0 [0,4] (busy), C [4.5,6] (msg1)
+
+    msg1 was ready at 0.5 but PE1 only freed at 4.0: the wait edge binds,
+    so the path is C0 -> wait -> C, never visiting PE0.
+    """
+    tracer = _t([
+        (0, 0.0, "handler_begin", {"name": "A"}),
+        (0, 0.5, "send", {"dest": 1, "msg": 1}),
+        (0, 1.0, "handler_end", {}),
+        (1, 0.0, "handler_begin", {"name": "C0"}),
+        (1, 4.0, "handler_end", {}),
+        (1, 4.5, "handler_begin", {"name": "C", "msg": 1}),
+        (1, 6.0, "handler_end", {}),
+    ])
+    path = critical_path(tracer)
+    assert [(s.kind, s.pe, s.start, s.end) for s in path.segments] == [
+        ("exec", 1, 0.0, 4.0),
+        ("wait", 1, 4.0, 4.5),
+        ("exec", 1, 4.5, 6.0),
+    ]
+    assert path.span == 6.0
+    assert path.total("exec") == 5.5
+    assert path.total("wait") == 0.5
+    assert path.total("msg") == 0.0
+    assert path.pes() == [1]
+
+
+def test_broadcast_msg_ids_join():
+    """A broadcast stamps one correlation id per destination; the path
+    follows the one that triggered the final execution, ending at the
+    send when it came from outside any handler (an SPM main)."""
+    tracer = _t([
+        (0, 1.0, "broadcast", {"msg_ids": [5, 6]}),
+        (1, 2.0, "handler_begin", {"name": "H", "msg": 6}),
+        (1, 3.0, "handler_end", {}),
+    ])
+    path = critical_path(tracer)
+    assert [(s.kind, s.start, s.end) for s in path.segments] == [
+        ("msg", 1.0, 2.0),
+        ("exec", 2.0, 3.0),
+    ]
+
+
+def test_exec_msg_wait_sum_to_span_invariant():
+    """On a real traced run the accounting identity must hold exactly:
+    exec + msg + wait along the path == the path's span."""
+    with Machine(3, trace=True) as m:
+        def main():
+            def on_token(msg):
+                api.CmiCharge(2e-6)
+                n = msg.payload
+                if n > 0:
+                    api.CmiSyncSend((api.CmiMyPe() + 1) % 3,
+                                    api.CmiNew(h, n - 1, size=16))
+                else:
+                    api.CmiSyncBroadcastAll(api.CmiNew(h_done, None))
+
+            def on_done(_msg):
+                api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_token, "cp.token")
+            h_done = api.CmiRegisterHandler(on_done, "cp.done")
+            if api.CmiMyPe() == 0:
+                api.CmiSyncSend(1, api.CmiNew(h, 8, size=16))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        path = critical_path(m.tracer)
+    assert path.segments, "critical path should not be empty for a traced run"
+    bd = path.breakdown()
+    assert bd["exec"] + bd["msg"] + bd["wait"] == pytest.approx(path.span)
+    # The token visits every PE; so must the path.
+    assert set(path.pes()) == {0, 1, 2}
+    # Per-segment times must be contiguous: each segment starts where the
+    # previous one ended.
+    for prev, cur in zip(path.segments, path.segments[1:]):
+        assert cur.start == pytest.approx(prev.end)
+
+
+def test_empty_trace():
+    path = critical_path(MemoryTracer())
+    assert path.segments == []
+    assert path.span == 0.0
+    assert "empty trace" in path.render()

@@ -1,0 +1,150 @@
+"""Chrome Trace Event export + text report tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import api
+from repro.sim.machine import Machine
+from repro.tracing.export import (
+    chrome_trace,
+    save_chrome_trace,
+    text_report,
+    validate_chrome_trace,
+)
+from repro.tracing.tracer import MemoryTracer
+
+
+def _traced_workload(num_pes: int = 3):
+    """Token ring with a Cth phase on PE 0 and a broadcast finish, so the
+    trace exercises every exporter code path: handlers, idle spans,
+    flows, thread tracks and queue-depth counters."""
+    with Machine(num_pes, trace=True) as m:
+        def main():
+            def on_token(msg):
+                api.CmiCharge(2e-6)
+                n = msg.payload
+                if n > 0:
+                    api.CmiSyncSend((api.CmiMyPe() + 1) % api.CmiNumPes(),
+                                    api.CmiNew(h, n - 1, size=32))
+                else:
+                    api.CmiSyncBroadcastAll(api.CmiNew(h_done, None))
+
+            def on_done(_msg):
+                api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_token, "xp.token")
+            h_done = api.CmiRegisterHandler(on_done, "xp.done")
+            if api.CmiMyPe() == 0:
+                def worker(_arg):
+                    for _ in range(2):
+                        api.CmiCharge(1e-6)
+                        api.CthYield()
+
+                t = api.CthCreate(worker, None)
+                api.CthUseSchedulerStrategy(t)
+                api.CthAwaken(t)
+                api.CmiSyncSend(1, api.CmiNew(h, 2 * api.CmiNumPes(), size=32))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        return m.tracer
+
+
+def test_chrome_trace_validates_and_covers_phases():
+    tracer = _traced_workload()
+    doc = chrome_trace(tracer)
+    assert validate_chrome_trace(doc) == []
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "M", "s", "f", "C"} <= phases
+    assert doc["otherData"]["pes"] == 3
+
+
+def test_handler_spans_match_trace():
+    tracer = _traced_workload()
+    doc = chrome_trace(tracer)
+    spans = [e for e in doc["traceEvents"]
+             if e["ph"] == "X" and e.get("cat") == "handler"]
+    # one complete span per handler_begin/handler_end pair
+    assert len(spans) == len(tracer.by_kind("handler_end"))
+    assert all(e["dur"] >= 0 for e in spans)
+    names = {e["name"] for e in spans}
+    assert "xp.token" in names and "xp.done" in names
+
+
+def test_flow_arrows_are_paired_and_keyed_by_msg_id():
+    tracer = _traced_workload()
+    doc = chrome_trace(tracer)
+    starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+    finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+    # the exporter only emits a start once its finish is known
+    assert len(starts) == len(finishes) > 0
+    assert sorted(e["id"] for e in starts) == sorted(e["id"] for e in finishes)
+
+
+def test_thread_tracks_present():
+    tracer = _traced_workload()
+    doc = chrome_trace(tracer)
+    tspans = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e.get("cat") == "thread"]
+    assert tspans and all(e["tid"] != 0 for e in tspans)
+    tnames = [e for e in doc["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "thread_name" and e["tid"] != 0]
+    assert {e["tid"] for e in tnames} == {e["tid"] for e in tspans}
+
+
+def test_flows_and_counters_can_be_disabled():
+    tracer = _traced_workload()
+    doc = chrome_trace(tracer, flows=False, counters=False)
+    assert validate_chrome_trace(doc) == []
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "s" not in phases and "f" not in phases and "C" not in phases
+
+
+def test_save_chrome_trace_round_trips(tmp_path):
+    tracer = _traced_workload()
+    path = tmp_path / "run.chrome.json"
+    doc = save_chrome_trace(tracer, path)
+    reloaded = json.loads(path.read_text())
+    assert reloaded == doc
+    assert validate_chrome_trace(reloaded) == []
+
+
+def test_validator_catches_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z", "pid": 0}]}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "pid": 0, "ts": 0.0, "dur": -1}]}
+    ) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "ts": 0.0, "dur": 1}]}
+    ) != []  # missing pid
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "f", "pid": 0, "ts": 0.0, "id": 9}]}
+    ) != []  # finish without start
+    assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+def test_empty_trace_exports_cleanly():
+    doc = chrome_trace(MemoryTracer())
+    assert doc["traceEvents"] == []
+    assert validate_chrome_trace(doc) == []
+
+
+def test_text_report_sections():
+    tracer = _traced_workload()
+    report = text_report(tracer)
+    assert "trace:" in report
+    assert "busy%" in report
+    assert "xp.token" in report
+    assert "message latency" in report
+    assert "critical path:" in report
+    # metrics table appended when a snapshot is supplied
+    with_metrics = text_report(
+        tracer, metrics_snapshot={"cmi.sends": {"kind": "counter", "total": 5,
+                                                "per_pe": {"0": 5}}})
+    assert "cmi.sends" in with_metrics
+    # and the critical path can be suppressed
+    assert "critical path:" not in text_report(tracer, critpath=False)

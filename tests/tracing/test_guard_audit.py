@@ -1,0 +1,133 @@
+"""Static audit: every hot-path trace/metric call in src/ is guarded.
+
+The need-based-cost discipline requires that with tracing and metering
+off, instrumented hot paths cost one flag test — so every
+``trace_event(...)`` call and every metric-handle update
+(``.inc(`` / ``.observe(`` / ``.set(`` on an ``_mx_*`` handle) must sit
+inside an ``if ...tracing:`` / ``if ...metering:`` guard (or a helper
+only ever called under one).  This test walks the source and fails,
+naming the file:line, if an unguarded site appears — a tripwire for
+future instrumentation.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: a guard line: the flag test protecting the instrumentation below it.
+GUARD_RE = re.compile(
+    r"\bif\b.*(\btracing\b|\bmetering\b|_mx_\w+\s+is\s+not\s+None)"
+)
+
+#: transparent wrappers: walking out of one of these keeps looking for
+#: the guard one level further up.
+TRANSPARENT_RE = re.compile(
+    r"^\s*(try:|finally:|else:|elif\b|except\b|for\b|while\b|with\b|if\b)"
+)
+
+#: helper methods whose *callers* hold the guard; their bodies are the
+#: guarded slow path, so a ``def`` line for one of these counts as a
+#: guard.  Keep this list short and audited.
+GUARDED_HELPERS = (
+    "_note_enqueued",     # scheduler: called under `if rt.metering:`
+    "_meter_send",        # cmi: called under `if self.runtime.metering:`
+    "trace_event",        # the sink itself (guards live at call sites)
+)
+
+#: metric-handle update on a cached handle, e.g. `self._mx_sends.inc(`.
+METRIC_CALL_RE = re.compile(r"_mx_\w+\.(inc|observe|set)\(")
+TRACE_CALL_RE = re.compile(r"\btrace_event\(")
+
+
+def _indent(line: str) -> int:
+    return len(line) - len(line.lstrip())
+
+
+def _is_guarded(lines: list, idx: int) -> bool:
+    """Walk enclosing statements upward from ``lines[idx]`` until a guard
+    (or a guarded-helper ``def``) is found; any other enclosing
+    non-transparent statement means the call is unguarded."""
+    level = _indent(lines[idx])
+    for i in range(idx - 1, -1, -1):
+        line = lines[i]
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        ind = _indent(line)
+        if ind >= level:
+            continue
+        # the closest enclosing statement at a shallower indent
+        if GUARD_RE.search(line):
+            return True
+        stripped = line.strip()
+        if stripped.startswith("def ") and any(
+                f"def {h}(" in stripped for h in GUARDED_HELPERS):
+            return True
+        if TRANSPARENT_RE.match(line):
+            level = ind
+            continue
+        return False
+    return False
+
+
+def _audit(pattern: re.Pattern) -> list:
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "registry.py" and path.parent.name == "metrics":
+            continue  # the metric classes themselves, not call sites
+        lines = path.read_text().splitlines()
+        for idx, line in enumerate(lines):
+            if not pattern.search(line):
+                continue
+            if re.match(r"\s*def\s", line) or line.lstrip().startswith("#"):
+                continue
+            if not _is_guarded(lines, idx):
+                offenders.append(f"{path.relative_to(SRC)}:{idx + 1}: "
+                                 f"{line.strip()}")
+    return offenders
+
+
+def test_all_trace_event_calls_guarded():
+    offenders = _audit(TRACE_CALL_RE)
+    assert not offenders, (
+        "unguarded trace_event call sites (wrap in `if ...tracing:`):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_all_metric_updates_guarded():
+    offenders = _audit(METRIC_CALL_RE)
+    assert not offenders, (
+        "unguarded metric updates (wrap in `if ...metering:` or "
+        "`if self._mx_x is not None:`):\n" + "\n".join(offenders)
+    )
+
+
+def test_audit_detects_unguarded_code():
+    """Self-test: the walker must flag a bare call and accept a guarded
+    one, so a silent weakening of the audit shows up here."""
+    bare = [
+        "class C:",
+        "    def f(self):",
+        "        self.trace_event('x')",
+    ]
+    assert not _is_guarded(bare, 2)
+    guarded = [
+        "class C:",
+        "    def f(self):",
+        "        if self.tracing:",
+        "            self.trace_event('x')",
+    ]
+    assert _is_guarded(guarded, 3)
+    nested = [
+        "class C:",
+        "    def f(self):",
+        "        if rt.tracing:",
+        "            try:",
+        "                pass",
+        "            finally:",
+        "                rt.trace_event('x')",
+    ]
+    assert _is_guarded(nested, 6)

@@ -1,0 +1,181 @@
+"""Tracer lifecycle and JSONL round-trip tests (satellites 1-3).
+
+Covers: strict ``make_tracer`` specs, the tracer context-manager
+protocol, the machine closing tracers at teardown, and ``load_jsonl``
+reconstructing a :class:`MemoryTracer` (including ``__schema__`` lines)
+whose analysis summary matches the live in-memory run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import api
+from repro.sim.machine import Machine
+from repro.tracing.analysis import summarize
+from repro.tracing.events import SchemaDeclaration
+from repro.tracing.tracer import (
+    JsonlTracer,
+    MemoryTracer,
+    Tracer,
+    load_jsonl,
+    make_tracer,
+)
+
+
+def _ring(trace, num_pes: int = 3, rounds: int = 2):
+    """A little token ring; deterministic, touches every PE."""
+    with Machine(num_pes, trace=trace) as m:
+        def main():
+            def on_token(msg):
+                n = msg.payload
+                if n > 0:
+                    api.CmiSyncSend((api.CmiMyPe() + 1) % api.CmiNumPes(),
+                                    api.CmiNew(h, n - 1, size=24))
+                else:
+                    api.CmiSyncBroadcastAll(api.CmiNew(h_done, None))
+
+            def on_done(_msg):
+                api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_token, "rt.token")
+            h_done = api.CmiRegisterHandler(on_done, "rt.done")
+            if api.CmiMyPe() == 0:
+                api.CmiSyncSend(1, api.CmiNew(h, rounds * api.CmiNumPes(), size=24))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        return m
+
+
+# ----------------------------------------------------------------------
+# make_tracer strictness (satellite 2)
+# ----------------------------------------------------------------------
+def test_make_tracer_jsonl_prefix(tmp_path):
+    path = tmp_path / "run.trace"
+    t = make_tracer(f"jsonl:{path}")
+    assert isinstance(t, JsonlTracer)
+    t.close()
+    assert path.exists()
+
+
+def test_make_tracer_bare_jsonl_suffix(tmp_path):
+    t = make_tracer(str(tmp_path / "run.jsonl"))
+    assert isinstance(t, JsonlTracer)
+    t.close()
+
+
+@pytest.mark.parametrize("typo", ["counting", "mem", "json", "trace", "on"])
+def test_make_tracer_rejects_unknown_strings(typo):
+    """A typo must fail loudly, not silently create a file named after it."""
+    with pytest.raises(ValueError, match="unknown tracer spec"):
+        make_tracer(typo)
+
+
+def test_make_tracer_rejects_unknown_objects():
+    with pytest.raises(ValueError):
+        make_tracer(42)
+
+
+def test_machine_rejects_bad_trace_spec():
+    with pytest.raises(ValueError):
+        Machine(2, trace="counting")
+
+
+# ----------------------------------------------------------------------
+# context manager + machine-side close (satellite 1)
+# ----------------------------------------------------------------------
+def test_tracer_is_context_manager(tmp_path):
+    path = tmp_path / "cm.jsonl"
+    with JsonlTracer(str(path)) as t:
+        t.record(0, 0.0, "send", {"dest": 1})
+        assert isinstance(t, Tracer)
+    # closed on exit: the line is flushed and the handle released
+    assert json.loads(path.read_text())["kind"] == "send"
+    with pytest.raises(ValueError):
+        t.record(0, 1.0, "send", {})  # write to closed file
+
+
+def test_context_manager_closes_on_exception(tmp_path):
+    path = tmp_path / "boom.jsonl"
+    with pytest.raises(RuntimeError):
+        with JsonlTracer(str(path)) as t:
+            t.record(0, 0.0, "send", {})
+            raise RuntimeError("boom")
+    assert path.read_text().strip()  # flushed despite the raise
+
+
+def test_machine_closes_tracer_on_teardown(tmp_path):
+    """Machine teardown closes the tracer it was handed, so a
+    ``Machine(trace="jsonl:...")`` run leaves a complete file behind
+    without the caller ever touching the tracer object."""
+    path = tmp_path / "auto.jsonl"
+    m = _ring(f"jsonl:{path}")
+    assert m.tracer._fh.closed
+    events = [json.loads(l) for l in path.read_text().splitlines()]
+    assert any(e["kind"] == "send" for e in events)
+
+
+# ----------------------------------------------------------------------
+# load_jsonl round trip (satellite 3)
+# ----------------------------------------------------------------------
+def test_load_jsonl_summary_matches_memory_run(tmp_path):
+    """The same deterministic workload traced to memory and to disk must
+    summarize identically after reload — events, profiles and span."""
+    mem = _ring(MemoryTracer()).tracer
+    path = tmp_path / "ring.jsonl"
+    _ring(f"jsonl:{path}")
+    reloaded = load_jsonl(path)
+
+    assert len(reloaded.events) == len(mem.events)
+    assert [(e.pe, e.time, e.kind) for e in reloaded.events] == \
+           [(e.pe, e.time, e.kind) for e in mem.events]
+
+    a, b = summarize(mem), summarize(reloaded)
+    assert a.total_events == b.total_events
+    assert a.span == b.span
+    assert a.busiest_pe() == b.busiest_pe()
+    for pe in range(3):
+        pa, pb = a.profile(pe), b.profile(pe)
+        assert (pa.sends, pa.receives, pa.handlers, pa.bytes_sent) == \
+               (pb.sends, pb.receives, pb.handlers, pb.bytes_sent)
+        assert pa.handler_time == pytest.approx(pb.handler_time)
+
+
+def test_load_jsonl_restores_schema_lines(tmp_path):
+    path = tmp_path / "schema.jsonl"
+    with JsonlTracer(str(path)) as t:
+        t.declare_schema(SchemaDeclaration("charm", "entry",
+                                           (("method", "str"), ("ms", "float"))))
+        t.record(1, 2.5e-6, "user", {"event": "entry", "method": "run"})
+    reloaded = load_jsonl(path)
+    assert len(reloaded.schemas) == 1
+    s = reloaded.schemas[0]
+    assert (s.language, s.event_name) == ("charm", "entry")
+    assert s.fields == (("method", "str"), ("ms", "float"))
+    assert len(reloaded.events) == 1
+    ev = reloaded.events[0]
+    assert (ev.pe, ev.time, ev.kind) == (1, 2.5e-6, "user")
+    assert ev.fields == {"event": "entry", "method": "run"}
+
+
+def test_load_jsonl_accepts_file_objects():
+    buf = io.StringIO('{"pe": 0, "time": 1.0, "kind": "send", "dest": 2}\n\n')
+    t = load_jsonl(buf)
+    assert len(t.events) == 1
+    assert t.events[0].fields == {"dest": 2}
+
+
+def test_load_jsonl_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_jsonl(bad)
+    missing = tmp_path / "missing.jsonl"
+    missing.write_text('{"pe": 0, "time": 1.0}\n')
+    with pytest.raises(ValueError, match="missing pe/time/kind"):
+        load_jsonl(missing)
