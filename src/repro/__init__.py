@@ -29,6 +29,7 @@ Quick start::
 """
 
 from repro._version import __version__
+from repro.comms.aggregation import AggregationConfig
 from repro.core import api
 from repro.core.errors import ConverseError
 from repro.core.message import BitVector, Message
@@ -57,6 +58,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "ReliableConfig",
+    "AggregationConfig",
     "available_backends",
     "best_backend_name",
     "ConverseError",

@@ -17,6 +17,12 @@ distinct hot paths:
   through the int-priority queue.
 * ``thread_switch``  — Cth threads yielding through the scheduler: the
   tasklet-switch cost in isolation (two switches per yield).
+* ``all2all_fine``   — every PE streams tiny messages to every other PE:
+  the fine-grained traffic pattern message aggregation targets, run
+  *without* aggregation (the baseline side of the comparison).
+* ``all2all_fine_agg`` — the identical schedule with the streaming
+  aggregation layer on (``Machine(aggregation=...)``); the gap between
+  the two is the coalescing win (gated in CI via ``--require-ratio``).
 
 Every workload runs the identical event schedule on every backend (the
 engine is deterministic and backends are observationally identical), so
@@ -215,6 +221,55 @@ def _wl_thread_switch(backend: Any, scale: float,
     return nthreads * yields
 
 
+def _wl_all2all_fine(backend: Any, scale: float,
+                     machine_kwargs: Optional[Dict[str, Any]] = None,
+                     aggregation: Any = False) -> int:
+    """Fine-grained all-to-all: every PE streams tiny (8-byte payload)
+    messages to every other PE.  Per-message software overhead dominates,
+    which is exactly the regime the aggregation layer targets — the
+    ``all2all_fine_agg`` variant runs the identical schedule with
+    coalescing on."""
+    num_pes = 8
+    rounds = max(1, int(70 * scale))
+    expected_each = rounds * (num_pes - 1)
+    got = {pe: 0 for pe in range(num_pes)}
+    kwargs = dict(machine_kwargs or {})
+    if aggregation:
+        kwargs["aggregation"] = aggregation
+    with Machine(num_pes, model=GENERIC, backend=backend, **kwargs) as m:
+        def main_fn() -> None:
+            me = api.CmiMyPe()
+
+            def on_msg(msg: Any) -> None:
+                got[me] += 1
+                if got[me] == expected_each:
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_msg, "tp.a2a")
+            for r in range(rounds):
+                for d in range(num_pes):
+                    if d != me:
+                        api.CmiSyncSend(d, api.CmiNew(h, r))
+            api.CsdScheduler(-1)
+
+        m.launch(main_fn)
+        m.run()
+    delivered = sum(got.values())
+    expected = num_pes * expected_each
+    assert delivered == expected, f"all2all lost messages: {delivered}"
+    return delivered
+
+
+def _wl_all2all_fine_agg(backend: Any, scale: float,
+                         machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
+    from repro.comms.aggregation import AggregationConfig
+
+    return _wl_all2all_fine(
+        backend, scale, machine_kwargs,
+        aggregation=AggregationConfig(max_batch_msgs=32),
+    )
+
+
 #: name -> workload function; insertion order is report order.
 WORKLOADS: Dict[str, Callable[..., int]] = {
     "pingpong": _wl_pingpong,
@@ -222,6 +277,8 @@ WORKLOADS: Dict[str, Callable[..., int]] = {
     "relay_ring": _wl_relay_ring,
     "priority_churn": _wl_priority_churn,
     "thread_switch": _wl_thread_switch,
+    "all2all_fine": _wl_all2all_fine,
+    "all2all_fine_agg": _wl_all2all_fine_agg,
 }
 
 
@@ -433,6 +490,44 @@ def check_baseline(report: Dict[str, Any], baseline_path: str,
     return failures
 
 
+def check_ratios(report: Dict[str, Any], specs: Sequence[str],
+                 backend: str = "thread") -> List[str]:
+    """Enforce minimum throughput ratios between measured workloads.
+
+    Each spec reads ``NUMERATOR/DENOMINATOR:MIN`` (workload names and a
+    float), e.g. ``all2all_fine_agg/all2all_fine:2.0`` — "aggregated
+    all-to-all must run at least 2x the msgs/sec of the plain one".
+    Returns a list of failure strings (empty when all ratios hold).
+    """
+    failures: List[str] = []
+    for spec in specs:
+        try:
+            pair, min_s = spec.rsplit(":", 1)
+            num_name, den_name = pair.split("/", 1)
+            min_ratio = float(min_s)
+        except ValueError:
+            raise ValueError(
+                f"bad ratio spec {spec!r}; expected NUM/DEN:MIN "
+                f"(e.g. all2all_fine_agg/all2all_fine:2.0)"
+            ) from None
+        cells = report.get("workloads", {})
+        num = cells.get(num_name, {}).get(backend)
+        den = cells.get(den_name, {}).get(backend)
+        if not num or not den:
+            failures.append(f"{spec}: workload(s) not in the measured set")
+            continue
+        ratio = (num["msgs_per_sec"] / den["msgs_per_sec"]
+                 if den["msgs_per_sec"] else float("inf"))
+        verdict = "OK" if ratio >= min_ratio else "TOO LOW"
+        print(f"  ratio {num_name}/{den_name} ({backend}): "
+              f"{ratio:.2f}x (floor {min_ratio}x) {verdict}")
+        if ratio < min_ratio:
+            failures.append(
+                f"{num_name}/{den_name}: {ratio:.2f}x below required {min_ratio}x"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: ``python -m repro.bench throughput [options]``."""
     parser = argparse.ArgumentParser(
@@ -484,6 +579,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-regression", type=float, default=5.0, metavar="PCT",
         help="allowed throughput drop vs --baseline, percent (default 5)",
     )
+    parser.add_argument(
+        "--require-ratio", nargs="+", default=None, metavar="NUM/DEN:MIN",
+        help="enforce minimum throughput ratios between measured workloads "
+             "(e.g. all2all_fine_agg/all2all_fine:2.0); exit 1 when violated",
+    )
     args = parser.parse_args(argv)
     bad = [b for b in (args.backends or []) if b not in available_backends()]
     if bad:
@@ -512,16 +612,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
+    failures: List[str] = []
     if args.baseline:
-        failures = check_baseline(
+        failures += check_baseline(
             report, args.baseline,
             workloads=args.workloads or list(WORKLOADS),
             max_regression=args.max_regression,
         )
-        if failures:
-            for f in failures:
-                print(f"FAIL: {f}", file=sys.stderr)
-            return 1
+    if args.require_ratio:
+        backend = "thread" if "thread" in report["meta"]["backends_measured"] \
+            else report["meta"]["backends_measured"][0]
+        failures += check_ratios(report, args.require_ratio, backend=backend)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,10 @@
+"""Communication optimization libraries layered over the CMI.
+
+The paper's machine interface moves one generalized message per send;
+fine-grained programs (millions of tiny messages) pay full per-message
+software overhead for each.  This package holds the streaming
+optimizations that amortize that overhead — currently
+:mod:`repro.comms.aggregation`, a TRAM-style message-coalescing layer.
+Everything here follows the need-based-cost rule: a machine built
+without the feature pays nothing for its existence.
+"""

@@ -188,7 +188,7 @@ class Message:
 
     __slots__ = (
         "handler", "_payload", "size", "prio", "src_pe",
-        "_cmi_owned", "_valid", "corrupted", "msg_id",
+        "_cmi_owned", "_valid", "corrupted", "msg_id", "enq_time",
     )
 
     def __init__(self, handler: int, payload: Any = None, size: Optional[int] = None,
@@ -211,6 +211,11 @@ class Message:
         #: ``handler_begin`` it caused — the edges of the dependency DAG
         #: the critical-path extractor walks.
         self.msg_id: Optional[int] = None
+        #: virtual time of the last ``CsdEnqueue`` (stamped by the
+        #: scheduler only when metering is on; keying wait-time samples
+        #: by ``id(msg)`` would leak entries for never-dequeued messages
+        #: and misattribute timestamps across id reuse).
+        self.enq_time: Optional[float] = None
         #: set by the simulated network's fault injector when this wire
         #: copy was damaged in flight.  The raw (unreliable) machine layer
         #: delivers the message anyway — exactly like real hardware

@@ -91,8 +91,12 @@ class QD(LanguageRuntime):
                 stats.msgs_received - self._qd_recv)
 
     def _qd_send(self, dest: int, handler: int, payload: Any) -> None:
+        # direct=True: QD control traffic bypasses message aggregation.
+        # QD subtracts its own traffic per *logical* message, while the
+        # aggregation layer counts one machine-level send per *batch* —
+        # mixing the two would skew the very counters QD balances.
         self._qd_sent += 1
-        self.cmi.sync_send(dest, Message(handler, payload, size=24))
+        self.cmi.sync_send(dest, Message(handler, payload, size=24), direct=True)
 
     # ------------------------------------------------------------------
     # the wave

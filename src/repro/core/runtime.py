@@ -91,6 +91,10 @@ class ConverseRuntime:
         #: the Cld seed balancer; installed by the machine once all
         #: runtimes exist (strategies need the full PE set).
         self.cld: Any = None
+        #: pre-idle hook installed by the aggregation layer (``None``
+        #: when disabled): the Csd scheduler calls it before parking so
+        #: buffered batches flush instead of stalling behind an idle PE.
+        self.idle_flush: Any = None
 
     # ------------------------------------------------------------------
     # subsystem access
@@ -116,6 +120,19 @@ class ConverseRuntime:
     def reliable(self) -> Any:
         """This PE's reliable-delivery layer (``None`` unless enabled)."""
         return None if self._cmi is None else self._cmi.reliable
+
+    def enable_aggregation(self, config: Any = None) -> Any:
+        """Switch this PE's small sends to the streaming-aggregation
+        layer (see :mod:`repro.comms.aggregation`).  Off by default —
+        need-based cost; normally enabled machine-wide via
+        ``Machine(aggregation=...)`` so the batch handler occupies the
+        same handler index on every PE."""
+        return self.cmi.enable_aggregation(config)
+
+    @property
+    def aggregation(self) -> Any:
+        """This PE's aggregation layer (``None`` unless enabled)."""
+        return None if self._cmi is None else self._cmi.aggregation
 
     @property
     def cth(self) -> Any:

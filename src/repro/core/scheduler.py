@@ -91,12 +91,8 @@ class CsdScheduler:
                 "csd.queue_depth_dist", DEPTH_BUCKETS,
                 help="queue depth observed at every enqueue",
             )
-            #: enqueue timestamps keyed by message identity; entries live
-            #: exactly as long as the message sits in the queue.
-            self._enq_times: dict = {}
         else:
             self._mx_depth = None
-            self._enq_times = None
 
     def _idle_wake_predicate(self) -> bool:
         """True when an idling scheduler loop has a reason to wake up:
@@ -147,12 +143,20 @@ class CsdScheduler:
         self.runtime.node.kick()
 
     def _note_enqueued(self, msg: Message) -> None:
-        """Metrics bookkeeping for one enqueue (metering is on)."""
+        """Metrics bookkeeping for one enqueue (metering is on).
+
+        The enqueue time is stamped *on the message* (``msg.enq_time``),
+        not kept in a side table keyed by ``id(msg)``: an id-keyed entry
+        for a message never dequeued (e.g. still pending at shutdown)
+        would leak, and CPython reuses ids after free, so a stale entry
+        could attribute an old timestamp to a brand-new message and emit
+        a bogus ``csd.queue_wait`` sample.
+        """
         depth = len(self.queue)
         pe = self.runtime.node.pe
         self._mx_depth.set(pe, depth)
         self._mx_depth_dist.observe(pe, depth)
-        self._enq_times[id(msg)] = self.runtime.node.now
+        msg.enq_time = self.runtime.node.now
 
     # ------------------------------------------------------------------
     # control
@@ -197,8 +201,9 @@ class CsdScheduler:
         if rt.metering:
             pe = rt.node.pe
             self._mx_depth.set(pe, len(self.queue))
-            t0 = self._enq_times.pop(id(msg), None)
+            t0 = msg.enq_time
             if t0 is not None:
+                msg.enq_time = None
                 self._mx_queue_wait.observe(pe, rt.node.now - t0)
         rt.invoke_handler(msg, from_queue=True)
         self.delivered += 1
@@ -272,6 +277,13 @@ class CsdScheduler:
                     count += 1
                     continue
                 if self.runtime.has_pending_network:
+                    continue
+                # About to go idle: give the aggregation layer (when
+                # present) its scheduler-idle flush — an idle PE must not
+                # sit on buffered outgoing batches.  One attribute test
+                # when the layer is absent.
+                flush = self.runtime.idle_flush
+                if flush is not None and flush() > 0:
                     continue
                 # Idle: block until something arrives, is enqueued, or an
                 # exit request lands (one hoisted predicate — no closure

@@ -360,6 +360,9 @@ class CMI:
         #: optional reliable-delivery layer; ``None`` (the default) keeps
         #: every send on the raw machine path with zero added cost.
         self._reliable: Optional[ReliableDelivery] = None
+        #: optional message-aggregation layer (``repro.comms.aggregation``);
+        #: ``None`` (the default) costs the send path one identity test.
+        self._aggregation: Any = None
         # Metric handles, cached once per PE (need-based cost: with
         # metrics off every send pays one flag test and nothing else).
         if runtime.metering:
@@ -398,6 +401,37 @@ class CMI:
     def reliable(self) -> Optional[ReliableDelivery]:
         """The reliability layer, or ``None`` when disabled."""
         return self._reliable
+
+    # ------------------------------------------------------------------
+    # aggregation (opt-in)
+    # ------------------------------------------------------------------
+    def enable_aggregation(self, config: Any = None) -> Any:
+        """Build (idempotently) the streaming-aggregation layer for this
+        PE.  Eligible small point-to-point sends are coalesced from now
+        on.  Normally enabled machine-wide via ``Machine(aggregation=...)``
+        so the batch handler occupies the same index on every PE —
+        enabling it on a subset of PEs by hand misroutes batches."""
+        if self._aggregation is None:
+            from repro.comms.aggregation import Aggregator
+
+            self._aggregation = Aggregator(self.runtime, config)
+            self.runtime.idle_flush = self._aggregation.flush_idle
+        return self._aggregation
+
+    @property
+    def aggregation(self) -> Any:
+        """The aggregation layer, or ``None`` when disabled."""
+        return self._aggregation
+
+    def flush_aggregation(self, cause: str = "explicit") -> int:
+        """Flush every aggregation buffer on this PE (no-op without the
+        layer); returns the number of batches sent.  Blocking primitives
+        call this before parking so buffered traffic cannot deadlock a
+        rendezvous."""
+        agg = self._aggregation
+        if agg is None:
+            return 0
+        return agg.flush_all(cause)
 
     # ------------------------------------------------------------------
     # identity & timers
@@ -487,11 +521,37 @@ class CMI:
                 f"destination PE {dest_pe} out of range [0, {self.num_pes()})"
             )
 
-    def sync_send(self, dest_pe: int, msg: Message) -> None:
+    def sync_send(self, dest_pe: int, msg: Message,
+                  direct: bool = False) -> None:
         """``CmiSyncSend``: blocking send; the caller may reuse ``msg``
-        (and its buffer) as soon as this returns."""
+        (and its buffer) as soon as this returns.
+
+        With the aggregation layer enabled, messages of at most its
+        ``max_msg_bytes`` are coalesced into batches instead of paying
+        per-message wire costs; ``direct=True`` opts a send out (used by
+        latency-critical control protocols, e.g. quiescence detection,
+        whose message accounting must not be deferred).
+        """
         self._check_dest(dest_pe)
         self.runtime.check_active()
+        agg = self._aggregation
+        if (agg is not None and not direct
+                and msg.size <= agg.config.max_msg_bytes):
+            # Coalesced path: the batch (not each message) is the unit the
+            # machine layer counts and charges for.  Logical sends remain
+            # visible to metrics and tracing.
+            if self.runtime.tracing:
+                wire = self._wire_copy(msg, msg_id=self._next_msg_id())
+                self.runtime.trace_event(
+                    "send", dest=dest_pe, size=msg.size, handler=msg.handler,
+                    aggregated=True, msg=wire.msg_id,
+                )
+            else:
+                wire = self._wire_copy(msg)
+            if self.runtime.metering:
+                self._meter_send(msg.size)
+            agg.submit(dest_pe, wire)
+            return
         self.node.stats.msgs_sent += 1
         self.node.stats.bytes_sent += msg.size
         if self.runtime.tracing:
@@ -716,6 +776,11 @@ class CMI:
         while True:
             msg = rt.poll_network_filtered()
             if msg is None:
+                # About to block: push out anything this PE still has
+                # buffered in the aggregation layer, or a rendezvous
+                # partner may be waiting on a message sitting here.
+                if self._aggregation is not None:
+                    self._aggregation.flush_all("idle")
                 rt.node.wait_until(lambda: bool(rt.node.inbox))
                 continue
             if msg.handler == handler_id:

@@ -27,6 +27,16 @@ from repro.core.message import Message
 __all__ = ["Pgrp", "GroupInterface", "world_group"]
 
 
+def _alloc_gid(machine: Any) -> int:
+    """Allocate the next group id *per machine*.  A process-global
+    counter would make gid assignment depend on how many machines were
+    built earlier in the same process — nondeterministic for tests and
+    for any tool that persists gids across runs."""
+    gid = getattr(machine, "_pgrp_next_gid", 1)
+    machine._pgrp_next_gid = gid + 1
+    return gid
+
+
 def world_group(machine: Any) -> "Pgrp":
     """The all-PEs group (binomial spanning tree rooted at PE 0), built on
     first use and cached on the machine.  Language runtimes use it for
@@ -34,7 +44,7 @@ def world_group(machine: Any) -> "Pgrp":
     g = getattr(machine, "_world_pgrp", None)
     if g is not None:
         return g
-    g = Pgrp(0)
+    g = Pgrp(0, gid=_alloc_gid(machine))
     # Binomial tree: node p's children are p + 2^k for every bit 2^k below
     # p's lowest set bit (all bits, for the root).  Every node n > 0 then
     # has parent n - lowbit(n), which is smaller than n, so adding
@@ -60,11 +70,18 @@ def world_group(machine: Any) -> "Pgrp":
 class Pgrp:
     """A processor group: a rooted spanning tree over a subset of PEs."""
 
+    #: process-global fallback counter, used only when no machine-scoped
+    #: gid is supplied (direct ``Pgrp(...)`` construction in tests).  The
+    #: machine layer always passes an explicit per-machine gid so that
+    #: gid assignment is deterministic no matter how many machines were
+    #: built earlier in the same process.
     _next_gid = 1
 
-    def __init__(self, root: int) -> None:
-        self.gid = Pgrp._next_gid
-        Pgrp._next_gid += 1
+    def __init__(self, root: int, gid: Optional[int] = None) -> None:
+        if gid is None:
+            gid = Pgrp._next_gid
+            Pgrp._next_gid += 1
+        self.gid = gid
         self.root = root
         self._parent: Dict[int, int] = {}
         self._children: Dict[int, List[int]] = {root: []}
@@ -151,15 +168,28 @@ class GroupInterface:
     # ------------------------------------------------------------------
     def create(self) -> Pgrp:
         """``CmiPgrpCreate``: new group rooted at the calling PE."""
-        g = Pgrp(self.cmi.my_pe())
+        g = Pgrp(self.cmi.my_pe(), gid=_alloc_gid(self.runtime.machine))
         self._registry[g.gid] = g
         return g
 
     def destroy(self, group: Pgrp) -> None:
-        """``CmiPgrpDestroy``."""
+        """``CmiPgrpDestroy`` — root-only, like ``CmiAddChildren``: the
+        root built the tree and owns its lifecycle; letting any member
+        tear it down would race with in-flight collectives on the other
+        members."""
         group._check_alive()
+        if self.cmi.my_pe() != group.root:
+            raise GroupError(
+                f"only the root (PE {group.root}) may destroy group {group.gid}"
+            )
         group.destroyed = True
         self._registry.pop(group.gid, None)
+        # Drop the machine's world-group cache when that is the group
+        # being destroyed; a later world_group() call then builds a fresh
+        # tree instead of handing out a dead descriptor.
+        machine = self.runtime.machine
+        if getattr(machine, "_world_pgrp", None) is group:
+            machine._world_pgrp = None
 
     def add_children(self, group: Pgrp, penum: int, procs: List[int]) -> None:
         """``CmiAddChildren`` — root-only, per the paper."""
@@ -186,35 +216,57 @@ class GroupInterface:
     def async_multicast(self, group: Pgrp, msg: Message) -> None:
         """``CmiAsyncMulticast``: deliver ``msg`` to every member except
         the caller, forwarding along the spanning tree.  The caller need
-        not belong to the group."""
+        not belong to the group.
+
+        A member origin (root or not) floods outward from its own tree
+        position — to its parent and children — instead of detouring
+        through the root; a non-member origin relays via the root, the
+        only PE it knows how to reach in the tree.
+        """
         group._check_alive()
         me = self.cmi.my_pe()
         payload = (group.gid, me, msg.handler, msg.payload, msg.size)
-        if me == group.root:
-            self._fan_out(group, me, payload)
+        if group.contains(me):
+            self._propagate(group, payload, via=None)
         else:
             wrapper = Message(self._mcast_handler, payload, size=msg.size)
             self.cmi.sync_send(group.root, wrapper)
 
-    def _fan_out(self, group: Pgrp, exclude: int, payload: Tuple) -> None:
-        """Deliver locally (if a member and not excluded) and forward to
-        this PE's children in the tree."""
+    def _propagate(self, group: Pgrp, payload: Tuple, via: Optional[int]) -> None:
+        """Deliver locally (if a member and not the origin) and forward
+        to every tree neighbour — parent and children — except ``via``,
+        the neighbour the wrapper arrived from.  On a tree this floods
+        each edge exactly once, so every member is reached exactly once
+        from any member origin."""
         gid, origin, handler, inner_payload, size = payload
         me = self.cmi.my_pe()
-        if group.contains(me) and me != origin:
+        if not group.contains(me):
+            # Only reachable at the root of a relay from a non-member
+            # origin; a non-member root cannot exist, so membership here
+            # is a structural invariant — but a stale wrapper after a
+            # group rebuild should drop, not crash.
+            return
+        if me != origin:
             inner = Message(handler, inner_payload, size=size, src_pe=origin)
             # Local delivery: a self-loopback message (counted as a send
             # so message-conservation invariants hold).
             self.runtime.node.stats.msgs_sent += 1
             self.runtime.node.engine.schedule(0.0, self.runtime.node.deliver, inner)
-        for child in group.children(me) if group.contains(me) else []:
+        parent = group.parent(me)
+        neighbours = group.children(me) if parent is None else [parent] + group.children(me)
+        for hop in neighbours:
+            if hop == via:
+                continue
             wrapper = Message(self._mcast_handler, payload, size=size)
-            self.cmi.sync_send(child, wrapper)
+            self.cmi.sync_send(hop, wrapper)
 
     def _on_multicast(self, wrapper: Message) -> None:
         payload = wrapper.payload
         group = self.lookup(payload[0])
-        self._fan_out(group, payload[1], payload)
+        # The wrapper's src_pe is the forwarding neighbour (or a
+        # non-member origin relaying to the root); either way that PE has
+        # already seen the payload, so never send back along that edge.
+        self._propagate(group, payload, via=wrapper.src_pe)
 
     # ------------------------------------------------------------------
     # reductions / barriers (spanning-tree collectives)
@@ -242,8 +294,10 @@ class GroupInterface:
             acc = op(acc, v)
         parent = group.parent(me)
         if parent is None:
-            # Root: result is final; share it with the group.
-            self._results[key] = acc
+            # Root: result is final; share it with the group.  Only the
+            # non-root members stash it in ``_results`` (popped in their
+            # wait below) — recording it here too would leak one entry
+            # per reduction on the root, since nothing ever pops it.
             result_msg = Message(self._reduce_handler, ("result", key, acc))
             self.async_multicast(group, result_msg)
             return acc
@@ -267,8 +321,14 @@ class GroupInterface:
         """Process network messages until ``predicate`` holds (blocking
         when nothing is pending)."""
         rt = self.runtime
+        cmi = self.cmi
         while not predicate():
             if rt.has_pending_network:
                 rt.scheduler.deliver_network_msgs(limit=1)
             else:
+                # About to block: push out any aggregation-buffered sends
+                # (our own contribution may be sitting in a batch buffer,
+                # and a blocked PE would deadlock the collective).  One
+                # None test when aggregation is off.
+                cmi.flush_aggregation("idle")
                 rt.node.wait_until(lambda: rt.has_pending_network or predicate())

@@ -84,6 +84,14 @@ class Machine:
         every PE's sends in the CMI reliable-delivery protocol with
         default tuning; a :class:`~repro.machine.cmi.ReliableConfig` —
         the same with explicit tuning.
+    aggregation:
+        ``False`` (default) — every send pays per-message costs, zero
+        added overhead; ``True`` — coalesce small point-to-point sends
+        into batched wire messages with default tuning; an
+        :class:`~repro.comms.aggregation.AggregationConfig` — the same
+        with explicit tuning (batch sizes, flush timer, direct vs
+        virtual-2D-mesh routing).  Machine-wide, so the batch handler
+        occupies the same handler index on every PE.
     backend:
         Tasklet switch backend (see :mod:`repro.sim.switching`):
         ``None`` (default — the ``REPRO_SIM_BACKEND`` env var, else the
@@ -97,7 +105,8 @@ class Machine:
                  queue: Any = "fifo", ldb: str = "direct",
                  trace: Any = False, echo: bool = False, seed: int = 0,
                  faults: Any = None, reliable: Any = False,
-                 backend: Any = None, metrics: Any = False) -> None:
+                 backend: Any = None, metrics: Any = False,
+                 aggregation: Any = False) -> None:
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
@@ -133,6 +142,20 @@ class Machine:
         # PE registers them at the same point — before any user handlers.
         for rt in self.runtimes:
             rt.cmi.groups
+        # Aggregation, like groups, must be machine-wide and built at the
+        # same registration point on every PE: batches carry the batch
+        # handler's *index*, which must resolve identically everywhere.
+        self.aggregation_config = None
+        if aggregation:
+            from repro.comms.aggregation import AggregationConfig
+
+            self.aggregation_config = (
+                aggregation if isinstance(aggregation, AggregationConfig)
+                else AggregationConfig()
+            )
+            self.aggregation_config.validate()
+            for rt in self.runtimes:
+                rt.enable_aggregation(self.aggregation_config)
         # Reliability must be machine-wide: every PE needs the protocol's
         # arrival interceptor installed before the first send, or data
         # packets would land in application inboxes undecoded.
@@ -273,12 +296,28 @@ class Machine:
             raise SimulationError("machine has been shut down")
         while True:
             reason = self.engine.run(until=until, max_events=max_events)
+            if reason == "quiescent" and self._drain_aggregation():
+                # Buffered batches are not engine events; drain them so
+                # the run cannot end with messages stranded in the
+                # aggregation layer, then let their deliveries play out.
+                continue
             if reason == "quiescent" and self._quiescence_callbacks:
                 callbacks, self._quiescence_callbacks = self._quiescence_callbacks, []
                 for cb in callbacks:
                     cb()
                 continue
             return reason
+
+    def _drain_aggregation(self) -> bool:
+        """Flush every PE's aggregation buffers (quiescent-drain safety
+        net); True when anything was flushed.  No-op on machines built
+        without ``aggregation=``."""
+        if self.aggregation_config is None:
+            return False
+        flushed = 0
+        for rt in self.runtimes:
+            flushed += rt.cmi.flush_aggregation("drain")
+        return flushed > 0
 
     # ------------------------------------------------------------------
     # results & teardown
