@@ -4,7 +4,7 @@ SEEDS   ?= 25
 PERF_SCALE   ?= 1.0
 PERF_REPEATS ?= 3
 
-.PHONY: test fuzz bench perf trace-demo
+.PHONY: test fuzz ft bench perf trace-demo
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -15,6 +15,17 @@ test:
 # reproduce its failure exactly.
 fuzz:
 	PYTHONPATH=src $(PY) -m pytest tests/faults -q --seeds=$(SEEDS)
+
+# Fault-tolerance gate: the whole-PE crash-fault seed sweep (recovery
+# must reproduce the fault-free result exactly) plus the recovery
+# latency benchmark under a sanity ceiling.
+ft:
+	PYTHONPATH=src $(PY) -m pytest -q --seeds=$(SEEDS) \
+		tests/faults/test_ft_crash.py \
+		tests/faults/test_node_crash.py \
+		tests/faults/test_crash_validation.py
+	PYTHONPATH=src $(PY) -m repro.bench throughput --ft-recovery \
+		--scale 0.3 --repeats 2 --max-recovery-us 2000
 
 bench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only

@@ -33,9 +33,10 @@ from repro.comms.aggregation import AggregationConfig
 from repro.core import api
 from repro.core.errors import ConverseError
 from repro.core.message import BitVector, Message
+from repro.ft.config import FTConfig
 from repro.machine.cmi import ReliableConfig
 from repro.sim.machine import Machine, run_spmd
-from repro.sim.network import FaultPlan, FaultSpec
+from repro.sim.network import CrashSpec, FaultPlan, FaultSpec
 from repro.sim.switching import available_backends, best_backend_name
 from repro.sim.models import (
     ALL_MODELS,
@@ -57,6 +58,8 @@ __all__ = [
     "BitVector",
     "FaultPlan",
     "FaultSpec",
+    "CrashSpec",
+    "FTConfig",
     "ReliableConfig",
     "AggregationConfig",
     "available_backends",

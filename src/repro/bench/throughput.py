@@ -23,6 +23,12 @@ distinct hot paths:
 * ``all2all_fine_agg`` — the identical schedule with the streaming
   aggregation layer on (``Machine(aggregation=...)``); the gap between
   the two is the coalescing win (gated in CI via ``--require-ratio``).
+* ``ft_pingpong``    — the ping-pong under the fault-tolerance stack
+  (reliable delivery + heartbeats + buddy checkpoints) with one mid-run
+  PE crash and recovery; the result is asserted identical to the
+  fault-free run.  ``--ft-recovery`` additionally sweeps the checkpoint
+  interval and reports virtual recovery latency (gated in CI via
+  ``--max-recovery-us``).
 
 Every workload runs the identical event schedule on every backend (the
 engine is deterministic and backends are observationally identical), so
@@ -50,6 +56,9 @@ __all__ = [
     "compare_modes",
     "render_mode_table",
     "check_baseline",
+    "measure_recovery",
+    "render_recovery_table",
+    "check_recovery",
     "write_report",
     "main",
 ]
@@ -270,6 +279,61 @@ def _wl_all2all_fine_agg(backend: Any, scale: float,
     )
 
 
+def _wl_ft_pingpong(backend: Any, scale: float,
+                    machine_kwargs: Optional[Dict[str, Any]] = None,
+                    checkpoint_interval: float = 0.0,
+                    checkpoint_every: int = 16,
+                    crash_at: float = 400e-6) -> int:
+    """Ping-pong under the full fault-tolerance stack with one mid-run
+    PE crash: reliable delivery + heartbeats + buddy checkpoints + a
+    real failure/recovery cycle.  The result is asserted identical to
+    the fault-free sequence, so the measured msgs/sec prices the whole
+    crash-survival machinery, recovery included."""
+    from repro import CrashSpec, FaultPlan, FTConfig
+
+    rounds = max(20, int(400 * scale))
+    recv: Dict[int, List[int]] = {0: [], 1: []}
+    plan = FaultPlan(0, crashes=[CrashSpec(1, crash_at, 250e-6)])
+    ft = FTConfig(checkpoint_interval=checkpoint_interval)
+    with Machine(2, model=GENERIC, backend=backend, faults=plan,
+                 reliable=True, ft=ft, metrics=True,
+                 **(machine_kwargs or {})) as m:
+        def main_fn() -> None:
+            me = api.CmiMyPe()
+            other = 1 - me
+            mine = recv[me]
+
+            def on_ball(msg: Any) -> None:
+                n = msg.payload
+                mine.append(n)
+                if n + 1 < 2 * rounds:
+                    api.CmiSyncSend(other, api.CmiNew(h, n + 1))
+                if checkpoint_every and len(mine) % checkpoint_every == 0:
+                    api.CftCheckpoint()
+                if len(mine) == rounds:
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_ball, "tp.ftball")
+            api.CftInit(lambda: list(mine),
+                        lambda s: mine.__setitem__(slice(None), s))
+            if api.CftRestarting():
+                if not api.CftRecover():
+                    mine.clear()
+                    if me == 0:
+                        api.CmiSyncSend(1, api.CmiNew(h, 0))
+            elif me == 0:
+                api.CmiSyncSend(1, api.CmiNew(h, 0))
+            api.CsdScheduler(-1)
+
+        m.launch(main_fn)
+        m.run()
+        snap = m.metrics_snapshot()
+    assert recv[0] == list(range(1, 2 * rounds, 2)), "ft pingpong diverged"
+    assert recv[1] == list(range(0, 2 * rounds, 2)), "ft pingpong diverged"
+    assert snap["ft.recoveries"]["total"] == 1, "crash did not recover"
+    return 2 * rounds
+
+
 #: name -> workload function; insertion order is report order.
 WORKLOADS: Dict[str, Callable[..., int]] = {
     "pingpong": _wl_pingpong,
@@ -279,7 +343,133 @@ WORKLOADS: Dict[str, Callable[..., int]] = {
     "thread_switch": _wl_thread_switch,
     "all2all_fine": _wl_all2all_fine,
     "all2all_fine_agg": _wl_all2all_fine_agg,
+    "ft_pingpong": _wl_ft_pingpong,
 }
+
+
+# ======================================================================
+# fault-tolerance recovery benchmark
+# ======================================================================
+
+def measure_recovery(intervals: Sequence[float] = (50e-6, 100e-6, 200e-6),
+                     scale: float = 1.0, repeats: int = 2,
+                     backend: str = "thread") -> List[Dict[str, float]]:
+    """Recovery latency and checkpoint overhead vs checkpoint interval.
+
+    For each interval the ft ping-pong runs with timer-driven
+    checkpoints (no explicit ``CftCheckpoint`` calls) and one mid-run
+    crash; each row reports the *virtual* crash-to-recovery latency from
+    the ``ft.recovery_latency`` histogram plus the modelled checkpoint
+    traffic — the trade-off curve for EXPERIMENTS.md: short intervals
+    pay more checkpoint bytes, long ones replay more on recovery.
+    """
+    rows: List[Dict[str, float]] = []
+    for iv in intervals:
+        best_wall: Optional[float] = None
+        messages = 0
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            messages = _wl_ft_pingpong(
+                backend, scale, None,
+                checkpoint_interval=iv, checkpoint_every=0,
+            )
+            wall = time.perf_counter() - t0
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        # A second, metrics-bearing run harvests the recovery latency
+        # histogram (the timed runs stay uninstrumented-fair).
+        snap = _ft_metrics_once(backend, scale, iv)
+        rows.append({
+            "checkpoint_interval_us": iv * 1e6,
+            "recovery_latency_us": snap["latency_us"],
+            "checkpoints": snap["checkpoints"],
+            "checkpoint_kbytes": snap["ckpt_bytes"] / 1024.0,
+            "messages": messages,
+            "wall_seconds": round(best_wall, 4),
+        })
+    return rows
+
+
+def _ft_metrics_once(backend: str, scale: float,
+                     interval: float) -> Dict[str, float]:
+    """One ft ping-pong run returning the recovery/checkpoint metrics."""
+    from repro import CrashSpec, FaultPlan, FTConfig
+
+    rounds = max(20, int(400 * scale))
+    recv: Dict[int, List[int]] = {0: [], 1: []}
+    plan = FaultPlan(0, crashes=[CrashSpec(1, 400e-6, 250e-6)])
+    with Machine(2, model=GENERIC, backend=backend, faults=plan,
+                 reliable=True, ft=FTConfig(checkpoint_interval=interval),
+                 metrics=True) as m:
+        def main_fn() -> None:
+            me = api.CmiMyPe()
+            other = 1 - me
+            mine = recv[me]
+
+            def on_ball(msg: Any) -> None:
+                n = msg.payload
+                mine.append(n)
+                if n + 1 < 2 * rounds:
+                    api.CmiSyncSend(other, api.CmiNew(h, n + 1))
+                if len(mine) == rounds:
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_ball, "tp.ftmx")
+            api.CftInit(lambda: list(mine),
+                        lambda s: mine.__setitem__(slice(None), s))
+            if api.CftRestarting():
+                if not api.CftRecover():
+                    mine.clear()
+                    if me == 0:
+                        api.CmiSyncSend(1, api.CmiNew(h, 0))
+            elif me == 0:
+                api.CmiSyncSend(1, api.CmiNew(h, 0))
+            api.CsdScheduler(-1)
+
+        m.launch(main_fn)
+        m.run()
+        snap = m.metrics_snapshot()
+    assert recv[0] == list(range(1, 2 * rounds, 2)), "ft pingpong diverged"
+    hist = snap["ft.recovery_latency"]
+    return {
+        "latency_us": (hist["mean"] or 0.0) * 1e6,
+        "checkpoints": snap["ft.checkpoints"]["total"],
+        "ckpt_bytes": snap["ft.checkpoint_bytes"]["total"],
+    }
+
+
+def render_recovery_table(rows: Sequence[Dict[str, float]]) -> str:
+    """Text table for :func:`measure_recovery` output."""
+    lines = [f"{'ckpt interval':>14} {'recovery':>12} {'checkpoints':>12} "
+             f"{'ckpt traffic':>13} {'wall':>8}"]
+    for r in rows:
+        lines.append(
+            f"{r['checkpoint_interval_us']:>11,.0f} us "
+            f"{r['recovery_latency_us']:>9,.0f} us "
+            f"{r['checkpoints']:>12,.0f} "
+            f"{r['checkpoint_kbytes']:>10.1f} KB "
+            f"{r['wall_seconds']:>7.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def check_recovery(rows: Sequence[Dict[str, float]],
+                   max_latency_us: float) -> List[str]:
+    """CI sanity gate: every measured recovery must finish within
+    ``max_latency_us`` of virtual time.  Returns failure strings."""
+    failures: List[str] = []
+    for r in rows:
+        lat = r["recovery_latency_us"]
+        iv = r["checkpoint_interval_us"]
+        verdict = "OK" if 0 < lat <= max_latency_us else "FAIL"
+        print(f"  recovery @ interval {iv:,.0f} us: {lat:,.0f} us "
+              f"(ceiling {max_latency_us:,.0f} us) {verdict}")
+        if not 0 < lat <= max_latency_us:
+            failures.append(
+                f"recovery latency {lat:,.0f} us at checkpoint interval "
+                f"{iv:,.0f} us outside (0, {max_latency_us:,.0f}] us"
+            )
+    return failures
 
 
 # ======================================================================
@@ -584,6 +774,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="enforce minimum throughput ratios between measured workloads "
              "(e.g. all2all_fine_agg/all2all_fine:2.0); exit 1 when violated",
     )
+    parser.add_argument(
+        "--ft-recovery", action="store_true",
+        help="instead of the throughput suite: sweep the checkpoint "
+             "interval on the crash-surviving ping-pong and print virtual "
+             "recovery latency + checkpoint overhead",
+    )
+    parser.add_argument(
+        "--ft-intervals", nargs="+", type=float, default=None,
+        metavar="SECONDS",
+        help="checkpoint intervals for --ft-recovery (default 50/100/200 us)",
+    )
+    parser.add_argument(
+        "--max-recovery-us", type=float, default=None, metavar="US",
+        help="with --ft-recovery: fail (exit 1) when any measured recovery "
+             "exceeds this many microseconds of virtual time",
+    )
     args = parser.parse_args(argv)
     bad = [b for b in (args.backends or []) if b not in available_backends()]
     if bad:
@@ -591,6 +797,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"backend(s) not available here: {', '.join(bad)} "
             f"(available: {', '.join(available_backends())})"
         )
+    if args.ft_recovery:
+        backend = (args.backends or available_backends())[0]
+        intervals = args.ft_intervals or (50e-6, 100e-6, 200e-6)
+        print(f"crash recovery vs checkpoint interval (scale={args.scale}, "
+              f"repeats={args.repeats}, backend={backend})")
+        rows = measure_recovery(intervals=intervals, scale=args.scale,
+                                repeats=args.repeats, backend=backend)
+        print(render_recovery_table(rows))
+        if args.max_recovery_us is not None:
+            failures = check_recovery(rows, args.max_recovery_us)
+            if failures:
+                for f in failures:
+                    print(f"FAIL: {f}", file=sys.stderr)
+                return 1
+        return 0
     if args.modes:
         backend = (args.backends or available_backends())[0]
         print(f"observability overhead (scale={args.scale}, "

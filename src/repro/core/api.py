@@ -72,6 +72,9 @@ __all__ = [
     "CldEnqueue",
     # timed callbacks
     "CcdCallFnAfter",
+    # fault tolerance
+    "CftInit", "CftCheckpoint", "CftRestarting", "CftRecover",
+    "CftOnFailure", "CftMembership",
 ]
 
 
@@ -513,3 +516,60 @@ def CcdCallFnAfter(delay: float, fn: Callable[[], None]) -> None:
     """Run ``fn`` on this PE, in handler context, after ``delay`` seconds
     of virtual time (Converse's conditional-callback module)."""
     _rt().ccd_call_fn_after(delay, fn)
+
+
+# ----------------------------------------------------------------------
+# fault tolerance
+# ----------------------------------------------------------------------
+
+def _ft() -> Any:
+    rt = _rt()
+    if rt.ft is None:
+        from repro.core.errors import FaultToleranceError
+
+        raise FaultToleranceError(
+            "fault tolerance is not enabled on this machine "
+            "(build it with Machine(ft=..., reliable=True))"
+        )
+    return rt.ft
+
+
+def CftInit(pack: Callable[[], Any], unpack: Callable[[Any], None]) -> None:
+    """Register this PE's application state callbacks with the
+    fault-tolerance layer: ``pack()`` snapshots the state a restart must
+    restore, ``unpack(state)`` installs it on a fresh incarnation."""
+    _ft().register_app(pack, unpack)
+
+
+def CftCheckpoint() -> int:
+    """Snapshot this PE's application + protocol state to its buddy PE
+    (in-memory double checkpointing).  Returns the checkpoint epoch."""
+    return _ft().checkpoint()
+
+
+def CftRestarting() -> bool:
+    """True when this main is a post-crash incarnation of its PE (the
+    paper-style ``CmiMyPe()``-discovers-rank main uses this to branch
+    into recovery instead of initialization)."""
+    node = _rt().node
+    return node.epoch > 0
+
+
+def CftRecover() -> bool:
+    """Pull this PE's last checkpoint back from its buddy and rejoin the
+    computation (blocking; call from the restarted main after
+    ``CftInit``).  Returns True when checkpoint state was restored,
+    False on a cold start — the caller should then redo its fault-free
+    initialization, which deterministic replay reconciles."""
+    return _ft().recover()
+
+
+def CftOnFailure(fn: Callable[[int], None]) -> None:
+    """Register ``fn(pe)`` to run on this PE when a peer is declared
+    down (the conditional-callback-style failure hook)."""
+    _ft().add_failure_callback(fn)
+
+
+def CftMembership() -> dict:
+    """This PE's current membership view: ``{pe: "up"|"suspect"|"down"}``."""
+    return dict(_ft().membership)

@@ -39,8 +39,38 @@ class ReliabilityError(ConverseError):
 
 class RetryExhaustedError(ReliabilityError):
     """A reliable send exhausted its retransmission budget without ever
-    being acknowledged — the link is considered dead.  The failure is
-    deterministic: the same fault-plan seed reproduces it exactly."""
+    being acknowledged — the link (or the peer) is considered dead.  The
+    failure is deterministic: the same fault-plan seed reproduces it
+    exactly.
+
+    Carries the full context of the give-up so it can feed a failure
+    detector instead of only crashing the caller: ``src``/``dst`` name the
+    directed link, ``seq`` the unacknowledged packet, ``retries`` how many
+    retransmissions were spent, ``elapsed`` the virtual time between the
+    first transmission and the give-up, and ``stats`` a
+    :class:`~repro.machine.cmi.RelStats` snapshot taken at give-up time.
+    """
+
+    def __init__(self, src: int = -1, dst: int = -1, seq: int = -1,
+                 retries: int = 0, elapsed: float = 0.0,
+                 stats: object = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.retries = retries
+        self.elapsed = elapsed
+        self.stats = stats
+        super().__init__(
+            f"PE {src}: packet seq={seq} to PE {dst} unacknowledged after "
+            f"{retries} retransmissions over {elapsed * 1e6:.0f} us of "
+            f"virtual time (rel stats at give-up: {stats})"
+        )
+
+
+class FaultToleranceError(ConverseError):
+    """Errors raised by the optional fault-tolerance layer (``repro.ft``):
+    misconfiguration, checkpoint/recovery protocol failures, or a control
+    message that could not be delivered within its retry budget."""
 
 
 class HandlerError(ConverseError):

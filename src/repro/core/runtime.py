@@ -95,6 +95,8 @@ class ConverseRuntime:
         #: when disabled): the Csd scheduler calls it before parking so
         #: buffered batches flush instead of stalling behind an idle PE.
         self.idle_flush: Any = None
+        #: the fault-tolerance agent (``None`` unless ``Machine(ft=...)``).
+        self.ft: Any = None
 
     # ------------------------------------------------------------------
     # subsystem access
@@ -120,6 +122,20 @@ class ConverseRuntime:
     def reliable(self) -> Any:
         """This PE's reliable-delivery layer (``None`` unless enabled)."""
         return None if self._cmi is None else self._cmi.reliable
+
+    def enable_ft(self, config: Any, coordinator: Any,
+                  restarting: bool = False) -> Any:
+        """Attach this PE's fault-tolerance agent (failure detection +
+        buddy checkpoint/recovery; see :mod:`repro.ft`).  Off by default
+        — need-based cost; enabled machine-wide via ``Machine(ft=...)``
+        on top of ``reliable=True``.  ``restarting=True`` marks a
+        post-crash incarnation: its receive side stays paused until
+        ``CftRecover`` restores state."""
+        if self.ft is None:
+            from repro.ft.manager import FTAgent
+
+            self.ft = FTAgent(self, config, coordinator, restarting=restarting)
+        return self.ft
 
     def enable_aggregation(self, config: Any = None) -> Any:
         """Switch this PE's small sends to the streaming-aggregation

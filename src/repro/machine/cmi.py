@@ -18,7 +18,7 @@ need-based cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import MessageError, RetryExhaustedError
@@ -174,6 +174,18 @@ class ReliableDelivery:
             )
         else:
             self._mx_rtt = None
+        #: sender-side message log for crash recovery, enabled by the
+        #: fault-tolerance layer (``None`` by default: with FT off the
+        #: send path pays one attribute test and no copies).  Maps
+        #: ``dst -> {seq: (pristine message clone, payload bytes)}``.
+        self._ft_log: Optional[Dict[int, Dict[int, Tuple[Message, int]]]] = None
+        #: give-up sink installed by the fault-tolerance layer: when set,
+        #: a retry-exhausted packet feeds the failure detector instead of
+        #: crashing the run.
+        self._ft_giveup: Optional[Callable[[Any], None]] = None
+        #: True while this PE is mid-recovery: incoming data must not be
+        #: released (or acked) before the checkpoint state is restored.
+        self._paused = False
         self.node.set_interceptor(self._on_arrival)
 
     # ------------------------------------------------------------------
@@ -190,6 +202,13 @@ class ReliableDelivery:
         pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto,
                            sent_at=self.node.now)
         self._pending[(dest_pe, seq)] = pending
+        if self._ft_log is not None:
+            # Sender-based message logging: keep a pristine clone so the
+            # destination can be replayed after a crash (the wire object
+            # itself gets delivered and recycled at the receiver).
+            self._ft_log.setdefault(dest_pe, {})[seq] = (
+                self._clone(msg), msg.size
+            )
         self.stats.data_sent += 1
         if self.runtime.tracing:
             self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
@@ -222,11 +241,16 @@ class ReliableDelivery:
                     "rel_giveup", dest=pending.dst, seq=pending.seq,
                     retries=pending.retries,
                 )
-            raise RetryExhaustedError(
-                f"PE {self.node.pe}: packet seq={pending.seq} to PE "
-                f"{pending.dst} unacknowledged after {pending.retries} "
-                f"retransmissions"
+            err = RetryExhaustedError(
+                self.node.pe, pending.dst, pending.seq, pending.retries,
+                self.node.now - pending.sent_at, stats=replace(self.stats),
             )
+            if self._ft_giveup is not None:
+                # With a failure detector attached, a dead link is
+                # evidence of a dead peer, not a fatal error.
+                self._ft_giveup(err)
+                return
+            raise err
         pending.retries += 1
         self.stats.retransmits += 1
         if self.runtime.tracing:
@@ -238,8 +262,20 @@ class ReliableDelivery:
             self._mx_retransmits.inc(self.node.pe)
         # A fresh wire object per transmission: fault corruption flags one
         # copy without poisoning the packet for later attempts.
+        inner = pending.inner
+        if self._ft_log is not None:
+            # With crash recovery armed, a peer's expected sequences can
+            # roll back to its checkpoint — a retransmission may then be
+            # *released* a second time, so never re-wire an object the
+            # receiver may already have consumed and recycled.  Clone
+            # from the pristine log entry (the first delivery nulled the
+            # wire object's payload when the handler returned).
+            entries = self._ft_log.get(pending.dst)
+            logged = None if entries is None else entries.get(pending.seq)
+            if logged is not None:
+                inner = self._clone(logged[0])
         pkt = RelPacket("data", self.node.pe, pending.dst, pending.seq,
-                        pending.inner, pending.nbytes)
+                        inner, pending.nbytes)
         self.network.inject(self.node.pe, pending.dst, pending.nbytes, pkt)
         pending.rto = min(pending.rto * self.config.backoff, self.config.max_rto)
         self._arm_timer(pending)
@@ -250,6 +286,11 @@ class ReliableDelivery:
     def _on_arrival(self, payload: Any) -> bool:
         if not isinstance(payload, RelPacket):
             return False
+        if self._paused:
+            # Mid-recovery: consume silently with no acks and no state
+            # changes — senders keep retransmitting, and the post-restore
+            # replay covers anything that arrived too early.
+            return True
         if payload.kind == "ack":
             self._on_ack(payload)
         else:
@@ -332,6 +373,147 @@ class ReliableDelivery:
         if self.runtime.tracing:
             self.runtime.trace_event("rel_release", src=src, seq=seq)
         self.node.deliver(inner)
+
+    # ------------------------------------------------------------------
+    # crash recovery (driven by the fault-tolerance layer)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clone(msg: Message) -> Message:
+        """A pristine copy of a wire message: same header and (shared,
+        by-convention-immutable) payload, fresh ownership state — so the
+        log and checkpoints survive the original being delivered and
+        recycled at the receiver."""
+        c = Message(msg.handler, msg._payload, size=msg.size, prio=msg.prio,
+                    src_pe=msg.src_pe)
+        c.msg_id = msg.msg_id
+        return c
+
+    def pause(self) -> None:
+        """Stop releasing (and acking) incoming data until :meth:`resume`
+        — armed on a restarted PE so nothing reaches the application
+        before its checkpoint state is back."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Re-open the receive side after recovery."""
+        self._paused = False
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot the protocol state for a checkpoint: per-destination
+        send sequences, per-source expected sequences, the identities of
+        still-unacknowledged packets, and the recovery message log.  The
+        snapshot shares (pristine, never-delivered) message clones with
+        the live log; both sides only ever copy them, never mutate."""
+        log: Dict[int, Dict[int, Tuple[Message, int]]] = {}
+        if self._ft_log is not None:
+            log = {dst: dict(entries) for dst, entries in self._ft_log.items()}
+        pend = sorted(
+            (p.dst, p.seq) for p in self._pending.values()
+            if p.seq in log.get(p.dst, {})
+        )
+        return {
+            "next_seq": dict(self._next_seq),
+            "expected": dict(self._expected),
+            "pending": pend,
+            "log": log,
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Restore a checkpoint snapshot onto this (freshly restarted)
+        PE's protocol instance and put every packet that was pending at
+        checkpoint time back on the wire.  Out-of-order holdings gathered
+        before the restore are discarded — the peers' replay resends
+        them, and the restored ``expected`` map dedups."""
+        self._next_seq = dict(state["next_seq"])
+        self._expected = dict(state["expected"])
+        self._held.clear()
+        if self._ft_log is not None:
+            self._ft_log = {
+                dst: dict(entries) for dst, entries in state["log"].items()
+            }
+        for dst, seq in state["pending"]:
+            entry = state["log"].get(dst, {}).get(seq)
+            if entry is not None:
+                self._resend(dst, seq, entry[0], entry[1])
+
+    def _resend(self, dst: int, seq: int, msg: Message, size: int) -> None:
+        """(Re)create sender state for a logged packet and transmit a
+        fresh copy, NIC-level (no CPU charge — recovery runs at interrupt
+        level).  No-op when the packet is already pending."""
+        key = (dst, seq)
+        if key in self._pending:
+            return
+        nbytes = size + self.config.header_bytes
+        pending = _Pending(dst, seq, self._clone(msg), nbytes,
+                           self.config.rto, sent_at=self.node.now)
+        pending.retries = 1  # Karn's rule: never an RTT sample
+        self._pending[key] = pending
+        self.stats.retransmits += 1
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_retransmit", dest=dst, seq=seq,
+                                     attempt=1, recovery=True)
+        pkt = RelPacket("data", self.node.pe, dst, seq, pending.inner, nbytes)
+        self.network.inject(self.node.pe, dst, nbytes, pkt)
+        self._arm_timer(pending)
+
+    def resend_logged(self, dst: int, from_seq: int) -> int:
+        """Replay this PE's logged sends to ``dst`` with their original
+        sequence numbers, starting at ``from_seq`` (the restarted peer's
+        restored ``expected`` value).  Already-delivered packets among
+        them are dup-dropped and re-acked by the peer; genuinely lost
+        ones fill the gap.  Returns the number of packets resent."""
+        entries = None if self._ft_log is None else self._ft_log.get(dst)
+        if not entries:
+            return 0
+        n = 0
+        for seq in sorted(entries):
+            if seq >= from_seq:
+                msg, size = entries[seq]
+                self._resend(dst, seq, msg, size)
+                n += 1
+        return n
+
+    def prune_log(self, dst: int, below: int) -> int:
+        """Drop log entries to ``dst`` below sequence ``below`` (the
+        destination checkpointed them: replay will never need them).
+        Still-pending packets are kept regardless, preserving the
+        checkpoint invariant that every pending packet has a log entry."""
+        entries = None if self._ft_log is None else self._ft_log.get(dst)
+        if not entries:
+            return 0
+        stale = [s for s in entries
+                 if s < below and (dst, s) not in self._pending]
+        for s in stale:
+            del entries[s]
+        return len(stale)
+
+    def reset_peer(self, dst: int) -> None:
+        """Reconcile retransmission state after ``dst`` recovered: give
+        every packet still pending to it a fresh retry budget and timeout
+        (the backed-off timers were measuring a dead PE)."""
+        cfg = self.config
+        for (d, _seq), p in self._pending.items():
+            if d == dst:
+                p.retries = 1
+                p.rto = cfg.rto
+                if p.timer is not None:
+                    p.timer.cancel()
+                self._arm_timer(p)
+
+    def close(self) -> None:
+        """Cancel every outstanding retransmission timer and forget the
+        pending set.  Called on machine shutdown and when this PE
+        crashes — a dead (or torn-down) PE must not retransmit."""
+        for p in self._pending.values():
+            if p.timer is not None:
+                p.timer.cancel()
+                p.timer = None
+        self._pending.clear()
+
+    def expected_seq(self, src: int) -> int:
+        """The next sequence number expected from ``src`` (what a
+        recovering peer asks senders to replay from)."""
+        return self._expected.get(src, 0)
 
     @property
     def in_flight(self) -> int:

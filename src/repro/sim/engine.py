@@ -249,8 +249,9 @@ class SimEngine:
             if not heap or heap[0].time >= wake:
                 self.now = wake
                 return
-        self.schedule(duration, self.make_ready, t)
+        t.wake_event = self.schedule(duration, self.make_ready, t)
         t.park()
+        t.wake_event = None
 
     def suspend(self) -> None:
         """Park the current tasklet until somebody calls
@@ -281,6 +282,30 @@ class SimEngine:
         # make_ready marked it ready; park() will hand the baton back and
         # the engine will resume it after the rest of the ready queue.
         t.park()
+
+    # ------------------------------------------------------------------
+    # crash injection
+    # ------------------------------------------------------------------
+    def kill_node_tasklets(self, node: Any) -> int:
+        """Kill every live tasklet bound to ``node`` (whole-PE crash
+        injection).  Must be called from the driver (engine-callback
+        context), like :meth:`shutdown`.  Pending sleep wake-ups are
+        cancelled first so no event later tries to ready a dead tasklet.
+        Returns the number of tasklets killed."""
+        if self._current is not None and self._current.node is node:
+            raise SimulationError(
+                "kill_node_tasklets() must not run from a tasklet on the "
+                "crashing node"
+            )
+        killed = 0
+        for t in self._tasklets:
+            if t.node is node and not t.finished:
+                if t.wake_event is not None:
+                    t.wake_event.cancel()
+                    t.wake_event = None
+                t.kill()
+                killed += 1
+        return killed
 
     # ------------------------------------------------------------------
     # failure propagation

@@ -92,6 +92,15 @@ class Machine:
         with explicit tuning (batch sizes, flush timer, direct vs
         virtual-2D-mesh routing).  Machine-wide, so the batch handler
         occupies the same handler index on every PE.
+    ft:
+        ``False`` (default) — no fault-tolerance layer, zero added cost
+        anywhere; ``True`` — survive the crash faults in the fault plan
+        with default tuning; an :class:`~repro.ft.FTConfig` — the same
+        with explicit tuning (heartbeat period, detection thresholds,
+        checkpoint interval, control-channel retries).  Requires
+        ``reliable=True`` (recovery replays the reliable layer's send
+        log).  Crash *injection* needs only a fault plan with crashes;
+        ``ft=`` is what makes the machine live through them.
     backend:
         Tasklet switch backend (see :mod:`repro.sim.switching`):
         ``None`` (default — the ``REPRO_SIM_BACKEND`` env var, else the
@@ -106,11 +115,14 @@ class Machine:
                  trace: Any = False, echo: bool = False, seed: int = 0,
                  faults: Any = None, reliable: Any = False,
                  backend: Any = None, metrics: Any = False,
-                 aggregation: Any = False) -> None:
+                 aggregation: Any = False, ft: Any = False) -> None:
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
         self.model = model
+        # Kept for rebuilding a crashed PE's software stack on restart.
+        self._queue = queue
+        self._ldb = ldb
         self.engine = SimEngine(backend=backend)
         self.topology = make_topology(model.topology, num_pes)
         self.network = Network(self.engine, model, self.topology)
@@ -168,6 +180,34 @@ class Machine:
             )
             for rt in self.runtimes:
                 rt.enable_reliability(self.reliable_config)
+        # Fault tolerance sits above reliability: it owns the send log
+        # kept by the reliable layer and pulls checkpoints over CMI.
+        # Like the layers above, it must be machine-wide (its control
+        # packets reach every PE).
+        self.ft_config = None
+        self.ft_coordinator = None
+        crash_schedule = (
+            self.fault_plan.crash_schedule(num_pes)
+            if self.fault_plan is not None else []
+        )
+        if ft:
+            from repro.ft import FTConfig, FTCoordinator
+
+            if self.reliable_config is None:
+                raise SimulationError(
+                    "ft= requires the reliable-delivery layer; build the "
+                    "machine with reliable=True as well"
+                )
+            self.ft_config = ft if isinstance(ft, FTConfig) else FTConfig()
+            self.ft_config.validate()
+            self.ft_coordinator = FTCoordinator(num_pes, crash_schedule)
+            for rt in self.runtimes:
+                rt.enable_ft(self.ft_config, self.ft_coordinator)
+        # Crash injection works with or without the ft layer: a bare
+        # crash is just a PE that dies (and maybe restarts with
+        # amnesia); surviving it is the ft layer's job.
+        for spec in crash_schedule:
+            self.engine.schedule_at(spec.at, self._crash_pe, spec)
         if self.tracer is not None:
             for node in self.nodes:
                 node.add_delivery_hook(self._trace_delivery(node))
@@ -176,6 +216,8 @@ class Machine:
                 node.attach_metrics(self.metrics)
         self._quiescence_callbacks: List[Callable[[], None]] = []
         self._mains: List[Any] = []
+        #: per-PE launch records, replayed when a crashed PE restarts.
+        self._launch_specs: dict = {}
         self._shut_down = False
 
     # ------------------------------------------------------------------
@@ -202,6 +244,64 @@ class Machine:
             )
 
         return hook
+
+    # ------------------------------------------------------------------
+    # crash injection & restart
+    # ------------------------------------------------------------------
+    def _crash_pe(self, spec: Any) -> None:
+        """Fire one scheduled :class:`~repro.sim.network.CrashSpec`:
+        power-fail the PE (kill its tasklets, drop its state) and, if
+        the spec restarts it, schedule the new incarnation."""
+        node = self.nodes[spec.pe]
+        if not node.up:
+            return  # already down (overlapping schedule entries)
+        if self.tracer is not None:
+            self.tracer.record(
+                spec.pe, self.engine.now, "ft_failure",
+                {"phase": "crash", "target": spec.pe,
+                 "restart": spec.restart_after is not None},
+            )
+        rt = node.runtime
+        if rt is not None:
+            # A dead PE must not retransmit or heartbeat: cancel every
+            # timer its protocol layers own before tearing it down.
+            rel = rt.reliable
+            if rel is not None:
+                rel.close()
+            if rt.ft is not None:
+                rt.ft.close()
+        node.fail()
+        if spec.restart_after is not None:
+            self.engine.schedule(spec.restart_after, self._restart_pe, spec.pe)
+
+    def _restart_pe(self, pe: int) -> None:
+        """Power a crashed PE back on: a fresh runtime with the same
+        machine-wide layer stack (identical construction order keeps
+        handler indices aligned across PEs), then respawn its recorded
+        main(s).  With ft enabled the new incarnation's receive side
+        stays paused until its main pulls the checkpoint back via
+        ``CftRecover``."""
+        from repro.loadbalance.strategies import make_balancer
+
+        node = self.nodes[pe]
+        node.restart()
+        queue = self._queue
+        q = queue(pe) if callable(queue) and not isinstance(queue, str) else queue
+        rt = ConverseRuntime(node, self, queue=q)
+        self.runtimes[pe] = rt
+        rt.cld = make_balancer(self._ldb, rt)
+        rt.cmi.groups
+        if self.aggregation_config is not None:
+            rt.enable_aggregation(self.aggregation_config)
+        if self.reliable_config is not None:
+            rt.enable_reliability(self.reliable_config)
+        if self.ft_config is not None:
+            rt.enable_ft(self.ft_config, self.ft_coordinator, restarting=True)
+        # Delivery hooks and metric handles live on the Node and survive
+        # the crash; only the software stack needed rebuilding.
+        for fn, args, name in self._launch_specs.get(pe, []):
+            t = node.spawn(lambda fn=fn, args=args: fn(*args), name=name)
+            self._mains.append(t)
 
     # ------------------------------------------------------------------
     # access
@@ -249,6 +349,7 @@ class Machine:
         tasklets = []
         for pe in targets:
             t = self.node(pe).spawn(lambda fn=fn, args=args: fn(*args), name=name)
+            self._launch_specs.setdefault(pe, []).append((fn, args, name))
             tasklets.append(t)
         self._mains.extend(tasklets)
         return tasklets
@@ -257,6 +358,7 @@ class Machine:
                   name: str = "main") -> Any:
         """Start ``fn(*args)`` on a single PE."""
         t = self.node(pe).spawn(lambda: fn(*args), name=name)
+        self._launch_specs.setdefault(pe, []).append((fn, args, name))
         self._mains.append(t)
         return t
 
@@ -340,6 +442,17 @@ class Machine:
         if self._shut_down:
             return
         self._shut_down = True
+        # Cancel protocol timers (retransmissions, heartbeats) before
+        # tearing the engine down — a machine closed mid-retransmit must
+        # not leave armed timers behind.
+        for rt in self.runtimes:
+            if rt is None:
+                continue
+            rel = rt.reliable
+            if rel is not None:
+                rel.close()
+            if rt.ft is not None:
+                rt.ft.close()
         self.engine.shutdown()
         if self.tracer is not None:
             self.tracer.close()

@@ -35,7 +35,7 @@ from repro.sim.models import MachineModel
 from repro.sim.topology import Topology
 
 __all__ = ["NetworkStats", "SendHandle", "Network",
-           "FaultSpec", "FaultStats", "FaultPlan"]
+           "FaultSpec", "FaultStats", "FaultPlan", "CrashSpec"]
 
 
 @dataclass
@@ -88,6 +88,38 @@ class FaultSpec:
             raise SimulationError("fault jitter bounds must be >= 0")
 
 
+@dataclass(frozen=True)
+class CrashSpec:
+    """One scheduled whole-PE crash (and optional restart).
+
+    ``at`` is the virtual time the PE dies: its tasklets are killed, its
+    inbox/memory/software state discarded, and in-flight deliveries to it
+    dropped.  ``restart_after`` is how long the PE stays down before the
+    machine reboots it (``None`` — never: a permanent failure).
+    """
+
+    pe: int
+    at: float
+    restart_after: Optional[float] = 250e-6
+
+    def validate(self, num_pes: Optional[int] = None) -> None:
+        if self.pe < 0:
+            raise SimulationError(f"crash PE must be >= 0, got {self.pe}")
+        if num_pes is not None and self.pe >= num_pes:
+            raise SimulationError(
+                f"crash PE {self.pe} out of range [0, {num_pes})"
+            )
+        if self.at < 0:
+            raise SimulationError(
+                f"crash time must be >= 0, got crash_at={self.at}"
+            )
+        if self.restart_after is not None and self.restart_after < 0:
+            raise SimulationError(
+                f"restart_after must be >= 0 or None (never restart), "
+                f"got {self.restart_after}"
+            )
+
+
 @dataclass
 class FaultStats:
     """Counters of injected faults, exposed on :class:`FaultPlan`."""
@@ -121,13 +153,27 @@ class FaultPlan:
     links:
         Optional ``{(src_pe, dst_pe): FaultSpec}`` overrides for
         individual directed links (e.g. drop only the ack direction).
+    crashes:
+        Explicit whole-PE crash schedule: either ``{pe: crash_at_seconds}``
+        or an iterable of :class:`CrashSpec` (for per-crash restart
+        control).  Dict entries use the plan-wide ``restart_after``.
+    mttf:
+        Seeded mean time to failure (seconds).  When positive, every PE
+        draws one exponentially distributed crash time from a *separate*
+        derived RNG stream (so the per-packet link-fault stream — and
+        hence existing traces — is untouched).  Combined with ``crashes``.
+    restart_after:
+        Default downtime before a crashed PE reboots, for dict-style
+        ``crashes`` entries and all ``mttf`` draws.  ``None`` — never.
     """
 
     def __init__(self, seed: int = 0, *, drop: float = 0.0,
                  duplicate: float = 0.0, delay: float = 0.0,
                  reorder: float = 0.0, corrupt: float = 0.0,
                  delay_max: float = 40e-6, reorder_max: float = 120e-6,
-                 links: Optional[Dict[Tuple[int, int], FaultSpec]] = None) -> None:
+                 links: Optional[Dict[Tuple[int, int], FaultSpec]] = None,
+                 crashes: Any = None, mttf: float = 0.0,
+                 restart_after: Optional[float] = 250e-6) -> None:
         self.seed = seed
         self.default = FaultSpec(
             drop=drop, duplicate=duplicate, delay=delay, reorder=reorder,
@@ -137,12 +183,55 @@ class FaultPlan:
         self.links: Dict[Tuple[int, int], FaultSpec] = dict(links or {})
         for spec in self.links.values():
             spec.validate()
+        if mttf < 0:
+            raise SimulationError(f"mttf must be >= 0, got {mttf}")
+        if restart_after is not None and restart_after < 0:
+            raise SimulationError(
+                f"restart_after must be >= 0 or None, got {restart_after}"
+            )
+        self.mttf = mttf
+        self.restart_after = restart_after
+        self.crashes: list = []
+        if crashes is not None:
+            if isinstance(crashes, dict):
+                items = [CrashSpec(pe, at, restart_after)
+                         for pe, at in sorted(crashes.items())]
+            else:
+                items = list(crashes)
+            for spec in items:
+                if not isinstance(spec, CrashSpec):
+                    raise SimulationError(
+                        f"crashes entries must be CrashSpec (or a "
+                        f"{{pe: crash_at}} dict), got {type(spec).__name__}"
+                    )
+                spec.validate()
+            self.crashes = items
         self.rng = random.Random(seed)
         self.stats = FaultStats()
 
     def spec_for(self, src: int, dst: int) -> FaultSpec:
         """The effective spec for one directed link."""
         return self.links.get((src, dst), self.default)
+
+    def crash_schedule(self, num_pes: int) -> list:
+        """The combined crash schedule for an ``num_pes``-PE machine:
+        explicit :class:`CrashSpec` entries plus, when ``mttf`` is
+        positive, one seeded exponential draw per PE (in PE order, from a
+        derived RNG stream independent of the per-packet link-fault
+        stream).  Sorted by ``(at, pe)``; deterministic for a given seed.
+        """
+        schedule = list(self.crashes)
+        for spec in schedule:
+            spec.validate(num_pes)
+        if self.mttf > 0.0:
+            rng = random.Random(f"{self.seed}-crash")
+            for pe in range(num_pes):
+                schedule.append(
+                    CrashSpec(pe, rng.expovariate(1.0 / self.mttf),
+                              self.restart_after)
+                )
+        schedule.sort(key=lambda s: (s.at, s.pe))
+        return schedule
 
     # ------------------------------------------------------------------
     # per-packet decisions

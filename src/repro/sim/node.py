@@ -53,12 +53,23 @@ class Node:
         self.stats = NodeStats()
         #: the Converse runtime living on this PE (set by the machine).
         self.runtime: Any = None
+        #: hardware power state: ``False`` while crashed (fault injection).
+        #: Deliveries to a down PE are dropped on the floor, like packets
+        #: arriving at a dead NIC.
+        self.up = True
+        #: incarnation number, bumped by every :meth:`restart`.
+        self.epoch = 0
+        #: virtual time of the most recent crash (recovery latency base).
+        self.crashed_at: Optional[float] = None
+        #: deliveries dropped because the PE was down.
+        self.dropped_while_down = 0
         #: observers called on every delivery, e.g. tracing.
         self._delivery_hooks: list[Callable[[Any], None]] = []
-        #: optional arrival interceptor (the CMI reliable-delivery layer):
-        #: runs *before* the inbox, at "interrupt level", and may consume
-        #: protocol packets entirely.
-        self._interceptor: Optional[Callable[[Any], bool]] = None
+        #: arrival interceptors (reliable delivery, fault tolerance): run
+        #: *before* the inbox, at "interrupt level", and may consume
+        #: protocol packets entirely.  ``None`` until the first install so
+        #: the common case stays a single attribute test.
+        self._interceptors: Optional[tuple] = None
         #: receive-side metric handles; ``None`` until the machine calls
         #: :meth:`attach_metrics`, so the guard on the delivery path is a
         #: single attribute test when metrics are off.
@@ -107,26 +118,33 @@ class Node:
     # ------------------------------------------------------------------
     # inbox
     # ------------------------------------------------------------------
-    def set_interceptor(self, fn: Callable[[Any], bool]) -> None:
-        """Install the arrival interceptor.  ``fn(payload)`` runs on every
+    def set_interceptor(self, fn: Callable[[Any], bool],
+                        front: bool = False) -> None:
+        """Install an arrival interceptor.  ``fn(payload)`` runs on every
         network delivery before any inbox/stats processing; returning True
-        consumes the payload (it never reaches the inbox).  One
-        interceptor per node — it is the machine layer's driver, not an
-        observer (observers use :meth:`add_delivery_hook`)."""
-        if self._interceptor is not None:
-            raise SimulationError(
-                f"PE {self.pe} already has an arrival interceptor"
-            )
-        self._interceptor = fn
+        consumes the payload (it never reaches the inbox).  Interceptors
+        are machine-layer drivers, not observers (observers use
+        :meth:`add_delivery_hook`); they run in install order, or ahead of
+        the existing chain with ``front=True`` (how the fault-tolerance
+        layer sees every arrival — for liveness evidence — before the
+        reliable-delivery layer consumes its protocol packets)."""
+        chain = self._interceptors or ()
+        self._interceptors = (fn,) + chain if front else chain + (fn,)
 
     def deliver(self, payload: Any) -> None:
         """Network-facing: append an arrival and wake blocked tasklets.
 
         Runs inside an engine event callback (never in a tasklet).
         """
-        interceptor = self._interceptor
-        if interceptor is not None and interceptor(payload):
+        if not self.up:
+            # A dead PE's NIC: in-flight packets addressed to it vanish.
+            self.dropped_while_down += 1
             return
+        interceptors = self._interceptors
+        if interceptors is not None:
+            for fn in interceptors:
+                if fn(payload):
+                    return
         self.inbox.append(payload)
         stats = self.stats
         stats.msgs_received += 1
@@ -155,6 +173,9 @@ class Node:
         note: the interrupted computation's remaining time is not
         extended by the service routine's — the two overlap in virtual
         time, a simplification over a real interrupt.)"""
+        if not self.up:
+            self.dropped_while_down += 1
+            return
         self.stats.msgs_received += 1
         self.stats.bytes_received += getattr(payload, "size", 0) or 0
         if self._mx_recvs is not None:
@@ -210,6 +231,37 @@ class Node:
         another tasklet, Cth awakenings)."""
         while self._waiters:
             self.engine.make_ready(self._waiters.popleft())
+
+    # ------------------------------------------------------------------
+    # crash injection (whole-PE failure model)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash this PE: kill every tasklet bound to it, discard its
+        inbox, memory and software wiring.  Runs from an engine event
+        callback (the machine's crash injector), never from a tasklet.
+        Cumulative counters survive — a crash does not rewrite history."""
+        if not self.up:
+            raise SimulationError(f"PE {self.pe} is already down")
+        self.up = False
+        self.crashed_at = self.engine.now
+        # Waiters are about to be killed; drop them first so nothing can
+        # make_ready a finished tasklet afterwards.
+        self._waiters.clear()
+        self.engine.kill_node_tasklets(self)
+        self.inbox.clear()
+        self.memory.clear()
+        self._next_mem_key = 1
+        self._interceptors = None
+        self.runtime = None
+
+    def restart(self) -> None:
+        """Power the PE back on with amnesia: a fresh incarnation with an
+        empty inbox and memory.  The machine re-attaches a fresh runtime
+        (and protocol layers) afterwards."""
+        if self.up:
+            raise SimulationError(f"PE {self.pe} is not down")
+        self.up = True
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # memory (EMI global pointers)

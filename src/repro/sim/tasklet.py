@@ -76,6 +76,11 @@ class BaseTasklet:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.data: Any = None
+        #: the ScheduledEvent that will wake this tasklet from a sleep
+        #: (``None`` while not sleeping).  Tracked so crash injection can
+        #: cancel the wake-up before killing the tasklet — a make_ready
+        #: firing on a finished tasklet is an engine error.
+        self.wake_event: Any = None
 
     # -- switch operations (backend-specific) ---------------------------
     def resume_from_engine(self) -> None:

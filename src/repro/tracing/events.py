@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Tuple
 
-__all__ = ["STANDARD_KINDS", "FAULT_KINDS", "TraceEvent", "SchemaDeclaration"]
+__all__ = ["STANDARD_KINDS", "FAULT_KINDS", "FT_KINDS", "TraceEvent",
+           "SchemaDeclaration"]
 
 #: Event kinds every language implementation must emit (the "standard
 #: format").  Runtime-internal kinds (enqueue/dequeue/...) are also listed
@@ -59,6 +60,19 @@ FAULT_KINDS = frozenset(
         "rel_dup",         # a duplicate data packet was suppressed
         "rel_hold",        # an out-of-order packet entered the reassembly buffer
         "rel_corrupt",     # a corrupted packet was detected and discarded
+    }
+)
+
+#: Event kinds emitted by the fault-tolerance layer (``Machine(ft=...)``)
+#: and the machine's crash injector.  Like :data:`FAULT_KINDS` they sit
+#: outside the paper's standard format but are emitted uniformly, so a
+#: crashy run's trace tells the whole story: the crash, the detection
+#: verdicts, every checkpoint, and the recovery that closed the episode.
+FT_KINDS = frozenset(
+    {
+        "ft_checkpoint",   # state snapshot shipped to the buddy (epoch, bytes, reason)
+        "ft_failure",      # crash / suspect / down / give-up evidence (phase, target)
+        "ft_recover",      # a restarted PE rejoined (restored, latency)
     }
 )
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro import FaultPlan, Machine, api
+from repro import CrashSpec, FaultPlan, FTConfig, Machine, api
 from repro.core.quiescence import QD
 from repro.sim.models import GENERIC
 from repro.tracing.tracer import MemoryTracer
@@ -23,11 +23,14 @@ from repro.tracing.tracer import MemoryTracer
 __all__ = [
     "HOSTILE_RATES",
     "hostile_plan",
+    "crashy_plan",
     "trace_bytes",
     "run_pingpong",
     "run_broadcast",
     "run_quiescence",
     "run_quickstart_workload",
+    "run_ft_pingpong",
+    "run_ft_all2all",
 ]
 
 #: the default hostile mix: every fault class at once, drop rate 0.2 as
@@ -45,6 +48,18 @@ def hostile_plan(seed: int, **overrides: float) -> FaultPlan:
     """A :class:`FaultPlan` with the default hostile mix, overridable."""
     rates = {**HOSTILE_RATES, **overrides}
     return FaultPlan(seed, **rates)
+
+
+def crashy_plan(seed: int, crash_pe: int, crash_at: float,
+                restart_after: float = 250e-6,
+                **overrides: float) -> FaultPlan:
+    """A plan that crashes one PE mid-run on top of a (default mild)
+    hostile mix — drop/duplicate only, so crash-fuzz failures implicate
+    the recovery protocol rather than extreme reordering."""
+    rates = {"drop": 0.1, "duplicate": 0.1, **overrides}
+    return FaultPlan(
+        seed, crashes=[CrashSpec(crash_pe, crash_at, restart_after)], **rates
+    )
 
 
 def trace_bytes(tracer: MemoryTracer) -> bytes:
@@ -235,3 +250,152 @@ def run_quickstart_workload(*, faults: Optional[FaultPlan] = None,
         m.launch(main)
         m.run()
         return trace_bytes(tracer), state["replies"]
+
+
+# ----------------------------------------------------------------------
+# workload 5: crash-surviving ping-pong (fault tolerance)
+# ----------------------------------------------------------------------
+def run_ft_pingpong(rounds: int = 40, *, faults: Optional[FaultPlan] = None,
+                    ft: Any = True, checkpoint_every: int = 8,
+                    trace: Any = False, model: Any = GENERIC,
+                    backend: Any = None) -> Dict[str, Any]:
+    """The ping-pong workload written against the ``Cft*`` API so it
+    survives a whole-PE crash injected by the fault plan.
+
+    The ball protocol is purely message-driven after PE 0's opening
+    send; every ``checkpoint_every`` receptions a PE checkpoints at the
+    end of the handler — a message boundary, after the causally implied
+    send went out (and into the reliable layer's log).  A crash at any
+    time must therefore finish with exactly the fault-free result.
+    """
+    ft_cfg = FTConfig() if ft is True else ft
+    with Machine(2, model=model, faults=faults, reliable=True, ft=ft_cfg,
+                 metrics=True, trace=trace, backend=backend) as m:
+        recv: Dict[int, List[int]] = {0: [], 1: []}
+
+        def main() -> None:
+            me = api.CmiMyPe()
+            other = 1 - me
+            mine = recv[me]
+
+            def on_ball(msg) -> None:
+                n = msg.payload
+                mine.append(n)
+                if n + 1 < 2 * rounds:
+                    api.CmiSyncSend(other, api.CmiNew(h_ball, n + 1))
+                if checkpoint_every and len(mine) % checkpoint_every == 0:
+                    api.CftCheckpoint()
+                if len(mine) == rounds:
+                    api.CsdExitScheduler()
+
+            h_ball = api.CmiRegisterHandler(on_ball, "ft.ball")
+            api.CftInit(lambda: list(mine),
+                        lambda state: mine.__setitem__(slice(None), state))
+
+            def init_sends() -> None:
+                if me == 0:
+                    api.CmiSyncSend(1, api.CmiNew(h_ball, 0))
+
+            if api.CftRestarting():
+                if not api.CftRecover():
+                    # Cold start: no checkpoint existed.  Redo the
+                    # fault-free initialization; replay + dedup
+                    # reconcile anything peers already saw.
+                    mine.clear()
+                    init_sends()
+            else:
+                init_sends()
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        reason = m.run()
+        return {
+            "recv": recv,
+            "reason": reason,
+            "expected": {0: list(range(1, 2 * rounds, 2)),
+                         1: list(range(0, 2 * rounds, 2))},
+            "metrics": m.metrics_snapshot(),
+            "tracer": m.tracer,
+        }
+
+
+# ----------------------------------------------------------------------
+# workload 6: crash-surviving all-to-all (fault tolerance)
+# ----------------------------------------------------------------------
+def run_ft_all2all(num_pes: int = 4, count: int = 6, *,
+                   faults: Optional[FaultPlan] = None, ft: Any = True,
+                   checkpoint_every: int = 6, trace: Any = False,
+                   model: Any = GENERIC, backend: Any = None) -> Dict[str, Any]:
+    """Every PE sends ``count`` numbered messages to every other PE and
+    exits once it has received ``count * (num_pes - 1)``.
+
+    Unlike the ping-pong, each PE performs *spontaneous* initialization
+    sends; the explicit ``CftCheckpoint()`` right after them puts the
+    logged sends under checkpoint cover, and the cold-start branch
+    simply redoes them (same sequence numbers, dup-dropped by peers
+    that already consumed them)."""
+    ft_cfg = FTConfig() if ft is True else ft
+    with Machine(num_pes, model=model, faults=faults, reliable=True,
+                 ft=ft_cfg, metrics=True, trace=trace, backend=backend) as m:
+        recv: Dict[int, Dict[int, List[int]]] = {
+            pe: {src: [] for src in range(num_pes) if src != pe}
+            for pe in range(num_pes)
+        }
+
+        def main() -> None:
+            me, n = api.CmiMyPe(), api.CmiNumPes()
+            mine = recv[me]
+            state = {"seen": 0}
+            total = count * (n - 1)
+
+            def on_msg(msg) -> None:
+                src, i = msg.payload
+                mine[src].append(i)
+                state["seen"] += 1
+                if checkpoint_every and state["seen"] % checkpoint_every == 0:
+                    api.CftCheckpoint()
+                if state["seen"] == total:
+                    api.CsdExitScheduler()
+
+            h = api.CmiRegisterHandler(on_msg, "ft.a2a")
+
+            def pack():
+                return ({src: list(v) for src, v in mine.items()},
+                        state["seen"])
+
+            def unpack(snapshot) -> None:
+                blobs, seen = snapshot
+                for src, v in blobs.items():
+                    mine[src][:] = v
+                state["seen"] = seen
+
+            def init_sends() -> None:
+                for step in range(1, n):
+                    dst = (me + step) % n
+                    for i in range(count):
+                        api.CmiSyncSend(dst, api.CmiNew(h, (me, i)))
+
+            api.CftInit(pack, unpack)
+            if api.CftRestarting():
+                if not api.CftRecover():
+                    for v in mine.values():
+                        v.clear()
+                    state["seen"] = 0
+                    init_sends()
+                    api.CftCheckpoint()
+            else:
+                init_sends()
+                api.CftCheckpoint()
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        reason = m.run()
+        return {
+            "recv": recv,
+            "reason": reason,
+            "expected": {pe: {src: list(range(count))
+                              for src in range(num_pes) if src != pe}
+                         for pe in range(num_pes)},
+            "metrics": m.metrics_snapshot(),
+            "tracer": m.tracer,
+        }

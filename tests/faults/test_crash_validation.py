@@ -1,0 +1,96 @@
+"""Unit tests for the crash-schedule side of the fault plan (satellite:
+``FaultSpec``/``CrashSpec`` validation extended to whole-PE crashes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrashSpec, FaultPlan
+from repro.core.errors import SimulationError
+
+
+class TestCrashSpecValidation:
+    def test_accepts_well_formed_spec(self):
+        CrashSpec(0, 1e-3).validate(num_pes=4)
+        CrashSpec(3, 0.0, restart_after=None).validate(num_pes=4)
+        CrashSpec(1, 5e-4, restart_after=0.0).validate(num_pes=2)
+
+    def test_rejects_negative_pe(self):
+        with pytest.raises(SimulationError):
+            CrashSpec(-1, 1e-3).validate()
+
+    def test_rejects_pe_out_of_range(self):
+        CrashSpec(7, 1e-3).validate()  # fine without a machine size
+        with pytest.raises(SimulationError):
+            CrashSpec(7, 1e-3).validate(num_pes=4)
+
+    def test_rejects_negative_crash_time(self):
+        with pytest.raises(SimulationError):
+            CrashSpec(0, -1e-6).validate()
+
+    def test_rejects_negative_restart_delay(self):
+        with pytest.raises(SimulationError):
+            CrashSpec(0, 1e-3, restart_after=-1e-6).validate()
+
+
+class TestFaultPlanCrashFields:
+    def test_rejects_negative_mttf(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(0, mttf=-1.0)
+
+    def test_rejects_negative_default_restart(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(0, restart_after=-1e-6)
+
+    def test_rejects_non_crashspec_entries(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(0, crashes=[(1, 1e-3)])
+
+    def test_crashes_validate_on_construction(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(0, crashes=[CrashSpec(0, -1.0)])
+
+    def test_dict_crashes_use_plan_restart_after(self):
+        plan = FaultPlan(0, crashes={2: 1e-3}, restart_after=9e-4)
+        assert plan.crashes == [CrashSpec(2, 1e-3, 9e-4)]
+
+    def test_schedule_rejects_pe_out_of_machine_range(self):
+        plan = FaultPlan(0, crashes=[CrashSpec(5, 1e-3)])
+        plan.crash_schedule(8)  # fits an 8-PE machine
+        with pytest.raises(SimulationError):
+            plan.crash_schedule(4)
+
+
+class TestMttfSchedule:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(11, mttf=2e-3).crash_schedule(4)
+        b = FaultPlan(11, mttf=2e-3).crash_schedule(4)
+        assert a == b
+        assert len(a) == 4  # one exponential draw per PE
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan(11, mttf=2e-3).crash_schedule(4)
+        b = FaultPlan(12, mttf=2e-3).crash_schedule(4)
+        assert a != b
+
+    def test_mttf_stream_independent_of_link_faults(self):
+        """Drawing crash times must not perturb the per-packet fault
+        stream: plans with and without mttf make identical per-link
+        decisions for the same seed."""
+        plain = FaultPlan(5, drop=0.3, duplicate=0.2)
+        crashy = FaultPlan(5, drop=0.3, duplicate=0.2, mttf=1e-3)
+        crashy.crash_schedule(4)
+        a = [plain.decide(0, 1) for _ in range(100)]
+        b = [crashy.decide(0, 1) for _ in range(100)]
+        assert a == b
+
+    def test_combined_with_explicit_crashes_and_sorted(self):
+        plan = FaultPlan(3, crashes=[CrashSpec(1, 5e-3)], mttf=1e-3)
+        sched = plan.crash_schedule(2)
+        assert len(sched) == 3
+        assert sched == sorted(sched, key=lambda s: (s.at, s.pe))
+        assert any(s.pe == 1 and s.at == 5e-3 for s in sched)
+
+    def test_mttf_draws_use_plan_restart_after(self):
+        plan = FaultPlan(3, mttf=1e-3, restart_after=None)
+        assert all(s.restart_after is None for s in plan.crash_schedule(3))

@@ -1,0 +1,87 @@
+"""Crash-fault seed sweep: the fuzz harness extended with whole-PE
+crashes (tentpole acceptance + the ``make fuzz`` satellite).
+
+Every seed names one deterministic hostile schedule — link faults (drop
++ duplication) *and* one mid-run PE crash whose time is derived from the
+seed, so the sweep covers crashes in the cold-start region, mid-run, and
+near the natural end of the workload.  The recovery protocol must give
+results identical to the fault-free run, and the whole failure/recovery
+sequence must replay byte-identically for the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.faults.harness import (
+    crashy_plan,
+    run_ft_all2all,
+    run_ft_pingpong,
+    trace_bytes,
+)
+
+
+def _crash_at(seed: int) -> float:
+    """A seed-derived crash time spread over [80us, 1.3ms] — early
+    crashes hit the pre-first-checkpoint (cold recovery) window, late
+    ones land after most traffic has drained."""
+    return (80 + 97 * (seed % 13)) * 1e-6
+
+
+def _recoveries(metrics: dict) -> float:
+    return metrics["ft.recoveries"]["total"]
+
+
+def test_ft_pingpong_survives_crash(fault_seed, sim_backend):
+    plan = crashy_plan(fault_seed, crash_pe=1, crash_at=_crash_at(fault_seed))
+    r = run_ft_pingpong(rounds=30, faults=plan, backend=sim_backend)
+    assert r["reason"] == "quiescent"
+    assert r["recv"] == r["expected"]
+    assert _recoveries(r["metrics"]) == 1
+
+
+def test_ft_all2all_survives_crash(fault_seed, sim_backend):
+    crash_pe = fault_seed % 4
+    plan = crashy_plan(fault_seed, crash_pe=crash_pe,
+                       crash_at=_crash_at(fault_seed))
+    r = run_ft_all2all(num_pes=4, count=5, faults=plan, backend=sim_backend)
+    assert r["reason"] == "quiescent"
+    assert r["recv"] == r["expected"]
+    assert _recoveries(r["metrics"]) == 1
+
+
+def test_ft_pingpong_survives_permanent_detection_window(fault_seed):
+    """A crash with no restart: peers must *detect* the failure (fire
+    the down verdict) and the machine must still drain to quiescence
+    rather than retransmitting into the dead PE forever."""
+    plan = crashy_plan(fault_seed, crash_pe=1,
+                       crash_at=_crash_at(fault_seed), restart_after=None)
+    r = run_ft_pingpong(rounds=30, faults=plan)
+    assert r["reason"] == "quiescent"
+    assert r["metrics"]["ft.failures_detected"]["total"] >= 1
+    assert _recoveries(r["metrics"]) == 0
+    # The survivor observed a correct prefix of the fault-free sequence.
+    survivor = r["recv"][0]
+    assert survivor == r["expected"][0][:len(survivor)]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_crash_recovery_trace_deterministic(seed):
+    """Same seed -> byte-identical trace through the whole crash,
+    detection and recovery sequence (satellite: crash-fault determinism
+    in the fuzz harness)."""
+    plan_a = crashy_plan(seed, crash_pe=1, crash_at=_crash_at(seed))
+    plan_b = crashy_plan(seed, crash_pe=1, crash_at=_crash_at(seed))
+    a = run_ft_pingpong(rounds=12, faults=plan_a, trace=True)
+    b = run_ft_pingpong(rounds=12, faults=plan_b, trace=True)
+    assert trace_bytes(a["tracer"]) == trace_bytes(b["tracer"])
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_ft_trace_records_failure_and_recovery(seed):
+    plan = crashy_plan(seed, crash_pe=1, crash_at=_crash_at(seed))
+    r = run_ft_pingpong(rounds=12, faults=plan, trace="memory")
+    kinds = {e.kind for e in r["tracer"].events}
+    assert "ft_failure" in kinds
+    assert "ft_recover" in kinds
+    assert "ft_checkpoint" in kinds

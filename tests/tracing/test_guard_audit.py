@@ -19,7 +19,8 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 #: a guard line: the flag test protecting the instrumentation below it.
 GUARD_RE = re.compile(
-    r"\bif\b.*(\btracing\b|\bmetering\b|_mx_\w+\s+is\s+not\s+None)"
+    r"\bif\b.*(\btracing\b|\bmetering\b|_mx_\w+\s+is\s+not\s+None"
+    r"|_ft_\w+\s+is\s+not\s+None)"
 )
 
 #: transparent wrappers: walking out of one of these keeps looking for
@@ -102,6 +103,36 @@ def test_all_metric_updates_guarded():
     assert not offenders, (
         "unguarded metric updates (wrap in `if ...metering:` or "
         "`if self._mx_x is not None:`):\n" + "\n".join(offenders)
+    )
+
+
+#: use of a fault-tolerance hook on the reliable layer (`_ft_log` /
+#: `_ft_giveup`): with ft off both are None, so every call site must
+#: hide behind an `is not None` test — the ft analogue of the
+#: tracing/metering discipline.
+FT_HOOK_RE = re.compile(r"_ft_(log|giveup)\.?\w*\(")
+FT_GUARD_INLINE_RE = re.compile(r"_ft_\w+\s+is\s+(not\s+)?None")
+
+
+def test_all_ft_hook_sites_guarded():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.parent.name == "ft":
+            continue  # the ft layer itself owns (and installs) the hooks
+        lines = path.read_text().splitlines()
+        for idx, line in enumerate(lines):
+            if not FT_HOOK_RE.search(line):
+                continue
+            if line.lstrip().startswith("#"):
+                continue
+            if FT_GUARD_INLINE_RE.search(line):
+                continue  # one-line conditional guard on the same line
+            if not _is_guarded(lines, idx):
+                offenders.append(f"{path.relative_to(SRC)}:{idx + 1}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "unguarded ft-hook call sites (wrap in `if self._ft_x is not "
+        "None:`):\n" + "\n".join(offenders)
     )
 
 
