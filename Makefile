@@ -4,10 +4,16 @@ SEEDS   ?= 25
 PERF_SCALE   ?= 1.0
 PERF_REPEATS ?= 3
 
-.PHONY: test fuzz ft bench perf trace-demo
+.PHONY: test conformance fuzz ft bench perf trace-demo
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
+
+# The cross-backend CMI conformance battery: every registered machine
+# layer (the simulator and, where the platform supports it, the real
+# multiprocess layer) must pass the identical contract tests.
+conformance:
+	PYTHONPATH=src $(PY) -m pytest -q -m conformance
 
 # The schedule-fuzzing harness: every workload in tests/faults under a
 # sweep of $(SEEDS) hostile fault plans (drop/dup/delay/reorder/corrupt).
@@ -32,11 +38,17 @@ bench:
 
 # Wall-clock simulator throughput per switch backend (thread baseline,
 # greenlet when installed via `pip install -e .[fast]`).  Writes the
-# perf-trajectory report every later PR regresses against.
+# perf-trajectory report every later PR regresses against, then merges
+# in the machine-layer axis: the portable workloads on the real
+# multiprocess layer (skipped with a note where mp is unavailable).
 perf:
 	PYTHONPATH=src $(PY) -m repro.bench throughput \
 		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
 		--out BENCH_throughput.json
+	PYTHONPATH=src $(PY) -m repro.bench throughput \
+		--machine-backend mp \
+		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
+		--merge-out BENCH_throughput.json
 
 # Run a small traced + metered demo workload and emit the observability
 # artifact set: trace-demo.jsonl (raw trace), trace-demo.chrome.json

@@ -34,6 +34,11 @@ from repro.core import api
 from repro.core.errors import ConverseError
 from repro.core.message import BitVector, Message
 from repro.ft.config import FTConfig
+from repro.machine.base import (
+    available_machine_backends,
+    create_machine,
+    machine_backend_available,
+)
 from repro.machine.cmi import ReliableConfig
 from repro.sim.machine import Machine, run_spmd
 from repro.sim.network import CrashSpec, FaultPlan, FaultSpec
@@ -64,6 +69,9 @@ __all__ = [
     "AggregationConfig",
     "available_backends",
     "best_backend_name",
+    "available_machine_backends",
+    "machine_backend_available",
+    "create_machine",
     "ConverseError",
     "MachineModel",
     "GENERIC",

@@ -45,13 +45,20 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import Machine, api
+from repro.machine.base import (
+    MACHINE_LAYERS,
+    machine_backend_available,
+    machine_backend_unavailable_reason,
+)
 from repro.sim.models import GENERIC
 from repro.sim.switching import available_backends
 
 __all__ = [
     "WORKLOADS",
+    "MACHINE_WORKLOADS",
     "TRACE_MODES",
     "run_workload",
+    "run_machine_workload",
     "run_suite",
     "compare_modes",
     "render_mode_table",
@@ -60,6 +67,7 @@ __all__ = [
     "render_recovery_table",
     "check_recovery",
     "write_report",
+    "merge_report",
     "main",
 ]
 
@@ -334,6 +342,99 @@ def _wl_ft_pingpong(backend: Any, scale: float,
     return 2 * rounds
 
 
+# ======================================================================
+# machine-layer portable workloads
+#
+# The closures above keep their counters in the driver process, which is
+# fine on the simulator (one process) but meaningless on the multiprocess
+# machine layer.  These variants are module-level mains that report their
+# counts through ``machine.results()`` — the portable idiom — so the same
+# program measures any registered machine layer (``--machine-backend``).
+# ======================================================================
+
+def portable_pingpong_main(rounds: int) -> int:
+    """Two PEs bounce one ball ``rounds`` round trips; each PE returns
+    its delivered-message count."""
+    me = api.CmiMyPe()
+    state = {"count": 0}
+
+    def on_ball(msg: Any) -> None:
+        n = msg.payload
+        state["count"] += 1
+        if n + 1 < 2 * rounds:
+            api.CmiSyncSend(1 - me, api.CmiNew(h, n + 1))
+        if state["count"] == rounds:
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_ball, "tp.ball")
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h, 0))
+    api.CsdScheduler(-1)
+    return state["count"]
+
+
+def portable_all2all_main(num_pes: int, rounds: int) -> int:
+    """Fine-grained all-to-all: every PE streams tiny messages to every
+    other PE and returns how many it received."""
+    me = api.CmiMyPe()
+    expected = rounds * (num_pes - 1)
+    state = {"count": 0}
+
+    def on_msg(msg: Any) -> None:
+        state["count"] += 1
+        if state["count"] == expected:
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "tp.a2a")
+    for r in range(rounds):
+        for d in range(num_pes):
+            if d != me:
+                api.CmiSyncSend(d, api.CmiNew(h, r))
+    api.CsdScheduler(-1)
+    return state["count"]
+
+
+def _mwl_pingpong(machine_backend: str, scale: float) -> int:
+    rounds = max(1, int(2000 * scale))
+    kwargs: Dict[str, Any] = {}
+    if machine_backend == "sim":
+        kwargs["model"] = GENERIC
+    else:
+        kwargs["timeout"] = 600.0
+    with Machine(2, machine_backend=machine_backend, **kwargs) as m:
+        m.launch(portable_pingpong_main, rounds)
+        m.run()
+        delivered = sum(m.results())
+    assert delivered == 2 * rounds, f"pingpong lost messages: {delivered}"
+    return delivered
+
+
+def _mwl_all2all_fine(machine_backend: str, scale: float) -> int:
+    num_pes = 8
+    rounds = max(1, int(70 * scale))
+    kwargs: Dict[str, Any] = {}
+    if machine_backend == "sim":
+        kwargs["model"] = GENERIC
+    else:
+        kwargs["timeout"] = 600.0
+    with Machine(num_pes, machine_backend=machine_backend, **kwargs) as m:
+        m.launch(portable_all2all_main, num_pes, rounds)
+        m.run()
+        delivered = sum(m.results())
+    expected = num_pes * rounds * (num_pes - 1)
+    assert delivered == expected, f"all2all lost messages: {delivered}"
+    return delivered
+
+
+#: machine-layer-portable workloads: name -> fn(machine_backend, scale).
+#: Names intentionally shadow their simulator-only counterparts so the
+#: report rows line up (same schedule, different execution substrate).
+MACHINE_WORKLOADS: Dict[str, Callable[[str, float], int]] = {
+    "pingpong": _mwl_pingpong,
+    "all2all_fine": _mwl_all2all_fine,
+}
+
+
 #: name -> workload function; insertion order is report order.
 WORKLOADS: Dict[str, Callable[..., int]] = {
     "pingpong": _wl_pingpong,
@@ -538,17 +639,44 @@ def run_workload(name: str, backend: Any = "thread", scale: float = 1.0,
     }
 
 
+def run_machine_workload(name: str, machine_backend: str = "mp",
+                         scale: float = 1.0) -> Dict[str, float]:
+    """Run one machine-layer-portable workload once on one machine layer
+    (``sim``/``mp``/...); returns the same shape as :func:`run_workload`."""
+    fn = MACHINE_WORKLOADS[name]
+    t0 = time.perf_counter()
+    messages = fn(machine_backend, scale)
+    seconds = time.perf_counter() - t0
+    return {
+        "messages": messages,
+        "seconds": seconds,
+        "msgs_per_sec": messages / seconds if seconds > 0 else float("inf"),
+    }
+
+
 def run_suite(backends: Optional[Sequence[str]] = None, scale: float = 1.0,
               repeats: int = 3, quiet: bool = False,
               workloads: Optional[Sequence[str]] = None,
-              trace: str = "off", metrics: bool = False) -> Dict[str, Any]:
+              trace: str = "off", metrics: bool = False,
+              machine_backend: str = "sim") -> Dict[str, Any]:
     """Measure every workload on every requested backend.
 
     ``repeats`` runs are taken per (workload, backend) cell and the best
     (lowest wall time) kept — standard practice for wall-clock micro
     measurements on a noisy host.  Returns the full report dict (see
     :func:`write_report` for the file format).
+
+    ``machine_backend`` selects the machine *layer* under measurement.
+    ``"sim"`` (the default) runs the full simulator suite across switch
+    backends.  Any other layer runs the :data:`MACHINE_WORKLOADS` subset
+    on that layer, recording cells under the layer's name as a
+    pseudo-backend column — real wall-clock messaging numbers to set
+    against the GIL-bound simulator ceiling.
     """
+    if machine_backend != "sim":
+        return _run_machine_suite(machine_backend, scale=scale,
+                                  repeats=repeats, quiet=quiet,
+                                  workloads=workloads)
     names = list(backends) if backends else available_backends()
     selected = list(workloads) if workloads else list(WORKLOADS)
     bad = [w for w in selected if w not in WORKLOADS]
@@ -595,11 +723,77 @@ def run_suite(backends: Optional[Sequence[str]] = None, scale: float = 1.0,
     }
 
 
+def _run_machine_suite(machine_backend: str, scale: float = 1.0,
+                       repeats: int = 3, quiet: bool = False,
+                       workloads: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    """The machine-layer axis of :func:`run_suite`: portable workloads on
+    one non-simulator machine layer, cells keyed by the layer name."""
+    selected = list(workloads) if workloads else list(MACHINE_WORKLOADS)
+    bad = [w for w in selected if w not in MACHINE_WORKLOADS]
+    if bad:
+        raise ValueError(
+            f"workload(s) not portable to machine layer {machine_backend!r}: "
+            f"{', '.join(bad)} (portable: {', '.join(MACHINE_WORKLOADS)})"
+        )
+    results: Dict[str, Any] = {}
+    for wl in selected:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            r = run_machine_workload(wl, machine_backend=machine_backend,
+                                     scale=scale)
+            if best is None or r["seconds"] < best["seconds"]:
+                best = r
+        results[wl] = {machine_backend: best}
+        if not quiet:
+            print(f"  {wl:16s} {machine_backend:9s} "
+                  f"{best['msgs_per_sec']:>12,.0f} msgs/sec "
+                  f"({best['messages']} msgs in {best['seconds']:.3f}s)")
+    import platform
+
+    return {
+        "meta": {
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "scale": scale,
+            "repeats": repeats,
+            "machine_backend": machine_backend,
+            "backends_measured": [machine_backend],
+        },
+        "workloads": results,
+        "speedups": {},
+    }
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     """Serialize a :func:`run_suite` report to ``path`` as stable JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def merge_report(report: Dict[str, Any], path: str) -> None:
+    """Merge a report's workload cells into an existing report file.
+
+    Used by the machine-layer perf axis: mp rows land next to the
+    simulator rows in ``BENCH_throughput.json`` without disturbing the
+    committed simulator baselines (:func:`check_baseline` reads the
+    ``thread`` cells, which this never overwrites with foreign layers).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+    except FileNotFoundError:
+        existing = {"meta": {}, "workloads": {}, "speedups": {}}
+    for wl, cells in report.get("workloads", {}).items():
+        existing.setdefault("workloads", {}).setdefault(wl, {}).update(cells)
+    mb = report.get("meta", {}).get("machine_backend")
+    if mb:
+        axes = existing.setdefault("meta", {}).setdefault("machine_backends", [])
+        if mb not in axes:
+            axes.append(mb)
+            axes.sort()
+    write_report(existing, path)
 
 
 def compare_modes(modes: Sequence[str] = TRACE_MODES,
@@ -742,6 +936,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the JSON report here (default: print summary only)",
     )
     parser.add_argument(
+        "--machine-backend", default="sim", metavar="NAME",
+        choices=sorted(MACHINE_LAYERS),
+        help="machine layer to measure (default: sim, the full simulator "
+             "suite across switch backends; any other layer runs the "
+             "portable workload subset on that layer — e.g. mp, real "
+             "OS processes)",
+    )
+    parser.add_argument(
+        "--merge-out", default=None, metavar="PATH",
+        help="merge the measured cells into an existing JSON report "
+             "instead of overwriting it (how the machine-layer axis "
+             "lands beside the simulator baselines)",
+    )
+    parser.add_argument(
         "--workloads", nargs="+", default=None, metavar="NAME",
         choices=sorted(WORKLOADS),
         help="subset of workloads to run (default: all)",
@@ -797,6 +1005,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"backend(s) not available here: {', '.join(bad)} "
             f"(available: {', '.join(available_backends())})"
         )
+    if args.machine_backend != "sim":
+        if not machine_backend_available(args.machine_backend):
+            # Like a missing greenlet: the matrix shrinks with a note,
+            # it does not fail (keeps `make perf` portable).
+            print(f"machine backend {args.machine_backend!r} unavailable "
+                  f"here, skipping: "
+                  f"{machine_backend_unavailable_reason(args.machine_backend)}")
+            return 0
+        if args.modes or args.ft_recovery or args.trace != "off" \
+                or args.metrics or args.backends:
+            parser.error(
+                "--machine-backend is exclusive with --backends/--trace/"
+                "--metrics/--modes/--ft-recovery (simulator-only axes)"
+            )
+        print(f"machine-layer throughput (layer={args.machine_backend}, "
+              f"scale={args.scale}, repeats={args.repeats})")
+        report = run_suite(scale=args.scale, repeats=args.repeats,
+                           workloads=args.workloads,
+                           machine_backend=args.machine_backend)
+        if args.merge_out:
+            merge_report(report, args.merge_out)
+            print(f"merged into {args.merge_out}")
+        elif args.out:
+            write_report(report, args.out)
+            print(f"wrote {args.out}")
+        return 0
     if args.ft_recovery:
         backend = (args.backends or available_backends())[0]
         intervals = args.ft_intervals or (50e-6, 100e-6, 200e-6)
@@ -833,6 +1067,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
+    if args.merge_out:
+        merge_report(report, args.merge_out)
+        print(f"merged into {args.merge_out}")
     failures: List[str] = []
     if args.baseline:
         failures += check_baseline(

@@ -1,3 +1,23 @@
 """The Converse Machine Interface: the minimal MMI core plus the EMI
 extensions (vector sends, scatter advance-receives, processor groups,
-global pointers)."""
+global pointers) — and the machine *layers* that implement the contract
+(:mod:`repro.machine.base` registry: the ``sim`` simulator and the
+``mp`` multiprocess layer)."""
+
+from repro.machine.base import (
+    MACHINE_BACKEND_ENV_VAR,
+    MachineLayer,
+    available_machine_backends,
+    create_machine,
+    machine_backend_available,
+    resolve_machine_backend,
+)
+
+__all__ = [
+    "MACHINE_BACKEND_ENV_VAR",
+    "MachineLayer",
+    "available_machine_backends",
+    "create_machine",
+    "machine_backend_available",
+    "resolve_machine_backend",
+]

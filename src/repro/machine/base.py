@@ -1,0 +1,259 @@
+"""The machine-layer contract and backend registry.
+
+The paper's portability claim is that everything above the CMI — the Csd
+scheduler, the message manager, threads, EMI extensions and the language
+runtimes — is machine-independent, and only the thin machine layer is
+rewritten per platform.  This module is that seam made explicit:
+
+* :class:`MachineLayer` — the abstract surface a machine layer must
+  provide to host Converse programs (launch mains, drive to quiescence,
+  collect results, tear down).  The *messaging* side of the contract is
+  not expressed as abstract methods; it is defined operationally by the
+  conformance battery in ``tests/machine/conformance/``, which every
+  registered backend must pass identically.
+* a **backend registry** mapping names to machine-layer classes, with
+  the same selection discipline as the tasklet switch backends
+  (:mod:`repro.sim.switching`): explicit argument, then the
+  ``REPRO_MACHINE_BACKEND`` environment variable, then the portable
+  default ``"sim"``.
+
+Registered layers:
+
+``sim``
+    The deterministic discrete-event simulator
+    (:class:`repro.sim.machine.Machine`).  Always available; virtual
+    time, byte-identical traces, fault injection.
+``mp``
+    The multiprocess layer (:class:`repro.machine.mp.MpMachine`): one OS
+    process per PE over local sockets, real wall-clock parallelism.
+    Available on platforms with working ``multiprocessing``.
+
+Selection errors are uniform: an *unknown* name raises ``ValueError``
+listing the choices; a known name that is *unavailable* on this platform
+raises :class:`~repro.core.errors.SimulationError` with the reason —
+mirroring how naming ``"greenlet"`` explicitly behaves without the
+package installed.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "MACHINE_BACKEND_ENV_VAR",
+    "MachineLayer",
+    "MachineLayerSpec",
+    "MACHINE_LAYERS",
+    "register_machine_layer",
+    "available_machine_backends",
+    "machine_backend_available",
+    "machine_backend_unavailable_reason",
+    "resolve_machine_backend",
+    "machine_layer_class",
+    "create_machine",
+]
+
+#: environment variable consulted when no explicit backend is requested
+#: (mirrors ``REPRO_SIM_BACKEND`` for the tasklet switch layer).
+MACHINE_BACKEND_ENV_VAR = "REPRO_MACHINE_BACKEND"
+
+#: the portable default backend — every environment can run it.
+DEFAULT_MACHINE_BACKEND = "sim"
+
+
+class MachineLayer(abc.ABC):
+    """What a Converse machine layer owes the layers above it.
+
+    A machine layer is the job launcher plus ``ConverseInit``: it builds
+    one PE-worth of runtime state per processor, routes CMI traffic
+    between them, detects quiescence, and tears everything down.  The
+    precise messaging semantics (handler dispatch, buffer ownership,
+    broadcast fanout, the no-per-pair-ordering guarantee) are specified
+    by the cross-backend conformance suite, not repeated here.
+    """
+
+    #: number of processing elements (set by the concrete layer).
+    num_pes: int
+
+    @property
+    @abc.abstractmethod
+    def machine_backend_name(self) -> str:
+        """The registry name this layer was selected by."""
+
+    # -- launching ------------------------------------------------------
+    @abc.abstractmethod
+    def launch(self, fn: Callable[..., Any], *args: Any,
+               pes: Optional[Any] = None, name: str = "main") -> List[Any]:
+        """SPMD launch: run ``fn(*args)`` as the main program on every PE
+        (or a subset); the function discovers its rank via ``CmiMyPe``."""
+
+    @abc.abstractmethod
+    def launch_on(self, pe: int, fn: Callable[..., Any], *args: Any,
+                  name: str = "main") -> Any:
+        """Run ``fn(*args)`` as a main program on a single PE."""
+
+    @abc.abstractmethod
+    def launch_schedulers(self, pes: Optional[Any] = None) -> List[Any]:
+        """Start a blocking ``CsdScheduler(-1)`` loop on each PE — the
+        main program of a purely message-driven application."""
+
+    # -- driving --------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> str:
+        """Drive the machine until quiescent (or another stop condition);
+        returns the stop reason (``"quiescent"`` at minimum)."""
+
+    @abc.abstractmethod
+    def results(self) -> List[Any]:
+        """Return values of the launched mains, in launch order; raises
+        when a main has not finished."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Release every resource (processes, threads, tasklets, files).
+        Idempotent; after it the machine cannot run again."""
+
+    # -- conveniences shared by all layers ------------------------------
+    def __enter__(self) -> "MachineLayer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+@dataclass(frozen=True)
+class MachineLayerSpec:
+    """One registered machine layer: where to import it from and whether
+    the current platform can run it.  Import is lazy so registering a
+    backend costs nothing until it is selected (and so the registry has
+    no import edge into the heavyweight layers)."""
+
+    name: str
+    module: str
+    qualname: str
+    available: Callable[[], bool]
+    unavailable_reason: Callable[[], str]
+
+    def load(self) -> type:
+        import importlib
+
+        mod = importlib.import_module(self.module)
+        return getattr(mod, self.qualname)
+
+
+def _mp_available() -> bool:
+    """Whether the multiprocess layer can run here: a platform where
+    ``multiprocessing`` can actually start processes and loopback
+    sockets work (rules out WASM/emscripten-style environments)."""
+    import sys
+
+    if sys.platform in ("emscripten", "wasi"):
+        return False
+    try:
+        import multiprocessing
+        import socket  # noqa: F401
+
+        return bool(multiprocessing.get_all_start_methods())
+    except (ImportError, NotImplementedError):  # pragma: no cover
+        return False
+
+
+def _mp_unavailable_reason() -> str:
+    return (
+        "the mp machine layer needs a platform where multiprocessing can "
+        "start OS processes and open loopback sockets"
+    )
+
+
+#: registry of selectable machine layers.
+MACHINE_LAYERS: Dict[str, MachineLayerSpec] = {}
+
+
+def register_machine_layer(
+    name: str, module: str, qualname: str,
+    available: Callable[[], bool] = lambda: True,
+    unavailable_reason: Callable[[], str] = lambda: "unavailable",
+) -> None:
+    """Register (or replace) a machine layer under ``name``."""
+    MACHINE_LAYERS[name] = MachineLayerSpec(
+        name, module, qualname, available, unavailable_reason
+    )
+
+
+register_machine_layer("sim", "repro.sim.machine", "Machine")
+register_machine_layer(
+    "mp", "repro.machine.mp", "MpMachine",
+    available=_mp_available, unavailable_reason=_mp_unavailable_reason,
+)
+
+
+def available_machine_backends() -> List[str]:
+    """Names of the machine layers usable on this platform (always
+    includes ``"sim"``)."""
+    return [n for n, spec in MACHINE_LAYERS.items() if spec.available()]
+
+
+def machine_backend_available(name: str) -> bool:
+    """Whether machine layer ``name`` is registered and usable here."""
+    spec = MACHINE_LAYERS.get(name)
+    return spec is not None and spec.available()
+
+
+def machine_backend_unavailable_reason(name: str) -> str:
+    """Human-readable reason ``name`` cannot run here (for skip
+    messages); empty string when it can."""
+    spec = MACHINE_LAYERS.get(name)
+    if spec is None:
+        return f"unknown machine backend {name!r}"
+    if spec.available():
+        return ""
+    return spec.unavailable_reason()
+
+
+def resolve_machine_backend(spec: Optional[str] = None) -> str:
+    """Turn a machine-backend specification into a registered name.
+
+    ``spec`` may be ``None`` (consult :data:`MACHINE_BACKEND_ENV_VAR`,
+    default ``"sim"``) or a backend name.  Unknown names raise
+    ``ValueError``; known-but-unavailable names raise
+    :class:`SimulationError` with the platform reason.
+    """
+    if spec is None:
+        spec = os.environ.get(MACHINE_BACKEND_ENV_VAR) or DEFAULT_MACHINE_BACKEND
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"machine_backend must be a backend name, got {type(spec).__name__}"
+        )
+    key = spec.strip().lower()
+    layer = MACHINE_LAYERS.get(key)
+    if layer is None:
+        raise ValueError(
+            f"unknown machine backend {spec!r}; choose from "
+            f"{', '.join(sorted(MACHINE_LAYERS))}"
+        )
+    if not layer.available():
+        raise SimulationError(
+            f"machine backend {key!r} is not available in this environment: "
+            f"{layer.unavailable_reason()}"
+        )
+    return key
+
+
+def machine_layer_class(name: str) -> type:
+    """The machine-layer class registered under ``name`` (resolving and
+    validating it first)."""
+    return MACHINE_LAYERS[resolve_machine_backend(name)].load()
+
+
+def create_machine(num_pes: int, *args: Any, **kwargs: Any) -> MachineLayer:
+    """Build a machine on the selected layer — the functional spelling of
+    ``Machine(num_pes, machine_backend=...)``."""
+    from repro.sim.machine import Machine
+
+    return Machine(num_pes, *args, **kwargs)

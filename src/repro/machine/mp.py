@@ -1,0 +1,1042 @@
+"""The multiprocess machine layer: one OS process per PE.
+
+This is the second registered machine layer (after the simulator) and the
+first with *real* parallelism: every PE is a child process with its own
+interpreter (and GIL), wired to the parent over loopback TCP sockets.
+The layers above the machine interface — :class:`ConverseRuntime`, the
+Csd scheduler, the CMI, the message manager — run in each worker process
+**unmodified**: the worker provides drop-in machine-dependent pieces (a
+wall-clock engine, a condition-variable node, a socket-backed network)
+behind the same attribute surface the simulator provides.
+
+Topology is hub-and-spoke: the parent process routes length-prefixed
+pickled frames between workers (one reader thread per worker) and runs
+the machine-level services — console aggregation, result collection and
+quiescence detection.
+
+**Quiescence** uses counting over FIFO channels: the hub counts every
+message it forwards to each PE; a worker, whenever it parks idle, reports
+how many hub messages it has consumed and how many local timers are
+armed.  Because a worker's sends reach the hub *before* its subsequent
+idle report (same socket, FIFO), the hub's forwarded counters are always
+at least as fresh as the reports, so "every PE idle, every report equal
+to the forward count, zero timers" cannot hold while anything is in
+flight.  The only wake sources a parked worker has are hub deliveries
+(counted) and local timers (reported), so the check is also complete.
+
+Scope (documented in the README machine-layer matrix): cost models,
+tracing, metrics, fault injection, reliable delivery, aggregation, the
+fault-tolerance layer, Cth threads/tasklets, EMI groups/global pointers
+across PEs and console input are **simulator-only** for now.  Time is
+wall-clock; runs are not deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.core.errors import SimulationError
+from repro.machine.base import MachineLayer
+from repro.sim.console import ConsoleRecord
+from repro.sim.models import MachineModel
+from repro.sim.node import Node
+
+__all__ = ["MpMachine", "MP_MODEL", "MP_START_METHOD_ENV_VAR"]
+
+#: environment override for the multiprocessing start method.
+MP_START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
+
+#: how often a parked worker re-checks for shutdown and re-reports idle
+#: state that changed without a wakeup (seconds).
+_IDLE_RECHECK = 0.05
+
+#: all-zero cost model: on a real machine layer the costs are real, so
+#: the virtual accounting terms must not add phantom time to ``charge``.
+MP_MODEL = MachineModel(
+    name="mp",
+    description="multiprocess machine layer (real costs; no virtual charges)",
+    send_overhead=0.0,
+    recv_overhead=0.0,
+    latency_per_hop=0.0,
+    per_byte=0.0,
+    cvs_send_extra=0.0,
+    cvs_dispatch_extra=0.0,
+    enqueue_cost=0.0,
+    dequeue_cost=0.0,
+)
+
+_LEN = struct.Struct("<I")
+
+
+# ----------------------------------------------------------------------
+# framing: length-prefixed pickles over a stream socket
+# ----------------------------------------------------------------------
+def _send_frame(sock: socket.socket, lock: threading.Lock, frame: Any) -> None:
+    data = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    with lock:
+        sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[Any]:
+    head = _recv_exact(sock, _LEN.size)
+    if head is None:
+        return None
+    body = _recv_exact(sock, _LEN.unpack(head)[0])
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+# ======================================================================
+# worker-process side
+# ======================================================================
+class _WorkerStop(BaseException):
+    """Raised inside a parked worker main when the hub shuts the run
+    down; unwinds user code without being caught by ``except Exception``
+    (like :class:`TaskletKilled` in the simulator)."""
+
+
+class _WorkerTasklet:
+    """The stand-in for "the currently running tasklet" in a worker.
+
+    Exactly one user thread runs Converse code per worker process, so
+    the simulator's module-global current-context slot works unchanged;
+    this object gives it the two attributes the API layer reads.
+    """
+
+    __slots__ = ("node", "name")
+
+    def __init__(self, node: "_MpNode") -> None:
+        self.node = node
+        self.name = f"pe{node.pe}-main"
+
+
+class _MpTimerHandle:
+    __slots__ = ("_engine", "_tid")
+
+    def __init__(self, engine: "_MpEngine", tid: int) -> None:
+        self._engine = engine
+        self._tid = tid
+
+    def cancel(self) -> None:
+        self._engine.cancel(self._tid)
+
+
+class _MpEngine:
+    """Wall-clock replacement for the event engine inside a worker.
+
+    Provides exactly what machine-independent code asks an engine for on
+    this layer: the clock (``now``) and delayed callbacks (``schedule``,
+    backing Ccd timed calls).  Tasklet operations raise — threads are a
+    simulator feature until a real Cth backend exists.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._timers: Dict[int, threading.Timer] = {}
+        self._next_tid = 0
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> _MpTimerHandle:
+        with self._lock:
+            tid = self._next_tid
+            self._next_tid += 1
+            timer = threading.Timer(max(0.0, delay), self._fire, (tid, fn, args))
+            timer.daemon = True
+            self._timers[tid] = timer
+        timer.start()
+        return _MpTimerHandle(self, tid)
+
+    def _fire(self, tid: int, fn: Callable[..., Any], args: tuple) -> None:
+        with self._lock:
+            if self._timers.pop(tid, None) is None:
+                return  # cancelled after firing was already scheduled
+        fn(*args)
+
+    def cancel(self, tid: int) -> None:
+        with self._lock:
+            timer = self._timers.pop(tid, None)
+        if timer is not None:
+            timer.cancel()
+
+    @property
+    def pending_timers(self) -> int:
+        with self._lock:
+            return len(self._timers)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            timers, self._timers = list(self._timers.values()), {}
+        for timer in timers:
+            timer.cancel()
+
+    # -- simulator-only operations -------------------------------------
+    def spawn(self, *_args: Any, **_kwargs: Any) -> Any:
+        raise SimulationError(
+            "tasklets/Cth threads are simulator-only; the mp machine layer "
+            "runs one main per PE"
+        )
+
+    def require_tasklet(self) -> Any:
+        from repro.sim import context
+
+        return context.require_tasklet()
+
+
+class _WorkerLink:
+    """A worker's connection to the hub plus the idle-report state."""
+
+    def __init__(self, sock: socket.socket, pe: int) -> None:
+        self.sock = sock
+        self.pe = pe
+        self.wlock = threading.Lock()
+        #: hub-forwarded messages fully delivered locally (guarded by the
+        #: node's condition variable; part of the quiescence protocol).
+        self.net_recv = 0
+        self.stop = threading.Event()
+        self.engine: Optional[_MpEngine] = None
+        self._last_idle: Optional[tuple] = None
+
+    def send(self, frame: Any) -> None:
+        _send_frame(self.sock, self.wlock, frame)
+
+    def report_idle(self, _node: "_MpNode") -> None:
+        """Tell the hub this PE is parked (call with the node's condition
+        held).  Deduplicated: only state changes cross the wire."""
+        snap = (self.net_recv, self.engine.pending_timers)
+        if snap == self._last_idle:
+            return
+        self._last_idle = snap
+        try:
+            self.send(("idle", snap[0], snap[1]))
+        except OSError:
+            self.stop.set()
+
+
+class _MpNode(Node):
+    """A PE backed by real threads: the inbox is fed by the receiver
+    thread (and timer threads), the main thread parks on a condition
+    variable instead of suspending a tasklet."""
+
+    def __init__(self, machine: "_WorkerMachine", pe: int) -> None:
+        super().__init__(machine, pe)
+        self._cond = threading.Condition()
+
+    # -- CPU time -------------------------------------------------------
+    def charge(self, dt: float) -> None:
+        # Costs are real on this layer: charges only keep the accounting
+        # counters alive (they are all zero under MP_MODEL anyway).
+        if dt < 0:
+            raise SimulationError(f"cannot charge negative time ({dt})")
+        self.stats.busy_time += dt
+
+    # -- inbox ----------------------------------------------------------
+    def deliver(self, payload: Any) -> None:
+        interceptors = self._interceptors
+        if interceptors is not None:
+            for fn in interceptors:
+                if fn(payload):
+                    return
+        with self._cond:
+            self.inbox.append(payload)
+            stats = self.stats
+            stats.msgs_received += 1
+            stats.bytes_received += getattr(payload, "size", 0) or 0
+            for hook in self._delivery_hooks:
+                hook(payload)
+            self._cond.notify_all()
+
+    def deliver_immediate(self, payload: Any) -> None:
+        # Interrupt-style delivery for real: the handler runs on the
+        # receiver thread, concurrently with the PE's main thread — the
+        # handler must be short and thread-safe, as on a real machine.
+        self.stats.msgs_received += 1
+        self.stats.bytes_received += getattr(payload, "size", 0) or 0
+        for hook in self._delivery_hooks:
+            hook(payload)
+        rt = self.runtime
+        if rt is None:
+            raise SimulationError(
+                f"immediate message on PE {self.pe} with no runtime"
+            )
+        rt.deliver_from_network(payload)
+
+    def poll(self) -> Optional[Any]:
+        with self._cond:
+            if self.inbox:
+                return self.inbox.popleft()
+            return None
+
+    def wait_until(self, predicate: Callable[[], bool]) -> None:
+        link = self.machine.worker
+        with self._cond:
+            while not predicate():
+                if link.stop.is_set():
+                    raise _WorkerStop()
+                link.report_idle(self)
+                self._cond.wait(_IDLE_RECHECK)
+
+    def wait_for_message(self) -> Any:
+        self.wait_until(lambda: bool(self.inbox))
+        with self._cond:
+            return self.inbox.popleft()
+
+    def kick(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- simulator-only -------------------------------------------------
+    def spawn(self, fn: Callable[[], Any], name: str = "task", start: bool = True):
+        raise SimulationError(
+            "tasklets are simulator-only; the mp machine layer runs one "
+            "main per PE"
+        )
+
+
+class _MpSendHandle:
+    """Completion handle for asynchronous sends.  ``sendall`` returned
+    before this handle exists, so the buffer is already reusable — the
+    handle is born done (real DMA completion, not a virtual-time one)."""
+
+    __slots__ = ("released",)
+    done = True
+
+    def __init__(self) -> None:
+        self.released = False
+
+    def release(self) -> None:
+        self.released = True
+
+
+class _MpNetwork:
+    """The worker-side view of the interconnect: same call surface as
+    :class:`repro.sim.network.Network`, but every remote payload becomes
+    a pickled frame routed through the hub.  Self-sends stay local."""
+
+    def __init__(self, machine: "_WorkerMachine", link: _WorkerLink) -> None:
+        self.machine = machine
+        self.link = link
+        from repro.sim.network import NetworkStats
+
+        self.stats = NetworkStats()
+        self.fault_plan = None
+        self.tracer = None
+
+    def _transmit(self, src_node: _MpNode, dst: int, nbytes: int,
+                  payload: Any, immediate: bool = False) -> None:
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += nbytes
+        key = (src_node.pe, dst)
+        stats.per_channel[key] = stats.per_channel.get(key, 0) + 1
+        if dst == src_node.pe:
+            if immediate:
+                src_node.deliver_immediate(payload)
+            else:
+                src_node.deliver(payload)
+            return
+        try:
+            self.link.send(("send", dst, payload, immediate))
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise SimulationError(
+                f"the mp machine layer could not pickle an outgoing message "
+                f"for PE {dst}: {exc}"
+            ) from exc
+
+    def sync_send(self, src_node: _MpNode, dst: int, nbytes: int, payload: Any,
+                  extra_send_cost: float = 0.0, immediate: bool = False) -> None:
+        src_node.charge(extra_send_cost)
+        self._transmit(src_node, dst, nbytes, payload, immediate=immediate)
+
+    def async_send(self, src_node: _MpNode, dst: int, nbytes: int, payload: Any,
+                   extra_send_cost: float = 0.0) -> _MpSendHandle:
+        src_node.charge(extra_send_cost)
+        self._transmit(src_node, dst, nbytes, payload)
+        return _MpSendHandle()
+
+    def broadcast(self, src_node: _MpNode, nbytes: int, payload_factory: Any,
+                  include_self: bool = False, extra_send_cost: float = 0.0,
+                  asynchronous: bool = False) -> Optional[_MpSendHandle]:
+        self.stats.broadcasts += 1
+        src_node.charge(extra_send_cost)
+        for dst in range(self.machine.num_pes):
+            if dst == src_node.pe and not include_self:
+                continue
+            self._transmit(src_node, dst, nbytes, payload_factory(dst))
+        return _MpSendHandle() if asynchronous else None
+
+    def inject(self, src_pe: int, dst: int, nbytes: int, payload: Any) -> None:
+        raise SimulationError(
+            "network.inject is used by simulator-only protocol layers; "
+            "not supported on the mp machine layer"
+        )
+
+
+class _WorkerConsole:
+    """Worker-side console: forwards atomic writes to the hub (which
+    holds the job-wide record list).  Input is simulator-only."""
+
+    def __init__(self, link: _WorkerLink, engine: _MpEngine) -> None:
+        self.link = link
+        self.engine = engine
+
+    def printf(self, pe: int, fmt: str, *args: Any) -> None:
+        self._emit(pe, (fmt % args) if args else fmt, "out")
+
+    def error(self, pe: int, fmt: str, *args: Any) -> None:
+        self._emit(pe, (fmt % args) if args else fmt, "err")
+
+    def _emit(self, pe: int, text: str, stream: str) -> None:
+        self.link.send(("printf", stream, pe, text, self.engine.now))
+
+    def scanf(self, fmt: str) -> Any:
+        raise SimulationError(
+            "console input (CmiScanf) is simulator-only; the mp machine "
+            "layer has no job-input channel yet"
+        )
+
+    read_line = scanf
+    feed = scanf
+
+
+class _WorkerMachine:
+    """The worker's machine object: one PE's view of the whole machine,
+    quacking exactly like the attribute surface :class:`ConverseRuntime`,
+    the CMI and the Cld balancers read off the simulator's Machine."""
+
+    def __init__(self, pe: int, num_pes: int, link: _WorkerLink, options: dict) -> None:
+        self.num_pes = num_pes
+        self.model = MP_MODEL
+        self.engine = _MpEngine()
+        link.engine = self.engine
+        self.worker = link
+        self.console = _WorkerConsole(link, self.engine)
+        self.tracer = None
+        self.metrics = None
+        self.topology = None
+        self.rng = random.Random(options.get("seed", 0) * 1_000_003 + pe)
+        self.node_obj = _MpNode(self, pe)
+        #: only the local node is addressable in-process; cross-PE peeks
+        #: (an FT-layer shortcut) have no meaning here.
+        self.nodes = {pe: self.node_obj}
+
+
+def _worker_receive_loop(link: _WorkerLink, node: _MpNode) -> None:
+    """Reader thread in a worker: turn hub frames into deliveries.
+
+    ``net_recv`` is incremented *after* the delivery completes (and after
+    an immediate handler returns) so an idle report can never claim a
+    message as consumed before its effects — including any sends the
+    handler made — are on the wire ahead of the report.
+    """
+    while True:
+        try:
+            frame = _recv_frame(link.sock)
+        except OSError:
+            frame = None
+        if frame is None or frame[0] == "shutdown":
+            link.stop.set()
+            with node._cond:
+                node._cond.notify_all()
+            return
+        if frame[0] == "msg":
+            _, payload, immediate = frame
+            try:
+                if immediate:
+                    node.deliver_immediate(payload)
+                else:
+                    node.deliver(payload)
+            except BaseException:
+                # An immediate handler blew up on the receiver thread:
+                # report it instead of dying silently (which would strand
+                # the whole job until the hub timeout).
+                try:
+                    link.send(("fatal", traceback.format_exc()))
+                except OSError:
+                    pass
+                link.stop.set()
+                with node._cond:
+                    node._cond.notify_all()
+                return
+            with node._cond:
+                link.net_recv += 1
+                node._cond.notify_all()
+
+
+def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -> None:
+    """Entry point of one PE process.
+
+    Builds the *machine-independent* runtime stack — ConverseRuntime,
+    CMI, Csd scheduler, EMI groups (for handler-index parity), the seed
+    balancer — on top of the worker machine pieces, then runs the launch
+    specs in order and parks until the hub shuts the job down.
+    """
+    from repro.core.runtime import ConverseRuntime
+    from repro.loadbalance.strategies import make_balancer
+    from repro.sim import context
+
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    link = _WorkerLink(sock, pe)
+    machine = _WorkerMachine(pe, num_pes, link, options)
+    machine.network = _MpNetwork(machine, link)
+    node = machine.node_obj
+    rt = ConverseRuntime(node, machine, queue=options.get("queue", "fifo"))
+    rt.cld = make_balancer(options.get("ldb", "direct"), rt)
+    # Same registration point as the simulator machine: the EMI group
+    # handlers must occupy identical table indices on every PE.
+    rt.cmi.groups
+    # One user thread runs Converse code in this process, so the
+    # simulator's module-global current-context slot works unchanged.
+    context._set_current(_WorkerTasklet(node))
+    try:
+        link.send(("hello", pe))
+        receiver = threading.Thread(
+            target=_worker_receive_loop, args=(link, node),
+            name=f"mp-recv-pe{pe}", daemon=True,
+        )
+        receiver.start()
+        for idx, kind, fn, args, _name in specs:
+            try:
+                if kind == "scheduler":
+                    rt.scheduler.run(-1)
+                    value = None
+                else:
+                    value = fn(*args)
+            except _WorkerStop:
+                return
+            except BaseException:
+                link.send(("result", idx, False, traceback.format_exc()))
+                return
+            try:
+                link.send(("result", idx, True, value))
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                link.send(("result", idx, False,
+                           f"main returned an unpicklable value: {exc}"))
+                return
+        # All mains finished: stay alive (the handler table keeps serving
+        # quiescence accounting) until the hub says shutdown.
+        with node._cond:
+            while not link.stop.is_set():
+                link.report_idle(node)
+                node._cond.wait(_IDLE_RECHECK)
+    except _WorkerStop:
+        pass
+    except OSError:
+        pass  # hub went away; nothing left to report to
+    except BaseException:
+        try:
+            link.send(("fatal", traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        machine.engine.shutdown()
+        try:
+            link.send(("cpu", time.process_time()))
+        except OSError:
+            pass
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        sock.close()
+
+
+# ======================================================================
+# hub (parent-process) side
+# ======================================================================
+class MpMain:
+    """Launch record for one main on one PE (duck-types the simulator
+    tasklet's ``finished``/``result`` surface)."""
+
+    __slots__ = ("pe", "name", "index", "finished", "result", "error")
+
+    def __init__(self, pe: int, name: str, index: int) -> None:
+        self.pe = pe
+        self.name = name
+        self.index = index
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"<MpMain pe={self.pe} name={self.name!r} {state}>"
+
+
+class MpConsole:
+    """Hub-side console: collects the workers' atomic writes with the
+    same inspection surface as the simulator console (``lines``,
+    ``output``, ``ordered``, ``records``)."""
+
+    def __init__(self, echo: bool = False) -> None:
+        self.echo = echo
+        self.records: List[ConsoleRecord] = []
+        self._lock = threading.Lock()
+
+    def write(self, pe: int, text: str, stream: str = "out", t: float = 0.0) -> None:
+        rec = ConsoleRecord(t, pe, stream, text)
+        with self._lock:
+            self.records.append(rec)
+        if self.echo:
+            import sys
+
+            target = sys.stderr if stream == "err" else sys.stdout
+            target.write(f"[{rec.time * 1e6:12.2f}us pe{pe}] {text}")
+            if not text.endswith("\n"):
+                target.write("\n")
+
+    def lines(self, stream: Optional[str] = None, pe: Optional[int] = None) -> List[str]:
+        with self._lock:
+            return [
+                r.text for r in self.records
+                if (stream is None or r.stream == stream)
+                and (pe is None or r.pe == pe)
+            ]
+
+    def output(self) -> str:
+        return "".join(self.lines("out"))
+
+    @property
+    def ordered(self) -> List[tuple]:
+        with self._lock:
+            return [(r.time, r.pe, r.text) for r in self.records]
+
+    def feed(self, *_lines: str) -> None:
+        raise SimulationError(
+            "console input is simulator-only on the mp machine layer"
+        )
+
+
+#: machine arguments that configure simulator-only subsystems, with the
+#: neutral values the mp layer accepts (and ignores / rejects beyond).
+_SIM_ONLY_OFF = {
+    "trace": False,
+    "metrics": False,
+    "faults": None,
+    "reliable": False,
+    "aggregation": False,
+    "ft": False,
+    "backend": None,
+}
+
+
+class MpMachine(MachineLayer):
+    """An N-PE machine where each PE is an OS process.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements (= worker processes).
+    queue:
+        Csd queueing strategy name for every PE (default ``"fifo"``).
+    ldb:
+        Seed load-balancing strategy name (default ``"direct"``).
+    echo:
+        Echo ``CmiPrintf`` output to the parent's real stdout.
+    seed:
+        Per-PE RNG seed base (randomized balancers/workloads).
+    timeout:
+        Wall-clock cap for :meth:`run`; a deadlocked or hung worker
+        fails the run with :class:`SimulationError` instead of stalling
+        forever (default 60 s).
+    start_method:
+        ``multiprocessing`` start method (default: the
+        ``REPRO_MP_START_METHOD`` env var, else ``fork`` where
+        available, else the platform default).
+    model / machine_backend:
+        Accepted for signature compatibility with the simulator layer;
+        cost models are meaningless here (costs are real).
+    trace, metrics, faults, reliable, aggregation, ft, backend:
+        Simulator-only subsystems: accepted at their "off" defaults,
+        rejected otherwise with a clear error.
+    """
+
+    def __init__(self, num_pes: int, model: Any = None, *args: Any,
+                 machine_backend: Any = None, queue: Any = "fifo",
+                 ldb: str = "direct", echo: bool = False, seed: int = 0,
+                 timeout: float = 60.0, start_method: Optional[str] = None,
+                 **kwargs: Any) -> None:
+        if args:
+            raise SimulationError(
+                "the mp machine layer takes keyword arguments only "
+                "(after num_pes and model)"
+            )
+        if num_pes < 1:
+            raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
+        for key, value in kwargs.items():
+            if key not in _SIM_ONLY_OFF:
+                raise SimulationError(f"unexpected machine argument {key!r}")
+            if value != _SIM_ONLY_OFF[key] and value is not None and value is not False:
+                raise SimulationError(
+                    f"{key}= configures a simulator-only subsystem; the mp "
+                    f"machine layer does not support it (use "
+                    f"machine_backend='sim')"
+                )
+        if not isinstance(queue, str):
+            raise SimulationError(
+                "the mp machine layer takes queue strategies by name "
+                "(per-PE factories live in the driver process)"
+            )
+        self.num_pes = num_pes
+        self.model = MP_MODEL
+        self.console = MpConsole(echo=echo)
+        self._queue = queue
+        self._ldb = ldb
+        self._seed = seed
+        self._timeout = timeout
+        self._start_method = start_method
+        self._mains: List[MpMain] = []
+        self._specs: Dict[int, list] = {}
+        self._next_index = 0
+        self._started = False
+        self._shut_down = False
+        self._shutting_down = False
+        # -- hub state (guarded by _state) -----------------------------
+        self._state = threading.Condition()
+        self._forwarded = [0] * num_pes
+        self._idle: Dict[int, tuple] = {}
+        self._quiescent = False
+        self._worker_error: Optional[tuple] = None
+        self._worker_cpu: Dict[int, float] = {}
+        # -- plumbing ---------------------------------------------------
+        self._procs: List[Any] = []
+        self._conns: Dict[int, socket.socket] = {}
+        self._conn_wlocks: Dict[int, threading.Lock] = {}
+        self._readers: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def machine_backend_name(self) -> str:
+        return "mp"
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds; each PE additionally has its own clock."""
+        return time.monotonic()
+
+    # ------------------------------------------------------------------
+    # launching
+    # ------------------------------------------------------------------
+    def _add_spec(self, pe: int, kind: str, fn: Any, args: tuple, name: str) -> MpMain:
+        if self._started:
+            raise SimulationError(
+                "the mp machine layer launches before run(); late launches "
+                "are simulator-only"
+            )
+        if kind == "main":
+            try:
+                pickle.dumps((fn, args), protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise SimulationError(
+                    "mp machine mains must be picklable module-level "
+                    f"functions with picklable arguments: {exc}"
+                ) from exc
+        rec = MpMain(pe, name, self._next_index)
+        self._next_index += 1
+        self._specs.setdefault(pe, []).append((rec.index, kind, fn, args, name))
+        self._mains.append(rec)
+        return rec
+
+    def launch(self, fn: Callable[..., Any], *args: Any,
+               pes: Optional[Iterable[int]] = None, name: str = "main") -> List[MpMain]:
+        targets = range(self.num_pes) if pes is None else pes
+        return [self._add_spec(pe, "main", fn, args, name) for pe in targets]
+
+    def launch_on(self, pe: int, fn: Callable[..., Any], *args: Any,
+                  name: str = "main") -> MpMain:
+        if not 0 <= pe < self.num_pes:
+            raise SimulationError(f"PE {pe} out of range [0, {self.num_pes})")
+        return self._add_spec(pe, "main", fn, args, name)
+
+    def launch_schedulers(self, pes: Optional[Iterable[int]] = None) -> List[MpMain]:
+        targets = range(self.num_pes) if pes is None else pes
+        return [self._add_spec(pe, "scheduler", None, (), "csd") for pe in targets]
+
+    def register_quiescence(self, callback: Callable[[], None]) -> None:
+        raise SimulationError(
+            "register_quiescence callbacks are simulator-only; on the mp "
+            "machine layer run() itself returns at quiescence"
+        )
+
+    # ------------------------------------------------------------------
+    # hub internals
+    # ------------------------------------------------------------------
+    def _resolve_start_method(self) -> str:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        wanted = self._start_method or os.environ.get(MP_START_METHOD_ENV_VAR)
+        if wanted:
+            if wanted not in methods:
+                raise SimulationError(
+                    f"multiprocessing start method {wanted!r} not available "
+                    f"here; choose from {', '.join(methods)}"
+                )
+            return wanted
+        # fork is cheapest and inherits sys.path; workers are spawned
+        # before any hub thread starts, so fork-with-threads is safe.
+        return "fork" if "fork" in methods else methods[0]
+
+    def _check_quiescent_locked(self) -> None:
+        if len(self._idle) < self.num_pes:
+            return
+        for pe in range(self.num_pes):
+            recv, timers = self._idle[pe]
+            if timers != 0 or recv != self._forwarded[pe]:
+                return
+        self._quiescent = True
+        self._state.notify_all()
+
+    def _fail_locked(self, pe: int, why: str) -> None:
+        if self._worker_error is None:
+            self._worker_error = (pe, why)
+        self._state.notify_all()
+
+    def _forward(self, dst: int, payload: Any, immediate: bool) -> None:
+        with self._state:
+            if not 0 <= dst < self.num_pes:
+                self._fail_locked(-1, f"routing frame addressed to PE {dst}")
+                return
+            self._forwarded[dst] += 1
+        conn = self._conns.get(dst)
+        lock = self._conn_wlocks.get(dst)
+        if conn is None or lock is None:
+            return
+        try:
+            _send_frame(conn, lock, ("msg", payload, immediate))
+        except OSError:
+            with self._state:
+                self._fail_locked(dst, "worker connection lost while forwarding")
+
+    def _hub_reader(self, pe: int, conn: socket.socket) -> None:
+        while True:
+            try:
+                frame = _recv_frame(conn)
+            except OSError:
+                frame = None
+            if frame is None:
+                break
+            kind = frame[0]
+            if kind == "send":
+                _, dst, payload, immediate = frame
+                self._forward(dst, payload, immediate)
+            elif kind == "idle":
+                with self._state:
+                    self._idle[pe] = (frame[1], frame[2])
+                    self._check_quiescent_locked()
+            elif kind == "result":
+                _, index, ok, value = frame
+                with self._state:
+                    rec = self._mains[index]
+                    rec.finished = True
+                    if ok:
+                        rec.result = value
+                    else:
+                        rec.error = value
+                        self._fail_locked(pe, value)
+                    self._state.notify_all()
+            elif kind == "printf":
+                _, stream, wpe, text, t = frame
+                self.console.write(wpe, text, stream, t)
+            elif kind == "cpu":
+                with self._state:
+                    self._worker_cpu[pe] = frame[1]
+            elif kind == "fatal":
+                with self._state:
+                    self._fail_locked(pe, frame[1])
+        with self._state:
+            if not self._shutting_down and not self._quiescent:
+                self._fail_locked(pe, "worker process exited unexpectedly")
+
+    def _start(self) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(self._resolve_start_method())
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(self.num_pes)
+        listener.settimeout(min(30.0, self._timeout))
+        self._listener = listener
+        port = listener.getsockname()[1]
+        options = {"queue": self._queue, "ldb": self._ldb, "seed": self._seed}
+        # Spawn every worker before starting any hub thread: with the
+        # fork start method, forking a multi-threaded parent is the
+        # classic deadlock, so the parent stays single-threaded here.
+        for pe in range(self.num_pes):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(pe, self.num_pes, port, self._specs.get(pe, []), options),
+                name=f"repro-mp-pe{pe}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        try:
+            for _ in range(self.num_pes):
+                conn, _addr = listener.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                hello = _recv_frame(conn)
+                if not hello or hello[0] != "hello":
+                    raise SimulationError(
+                        "mp machine worker handshake failed (bad hello frame)"
+                    )
+                pe = hello[1]
+                self._conns[pe] = conn
+                self._conn_wlocks[pe] = threading.Lock()
+        except socket.timeout:
+            raise SimulationError(
+                f"mp machine workers did not all connect within "
+                f"{listener.gettimeout():.0f}s ({len(self._conns)}/"
+                f"{self.num_pes} up)"
+            ) from None
+        for pe, conn in self._conns.items():
+            reader = threading.Thread(
+                target=self._hub_reader, args=(pe, conn),
+                name=f"mp-hub-pe{pe}", daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> str:
+        """Drive the machine to quiescence (wall-clock-bounded by the
+        machine's ``timeout``); returns ``"quiescent"``."""
+        if until is not None or max_events is not None:
+            raise SimulationError(
+                "until=/max_events= are virtual-time horizons; on the mp "
+                "machine layer run() only stops at quiescence (or timeout)"
+            )
+        if self._shut_down:
+            raise SimulationError("machine has been shut down")
+        if self._started:
+            raise SimulationError(
+                "the mp machine layer supports a single run() per machine"
+            )
+        self._started = True
+        try:
+            self._start()
+        except BaseException:
+            self.shutdown()
+            raise
+        deadline = time.monotonic() + self._timeout
+        with self._state:
+            while True:
+                if self._worker_error is not None:
+                    pe, why = self._worker_error
+                    break
+                if self._quiescent:
+                    pe, why = -1, None
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    pe, why = -1, "timeout"
+                    break
+                self._state.wait(min(remaining, 0.1))
+        if why == "timeout":
+            self.shutdown()
+            raise SimulationError(
+                f"mp machine run timed out after {self._timeout:.0f}s "
+                "(deadlocked or hung worker?)"
+            )
+        if why is not None:
+            self.shutdown()
+            raise SimulationError(f"mp machine worker on PE {pe} failed:\n{why}")
+        return "quiescent"
+
+    # ------------------------------------------------------------------
+    # results & teardown
+    # ------------------------------------------------------------------
+    def results(self) -> List[Any]:
+        out = []
+        for rec in self._mains:
+            if not rec.finished:
+                raise SimulationError(
+                    f"main {rec.name!r} on PE {rec.pe} has not finished; "
+                    "run() the machine to completion first"
+                )
+            if rec.error is not None:
+                raise SimulationError(
+                    f"main {rec.name!r} on PE {rec.pe} failed:\n{rec.error}"
+                )
+            out.append(rec.result)
+        return out
+
+    def worker_cpu_seconds(self) -> Dict[int, float]:
+        """Per-PE ``time.process_time()`` totals reported by the workers
+        at shutdown — the measured-parallelism evidence (their sum can
+        exceed the wall-clock run time only with real concurrency)."""
+        with self._state:
+            return dict(self._worker_cpu)
+
+    def shutdown(self) -> None:
+        """Stop the workers, drain their final frames, reap processes and
+        join every hub thread.  Idempotent."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        with self._state:
+            self._shutting_down = True
+        for pe, conn in self._conns.items():
+            try:
+                _send_frame(conn, self._conn_wlocks[pe], ("shutdown",))
+            except OSError:
+                pass
+        # Workers answer shutdown with their cpu frame and close; readers
+        # drain those frames and exit on EOF.
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "shut down" if self._shut_down else (
+            "running" if self._started else "new"
+        )
+        return f"<MpMachine pes={self.num_pes} {state}>"

@@ -31,6 +31,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.core.errors import SimulationError
 from repro.core.runtime import ConverseRuntime
+from repro.machine.base import MachineLayer, resolve_machine_backend
 from repro.sim.console import Console
 from repro.sim.engine import SimEngine
 from repro.sim.models import GENERIC, MachineModel
@@ -43,7 +44,7 @@ from repro.tracing.tracer import make_tracer
 __all__ = ["Machine", "run_spmd"]
 
 
-class Machine:
+class Machine(MachineLayer):
     """An N-PE simulated parallel computer running Converse.
 
     Parameters
@@ -108,14 +109,49 @@ class Machine:
         ``"fast"``/``"auto"`` for the quickest available.  Backends are
         observationally identical — same schedules, byte-identical
         traces — and differ only in wall-clock switch cost.
+    machine_backend:
+        Machine *layer* (see :mod:`repro.machine.base`): ``None``
+        (default — the ``REPRO_MACHINE_BACKEND`` env var, else
+        ``"sim"``), ``"sim"`` for this deterministic simulator, or
+        ``"mp"`` for the multiprocess layer (one OS process per PE,
+        real parallelism).  Selecting another layer returns an instance
+        of that layer's machine class.
     """
+
+    def __new__(cls, num_pes: int = 1, *args: Any, **kwargs: Any) -> "Machine":
+        # Machine-layer dispatch: `Machine(..., machine_backend="mp")`
+        # (or the env var) builds the selected layer's machine instead.
+        # Only the base class dispatches, so layer classes stay directly
+        # constructible and subclassable.
+        if cls is Machine:
+            name = resolve_machine_backend(kwargs.get("machine_backend"))
+            if name != "sim":
+                from repro.machine.base import machine_layer_class
+
+                layer = machine_layer_class(name)
+                obj = layer.__new__(layer)
+                # The returned object is not a Machine instance, so
+                # Python will not call __init__ for us.
+                obj.__init__(num_pes, *args, **kwargs)
+                return obj
+        return super().__new__(cls)
 
     def __init__(self, num_pes: int, model: MachineModel = GENERIC,
                  queue: Any = "fifo", ldb: str = "direct",
                  trace: Any = False, echo: bool = False, seed: int = 0,
                  faults: Any = None, reliable: Any = False,
                  backend: Any = None, metrics: Any = False,
-                 aggregation: Any = False, ft: Any = False) -> None:
+                 aggregation: Any = False, ft: Any = False,
+                 machine_backend: Any = None) -> None:
+        if machine_backend is not None and \
+                resolve_machine_backend(machine_backend) != "sim":
+            # Direct construction of a subclass (or of Machine through a
+            # path that skipped __new__ dispatch) with a foreign layer.
+            raise SimulationError(
+                f"this is the 'sim' machine layer; machine_backend="
+                f"{machine_backend!r} selects a different layer — build it "
+                "via repro.Machine or repro.machine.base.create_machine"
+            )
         if num_pes < 1:
             raise SimulationError(f"a machine needs at least one PE, got {num_pes}")
         self.num_pes = num_pes
@@ -326,6 +362,11 @@ class Machine:
     def backend_name(self) -> str:
         """Name of the tasklet switch backend this machine runs on."""
         return self.engine.backend.name
+
+    @property
+    def machine_backend_name(self) -> str:
+        """The machine-layer registry name (this is the simulator)."""
+        return "sim"
 
     def metrics_snapshot(self) -> dict:
         """Plain-data snapshot of the metrics registry (raises when the

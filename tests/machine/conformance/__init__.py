@@ -1,0 +1,7 @@
+"""Cross-backend CMI conformance battery.
+
+Every machine layer registered in :mod:`repro.machine.base` must pass
+these tests identically — they are the operational definition of
+"speaks CMI".  Worker mains live in :mod:`tests.machine.conformance.workers`
+as module-level functions so the multiprocess layer can pickle them.
+"""

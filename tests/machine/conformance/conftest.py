@@ -1,0 +1,56 @@
+"""Backend parametrization for the conformance battery.
+
+``machine_backend`` yields every *registered* machine layer name: the
+simulator always, and each additional layer either live (when the
+platform supports it) or as an explicit skip that names the reason —
+a silently shrinking test matrix is itself a conformance bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.base import (
+    MACHINE_LAYERS,
+    machine_backend_unavailable_reason,
+)
+from repro.sim.machine import Machine
+
+# Generous wall-clock ceiling for the multiprocess layer: conformance
+# programs exchange tens of messages, so hitting this means a hang,
+# not a slow machine.
+MP_TIMEOUT = 60.0
+
+
+def _backend_params():
+    params = []
+    for name in MACHINE_LAYERS:
+        reason = machine_backend_unavailable_reason(name)
+        marks = [pytest.mark.skip(reason=f"machine layer {name!r} unavailable: {reason}")] if reason else []
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=_backend_params())
+def machine_backend(request):
+    """Name of the machine layer under test ('sim', 'mp', ...)."""
+    return request.param
+
+
+@pytest.fixture
+def spmd(machine_backend):
+    """Run one SPMD worker function on ``num_pes`` PEs of the layer
+    under test and return the per-PE result list."""
+
+    def _run(num_pes, fn, *args, **machine_kwargs):
+        if machine_backend == "mp":
+            machine_kwargs.setdefault("timeout", MP_TIMEOUT)
+        machine = Machine(num_pes, machine_backend=machine_backend, **machine_kwargs)
+        try:
+            machine.launch(fn, *args)
+            machine.run()
+            return machine.results()
+        finally:
+            machine.shutdown()
+
+    return _run

@@ -1,0 +1,137 @@
+"""Multiprocess-layer specifics: things the contract battery cannot
+express portably — real parallelism, wall-clock timeouts, worker-crash
+propagation, and scope fencing of simulator-only calls."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.machine.base import (
+    machine_backend_available,
+    machine_backend_unavailable_reason,
+)
+from repro.sim.machine import Machine
+
+from tests.machine.conformance import workers as w
+
+pytestmark = [
+    pytest.mark.conformance,
+    pytest.mark.skipif(
+        not machine_backend_available("mp"),
+        reason=f"mp layer unavailable: {machine_backend_unavailable_reason('mp')}",
+    ),
+]
+
+
+def test_measured_parallelism():
+    """ISSUE acceptance: pingpong-style programs on the mp layer must
+    actually use more than one core.  CPU-burning mains on 2 PEs must
+    accumulate measurably more CPU time than the wall clock — only
+    possible with real (not time-sliced GIL) concurrency."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("needs >= 2 cores to demonstrate parallelism")
+    burn = 0.4
+    m = Machine(2, machine_backend="mp", timeout=60.0)
+    try:
+        m.launch(w.w_burn, burn)
+        t0 = time.monotonic()
+        m.run()
+        wall = time.monotonic() - t0
+        assert m.results() == [0, 1]
+        m.shutdown()  # workers report CPU totals on shutdown
+        cpu = sum(m.worker_cpu_seconds().values())
+        # 2 PEs x burn seconds of pure CPU; utilization strictly above
+        # one core proves >1 core ran simultaneously.
+        assert cpu >= 2 * burn
+        assert cpu / wall > 1.2, f"cpu={cpu:.2f}s wall={wall:.2f}s"
+    finally:
+        m.shutdown()
+
+
+def test_hang_hits_timeout_and_cleans_up():
+    m = Machine(2, machine_backend="mp", timeout=3.0)
+    try:
+        m.launch(w.w_hang)
+        with pytest.raises(SimulationError, match="timed out"):
+            m.run()
+    finally:
+        m.shutdown()
+    # run() already shut the machine down; every worker process is gone.
+    assert all(not p.is_alive() for p in m._procs)
+
+
+def test_worker_exception_propagates():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_raise, 1)
+        with pytest.raises(SimulationError, match="deliberate worker failure"):
+            m.run()
+    finally:
+        m.shutdown()
+
+
+def test_single_run_per_machine():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_quiescence_idle, 0)
+        m.run()
+        with pytest.raises(SimulationError, match="single run"):
+            m.run()
+    finally:
+        m.shutdown()
+
+
+def test_late_launch_rejected():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_quiescence_idle, 0)
+        m.run()
+        with pytest.raises(SimulationError, match="launches before run"):
+            m.launch(w.w_quiescence_idle, 0)
+    finally:
+        m.shutdown()
+
+
+def test_virtual_time_horizons_rejected():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_quiescence_idle, 0)
+        with pytest.raises(SimulationError, match="virtual-time"):
+            m.run(until=1.0)
+    finally:
+        m.shutdown()
+
+
+def test_unpicklable_launch_args_rejected_eagerly():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        with pytest.raises(SimulationError, match="picklable"):
+            m.launch(w.w_quiescence_idle, lambda: None)
+    finally:
+        m.shutdown()
+
+
+def test_launch_schedulers_with_stop_broadcast():
+    """The implicit control regime: every PE sits in a scheduler loop;
+    a single launched main drives them all down via the ring worker."""
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_quiescence_ring, 2)
+        m.run()
+        assert sum(m.results()) == 4
+    finally:
+        m.shutdown()
+
+
+def test_results_before_run_raises():
+    m = Machine(2, machine_backend="mp", timeout=30.0)
+    try:
+        m.launch(w.w_quiescence_idle, 0)
+        with pytest.raises(SimulationError, match="has not finished"):
+            m.results()
+    finally:
+        m.shutdown()

@@ -1,0 +1,51 @@
+"""Buffer-ownership and message-header invariants at the CMI boundary.
+
+The ownership protocol (handler buffers are the CMI's unless grabbed;
+sync-send returns the buffer to the sender) and the header accounting
+(``CmiMsgHeaderSizeBytes``, src_pe stamping, handler index, priorities)
+must be byte-identical across machine layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import HEADER_BYTES
+
+from tests.machine.conformance import workers as w
+
+pytestmark = pytest.mark.conformance
+
+
+def test_unclaimed_handler_buffer_is_recycled(spmd):
+    results = spmd(2, w.w_ownership_recycle)
+    assert results[1] == {"valid": False, "raises": True}
+
+
+def test_grabbed_buffer_survives_handler(spmd):
+    results = spmd(2, w.w_ownership_grab)
+    assert results[1] == {"valid": True, "payload": b"durable"}
+
+
+def test_sync_send_leaves_sender_buffer_intact(spmd):
+    # CmiSyncSend semantics: on return, the sender owns its buffer again
+    # and may reuse it; receiver-side consumption (even rebinding the
+    # received copy's payload) must never be observable at the sender.
+    results = spmd(2, w.w_sender_keeps_buffer, 3)
+    assert results[0] == {"payload": b"sender-owned-bytes", "intact": True}
+    assert results[1] == 3
+
+
+def test_header_size_and_fields(spmd):
+    results = spmd(2, w.w_header_invariants)
+    # Identical across backends: both PEs and the test process agree on
+    # the canonical header accounting.
+    assert results[0]["header_bytes"] == HEADER_BYTES
+    receiver = results[1]
+    assert receiver["header_bytes"] == HEADER_BYTES
+    assert receiver["src"] == (0, 0)
+    assert receiver["handler_ok"] is True
+    assert receiver["int_prio"] == 7
+    assert receiver["bits_prio"] == "1011"
+    # modelled payload sizes survive the wire unchanged
+    assert receiver["sizes"] == (len(b"int-prio"), len(b"bits-prio"))

@@ -1,0 +1,445 @@
+"""SPMD worker mains for the conformance battery.
+
+Module-level functions only: the multiprocess layer ships launch specs
+to worker processes by (picklable) reference, so closures over test
+state cannot cross the machine boundary — workers communicate results
+exclusively through their return values (``machine.results()``),
+which works identically on every layer.
+"""
+
+from __future__ import annotations
+
+from repro.core import api
+from repro.core.errors import BufferOwnershipError
+from repro.core.message import BitVector
+
+
+def _register_stop():
+    """Register the conventional stop handler (a remotely-sendable
+    ``CsdExitScheduler``) and return its index."""
+    return api.CmiRegisterHandler(lambda _msg: api.CsdExitScheduler(), "stop")
+
+
+# ----------------------------------------------------------------------
+# dispatch, delivery, ordering
+# ----------------------------------------------------------------------
+def w_handler_dispatch():
+    """Two handlers per PE; PE 0 targets each one on PE 1 explicitly.
+    Proves messages dispatch by handler *index* and nothing leaks
+    between handlers."""
+    me = api.CmiMyPe()
+    hits = {"a": [], "b": []}
+
+    def on_a(msg):
+        hits["a"].append(bytes(msg.payload))
+
+    def on_b(msg):
+        hits["b"].append(bytes(msg.payload))
+        api.CsdExitScheduler()
+
+    h_a = api.CmiRegisterHandler(on_a, "conf.a")
+    h_b = api.CmiRegisterHandler(on_b, "conf.b")
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h_a, b"for-a"))
+        api.CmiSyncSend(1, api.CmiNew(h_a, b"for-a-2"))
+        api.CmiSyncSend(1, api.CmiNew(h_b, b"for-b"))
+        return None
+    api.CsdScheduler(-1)
+    # on_b exits after one message; drain anything a left behind.
+    api.CsdSchedulePoll()
+    return {"a": hits["a"], "b": hits["b"]}
+
+
+def w_pingpong(rounds, nbytes):
+    """The classic round-trip: PE 0 <-> PE 1, ``rounds`` full trips.
+    Returns the per-PE message count."""
+    me = api.CmiMyPe()
+    state = {"count": 0}
+    h_stop = _register_stop()
+
+    def on_ping(msg):
+        state["count"] += 1
+        if me == 1:
+            api.CmiSyncSend(0, api.CmiNew(h_ping, msg.payload))
+        elif state["count"] >= rounds:
+            api.CmiSyncSend(1, api.CmiNew(h_stop, b""))
+            api.CsdExitScheduler()
+        else:
+            api.CmiSyncSend(1, api.CmiNew(h_ping, msg.payload))
+
+    h_ping = api.CmiRegisterHandler(on_ping, "conf.ping")
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h_ping, b"x" * nbytes))
+    api.CsdScheduler(-1)
+    return state["count"]
+
+
+def w_multi_sender(per_sender):
+    """Every PE > 0 fires ``per_sender`` numbered messages at PE 0.
+
+    The MMI guarantees delivery, not ordering ("no ordering guarantee
+    between messages of a pair of processors" is the *weakest* reading —
+    the contract tested is set-equality of the delivered multiset).
+    Senders return what they sent; PE 0 returns what it received.
+    """
+    me = api.CmiMyPe()
+    n = api.CmiNumPes()
+    expected = (n - 1) * per_sender
+    got = []
+
+    def on_msg(msg):
+        got.append(tuple(msg.payload))
+        if len(got) >= expected:
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.sink")
+    if me == 0:
+        api.CsdScheduler(-1)
+        return sorted(got)
+    sent = []
+    for i in range(per_sender):
+        api.CmiSyncSend(0, api.CmiNew(h, (me, i)))
+        sent.append((me, i))
+    return sorted(sent)
+
+
+def w_broadcast(include_self):
+    """PE 0 broadcasts once; every PE returns how many copies arrived.
+    ``CmiSyncBroadcast`` must fan out to exactly the other N-1 PEs,
+    ``CmiSyncBroadcastAll`` to all N — and a broadcast is not a barrier,
+    so the root continues without waiting."""
+    me = api.CmiMyPe()
+    got = {"n": 0}
+
+    def on_msg(msg):
+        got["n"] += 1
+        api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.bcast")
+    if me == 0:
+        msg = api.CmiNew(h, b"fanout")
+        if include_self:
+            api.CmiSyncBroadcastAll(msg)
+            api.CsdScheduler(-1)  # the root's own copy arrives like any other
+        else:
+            api.CmiSyncBroadcast(msg)
+        return got["n"]
+    api.CsdScheduler(-1)
+    return got["n"]
+
+
+def w_self_send():
+    """A PE sends to itself; the loopback path must behave like any
+    other delivery (handler runs from the scheduler, src_pe stamped)."""
+    me = api.CmiMyPe()
+    seen = {}
+
+    def on_msg(msg):
+        seen["src"] = msg.src_pe
+        seen["payload"] = bytes(msg.payload)
+        api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.self")
+    api.CmiSyncSend(me, api.CmiNew(h, b"to-myself"))
+    api.CsdScheduler(-1)
+    return (seen["src"], seen["payload"])
+
+
+def w_async_send(rounds):
+    """CmiAsyncSend round trips.  A reply proves the outbound send
+    completed, so by the time each reply arrives ``CmiAsyncMsgSent``
+    must be True for the handle that produced it — on every layer,
+    without the test assuming anything about how time advances."""
+    me = api.CmiMyPe()
+    state = {"count": 0, "done_at_reply": True, "handle": None}
+    h_stop = _register_stop()
+
+    def _send_async(msg):
+        state["handle"] = api.CmiAsyncSend(1, msg)
+
+    def on_ping(msg):
+        state["count"] += 1
+        if me == 1:
+            api.CmiSyncSend(0, api.CmiNew(h_ping, msg.payload))
+            return
+        if not api.CmiAsyncMsgSent(state["handle"]):
+            state["done_at_reply"] = False
+        api.CmiReleaseCommHandle(state["handle"])
+        if state["count"] >= rounds:
+            api.CmiSyncSend(1, api.CmiNew(h_stop, b""))
+            api.CsdExitScheduler()
+        else:
+            _send_async(api.CmiNew(h_ping, msg.payload))
+
+    h_ping = api.CmiRegisterHandler(on_ping, "conf.aping")
+    if me == 0:
+        _send_async(api.CmiNew(h_ping, b"y" * 16))
+    api.CsdScheduler(-1)
+    if me == 1:
+        return state["count"]
+    return {"count": state["count"], "done_at_reply": state["done_at_reply"]}
+
+
+def w_quiescence_idle(value):
+    """No traffic at all: the machine must still detect quiescence with
+    every main simply returning."""
+    return value + api.CmiMyPe()
+
+
+def w_quiescence_ring(laps):
+    """A token circles the ring ``laps`` times with no explicit
+    synchronization; termination is pure quiescence bookkeeping (every
+    PE's scheduler exits on a stop broadcast from the token's owner)."""
+    me = api.CmiMyPe()
+    n = api.CmiNumPes()
+    state = {"hops": 0}
+    h_stop = _register_stop()
+
+    def on_token(msg):
+        state["hops"] += 1
+        lap, hops = msg.payload
+        hops += 1
+        if hops >= laps * n:
+            for pe in range(n):
+                if pe != me:
+                    api.CmiSyncSend(pe, api.CmiNew(h_stop, b""))
+            api.CsdExitScheduler()
+            return
+        api.CmiSyncSend((me + 1) % n, api.CmiNew(h_token, (lap, hops)))
+
+    h_token = api.CmiRegisterHandler(on_token, "conf.token")
+    if me == 0:
+        api.CmiSyncSend(1 % n, api.CmiNew(h_token, (0, 0)))
+    api.CsdScheduler(-1)
+    return state["hops"]
+
+
+def w_printf(tag):
+    """Every PE emits one atomic console line."""
+    api.CmiPrintf("%s from pe %d of %d\n", tag, api.CmiMyPe(), api.CmiNumPes())
+    return api.CmiMyPe()
+
+
+def w_immediate(count):
+    """PE 0 fires immediate messages at PE 1, which counts them in its
+    handler while sitting in a plain scheduler loop; a final normal
+    message releases PE 1.
+
+    Unlike queued messages (dispatched when the receiver's scheduler
+    runs, by which time its main has registered everything), immediate
+    messages dispatch *on arrival* — so a portable program must not
+    send them until the target PE is known to be ready.  PE 1 therefore
+    announces readiness first; racing immediates against registration
+    only happens to work on layers with synchronized startup."""
+    me = api.CmiMyPe()
+    got = {"n": 0}
+
+    def on_imm(_msg):
+        got["n"] += 1
+
+    def on_done(_msg):
+        api.CsdExitScheduler()
+
+    def on_ready(_msg):
+        for _ in range(count):
+            api.CmiImmediateSend(1, api.CmiNew(h_imm, b"!"))
+        api.CmiSyncSend(1, api.CmiNew(h_done, b""))
+        api.CsdExitScheduler()
+
+    h_imm = api.CmiRegisterHandler(on_imm, "conf.imm")
+    h_done = api.CmiRegisterHandler(on_done, "conf.imm-done")
+    h_ready = api.CmiRegisterHandler(on_ready, "conf.imm-ready")
+    if me == 0:
+        api.CsdScheduler(-1)  # wait for PE 1's readiness announcement
+        return None
+    api.CmiSyncSend(0, api.CmiNew(h_ready, b""))
+    api.CsdScheduler(-1)
+    return got["n"]
+
+
+# ----------------------------------------------------------------------
+# buffer ownership & header invariants
+# ----------------------------------------------------------------------
+def w_ownership_recycle():
+    """A handler that does *not* grab its buffer loses it: after the
+    handler returns the CMI recycles the message, and later payload
+    access must raise BufferOwnershipError on every layer."""
+    me = api.CmiMyPe()
+    kept = {}
+
+    def on_msg(msg):
+        kept["msg"] = msg  # deliberately not grabbed
+        api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.own")
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h, b"ephemeral"))
+        return None
+    api.CsdScheduler(-1)
+    msg = kept["msg"]
+    out = {"valid": msg.valid}
+    try:
+        _ = msg.payload
+        out["raises"] = False
+    except BufferOwnershipError:
+        out["raises"] = True
+    return out
+
+
+def w_ownership_grab():
+    """CmiGrabBuffer transfers ownership: a grabbed buffer survives the
+    handler and its payload stays readable."""
+    me = api.CmiMyPe()
+    kept = {}
+
+    def on_msg(msg):
+        kept["msg"] = api.CmiGrabBuffer(msg)
+        api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.grab")
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h, b"durable"))
+        return None
+    api.CsdScheduler(-1)
+    msg = kept["msg"]
+    return {"valid": msg.valid, "payload": bytes(msg.payload)}
+
+
+def w_sender_keeps_buffer(rounds):
+    """CmiSyncSend semantics: when the call returns the sender owns its
+    buffer again — the receiver's consumption (and even the receiver
+    rebinding its copy's payload) must never be observable on the
+    sender's message object, which stays reusable for further sends."""
+    me = api.CmiMyPe()
+    state = {"count": 0}
+    h_stop = _register_stop()
+
+    def on_msg(msg):
+        state["count"] += 1
+        # Receiver-side rebinding: must be invisible to the sender.
+        msg._payload = b"clobbered-by-receiver"
+        if state["count"] >= rounds:
+            api.CmiSyncSend(0, api.CmiNew(h_stop, b""))
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.keep")
+    if me == 0:
+        original = b"sender-owned-bytes"
+        msg = api.CmiNew(h, original)
+        for _ in range(rounds):  # the same buffer, reused every round
+            api.CmiSyncSend(1, msg)
+        api.CsdScheduler(-1)
+        return {"payload": bytes(msg.payload), "intact": msg.payload == original}
+    api.CsdScheduler(-1)
+    return state["count"]
+
+
+def w_header_invariants():
+    """HEADER_BYTES accounting and header fields must be identical
+    across layers: src_pe stamped by the CMI, handler index preserved,
+    priorities (int and BitVector) delivered unchanged."""
+    me = api.CmiMyPe()
+    got = {}
+
+    def on_msg(msg):
+        got[len(got)] = {
+            "src": msg.src_pe,
+            "handler": msg.handler,
+            "prio": msg.prio,
+            "size": msg.size,
+            "payload": bytes(msg.payload),
+        }
+        if len(got) >= 2:
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_msg, "conf.header")
+    header_bytes = api.CmiMsgHeaderSizeBytes()
+    if me == 0:
+        api.CmiSyncSend(1, api.CmiNew(h, b"int-prio", prio=7))
+        api.CmiSyncSend(1, api.CmiNew(h, b"bits-prio", prio=BitVector("1011")))
+        return {"header_bytes": header_bytes}
+    api.CsdScheduler(-1)
+    first, second = got[0], got[1]
+    # Arrival order of the two is not part of the contract.
+    if first["payload"] != b"int-prio":
+        first, second = second, first
+    return {
+        "header_bytes": header_bytes,
+        "src": (first["src"], second["src"]),
+        "handler_ok": first["handler"] == h and second["handler"] == h,
+        "int_prio": first["prio"],
+        "bits_prio": second["prio"].bits,
+        "sizes": (first["size"], second["size"]),
+    }
+
+
+def w_ccd_timer():
+    """A Ccd timed callback is *pending work*: quiescence must wait for
+    it (on any layer), and the callback runs in handler context."""
+    me = api.CmiMyPe()
+    fired = {"n": 0}
+
+    def cb():
+        fired["n"] += 1
+        api.CsdExitScheduler()
+
+    if me == 0:
+        api.CcdCallFnAfter(0.01, cb)
+        api.CsdScheduler(-1)
+    return fired["n"]
+
+
+def w_burn(cpu_seconds):
+    """Burn ~cpu_seconds of CPU on every PE (measured-parallelism probe
+    for the multiprocess layer)."""
+    import time as _time
+
+    start = _time.process_time()
+    x = 0
+    while _time.process_time() - start < cpu_seconds:
+        x += sum(range(1000))
+    return api.CmiMyPe()
+
+
+def w_hang():
+    """Never quiesce: a Ccd callback that re-arms itself keeps a timer
+    pending forever.  Exists to prove run() timeouts fire and clean up."""
+
+    def rearm():
+        api.CcdCallFnAfter(0.05, rearm)
+
+    api.CcdCallFnAfter(0.05, rearm)
+    api.CsdScheduler(-1)
+
+
+def w_raise(victim_pe):
+    """Raise in the main program of one PE — the failure must surface
+    from run()/results() as an error naming the PE, not hang the job."""
+    if api.CmiMyPe() == victim_pe:
+        raise RuntimeError("conformance: deliberate worker failure")
+    return "ok"
+
+
+def w_set_handler_retarget():
+    """CmiSetHandler on a fresh message must steer dispatch: build a
+    message for handler A, retarget to handler B, send — only B runs."""
+    me = api.CmiMyPe()
+    ran = []
+
+    def on_a(_msg):
+        ran.append("a")
+        api.CsdExitScheduler()
+
+    def on_b(_msg):
+        ran.append("b")
+        api.CsdExitScheduler()
+
+    h_a = api.CmiRegisterHandler(on_a, "conf.ra")
+    h_b = api.CmiRegisterHandler(on_b, "conf.rb")
+    if me == 0:
+        msg = api.CmiNew(h_a, b"retarget")
+        api.CmiSetHandler(msg, h_b)
+        api.CmiSyncSend(1, msg)
+        return None
+    api.CsdScheduler(-1)
+    return ran
