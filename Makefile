@@ -3,6 +3,9 @@ SEEDS   ?= 25
 # Workload size multiplier and repeats for the wall-clock throughput suite.
 PERF_SCALE   ?= 1.0
 PERF_REPEATS ?= 3
+# Allowed wall-clock throughput drop (percent) against the committed
+# BENCH_throughput.json before `make perf` fails.
+PERF_MAX_REGRESSION ?= 5
 
 .PHONY: test conformance fuzz ft bench perf trace-demo
 
@@ -41,14 +44,30 @@ bench:
 # perf-trajectory report every later PR regresses against, then merges
 # in the machine-layer axis: the portable workloads on the real
 # multiprocess layer (skipped with a note where mp is unavailable).
+# Both passes gate against the committed baseline: a workload more than
+# $(PERF_MAX_REGRESSION)% below its stored msgs/sec fails the target
+# (the baseline is snapshotted before the file is rewritten, and the
+# report's `speedups` record each workload's vs-baseline ratio).
+# The committed baseline is snapshotted once up front: the first pass
+# rewrites BENCH_throughput.json (momentarily dropping the mp rows until
+# the merge restores them), so both passes must gate against the
+# pre-run copy, not the file being rebuilt.
 perf:
+	@cp BENCH_throughput.json .bench_baseline.json 2>/dev/null || true
 	PYTHONPATH=src $(PY) -m repro.bench throughput \
 		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
-		--out BENCH_throughput.json
+		--baseline .bench_baseline.json \
+		--max-regression $(PERF_MAX_REGRESSION) \
+		--out BENCH_throughput.json \
+		|| { rm -f .bench_baseline.json; exit 1; }
 	PYTHONPATH=src $(PY) -m repro.bench throughput \
 		--machine-backend mp \
 		--scale $(PERF_SCALE) --repeats $(PERF_REPEATS) \
-		--merge-out BENCH_throughput.json
+		--baseline .bench_baseline.json \
+		--max-regression $(PERF_MAX_REGRESSION) \
+		--merge-out BENCH_throughput.json \
+		|| { rm -f .bench_baseline.json; exit 1; }
+	@rm -f .bench_baseline.json
 
 # Run a small traced + metered demo workload and emit the observability
 # artifact set: trace-demo.jsonl (raw trace), trace-demo.chrome.json

@@ -23,6 +23,10 @@ distinct hot paths:
 * ``all2all_fine_agg`` — the identical schedule with the streaming
   aggregation layer on (``Machine(aggregation=...)``); the gap between
   the two is the coalescing win (gated in CI via ``--require-ratio``).
+* ``alloc_churn``     — a credit-windowed stream of tiny messages: the
+  message-allocation churn pattern the per-PE wire-copy pool absorbs
+  (every delivery retires one pooled buffer and triggers one fresh
+  send, so the free list cycles at line rate).
 * ``ft_pingpong``    — the ping-pong under the fault-tolerance stack
   (reliable delivery + heartbeats + buddy checkpoints) with one mid-run
   PE crash and recovery; the result is asserted identical to the
@@ -34,6 +38,13 @@ Every workload runs the identical event schedule on every backend (the
 engine is deterministic and backends are observationally identical), so
 differences are pure switch/dispatch cost.  Results are written to
 ``BENCH_throughput.json`` at the repo root by ``make perf``.
+
+Message-driven workloads run their schedulers with inline (delegated)
+dispatch on (``Machine(inline=True)``) — the raw-speed configuration the
+committed baselines record.  ``thread_switch`` (handlers resume Cth
+threads, which must suspend) and ``ft_pingpong`` (the crash/recovery
+stack re-enters schedulers from protocol handlers) keep the classic
+tasklet loop; both configurations stay covered.
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ __all__ = [
     "run_suite",
     "compare_modes",
     "render_mode_table",
+    "annotate_baseline_speedups",
     "check_baseline",
     "measure_recovery",
     "render_recovery_table",
@@ -82,12 +94,23 @@ __all__ = [
 # the same schedule under observability modes (trace=..., metrics=...).
 # ======================================================================
 
+def _fast_kwargs(machine_kwargs: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The raw-speed machine configuration the suite measures: inline
+    (delegated) dispatch on, overridable by explicit ``machine_kwargs``.
+    (Pooling and batched dispatch are already the machine defaults;
+    inline auto-disables under trace/metrics, so the observability
+    sweeps keep measuring the instrumented tasklet loop.)"""
+    kwargs: Dict[str, Any] = {"inline": True}
+    kwargs.update(machine_kwargs or {})
+    return kwargs
+
+
 def _wl_pingpong(backend: Any, scale: float,
                  machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     rounds = max(1, int(2000 * scale))
     recv = {0: 0, 1: 0}
     with Machine(2, model=GENERIC, backend=backend,
-                 **(machine_kwargs or {})) as m:
+                 **_fast_kwargs(machine_kwargs)) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
             other = 1 - me
@@ -118,7 +141,7 @@ def _wl_broadcast_storm(backend: Any, scale: float,
     count = max(1, int(150 * scale))
     got = {pe: 0 for pe in range(num_pes)}
     with Machine(num_pes, model=GENERIC, backend=backend,
-                 **(machine_kwargs or {})) as m:
+                 **_fast_kwargs(machine_kwargs)) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
 
@@ -150,7 +173,7 @@ def _wl_relay_ring(backend: Any, scale: float,
     per_pe = seeds * (ttl + 1)
     handled = {pe: 0 for pe in range(num_pes)}
     with Machine(num_pes, model=GENERIC, backend=backend,
-                 **(machine_kwargs or {})) as m:
+                 **_fast_kwargs(machine_kwargs)) as m:
         def main_fn() -> None:
             me = api.CmiMyPe()
 
@@ -181,7 +204,7 @@ def _wl_priority_churn(backend: Any, scale: float,
     total = max(2, int(4000 * scale))
     state = {"spawned": 0, "run": 0}
     with Machine(1, model=GENERIC, queue="int", backend=backend,
-                 **(machine_kwargs or {})) as m:
+                 **_fast_kwargs(machine_kwargs)) as m:
         def main_fn() -> None:
             from repro.core.message import Message
 
@@ -250,7 +273,7 @@ def _wl_all2all_fine(backend: Any, scale: float,
     rounds = max(1, int(70 * scale))
     expected_each = rounds * (num_pes - 1)
     got = {pe: 0 for pe in range(num_pes)}
-    kwargs = dict(machine_kwargs or {})
+    kwargs = _fast_kwargs(machine_kwargs)
     if aggregation:
         kwargs["aggregation"] = aggregation
     with Machine(num_pes, model=GENERIC, backend=backend, **kwargs) as m:
@@ -285,6 +308,53 @@ def _wl_all2all_fine_agg(backend: Any, scale: float,
         backend, scale, machine_kwargs,
         aggregation=AggregationConfig(max_batch_msgs=32),
     )
+
+
+def _wl_alloc_churn(backend: Any, scale: float,
+                    machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
+    """Message-allocation churn: PE 0 streams tiny messages to PE 1
+    under a fixed credit window; every data delivery sends a credit
+    back, every credit triggers one fresh send.  Each message lives just
+    long enough to cross the wire and run its handler — the allocation
+    pattern the per-PE :class:`~repro.core.pool.MessagePool` absorbs
+    (after the first ``window`` messages, every wire copy on both PEs
+    comes off the free list)."""
+    total = max(1, int(3000 * scale))
+    window = min(32, total)
+    got = {"data": 0, "credits": 0}
+    with Machine(2, model=GENERIC, backend=backend,
+                 **_fast_kwargs(machine_kwargs)) as m:
+        def main_fn() -> None:
+            me = api.CmiMyPe()
+            sent = {"n": 0}
+
+            def on_data(msg: Any) -> None:
+                got["data"] += 1
+                api.CmiSyncSend(0, api.CmiNew(h_credit, None))
+                if got["data"] == total:
+                    api.CsdExitScheduler()
+
+            def on_credit(msg: Any) -> None:
+                got["credits"] += 1
+                if sent["n"] < total:
+                    sent["n"] += 1
+                    api.CmiSyncSend(1, api.CmiNew(h_data, sent["n"]))
+                if got["credits"] == total:
+                    api.CsdExitScheduler()
+
+            h_data = api.CmiRegisterHandler(on_data, "tp.churn.data")
+            h_credit = api.CmiRegisterHandler(on_credit, "tp.churn.credit")
+            if me == 0:
+                while sent["n"] < window:
+                    sent["n"] += 1
+                    api.CmiSyncSend(1, api.CmiNew(h_data, sent["n"]))
+            api.CsdScheduler(-1)
+
+        m.launch(main_fn)
+        m.run()
+    delivered = got["data"] + got["credits"]
+    assert delivered == 2 * total, f"alloc churn lost messages: {delivered}"
+    return delivered
 
 
 def _wl_ft_pingpong(backend: Any, scale: float,
@@ -444,6 +514,7 @@ WORKLOADS: Dict[str, Callable[..., int]] = {
     "thread_switch": _wl_thread_switch,
     "all2all_fine": _wl_all2all_fine,
     "all2all_fine_agg": _wl_all2all_fine_agg,
+    "alloc_churn": _wl_alloc_churn,
     "ft_pingpong": _wl_ft_pingpong,
 }
 
@@ -765,6 +836,55 @@ def _run_machine_suite(machine_backend: str, scale: float = 1.0,
     }
 
 
+def _load_baseline(baseline: Any) -> Optional[Dict[str, Any]]:
+    """A baseline argument may be a path or an already-loaded report
+    dict (callers snapshot the file *before* overwriting it — comparing
+    a fresh report against its own freshly-written file would make the
+    regression gate vacuous)."""
+    if isinstance(baseline, dict):
+        return baseline
+    try:
+        with open(baseline, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def annotate_baseline_speedups(report: Dict[str, Any], baseline: Any,
+                               backend: str = "thread") -> Dict[str, Any]:
+    """Fill ``report["speedups"]`` with per-workload throughput ratios
+    against a stored baseline report (a path or a loaded report dict).
+
+    For every measured workload with a matching ``backend`` cell in both
+    reports, ``speedups[wl]["vs_baseline"]`` records
+    ``measured / baseline`` (rounded; >1 is a win).  Non-default
+    backends get their own key (``vs_baseline_mp``, ...) so a machine
+    layer merged into the simulator report never clobbers the thread
+    ratio for a workload both axes measure.  Existing speedup entries
+    (e.g. the cross-backend ``*_vs_thread`` ratios) are kept.  A missing
+    or unreadable baseline annotates nothing — this is reporting, not a
+    gate (:func:`check_baseline` is the gate).
+    """
+    baseline_path = baseline if isinstance(baseline, str) else None
+    baseline = _load_baseline(baseline)
+    if baseline is None:
+        return report
+    key = "vs_baseline" if backend == "thread" else f"vs_baseline_{backend}"
+    speedups = report.setdefault("speedups", {})
+    for wl, cells in report.get("workloads", {}).items():
+        base_cell = baseline.get("workloads", {}).get(wl, {}).get(backend)
+        cell = cells.get(backend)
+        if not base_cell or not cell or not base_cell.get("msgs_per_sec"):
+            continue
+        ratio = cell["msgs_per_sec"] / base_cell["msgs_per_sec"]
+        speedups.setdefault(wl, {})[key] = round(ratio, 2)
+    meta = report.setdefault("meta", {})
+    if baseline_path is not None:
+        meta["baseline"] = baseline_path
+    meta["baseline_backend"] = backend
+    return report
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     """Serialize a :func:`run_suite` report to ``path`` as stable JSON."""
     with open(path, "w", encoding="utf-8") as fh:
@@ -787,6 +907,8 @@ def merge_report(report: Dict[str, Any], path: str) -> None:
         existing = {"meta": {}, "workloads": {}, "speedups": {}}
     for wl, cells in report.get("workloads", {}).items():
         existing.setdefault("workloads", {}).setdefault(wl, {}).update(cells)
+    for wl, ratios in report.get("speedups", {}).items():
+        existing.setdefault("speedups", {}).setdefault(wl, {}).update(ratios)
     mb = report.get("meta", {}).get("machine_backend")
     if mb:
         axes = existing.setdefault("meta", {}).setdefault("machine_backends", [])
@@ -843,18 +965,21 @@ def render_mode_table(table: Dict[str, Dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
-def check_baseline(report: Dict[str, Any], baseline_path: str,
+def check_baseline(report: Dict[str, Any], baseline: Any,
                    workloads: Sequence[str], max_regression: float,
                    backend: str = "thread") -> List[str]:
-    """Compare measured throughput against a saved report.
+    """Compare measured throughput against a saved report (a path or a
+    loaded report dict — pass the dict when the file may have been
+    rewritten since, e.g. ``--out`` targeting the baseline itself).
 
     Returns a list of failure strings: one per workload whose measured
     ``msgs_per_sec`` fell more than ``max_regression`` percent below the
     baseline's.  Missing baseline cells are skipped (not failures), so a
     new workload does not break CI until a baseline including it lands.
     """
-    with open(baseline_path, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)
+    if isinstance(baseline, str):
+        with open(baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
     failures: List[str] = []
     for wl in workloads:
         base_cell = baseline.get("workloads", {}).get(wl, {}).get(backend)
@@ -1024,12 +1149,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_suite(scale=args.scale, repeats=args.repeats,
                            workloads=args.workloads,
                            machine_backend=args.machine_backend)
+        baseline_data = _load_baseline(args.baseline) if args.baseline else None
+        if baseline_data is not None:
+            annotate_baseline_speedups(report, baseline_data,
+                                       backend=args.machine_backend)
+            report["meta"]["baseline"] = args.baseline
         if args.merge_out:
             merge_report(report, args.merge_out)
             print(f"merged into {args.merge_out}")
         elif args.out:
             write_report(report, args.out)
             print(f"wrote {args.out}")
+        if baseline_data is not None:
+            failures = check_baseline(
+                report, baseline_data,
+                workloads=args.workloads or list(MACHINE_WORKLOADS),
+                max_regression=args.max_regression,
+                backend=args.machine_backend,
+            )
+            if failures:
+                for f in failures:
+                    print(f"FAIL: {f}", file=sys.stderr)
+                return 1
         return 0
     if args.ft_recovery:
         backend = (args.backends or available_backends())[0]
@@ -1061,6 +1202,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_suite(backends=args.backends, scale=args.scale,
                        repeats=args.repeats, workloads=args.workloads,
                        trace=args.trace, metrics=args.metrics)
+    # Speedup annotation happens before any report is written, so the
+    # vs-baseline ratios land in --out/--merge-out files rather than
+    # only on the console; the baseline is snapshotted first so a gate
+    # against a file --out is about to overwrite compares old vs new,
+    # not new vs itself.
+    baseline_data = _load_baseline(args.baseline) if args.baseline else None
+    if baseline_data is not None:
+        annotate_baseline_speedups(report, baseline_data)
+        report["meta"]["baseline"] = args.baseline
     for wl, sp in report["speedups"].items():
         for label, factor in sp.items():
             print(f"  {wl:16s} {label}: {factor}x")
@@ -1071,9 +1221,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         merge_report(report, args.merge_out)
         print(f"merged into {args.merge_out}")
     failures: List[str] = []
-    if args.baseline:
+    if baseline_data is not None:
         failures += check_baseline(
-            report, args.baseline,
+            report, baseline_data,
             workloads=args.workloads or list(WORKLOADS),
             max_regression=args.max_regression,
         )

@@ -229,8 +229,19 @@ class Aggregator:
     def submit(self, dest: int, msg: Message) -> None:
         """Buffer one small message for ``dest``.  ``msg`` must already
         be the wire copy (the aggregator owns it until delivery)."""
-        self._put((dest, msg.handler, msg.payload, msg.size, msg.src_pe,
-                   msg.msg_id, self.node.now))
+        self.submit_fields(dest, msg.handler, msg.payload, msg.size,
+                           msg.src_pe, msg.msg_id)
+
+    def submit_fields(self, dest: int, handler: int, payload: Any,
+                      size: int, src_pe: Optional[int],
+                      msg_id: Optional[int]) -> None:
+        """Buffer one small message given its fields directly.  The CMI
+        send path uses this form so the aggregated fast path never
+        materializes a wire-copy :class:`Message` at all — the record
+        tuple is the only per-message allocation, and the receive side
+        builds the delivered message fresh from it."""
+        self._put((dest, handler, payload, size, src_pe, msg_id,
+                   self.node.now))
         if self.config.per_msg_cost:
             self.node.charge(self.config.per_msg_cost)
 

@@ -78,8 +78,8 @@ __all__ = [
 ]
 
 
-def _rt() -> Any:
-    return context.current_runtime()
+# One frame fewer on every API call: ``_rt()`` *is* the context lookup.
+_rt = context.current_runtime
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,24 @@ class HandlerTable:
     def __init__(self) -> None:
         self._fns: List[Optional[HandlerFn]] = [None] * _FIRST_INDEX
         self._names: List[Optional[str]] = [None] * _FIRST_INDEX
+        self._listeners: List[Callable[[], None]] = []
+
+    def add_listener(self, fn: Callable[[], None]) -> None:
+        """Call ``fn`` after every registration.  The runtime uses this
+        to invalidate its precomputed flat dispatch table, so dispatch
+        can skip the bounds-and-None-checked :meth:`lookup` on the hot
+        path without ever serving a stale table."""
+        self._listeners.append(fn)
+
+    def _notify(self) -> None:
+        for fn in self._listeners:
+            fn()
+
+    def flat(self) -> List[Optional[HandlerFn]]:
+        """A snapshot copy of the index → function table (``None`` holes
+        included).  Callers own the copy; later registrations never
+        mutate it — they fire the listeners instead."""
+        return list(self._fns)
 
     def register(self, fn: HandlerFn, name: Optional[str] = None) -> int:
         """Register ``fn`` and return its index (``CmiRegisterHandler``)."""
@@ -40,6 +58,7 @@ class HandlerTable:
         idx = len(self._fns)
         self._fns.append(fn)
         self._names.append(name or getattr(fn, "__qualname__", repr(fn)))
+        self._notify()
         return idx
 
     def register_at(self, idx: int, fn: HandlerFn, name: Optional[str] = None) -> int:
@@ -56,6 +75,7 @@ class HandlerTable:
             raise HandlerError(f"handler index {idx} already registered")
         self._fns[idx] = fn
         self._names[idx] = name or getattr(fn, "__qualname__", repr(fn))
+        self._notify()
         return idx
 
     def lookup(self, idx: int) -> HandlerFn:

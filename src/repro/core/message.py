@@ -147,16 +147,14 @@ def estimate_size(payload: Any) -> int:
     """
     if payload is None:
         return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     if isinstance(payload, str):
         return len(payload.encode("utf-8"))
-    if isinstance(payload, bool):
-        return 1
-    if isinstance(payload, int):
-        return 8
-    if isinstance(payload, float):
-        return 8
     if isinstance(payload, (tuple, list, set, frozenset)):
         return 16 + sum(estimate_size(x) for x in payload)
     if isinstance(payload, dict):
@@ -189,13 +187,15 @@ class Message:
     __slots__ = (
         "handler", "_payload", "size", "prio", "src_pe",
         "_cmi_owned", "_valid", "corrupted", "msg_id", "enq_time",
+        "_pooled",
     )
 
     def __init__(self, handler: int, payload: Any = None, size: Optional[int] = None,
                  prio: Priority = None, src_pe: Optional[int] = None) -> None:
         if not isinstance(handler, int) or handler < 0:
             raise MessageError(f"handler must be a non-negative int, got {handler!r}")
-        _prio_sort_key(prio)  # validates
+        if prio is not None:
+            _prio_sort_key(prio)  # validates (None — the default — needs none)
         self.handler = handler
         self._payload = payload
         self.size = estimate_size(payload) if size is None else int(size)
@@ -216,6 +216,11 @@ class Message:
         #: by ``id(msg)`` would leak entries for never-dequeued messages
         #: and misattribute timestamps across id reuse).
         self.enq_time: Optional[float] = None
+        #: True only for wire copies drawn from a per-PE
+        #: :class:`~repro.core.pool.MessagePool`; such buffers are
+        #: returned to the pool (still poisoned) after the CMI recycles
+        #: them.  User-constructed messages are never pooled.
+        self._pooled = False
         #: set by the simulated network's fault injector when this wire
         #: copy was damaged in flight.  The raw (unreliable) machine layer
         #: delivers the message anyway — exactly like real hardware

@@ -16,6 +16,7 @@ from typing import Any, Callable, Deque, Optional
 from repro.core.errors import ConverseError
 from repro.core.handlers import HandlerTable
 from repro.core.message import Message
+from repro.core.pool import MessagePool
 from repro.core.scheduler import CsdScheduler
 
 __all__ = ["ConverseRuntime"]
@@ -38,6 +39,9 @@ class ConverseRuntime:
         self.node = node
         self.machine = machine
         self.model = machine.model
+        #: receive-side cost per delivered message, precomputed — the
+        #: model is immutable and this sum is charged on every dispatch.
+        self._recv_cost = self.model.recv_overhead + self.model.cvs_dispatch_extra
         #: cached tracer presence.  Hot paths check this flag *before*
         #: calling :meth:`trace_event`, so that with tracing off not even
         #: the keyword-argument dict is built — need-based cost for
@@ -62,7 +66,35 @@ class ConverseRuntime:
         else:
             self._mx_handler_time = None
             self._mx_handlers = None
+        #: per-PE free list for wire-copy messages (``None`` when pooling
+        #: is off).  Populated from recycled-not-grabbed CMI buffers; see
+        #: :mod:`repro.core.pool` for the ownership invariants.
+        self.pool = MessagePool() if getattr(machine, "msg_pooling", False) else None
+        #: scheduler dispatch batch: how many queued messages one Csd
+        #: loop iteration may drain before re-checking for network input
+        #: (``Machine(csd_batch=...)``; 1 reproduces unbatched order).
+        self.csd_batch = int(getattr(machine, "csd_batch", 1) or 1)
+        #: inline dispatch (``Machine(inline=True)``): an idle Csd loop
+        #: delegates its drain to the delivery path, so handlers run in
+        #: engine context with *zero* context switches per message.
+        #: Only valid for handlers that never suspend (no Cth, no
+        #: blocking receives — such calls raise ``NotInTaskletError``);
+        #: instrumented runtimes keep the tasklet path so idle spans
+        #: trace/meter exactly as before.
+        self.inline_dispatch = (
+            bool(getattr(machine, "inline_dispatch", False))
+            and not (self.tracing or self.metering)
+        )
+        #: the scheduler currently idling with a delegated (inline)
+        #: drain, or ``None``; consulted by ``Node.deliver``.
+        self._delegate: Any = None
         self.handlers = HandlerTable()
+        #: flat index → function dispatch table, rebuilt lazily after
+        #: every registration (the table invalidates it via a listener).
+        #: Lets ``invoke_handler`` dispatch with one list index instead
+        #: of the checked registry lookup.
+        self._dispatch: Optional[list] = None
+        self.handlers.add_listener(self._invalidate_dispatch)
         self.scheduler = CsdScheduler(self, queue)
         #: messages received while an SPM module waited inside
         #: ``CmiGetSpecificMsg`` for a different handler; drained ahead of
@@ -97,6 +129,14 @@ class ConverseRuntime:
         self.idle_flush: Any = None
         #: the fault-tolerance agent (``None`` unless ``Machine(ft=...)``).
         self.ft: Any = None
+        # Need-based cost, hoisted to construction time: with tracing or
+        # metering on, dispatch binds the instrumented variant onto the
+        # instance; otherwise the class-level fast path runs with zero
+        # per-message instrumentation tests.  The machine's tracer and
+        # metrics registry are fixed at construction, so the choice never
+        # goes stale.
+        if self.tracing or self.metering:
+            self.invoke_handler = self._invoke_handler_instrumented  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # subsystem access
@@ -233,14 +273,73 @@ class ConverseRuntime:
         """Charge receive-side costs and run the message's handler — the
         path taken by ``CmiDeliverMsgs`` and the scheduler's network
         drain."""
-        self.node.charge(self.model.recv_overhead + self.model.cvs_dispatch_extra)
+        self.node.charge(self._recv_cost)
         self.invoke_handler(msg, from_queue=False)
 
+    def _invalidate_dispatch(self) -> None:
+        """Handler-table listener: drop the flat dispatch table so the
+        next dispatch rebuilds it with the new registration."""
+        self._dispatch = None
+
+    def _lookup_fast(self, handler: int) -> Callable[[Message], None]:
+        """Resolve a handler index through the flat dispatch table,
+        falling back to the checked registry lookup (which raises the
+        proper :class:`~repro.core.errors.UnknownHandlerError`) for
+        out-of-range or unregistered indices."""
+        table = self._dispatch
+        if table is None:
+            table = self._dispatch = self.handlers.flat()
+        if 0 <= handler < len(table):
+            fn = table[handler]
+            if fn is not None:
+                return fn
+        return self.handlers.lookup(handler)
+
     def invoke_handler(self, msg: Message, from_queue: bool) -> None:
-        """Look the handler up and call it, enforcing the CMI buffer
+        """Call the message's handler, enforcing the CMI buffer
         ownership protocol: the buffer is recycled unless the handler
-        grabbed it."""
-        fn = self.handlers.lookup(msg.handler)
+        grabbed it (and pooled buffers return to the free list).
+
+        This is the uninstrumented fast path — the ownership steps are
+        inlined (``mark_cmi_owned`` / ``recycle`` semantics, verbatim)
+        and there are no tracing/metering flag tests at all: runtimes
+        with instrumentation enabled bind
+        :meth:`_invoke_handler_instrumented` over this method at
+        construction."""
+        # _lookup_fast, inlined: the flat-table hit is the overwhelmingly
+        # common case; misses fall back to the checked helper.
+        handler = msg.handler
+        table = self._dispatch
+        if table is None:
+            table = self._dispatch = self.handlers.flat()
+        fn = table[handler] if 0 <= handler < len(table) else None
+        if fn is None:
+            fn = self.handlers.lookup(handler)
+        self.node.stats.handlers_run += 1
+        msg._cmi_owned = True
+        try:
+            fn(msg)
+        finally:
+            if msg._cmi_owned:
+                msg._valid = False
+                msg._payload = None
+                if msg._pooled:
+                    # pool.release, inlined: the poison check above just
+                    # ran, so only the park-or-drop step remains.
+                    pool = self.pool
+                    if pool is not None:
+                        msg._pooled = False
+                        free = pool._free
+                        if len(free) < pool.max_free:
+                            free.append(msg)
+                            pool.released += 1
+                        else:
+                            pool.dropped += 1
+
+    def _invoke_handler_instrumented(self, msg: Message, from_queue: bool) -> None:
+        """The traced/metered variant of :meth:`invoke_handler` (bound
+        onto the instance at construction when instrumentation is on)."""
+        fn = self._lookup_fast(msg.handler)
         self.node.stats.handlers_run += 1
         if self.tracing:
             self.trace_event(
@@ -260,6 +359,10 @@ class ConverseRuntime:
             fn(msg)
         finally:
             msg.recycle()
+            if not msg._valid and msg._pooled:
+                pool = self.pool
+                if pool is not None:
+                    pool.release(msg)
             if self.metering:
                 self._mx_handler_time.observe(self.node.pe, self.node.now - t0)
             if self.tracing:

@@ -30,6 +30,7 @@ from typing import Any, Optional
 
 from repro.core.message import Message, Priority
 from repro.core.queueing import SchedulingQueue, make_queue
+from repro.sim import context
 
 __all__ = ["CsdScheduler"]
 
@@ -55,6 +56,14 @@ class CsdScheduler:
         #: pending CsdExitScheduler requests; each one terminates the
         #: innermost running scheduler invocation (CsdStopFlag semantics).
         self._stop_requests = 0
+        #: dispatch batch size: how many queued messages one loop
+        #: iteration may drain before looking at the network again
+        #: (``Machine(csd_batch=...)``).  1 reproduces the classic
+        #: one-message-per-iteration Figure 3 loop exactly; larger
+        #: values amortize the per-iteration stop-flag/network checks
+        #: over a burst of local work.  Exit requests are still honored
+        #: between messages *within* a batch.
+        self._batch = max(1, int(getattr(runtime, "csd_batch", 1) or 1))
         #: nesting depth of scheduler invocations (SPM code may call the
         #: scheduler from inside a handler).
         self._depth = 0
@@ -69,6 +78,20 @@ class CsdScheduler:
         #: transitions, so per-PE idle events alternate strictly even
         #: when several loops (nested or sibling tasklets) idle at once.
         self._idle_depth = 0
+        # Inline (delegated) dispatch state — see :meth:`_drain_delegated`.
+        #: message budget of the delegating run() (None = unbounded).
+        self._dg_budget: Optional[int] = None
+        #: messages dispatched by delegated drains since delegation began.
+        self._dg_count = 0
+        #: set when a drain wants the parked run() loop back (budget met);
+        #: part of the idle-wake predicate.
+        self._dg_wake = False
+        #: a delegated drain is on the stack right now (same-PE deliveries
+        #: must only append to the inbox; the running drain picks them up).
+        self._dg_running = False
+        #: the drain overshot pending events and parked behind an
+        #: ``inline_resolve`` continuation; deliveries must only append.
+        self._dg_paused = False
         # Metric handles, cached once (need-based cost: with metrics off
         # every hot-path update is a single flag test).
         if runtime.metering:
@@ -95,13 +118,19 @@ class CsdScheduler:
             self._mx_depth = None
 
     def _idle_wake_predicate(self) -> bool:
-        """True when an idling scheduler loop has a reason to wake up:
-        network input, queued work, or an exit request."""
-        return bool(
-            self.runtime.has_pending_network
-            or len(self.queue)
-            or self._stop_requests > 0
-        )
+        """True when an idling scheduler loop has a reason to wake up.
+
+        A classic (non-delegated) loop wakes on network input, queued
+        work, or an exit request.  A loop that *delegated* its drain
+        (inline dispatch) stays parked through pending work — the
+        delivery path and ``_dg_kick`` events run it in engine context —
+        and wakes only when the drain hands control back (budget met,
+        ``_dg_wake``) or an exit request lands."""
+        if self._stop_requests > 0 or self._dg_wake:
+            return True
+        if self.runtime._delegate is self:
+            return False
+        return bool(self.runtime.has_pending_network or len(self.queue))
 
     # ------------------------------------------------------------------
     # queue side
@@ -129,7 +158,7 @@ class CsdScheduler:
         if rt.metering:
             self._note_enqueued(msg)
         # Another tasklet on this PE may be idling inside the scheduler.
-        node.kick()
+        self._work_posted()
 
     def enqueue_free(self, msg: Message, prio: Priority = None) -> None:
         """Queue without charging (used for bookkeeping messages created
@@ -140,7 +169,24 @@ class CsdScheduler:
         self.queue.push(msg, msg.prio if prio is None else prio)
         if self.runtime.metering:
             self._note_enqueued(msg)
-        self.runtime.node.kick()
+        self._work_posted()
+
+    def _work_posted(self) -> None:
+        """Wake whoever should dispatch freshly queued local work.
+
+        Classic: kick the node so a parked scheduler loop rechecks its
+        predicate.  Delegated: the parked loop must *stay* parked — a
+        kick would cost a spurious park/resume round trip per enqueue —
+        so notify the drain instead with a zero-delay engine event
+        (skipped while a drain is on the stack or parked behind a
+        time-settlement continuation: that drain re-reads the queue
+        itself)."""
+        rt = self.runtime
+        if rt._delegate is not None:
+            if not (self._dg_running or self._dg_paused):
+                rt.node.engine.schedule(0.0, self._dg_kick)
+            return
+        rt.node.kick()
 
     def _note_enqueued(self, msg: Message) -> None:
         """Metrics bookkeeping for one enqueue (metering is on).
@@ -177,15 +223,22 @@ class CsdScheduler:
     # ------------------------------------------------------------------
     def deliver_network_msgs(self, limit: Optional[int] = None) -> int:
         """``CmiDeliverMsgs``: drain the network inbox, invoking the
-        handler of each message directly.  Returns the number delivered."""
+        handler of each message directly.  Returns the number delivered.
+
+        Batch-aware: the lookups are hoisted out of the loop and the
+        delivered counter is bumped once per drain, so a burst of n
+        arrivals costs n dispatches plus one round of bookkeeping."""
+        rt = self.runtime
+        next_msg = rt.next_network_msg
         n = 0
         while limit is None or n < limit:
-            msg = self.runtime.next_network_msg()
+            msg = next_msg()
             if msg is None:
                 break
-            self.runtime.deliver_from_network(msg)
+            rt.deliver_from_network(msg)
             n += 1
-            self.delivered += 1
+        if n:
+            self.delivered += n
         return n
 
     def _dispatch_queued(self) -> bool:
@@ -208,6 +261,21 @@ class CsdScheduler:
         rt.invoke_handler(msg, from_queue=True)
         self.delivered += 1
         return True
+
+    def _dispatch_batch(self, limit: int) -> int:
+        """Dequeue and run up to ``limit`` local messages back-to-back
+        (one scheduler-loop iteration's batch).  Stops early when the
+        queue empties or an exit request lands, so ``CsdExitScheduler``
+        takes effect between messages exactly as in the unbatched loop.
+        Returns the number dispatched."""
+        n = 0
+        while n < limit:
+            if not self._dispatch_queued():
+                break
+            n += 1
+            if self._stop_requests > 0:
+                break
+        return n
 
     def _idle_wait(self, node: Any) -> None:
         """Park until the idle-wake predicate fires, bracketing the span
@@ -239,6 +307,130 @@ class CsdScheduler:
                     self._mx_idle_time.inc(node.pe, node.now - t0)
 
     # ------------------------------------------------------------------
+    # inline (delegated) dispatch
+    #
+    # When the machine enables inline dispatch (``Machine(inline=True)``)
+    # an outermost run() loop with nothing else waiting on the node
+    # *delegates* up front: it registers itself on the runtime
+    # and parks.  Deliveries then drain the scheduler right inside the
+    # engine's delivery callback — handler dispatch costs zero context
+    # switches per message instead of two (park + resume of the
+    # scheduler tasklet).  Handlers run atomically in engine context:
+    # CPU charges advance the clock in place and any events owed inside
+    # a charged span fire between handlers (SimEngine.inline_resolve),
+    # so for handlers that never suspend the observable schedule —
+    # handler order, virtual times, counters — is identical to the
+    # tasklet path.  Handlers that do suspend (Cth operations, blocking
+    # receives, nested blocking schedulers) raise NotInTaskletError;
+    # inline dispatch is therefore opt-in.
+    # ------------------------------------------------------------------
+    def _dg_deliver(self) -> None:
+        """Entry from ``Node.deliver``: a message landed while this
+        scheduler idles delegated.  Drain in place — unless a drain is
+        already on the stack (a same-PE send from inside a handler) or
+        parked behind a time-settlement continuation, in which case the
+        message just waits in the inbox for that drain."""
+        if not (self._dg_running or self._dg_paused):
+            self._drain_delegated()
+
+    def _dg_kick(self) -> None:
+        """Zero-delay engine event seeding a delegated drain: covers
+        work that was already pending when run() delegated, plus local
+        enqueues posted by sibling tasklets mid-delegation (deliveries
+        drive the drain directly and never need this)."""
+        if (self.runtime._delegate is self
+                and not (self._dg_running or self._dg_paused)):
+            self._drain_delegated()
+
+    def _drain_resume(self) -> None:
+        """Continuation scheduled by ``inline_resolve``: the events owed
+        inside a charged span have fired; pick the drain back up."""
+        self._dg_paused = False
+        if self.runtime._delegate is self:
+            self._drain_delegated()
+
+    def _drain_delegated(self) -> None:
+        """Dispatch pending work in engine context on behalf of the
+        parked run() loop — the same network-then-queue cadence, the
+        same batch bound, the same pre-idle aggregation flush."""
+        rt = self.runtime
+        node = rt.node
+        engine = node.engine
+        entry_now = engine.now
+        engine._inline_node = node
+        context._set_inline_node(node)
+        self._dg_running = True
+        try:
+            while True:
+                if self._stop_requests > 0:
+                    # exit() already kicked the parked loop; it wakes,
+                    # consumes the request and returns (leftover
+                    # messages stay pending, exactly as in the tasklet
+                    # loop).
+                    return
+                budget = self._dg_budget
+                if budget is not None and self._dg_count >= budget:
+                    # Count satisfied: hand control back to run().
+                    rt._delegate = None
+                    self._dg_wake = True
+                    node.kick()
+                    return
+                limit = None if budget is None else budget - self._dg_count
+                # Direct inbox drain when no side-buffer / intake filters
+                # are in play (deliver_network_msgs semantics, minus the
+                # per-message indirection).  Both conditions are re-read
+                # every iteration: a handler may install a filter
+                # mid-drain.  No new arrivals land while this runs — we
+                # *are* the engine callback — so the pop loop sees a
+                # stable inbox.
+                inbox = node.inbox
+                if not (inbox or rt._buffered):
+                    n = 0
+                elif inbox and not (rt._buffered or rt._intake_filters):
+                    dfn = rt.deliver_from_network
+                    n = 0
+                    while inbox and not (rt._buffered or rt._intake_filters):
+                        if limit is not None and n >= limit:
+                            break
+                        dfn(inbox.popleft())
+                        n += 1
+                    self.delivered += n
+                else:
+                    n = self.deliver_network_msgs(limit=limit)
+                if n:
+                    self._dg_count += n
+                    if not engine.inline_resolve(entry_now, self._drain_resume):
+                        self._dg_paused = True
+                        return
+                    continue
+                if self.queue:
+                    k = self._dispatch_batch(
+                        self._batch if budget is None
+                        else min(self._batch, budget - self._dg_count))
+                    if k:
+                        self._dg_count += k
+                        if not engine.inline_resolve(entry_now, self._drain_resume):
+                            self._dg_paused = True
+                            return
+                        continue
+                if rt._buffered or node.inbox:
+                    continue
+                flush = rt.idle_flush
+                if flush is not None and flush() > 0:
+                    continue
+                # Idle again: stay delegated, tasklet stays parked.  Any
+                # *other* waiter that blocked mid-delegation (a receive
+                # primitive on a sibling tasklet) gets a courtesy kick —
+                # the classic delivery path would have woken it.
+                if len(node._waiters) > 1:
+                    node.kick()
+                return
+        finally:
+            self._dg_running = False
+            engine._inline_node = None
+            context._set_inline_node(None)
+
+    # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
     def run(self, nmsgs: int = -1) -> int:
@@ -266,6 +458,35 @@ class CsdScheduler:
                     break
                 if nmsgs >= 0 and count >= nmsgs:
                     break
+                # An outermost loop on an inline-dispatch machine
+                # delegates its entire drain to the delivery path up
+                # front (sole idler only: other waiters — blocking
+                # receives, sibling loops — keep the classic
+                # wake-the-tasklet path).  Delegating immediately,
+                # rather than at first idle, matters for pipelined
+                # traffic: a loop whose handlers charge CPU time never
+                # *looks* idle — arrivals slip in during every charge —
+                # yet every one of those charges pays a park/resume
+                # context-switch pair that the engine-context drain
+                # avoids.  A zero-delay kick seeds the drain with
+                # whatever is already pending (and gives the aggregation
+                # layer its pre-idle flush when nothing is).
+                rt = self.runtime
+                if (rt.inline_dispatch and self._depth == 1
+                        and rt._delegate is None and not node._waiters):
+                    self._dg_budget = None if nmsgs < 0 else nmsgs - count
+                    self._dg_count = 0
+                    self._dg_wake = False
+                    rt._delegate = self
+                    node.engine.schedule(0.0, self._dg_kick)
+                    try:
+                        self._idle_wait(node)
+                    finally:
+                        rt._delegate = None
+                        self._dg_wake = False
+                        count += self._dg_count
+                        self._dg_count = 0
+                    continue
                 budget = None if nmsgs < 0 else nmsgs - count
                 count += self.deliver_network_msgs(limit=budget)
                 if self._stop_requests > 0:
@@ -273,8 +494,10 @@ class CsdScheduler:
                     break
                 if nmsgs >= 0 and count >= nmsgs:
                     break
-                if self._dispatch_queued():
-                    count += 1
+                batch = self._batch if nmsgs < 0 else min(self._batch, nmsgs - count)
+                n = self._dispatch_batch(batch)
+                if n:
+                    count += n
                     continue
                 if self.runtime.has_pending_network:
                     continue
@@ -287,7 +510,9 @@ class CsdScheduler:
                     continue
                 # Idle: block until something arrives, is enqueued, or an
                 # exit request lands (one hoisted predicate — no closure
-                # allocation per idle cycle).
+                # allocation per idle cycle).  Inline-dispatch loops
+                # never reach here — they delegated at the top of the
+                # loop — so this is always the classic parked wait.
                 self._idle_wait(node)
         finally:
             self._depth -= 1
@@ -295,7 +520,13 @@ class CsdScheduler:
 
     def run_until_idle(self) -> int:
         """``ScheduleUntilIdle()``: loop until both the network inbox and
-        the scheduler queue are empty, then return (never blocks)."""
+        the scheduler queue are empty, then return (never blocks).
+
+        Before returning it performs the same pre-idle aggregation flush
+        as :meth:`run`: a PE that goes idle — even without blocking —
+        must not sit on buffered outgoing batches, or a program driving
+        the scheduler purely through ``CsdScheduleUntilIdle`` polling
+        would never get its small messages onto the wire."""
         count = 0
         self._depth += 1
         try:
@@ -304,11 +535,16 @@ class CsdScheduler:
                     self._stop_requests -= 1
                     break
                 count += self.deliver_network_msgs()
-                if self._dispatch_queued():
-                    count += 1
+                n = self._dispatch_batch(self._batch)
+                if n:
+                    count += n
                     continue
-                if not self.runtime.has_pending_network:
-                    break
+                if self.runtime.has_pending_network:
+                    continue
+                flush = self.runtime.idle_flush
+                if flush is not None and flush() > 0:
+                    continue
+                break
         finally:
             self._depth -= 1
         return count
@@ -316,10 +552,18 @@ class CsdScheduler:
     def poll(self) -> int:
         """Process everything currently available exactly once (a single
         DeliverMsgs + queue drain pass), never blocking.  Handy for SPM
-        code that wants to stay responsive inside a compute loop."""
+        code that wants to stay responsive inside a compute loop.
+
+        Like :meth:`run` and :meth:`run_until_idle`, a poll that leaves
+        the PE with nothing pending gives the aggregation layer its
+        pre-idle flush instead of exiting with batches still buffered."""
         count = self.deliver_network_msgs()
         while self._dispatch_queued():
             count += 1
+        if not self.runtime.has_pending_network:
+            flush = self.runtime.idle_flush
+            if flush is not None:
+                flush()
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

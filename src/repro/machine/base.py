@@ -56,7 +56,46 @@ __all__ = [
     "resolve_machine_backend",
     "machine_layer_class",
     "create_machine",
+    "resolve_speed_knobs",
+    "DEFAULT_CSD_BATCH",
 ]
+
+#: default Csd dispatch batch: queued messages one scheduler-loop
+#: iteration drains before re-checking the network and stop flag.
+DEFAULT_CSD_BATCH = 8
+
+
+def _env_flag(name: str) -> Optional[bool]:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def resolve_speed_knobs(pool: Any, csd_batch: Any, inline: Any = None,
+                        default_pool: bool = True) -> tuple:
+    """Resolve the raw-speed machine knobs shared by every layer.
+
+    Explicit argument beats the env var (``REPRO_MSG_POOL`` /
+    ``REPRO_CSD_BATCH`` / ``REPRO_CSD_INLINE``) beats the default.
+    Returns ``(msg_pooling, csd_batch, inline)``; ``csd_batch`` is
+    clamped to >= 1.  ``inline`` defaults off — it restricts handlers
+    to never suspending (see :mod:`repro.core.scheduler`), which is a
+    program property no machine layer can verify up front.
+    """
+    if csd_batch is None:
+        env = os.environ.get("REPRO_CSD_BATCH")
+        csd_batch = int(env) if env else DEFAULT_CSD_BATCH
+    csd_batch = max(1, int(csd_batch))
+    if pool is None:
+        pool = _env_flag("REPRO_MSG_POOL")
+    if pool is None:
+        pool = default_pool
+    if inline is None:
+        inline = _env_flag("REPRO_CSD_INLINE")
+    if inline is None:
+        inline = False
+    return bool(pool), csd_batch, bool(inline)
 
 #: environment variable consulted when no explicit backend is requested
 #: (mirrors ``REPRO_SIM_BACKEND`` for the tasklet switch layer).

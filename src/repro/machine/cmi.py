@@ -673,11 +673,23 @@ class CMI:
         """The message instance that crosses the wire.  A fresh object so
         the sender's buffer and the receiver's buffer have independent
         ownership state (payload objects are shared and treated as
-        immutable by convention, like registered send buffers)."""
-        wire = Message(
-            msg.handler, msg.payload, size=msg.size, prio=msg.prio,
-            src_pe=self.node.pe,
-        )
+        immutable by convention, like registered send buffers).
+
+        With pooling on, the copy is drawn from the per-PE
+        :class:`~repro.core.pool.MessagePool` — the hottest allocation
+        site in the stack (one wire copy per send) — and returns to the
+        pool after the receiving handler lets the CMI recycle it.  The
+        source fields were validated when ``msg`` was constructed, so
+        the pool skips re-validation."""
+        pool = self.runtime.pool
+        if pool is not None:
+            wire = pool.acquire(msg.handler, msg.payload, msg.size,
+                                msg.prio, self.node.pe)
+        else:
+            wire = Message(
+                msg.handler, msg.payload, size=msg.size, prio=msg.prio,
+                src_pe=self.node.pe,
+            )
         wire.msg_id = msg_id
         return wire
 
@@ -714,42 +726,60 @@ class CMI:
         latency-critical control protocols, e.g. quiescence detection,
         whose message accounting must not be deferred).
         """
-        self._check_dest(dest_pe)
-        self.runtime.check_active()
+        rt = self.runtime
+        node = self.node
+        # The bounds/liveness guards are inlined (one comparison each on
+        # the fast path); the helpers are only entered to raise with the
+        # canonical message.
+        if not 0 <= dest_pe < rt.machine.num_pes:
+            self._check_dest(dest_pe)
+        if rt.exited:
+            rt.check_active()
         agg = self._aggregation
         if (agg is not None and not direct
                 and msg.size <= agg.config.max_msg_bytes):
             # Coalesced path: the batch (not each message) is the unit the
             # machine layer counts and charges for.  Logical sends remain
-            # visible to metrics and tracing.
+            # visible to metrics and tracing.  No wire copy is built at
+            # all — the aggregator's record tuple carries the fields and
+            # the receive side constructs the delivered message fresh.
             if self.runtime.tracing:
-                wire = self._wire_copy(msg, msg_id=self._next_msg_id())
+                mid = self._next_msg_id()
                 self.runtime.trace_event(
                     "send", dest=dest_pe, size=msg.size, handler=msg.handler,
-                    aggregated=True, msg=wire.msg_id,
+                    aggregated=True, msg=mid,
                 )
             else:
-                wire = self._wire_copy(msg)
+                mid = None
             if self.runtime.metering:
                 self._meter_send(msg.size)
-            agg.submit(dest_pe, wire)
+            agg.submit_fields(dest_pe, msg.handler, msg.payload, msg.size,
+                              self.node.pe, mid)
             return
-        self.node.stats.msgs_sent += 1
-        self.node.stats.bytes_sent += msg.size
-        if self.runtime.tracing:
+        stats = node.stats
+        stats.msgs_sent += 1
+        stats.bytes_sent += msg.size
+        if rt.tracing:
             wire = self._wire_copy(msg, msg_id=self._next_msg_id())
-            self.runtime.trace_event("send", dest=dest_pe, size=msg.size,
-                                     handler=msg.handler, msg=wire.msg_id)
+            rt.trace_event("send", dest=dest_pe, size=msg.size,
+                           handler=msg.handler, msg=wire.msg_id)
         else:
-            wire = self._wire_copy(msg)
-        if self.runtime.metering:
+            # _wire_copy's pooled branch, inlined (msg_id stays None —
+            # pool.acquire resets it).
+            pool = rt.pool
+            if pool is not None:
+                wire = pool.acquire(msg.handler, msg.payload, msg.size,
+                                    msg.prio, node.pe)
+            else:
+                wire = self._wire_copy(msg)
+        if rt.metering:
             self._meter_send(msg.size)
         if self._reliable is not None:
             self._reliable.send(dest_pe, wire,
                                 extra_send_cost=self.model.cvs_send_extra)
             return
         self.network.sync_send(
-            self.node, dest_pe, msg.size, wire,
+            node, dest_pe, msg.size, wire,
             extra_send_cost=self.model.cvs_send_extra,
         )
 

@@ -44,7 +44,7 @@ import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.errors import SimulationError
-from repro.machine.base import MachineLayer
+from repro.machine.base import MachineLayer, resolve_speed_knobs
 from repro.sim.console import ConsoleRecord
 from repro.sim.models import MachineModel
 from repro.sim.node import Node
@@ -364,6 +364,15 @@ class _MpNetwork:
                 f"the mp machine layer could not pickle an outgoing message "
                 f"for PE {dst}: {exc}"
             ) from exc
+        # The frame is on the wire (pickled by value); the local wire
+        # copy is dead.  Reclaim pooled copies so the send side reuses
+        # buffers instead of leaking them to the garbage collector.
+        if getattr(payload, "_pooled", False):
+            rt = getattr(self.machine.node_obj, "runtime", None)
+            if rt is not None and rt.pool is not None:
+                payload._valid = False
+                payload._payload = None
+                rt.pool.release(payload)
 
     def sync_send(self, src_node: _MpNode, dst: int, nbytes: int, payload: Any,
                   extra_send_cost: float = 0.0, immediate: bool = False) -> None:
@@ -437,6 +446,10 @@ class _WorkerMachine:
         self.metrics = None
         self.topology = None
         self.rng = random.Random(options.get("seed", 0) * 1_000_003 + pe)
+        # Raw-speed knobs, forwarded from the driver-side MpMachine so
+        # the worker's ConverseRuntime picks them up at construction.
+        self.msg_pooling = options.get("pool", False)
+        self.csd_batch = options.get("csd_batch", 1)
         self.node_obj = _MpNode(self, pe)
         #: only the local node is addressable in-process; cross-PE peeks
         #: (an FT-layer shortcut) have no meaning here.
@@ -666,6 +679,11 @@ class MpMachine(MachineLayer):
         ``multiprocessing`` start method (default: the
         ``REPRO_MP_START_METHOD`` env var, else ``fork`` where
         available, else the platform default).
+    pool / csd_batch:
+        The raw-speed knobs, same semantics and env vars as the
+        simulator layer (``REPRO_MSG_POOL`` / ``REPRO_CSD_BATCH``):
+        per-PE pooled wire-copy allocation (default on) and the Csd
+        dispatch batch size, applied inside every worker process.
     model / machine_backend:
         Accepted for signature compatibility with the simulator layer;
         cost models are meaningless here (costs are real).
@@ -678,6 +696,7 @@ class MpMachine(MachineLayer):
                  machine_backend: Any = None, queue: Any = "fifo",
                  ldb: str = "direct", echo: bool = False, seed: int = 0,
                  timeout: float = 60.0, start_method: Optional[str] = None,
+                 pool: Any = None, csd_batch: Any = None, inline: Any = None,
                  **kwargs: Any) -> None:
         if args:
             raise SimulationError(
@@ -703,6 +722,14 @@ class MpMachine(MachineLayer):
         self.num_pes = num_pes
         self.model = MP_MODEL
         self.console = MpConsole(echo=echo)
+        # Raw-speed knobs, shared with the simulator layer and shipped
+        # to every worker in its options dict (each worker's runtime
+        # reads them at construction, exactly like the sim machine).
+        # (inline dispatch is a simulator-only optimisation — a worker's
+        # scheduler loop already runs handlers with no context switch —
+        # so the resolved flag is accepted for kwarg parity and dropped.)
+        self.msg_pooling, self.csd_batch, _ = resolve_speed_knobs(
+            pool, csd_batch, inline)
         self._queue = queue
         self._ldb = ldb
         self._seed = seed
@@ -884,7 +911,8 @@ class MpMachine(MachineLayer):
         listener.settimeout(min(30.0, self._timeout))
         self._listener = listener
         port = listener.getsockname()[1]
-        options = {"queue": self._queue, "ldb": self._ldb, "seed": self._seed}
+        options = {"queue": self._queue, "ldb": self._ldb, "seed": self._seed,
+                   "pool": self.msg_pooling, "csd_batch": self.csd_batch}
         # Spawn every worker before starting any hub thread: with the
         # fork start method, forking a multi-threaded parent is the
         # classic deadlock, so the parent stays single-threaded here.

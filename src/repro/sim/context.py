@@ -22,11 +22,24 @@ __all__ = [
 
 _CURRENT: Optional[Any] = None
 
+#: the PE whose handlers are running *in engine context* under inline
+#: (delegated) dispatch — no tasklet holds the baton, but ``CmiMyPe()``
+#: and friends must still resolve (see :mod:`repro.core.scheduler`).
+_INLINE_NODE: Optional[Any] = None
+
 
 def _set_current(tasklet: Optional[Any]) -> None:
     """Engine-internal: record the tasklet now holding the baton."""
     global _CURRENT
     _CURRENT = tasklet
+
+
+def _set_inline_node(node: Optional[Any]) -> None:
+    """Scheduler-internal: record (or clear) the PE running a delegated
+    drain.  Only node-resolution falls back to it — ``require_tasklet``
+    still raises, so suspending primitives stay tasklet-only."""
+    global _INLINE_NODE
+    _INLINE_NODE = node
 
 
 def current_tasklet() -> Optional[Any]:
@@ -46,8 +59,16 @@ def require_tasklet() -> Any:
 
 
 def current_node() -> Any:
-    """The PE of the running tasklet."""
-    t = require_tasklet()
+    """The PE of the running tasklet (or of the delegated drain, when a
+    handler runs inline in engine context)."""
+    t = _CURRENT
+    if t is None:
+        if _INLINE_NODE is not None:
+            return _INLINE_NODE
+        raise NotInTaskletError(
+            "this call must run inside simulated user code (launch it on a "
+            "Machine); it was invoked from the driver thread"
+        )
     if t.node is None:
         raise NotInTaskletError(
             f"tasklet {t.name!r} is not bound to a PE"
@@ -56,8 +77,24 @@ def current_node() -> Any:
 
 
 def current_runtime() -> Any:
-    """The Converse runtime of the running tasklet's PE."""
-    node = current_node()
+    """The Converse runtime of the running tasklet's PE.
+
+    Node resolution is ``current_node`` inlined — this sits under every
+    C-flavoured API call, so it pays for one frame, not three."""
+    t = _CURRENT
+    if t is not None:
+        node = t.node
+        if node is None:
+            raise NotInTaskletError(
+                f"tasklet {t.name!r} is not bound to a PE"
+            )
+    elif _INLINE_NODE is not None:
+        node = _INLINE_NODE
+    else:
+        raise NotInTaskletError(
+            "this call must run inside simulated user code (launch it on a "
+            "Machine); it was invoked from the driver thread"
+        )
     rt = node.runtime
     if rt is None:
         raise NotInTaskletError(

@@ -113,6 +113,13 @@ class SimEngine:
         self._failure: Optional[BaseException] = None
         #: total number of events fired; exposed for tests/diagnostics.
         self.events_fired: int = 0
+        #: the node whose *inline* (delegated) scheduler drain is running
+        #: inside the current event callback, or ``None``.  While set,
+        #: ``Node.charge`` on that node advances the clock in place
+        #: instead of parking (there is no tasklet to park); the drain
+        #: settles any events owed in the skipped span at the next
+        #: handler boundary via :meth:`inline_resolve`.
+        self._inline_node: Any = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -282,6 +289,39 @@ class SimEngine:
         # make_ready marked it ready; park() will hand the baton back and
         # the engine will resume it after the rest of the ready queue.
         t.park()
+
+    # ------------------------------------------------------------------
+    # inline (delegated) dispatch support
+    # ------------------------------------------------------------------
+    def inline_resolve(self, entry_now: float, resume: Callable[[], None]) -> bool:
+        """Settle the clock at an inline-dispatch handler boundary.
+
+        An inline drain advances ``now`` in place for every CPU charge
+        (handlers are atomic: nothing can preempt mid-handler).  Between
+        handlers the drain calls this to check whether any event was
+        *owed* inside the span just consumed — an event whose time is
+        now in the past, or an active ``run(until=...)`` bound that was
+        overshot.  If so, ``resume`` is scheduled at the logical current
+        time, the clock rewinds to ``entry_now`` (the drain's entry
+        instant, necessarily <= every pending event) so the owed events
+        fire at their own times first, and False is returned: the drain
+        must stop and wait for ``resume``.  Observationally this matches
+        the tasklet path, where the same charge parks the scheduler
+        tasklet and wakes it after the intervening events.
+
+        Returns True when the drain may keep going at the current time.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        now = self.now
+        until = self._run_until
+        if (heap and heap[0].time < now) or (until is not None and now > until):
+            self.schedule(0.0, resume)
+            self.now = entry_now
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # crash injection

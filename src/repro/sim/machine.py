@@ -31,7 +31,11 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.core.errors import SimulationError
 from repro.core.runtime import ConverseRuntime
-from repro.machine.base import MachineLayer, resolve_machine_backend
+from repro.machine.base import (
+    MachineLayer,
+    resolve_machine_backend,
+    resolve_speed_knobs,
+)
 from repro.sim.console import Console
 from repro.sim.engine import SimEngine
 from repro.sim.models import GENERIC, MachineModel
@@ -102,6 +106,31 @@ class Machine(MachineLayer):
         ``reliable=True`` (recovery replays the reliable layer's send
         log).  Crash *injection* needs only a fault plan with crashes;
         ``ft=`` is what makes the machine live through them.
+    pool:
+        ``None`` (default — the ``REPRO_MSG_POOL`` env var, else on,
+        except under ``faults`` without ``reliable`` where duplicate
+        faults must keep failing loudly); ``True``/``False`` — force
+        per-PE pooled wire-copy message allocation on or off (see
+        :mod:`repro.core.pool`).  Pooling never weakens the buffer
+        ownership protocol: recycled buffers stay poisoned until reused.
+    csd_batch:
+        Csd dispatch batch size (default — the ``REPRO_CSD_BATCH`` env
+        var, else 8): how many queued messages one scheduler-loop
+        iteration drains before re-checking the network and stop flag.
+        ``1`` reproduces the classic one-message-per-iteration loop
+        (byte-identical trace ordering); larger values amortize the
+        per-iteration checks over bursts of local work.
+    inline:
+        ``None`` (default — the ``REPRO_CSD_INLINE`` env var, else off);
+        ``True`` enables inline dispatch: an outermost ``CsdScheduler``
+        loop delegates its drain to the delivery path, so handlers run
+        in engine context with zero tasklet switches per message (the
+        raw-speed mode for purely message-driven programs).  Requires
+        handlers that never suspend — Cth operations, blocking
+        receives and nested blocking schedulers raise
+        ``NotInTaskletError`` from a delegated handler.  Tracing or
+        metering machines keep the tasklet path regardless, so idle
+        spans trace exactly as before.
     backend:
         Tasklet switch backend (see :mod:`repro.sim.switching`):
         ``None`` (default — the ``REPRO_SIM_BACKEND`` env var, else the
@@ -142,6 +171,8 @@ class Machine(MachineLayer):
                  faults: Any = None, reliable: Any = False,
                  backend: Any = None, metrics: Any = False,
                  aggregation: Any = False, ft: Any = False,
+                 pool: Any = None, csd_batch: Any = None,
+                 inline: Any = None,
                  machine_backend: Any = None) -> None:
         if machine_backend is not None and \
                 resolve_machine_backend(machine_backend) != "sim":
@@ -176,6 +207,20 @@ class Machine(MachineLayer):
                 )
             self.network.fault_plan = faults
         self.fault_plan = self.network.fault_plan
+        # Raw-speed knobs, resolved before the runtimes are built (each
+        # ConverseRuntime reads them at construction).  Pooling defaults
+        # on — except under an unreliable faulty network, where duplicate
+        # faults re-deliver the *same* wire object; today that fails
+        # loudly (the second delivery sees a poisoned buffer) and a pool
+        # must never convert it into a silent resurrection with some
+        # newer message's contents.  The reliable layer dedups by
+        # sequence number before touching the inner message, so
+        # faults+reliable stays pool-safe.
+        self.msg_pooling, self.csd_batch, self.inline_dispatch = \
+            resolve_speed_knobs(
+                pool, csd_batch, inline,
+                default_pool=not (faults is not None and not reliable),
+            )
         self.rng = random.Random(seed)
         self.nodes: List[Node] = [Node(self, pe) for pe in range(num_pes)]
         self.network.nodes = {n.pe: n for n in self.nodes}

@@ -25,12 +25,14 @@ delivery path is byte-for-byte the pre-fault code: need-based cost.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.errors import SimulationError
+from repro.sim.engine import ScheduledEvent
 from repro.sim.models import MachineModel
 from repro.sim.topology import Topology
 
@@ -336,6 +338,11 @@ class Network:
         self.nodes: Dict[int, Any] = {}
         self.stats = NetworkStats()
         self._last_arrival: Dict[Tuple[int, int], float] = {}
+        #: memoized ``model.wire_time`` keyed by (src, dst, nbytes) — the
+        #: model is immutable and the topology fixed, so the wire time of
+        #: a given channel/size pair never changes.  Bounded so a workload
+        #: with unbounded distinct sizes cannot leak.
+        self._wire_cache: Dict[Tuple[int, int, int], float] = {}
         self._seq = itertools.count()
         #: optional :class:`FaultPlan`; ``None`` (the default) keeps the
         #: delivery path identical to the fault-free implementation.
@@ -346,10 +353,21 @@ class Network:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _wire(self, src: int, dst: int, nbytes: int) -> float:
+        """Memoized wire time for one (channel, size) pair."""
+        cache = self._wire_cache
+        ck = (src, dst, nbytes)
+        wire = cache.get(ck)
+        if wire is None:
+            if len(cache) >= 4096:
+                cache.clear()
+            wire = cache[ck] = self.model.wire_time(
+                nbytes, self.topology.hops(src, dst))
+        return wire
+
     def _arrival_time(self, src: int, dst: int, nbytes: int,
                       extra: float = 0.0) -> float:
-        wire = self.model.wire_time(nbytes, self.topology.hops(src, dst)) + extra
-        t = self.engine.now + wire
+        t = self.engine.now + self._wire(src, dst, nbytes) + extra
         key = (src, dst)
         last = self._last_arrival.get(key)
         if last is not None and t <= last:
@@ -437,8 +455,36 @@ class Network:
         """Blocking send: charges the sender the full software overhead and
         then hands the payload to the wire.  When this returns, the caller
         may reuse its buffer (CmiSyncSend semantics).  ``immediate``
-        requests interrupt-style delivery at the destination."""
+        requests interrupt-style delivery at the destination.
+
+        The fault-free, non-immediate case — one wire event per
+        ``CmiSyncSend``, the hottest line in the stack — is inlined here
+        (stats, FIFO stamp, heap push) instead of going through
+        ``_schedule_delivery``/``_launch``/``engine.schedule``; the
+        semantics are those methods' verbatim."""
         src_node.charge(self.model.send_overhead + extra_send_cost)
+        if self.fault_plan is None and not immediate:
+            src = src_node.pe
+            node = self.nodes.get(dst)
+            if node is None:
+                raise SimulationError(f"no node with PE number {dst}")
+            stats = self.stats
+            stats.messages += 1
+            stats.bytes += nbytes
+            key = (src, dst)
+            pc = stats.per_channel
+            pc[key] = pc.get(key, 0) + 1
+            t = self.engine.now + self._wire(src, dst, nbytes)
+            la = self._last_arrival
+            last = la.get(key)
+            if last is not None and t <= last:
+                t = last + self.FIFO_EPSILON
+            la[key] = t
+            engine = self.engine
+            engine._seq += 1
+            heapq.heappush(engine._heap, ScheduledEvent(
+                t, engine._seq, node.deliver, (payload,), engine=engine))
+            return
         self._schedule_delivery(src_node.pe, dst, nbytes, payload,
                                 immediate=immediate)
 

@@ -104,7 +104,20 @@ class Node:
         if dt > 0.0:
             engine = self.engine
             cur = engine._current
-            if cur is None or cur.node is not self:
+            if cur is None:
+                if engine._inline_node is self:
+                    # Inline (delegated) dispatch: the handler runs in an
+                    # engine event callback, so there is no tasklet to
+                    # park — CPU cost advances the clock in place, and
+                    # the drain settles any events owed in the skipped
+                    # span at the next handler boundary
+                    # (:meth:`SimEngine.inline_resolve`).
+                    engine.now += dt
+                    return
+                raise SimulationError(
+                    f"charge() on PE {self.pe} from a tasklet not on this PE"
+                )
+            if cur.node is not self:
                 raise SimulationError(
                     f"charge() on PE {self.pe} from a tasklet not on this PE"
                 )
@@ -157,6 +170,14 @@ class Node:
                 hook(payload)
         waiters = self._waiters
         if waiters:
+            # An idle scheduler loop may have delegated its drain to the
+            # delivery path (inline dispatch): run its handlers right
+            # here in engine context — zero context switches — instead
+            # of waking the parked tasklet.
+            rt = self.runtime
+            if rt is not None and rt._delegate is not None:
+                rt._delegate._dg_deliver()
+                return
             make_ready = self.engine.make_ready
             while waiters:
                 make_ready(waiters.popleft())

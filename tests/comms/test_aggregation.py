@@ -361,3 +361,71 @@ def test_machine_true_means_default_config():
     with Machine(2, aggregation=True) as m:
         assert m.aggregation_config == AggregationConfig()
         assert isinstance(m.runtime(0).aggregation, Aggregator)
+
+
+# ----------------------------------------------------------------------
+# non-blocking scheduler entry points must not strand buffered batches
+# (regression: run_until_idle()/poll() used to return with the
+# aggregation buffers still holding small messages, so a program
+# driving its scheduler purely by polling never put them on the wire)
+# ----------------------------------------------------------------------
+def _no_auto_flush_cfg():
+    """Aggregation tuned so *only* the pre-idle hook can flush: no
+    timer, thresholds far above what the test submits."""
+    return AggregationConfig(flush_period=None, max_batch_msgs=1000,
+                             max_batch_bytes=1 << 20)
+
+
+def test_schedule_until_idle_flushes_aggregation_buffers():
+    got, hid = [], []
+    with Machine(2, aggregation=_no_auto_flush_cfg()) as m:
+        def receiver():
+            def on_msg(msg):
+                got.append(msg.payload)
+                if len(got) == 3:
+                    api.CsdExitScheduler()
+
+            hid.append(api.CmiRegisterHandler(on_msg, "idleflush"))
+            api.CmiCharge(1e-6)
+            api.CsdScheduler(-1)
+
+        def sender():
+            rt = m.runtime(0)
+            for i in range(3):
+                api.CmiSyncSend(1, Message(hid[0], i, size=8))
+            assert rt.aggregation.pending == 3     # all still buffered
+            api.CsdScheduleUntilIdle()             # must flush pre-idle
+            assert rt.aggregation.pending == 0
+            assert rt.aggregation.stats.flush_idle >= 1
+
+        m.launch_on(1, receiver)
+        m.launch_on(0, sender)
+        m.run()
+    assert got == [0, 1, 2]
+
+
+def test_schedule_poll_flushes_aggregation_buffers():
+    got, hid = [], []
+    with Machine(2, aggregation=_no_auto_flush_cfg()) as m:
+        def receiver():
+            def on_msg(msg):
+                got.append(msg.payload)
+                if len(got) == 2:
+                    api.CsdExitScheduler()
+
+            hid.append(api.CmiRegisterHandler(on_msg, "pollflush"))
+            api.CmiCharge(1e-6)
+            api.CsdScheduler(-1)
+
+        def sender():
+            rt = m.runtime(0)
+            for i in range(2):
+                api.CmiSyncSend(1, Message(hid[0], i, size=8))
+            assert rt.aggregation.pending == 2
+            api.CsdSchedulePoll()                  # must flush when idle
+            assert rt.aggregation.pending == 0
+
+        m.launch_on(1, receiver)
+        m.launch_on(0, sender)
+        m.run()
+    assert got == [0, 1]

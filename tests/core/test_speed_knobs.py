@@ -1,0 +1,104 @@
+"""The raw-speed knobs (``pool=``, ``csd_batch=``, ``inline=``) —
+resolution precedence, default policy, and the need-based-cost promise:
+with a knob off the corresponding per-message machinery must simply not
+exist (no pool object, no instrumented dispatch binding), so the only
+residual cost is the flag test at construction time.
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, Machine
+from repro.core.runtime import ConverseRuntime
+from repro.machine.base import DEFAULT_CSD_BATCH, resolve_speed_knobs
+
+
+# ----------------------------------------------------------------------
+# resolve_speed_knobs: explicit beats env beats default
+# ----------------------------------------------------------------------
+def test_resolution_defaults():
+    assert resolve_speed_knobs(None, None) == (True, DEFAULT_CSD_BATCH, False)
+    assert resolve_speed_knobs(None, None, default_pool=False)[0] is False
+
+
+def test_resolution_explicit_args_win(monkeypatch):
+    monkeypatch.setenv("REPRO_MSG_POOL", "0")
+    monkeypatch.setenv("REPRO_CSD_BATCH", "32")
+    monkeypatch.setenv("REPRO_CSD_INLINE", "1")
+    assert resolve_speed_knobs(True, 2, False) == (True, 2, False)
+
+
+def test_resolution_env_beats_default(monkeypatch):
+    monkeypatch.setenv("REPRO_MSG_POOL", "off")
+    monkeypatch.setenv("REPRO_CSD_BATCH", "5")
+    monkeypatch.setenv("REPRO_CSD_INLINE", "yes")
+    assert resolve_speed_knobs(None, None) == (False, 5, True)
+
+
+def test_resolution_clamps_batch():
+    assert resolve_speed_knobs(None, 0)[1] == 1
+    assert resolve_speed_knobs(None, -3)[1] == 1
+
+
+# ----------------------------------------------------------------------
+# machine plumbing: off means absent, not dormant
+# ----------------------------------------------------------------------
+def test_pool_off_means_no_pool_object():
+    with Machine(2, pool=False) as m:
+        assert all(rt.pool is None for rt in m.runtimes)
+
+
+def test_pool_on_by_default_for_clean_runs():
+    with Machine(2) as m:
+        assert all(rt.pool is not None for rt in m.runtimes)
+
+
+def test_pool_defaults_off_under_unreliable_faults():
+    """An unreliable fault plan duplicates wire buffers; pooling a
+    buffer the plan may redeliver would recycle live state, so the
+    default flips to off (still overridable)."""
+    plan = FaultPlan(1, duplicate=0.2)
+    with Machine(2, faults=plan) as m:
+        assert all(rt.pool is None for rt in m.runtimes)
+    with Machine(2, faults=plan, reliable=True) as m:
+        assert all(rt.pool is not None for rt in m.runtimes)
+    with Machine(2, faults=plan, pool=True) as m:
+        assert all(rt.pool is not None for rt in m.runtimes)
+
+
+def test_csd_batch_plumbs_to_scheduler():
+    with Machine(2) as m:
+        assert all(rt.scheduler._batch == DEFAULT_CSD_BATCH
+                   for rt in m.runtimes)
+    with Machine(2, csd_batch=4) as m:
+        assert all(rt.scheduler._batch == 4 for rt in m.runtimes)
+    with Machine(2, csd_batch=1) as m:
+        assert all(rt.scheduler._batch == 1 for rt in m.runtimes)
+
+
+def test_env_knobs_reach_the_machine(monkeypatch):
+    monkeypatch.setenv("REPRO_MSG_POOL", "0")
+    monkeypatch.setenv("REPRO_CSD_BATCH", "3")
+    with Machine(2) as m:
+        assert all(rt.pool is None for rt in m.runtimes)
+        assert all(rt.scheduler._batch == 3 for rt in m.runtimes)
+
+
+# ----------------------------------------------------------------------
+# dispatch binding: instrumentation selects the variant up front, so
+# the fast path carries zero flag tests per message
+# ----------------------------------------------------------------------
+def test_untraced_runtime_uses_class_level_fast_invoke():
+    with Machine(2) as m:
+        for rt in m.runtimes:
+            assert "invoke_handler" not in rt.__dict__
+            assert type(rt).invoke_handler is ConverseRuntime.invoke_handler
+
+
+def test_traced_or_metered_runtime_binds_instrumented_invoke():
+    for kwargs in (dict(trace="memory"), dict(metrics=True)):
+        with Machine(2, **kwargs) as m:
+            for rt in m.runtimes:
+                bound = rt.__dict__.get("invoke_handler")
+                assert bound is not None
+                assert bound.__func__ \
+                    is ConverseRuntime._invoke_handler_instrumented

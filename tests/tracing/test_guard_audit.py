@@ -162,3 +162,57 @@ def test_audit_detects_unguarded_code():
         "                rt.trace_event('x')",
     ]
     assert _is_guarded(nested, 6)
+
+
+# ----------------------------------------------------------------------
+# speed-layer extension: the raw-speed fast paths (pooled allocation,
+# batched dispatch, the uninstrumented invoke variant) must contain NO
+# instrumentation call sites at all — guarded or not.  Instrumented
+# runtimes bind the slow-path variants instead, so a trace/metric call
+# appearing in one of these bodies would be dead weight on every
+# message of every untraced run.
+# ----------------------------------------------------------------------
+import inspect
+
+
+def _body_calls(obj) -> list:
+    """Instrumentation call sites in ``obj``'s source (file:line tags)."""
+    src = inspect.getsource(obj)
+    hits = []
+    for off, line in enumerate(src.splitlines()):
+        if METRIC_CALL_RE.search(line) or TRACE_CALL_RE.search(line) \
+                or re.search(r"\b_ft_\w+\s*\.", line):
+            hits.append(f"{obj.__qualname__}+{off}: {line.strip()}")
+    return hits
+
+
+def test_fast_paths_are_instrumentation_free():
+    from repro.core.pool import MessagePool
+    from repro.core.runtime import ConverseRuntime
+    from repro.core.scheduler import CsdScheduler
+
+    offenders = []
+    for obj in (
+        ConverseRuntime.invoke_handler,            # fast variant (class-level)
+        ConverseRuntime.deliver_from_network,
+        MessagePool,                       # the whole free list
+        CsdScheduler._dispatch_batch,
+        CsdScheduler.run_until_idle,
+        CsdScheduler.poll,
+        CsdScheduler._drain_delegated,     # inline-dispatch drain
+    ):
+        offenders += _body_calls(obj)
+    assert not offenders, "\n".join(offenders)
+
+
+def test_instrumented_variant_still_guards_every_site():
+    """The slow-path twin keeps its calls, each under a flag guard (the
+    file-level audit above covers this too; this pins the pairing)."""
+    from repro.core.runtime import ConverseRuntime
+
+    src = inspect.getsource(ConverseRuntime._invoke_handler_instrumented)
+    assert TRACE_CALL_RE.search(src) and METRIC_CALL_RE.search(src)
+    lines = src.splitlines()
+    for idx, line in enumerate(lines):
+        if TRACE_CALL_RE.search(line) or METRIC_CALL_RE.search(line):
+            assert _is_guarded(lines, idx), f"unguarded: {line.strip()}"
