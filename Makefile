@@ -7,7 +7,7 @@ PERF_REPEATS ?= 3
 # BENCH_throughput.json before `make perf` fails.
 PERF_MAX_REGRESSION ?= 5
 
-.PHONY: test conformance fuzz ft bench perf trace-demo
+.PHONY: test conformance fuzz ft bench perf trace-demo trace-demo-mp
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -75,3 +75,11 @@ perf:
 # report with handler profiles and the critical path on stdout.
 trace-demo:
 	PYTHONPATH=src $(PY) -m repro.trace demo -o trace-demo
+
+# The same demo on the multiprocess layer: per-PE spools merged into
+# trace-demo-mp.jsonl (clock-aligned, causally repaired), the per-PE
+# spool files and clock sidecar left beside it, and the merged
+# per-worker metrics snapshot — the distributed-observability smoke.
+trace-demo-mp:
+	PYTHONPATH=src $(PY) -m repro.trace demo --machine-backend mp \
+		-o trace-demo-mp

@@ -464,13 +464,14 @@ def portable_all2all_main(num_pes: int, rounds: int) -> int:
     return state["count"]
 
 
-def _mwl_pingpong(machine_backend: str, scale: float) -> int:
+def _mwl_pingpong(machine_backend: str, scale: float,
+                  machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     rounds = max(1, int(2000 * scale))
-    kwargs: Dict[str, Any] = {}
+    kwargs: Dict[str, Any] = dict(machine_kwargs or ())
     if machine_backend == "sim":
         kwargs["model"] = GENERIC
     else:
-        kwargs["timeout"] = 600.0
+        kwargs.setdefault("timeout", 600.0)
     with Machine(2, machine_backend=machine_backend, **kwargs) as m:
         m.launch(portable_pingpong_main, rounds)
         m.run()
@@ -479,14 +480,15 @@ def _mwl_pingpong(machine_backend: str, scale: float) -> int:
     return delivered
 
 
-def _mwl_all2all_fine(machine_backend: str, scale: float) -> int:
+def _mwl_all2all_fine(machine_backend: str, scale: float,
+                      machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     num_pes = 8
     rounds = max(1, int(70 * scale))
-    kwargs: Dict[str, Any] = {}
+    kwargs: Dict[str, Any] = dict(machine_kwargs or ())
     if machine_backend == "sim":
         kwargs["model"] = GENERIC
     else:
-        kwargs["timeout"] = 600.0
+        kwargs.setdefault("timeout", 600.0)
     with Machine(num_pes, machine_backend=machine_backend, **kwargs) as m:
         m.launch(portable_all2all_main, num_pes, rounds)
         m.run()
@@ -496,10 +498,13 @@ def _mwl_all2all_fine(machine_backend: str, scale: float) -> int:
     return delivered
 
 
-#: machine-layer-portable workloads: name -> fn(machine_backend, scale).
-#: Names intentionally shadow their simulator-only counterparts so the
-#: report rows line up (same schedule, different execution substrate).
-MACHINE_WORKLOADS: Dict[str, Callable[[str, float], int]] = {
+#: machine-layer-portable workloads: name ->
+#: fn(machine_backend, scale, machine_kwargs).  Names intentionally
+#: shadow their simulator-only counterparts so the report rows line up
+#: (same schedule, different execution substrate); ``machine_kwargs``
+#: carries the observability knobs (trace/metrics) to every Machine the
+#: workload builds.
+MACHINE_WORKLOADS: Dict[str, Callable[..., int]] = {
     "pingpong": _mwl_pingpong,
     "all2all_fine": _mwl_all2all_fine,
 }
@@ -711,13 +716,43 @@ def run_workload(name: str, backend: Any = "thread", scale: float = 1.0,
 
 
 def run_machine_workload(name: str, machine_backend: str = "mp",
-                         scale: float = 1.0) -> Dict[str, float]:
+                         scale: float = 1.0, trace: str = "off",
+                         metrics: bool = False) -> Dict[str, float]:
     """Run one machine-layer-portable workload once on one machine layer
-    (``sim``/``mp``/...); returns the same shape as :func:`run_workload`."""
+    (``sim``/``mp``/...); returns the same shape as :func:`run_workload`.
+
+    ``trace``/``metrics`` sweep the observability axis on this layer too
+    — on mp that measures the *distributed* instrumentation cost
+    (per-worker spooling plus the shutdown-time merge)."""
     fn = MACHINE_WORKLOADS[name]
-    t0 = time.perf_counter()
-    messages = fn(machine_backend, scale)
-    seconds = time.perf_counter() - t0
+    jsonl_path = None
+    if trace == "jsonl":
+        import tempfile
+
+        tmp = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", prefix=f"tp-{name}-", delete=False
+        )
+        tmp.close()
+        jsonl_path = tmp.name
+    kwargs = _machine_kwargs(trace, metrics, jsonl_path)
+    try:
+        t0 = time.perf_counter()
+        messages = fn(machine_backend, scale, kwargs or None)
+        seconds = time.perf_counter() - t0
+    finally:
+        if jsonl_path is not None:
+            import glob
+            import os
+
+            # The mp layer leaves per-PE spools and a clock sidecar next
+            # to the merged file; sweep the whole artifact family.
+            root, _ext = os.path.splitext(jsonl_path)
+            for path in [jsonl_path] + glob.glob(f"{root}.pe*") \
+                    + glob.glob(f"{root}.clock.json"):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
     return {
         "messages": messages,
         "seconds": seconds,
@@ -921,15 +956,45 @@ def merge_report(report: Dict[str, Any], path: str) -> None:
 def compare_modes(modes: Sequence[str] = TRACE_MODES,
                   workloads: Optional[Sequence[str]] = None,
                   backend: str = "thread", scale: float = 1.0,
-                  repeats: int = 3) -> Dict[str, Dict[str, float]]:
+                  repeats: int = 3,
+                  machine_backend: str = "sim") -> Dict[str, Dict[str, float]]:
     """Measure observability overhead: msgs/sec per (mode, workload).
 
     Modes are the :data:`TRACE_MODES` trace sinks plus ``metrics`` (trace
     off, registry on) — the sweep behind the EXPERIMENTS.md overhead
     table.  Returns ``{mode: {workload: msgs_per_sec}}``.
+
+    ``machine_backend`` picks the axis: ``"sim"`` (default) sweeps the
+    simulator workloads on the given switch ``backend``; any other layer
+    sweeps the :data:`MACHINE_WORKLOADS` subset on that layer (``memory``
+    there means "spool to a temp dir, merge at shutdown", so the mode
+    still measures the full distributed cost).
     """
+    if machine_backend != "sim":
+        selected = list(workloads) if workloads else list(MACHINE_WORKLOADS)
+        bad = [w for w in selected if w not in MACHINE_WORKLOADS]
+        if bad:
+            raise ValueError(
+                f"workload(s) not portable to machine layer "
+                f"{machine_backend!r}: {', '.join(bad)} "
+                f"(portable: {', '.join(MACHINE_WORKLOADS)})"
+            )
+        out: Dict[str, Dict[str, float]] = {}
+        for mode in modes:
+            trace, metrics = (mode, False) if mode != "metrics" else ("off", True)
+            out[mode] = {}
+            for wl in selected:
+                best = None
+                for _ in range(max(1, repeats)):
+                    r = run_machine_workload(wl, machine_backend=machine_backend,
+                                             scale=scale, trace=trace,
+                                             metrics=metrics)
+                    if best is None or r["seconds"] < best["seconds"]:
+                        best = r
+                out[mode][wl] = best["msgs_per_sec"]
+        return out
     selected = list(workloads) if workloads else list(WORKLOADS)
-    out: Dict[str, Dict[str, float]] = {}
+    out = {}
     for mode in modes:
         trace, metrics = (mode, False) if mode != "metrics" else ("off", True)
         out[mode] = {}
@@ -1138,12 +1203,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"here, skipping: "
                   f"{machine_backend_unavailable_reason(args.machine_backend)}")
             return 0
-        if args.modes or args.ft_recovery or args.trace != "off" \
+        if args.ft_recovery or args.trace != "off" \
                 or args.metrics or args.backends:
             parser.error(
                 "--machine-backend is exclusive with --backends/--trace/"
-                "--metrics/--modes/--ft-recovery (simulator-only axes)"
+                "--metrics/--ft-recovery (simulator-only axes); the "
+                "observability sweep is --modes"
             )
+        if args.modes:
+            print(f"observability overhead (scale={args.scale}, "
+                  f"repeats={args.repeats}, layer={args.machine_backend}, "
+                  f"msgs/sec)")
+            table = compare_modes(modes=args.modes, workloads=args.workloads,
+                                  scale=args.scale, repeats=args.repeats,
+                                  machine_backend=args.machine_backend)
+            print(render_mode_table(table))
+            return 0
         print(f"machine-layer throughput (layer={args.machine_backend}, "
               f"scale={args.scale}, repeats={args.repeats})")
         report = run_suite(scale=args.scale, repeats=args.repeats,

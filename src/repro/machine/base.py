@@ -158,6 +158,19 @@ class MachineLayer(abc.ABC):
         """Release every resource (processes, threads, tasklets, files).
         Idempotent; after it the machine cannot run again."""
 
+    # -- observability --------------------------------------------------
+    def health(self) -> Dict[int, Dict[str, Any]]:
+        """Per-PE progress/liveness snapshot, keyed by PE number.
+
+        Layers with live workers (the mp layer) return their most recent
+        health reports — delivered counters, queue depth, idle state, CPU
+        time — so a hung run can be diagnosed while it hangs.  The base
+        implementation returns an empty mapping: on a single-process
+        deterministic layer the whole machine state is already inspectable
+        in place.
+        """
+        return {}
+
     # -- conveniences shared by all layers ------------------------------
     def __enter__(self) -> "MachineLayer":
         return self

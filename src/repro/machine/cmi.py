@@ -696,9 +696,15 @@ class CMI:
     def _next_msg_id(self) -> int:
         """Allocate a machine-wide trace correlation id.  Only called
         with tracing on, so untraced runs never pay for (or depend on)
-        the counter."""
+        the counter.
+
+        The machine provides a seed and a stride: the simulator uses
+        ``(0, 1)`` (dense sequential ids); an mp worker uses
+        ``(pe, num_pes)`` so every process mints from a disjoint residue
+        class and ids stay globally unique with no cross-process
+        coordination."""
         m = self.runtime.machine
-        m._msg_id_seq += 1
+        m._msg_id_seq += m._msg_id_stride
         return m._msg_id_seq
 
     def _meter_send(self, size: int, n: int = 1) -> None:

@@ -24,11 +24,25 @@ to the forward count, zero timers" cannot hold while anything is in
 flight.  The only wake sources a parked worker has are hub deliveries
 (counted) and local timers (reported), so the check is also complete.
 
+**Observability** works distributed: with ``trace=``/``metrics=`` each
+worker runs the ordinary per-PE tracer and metrics registry *in its own
+process* (instrumented-vs-fast dispatch selection is unchanged, so the
+off-cost stays zero), spooling trace events to per-PE JSONL files and
+shipping a metrics snapshot to the hub at shutdown.  The hub estimates
+each worker's monotonic-clock offset with echo probes at startup and
+close, merges the spools onto one timeline (:mod:`repro.tracing.merge`)
+and recombines the snapshots (:func:`repro.metrics.registry.merge_snapshots`),
+so the unchanged analysis/critpath/export/report pipelines consume mp
+runs exactly like simulator runs.  Workers additionally stream periodic
+health snapshots; the hub keeps a bounded flight-recorder ring of them,
+serves :meth:`MpMachine.health`, and attaches the last snapshots to
+timeout/crash errors so hung runs die with evidence.
+
 Scope (documented in the README machine-layer matrix): cost models,
-tracing, metrics, fault injection, reliable delivery, aggregation, the
-fault-tolerance layer, Cth threads/tasklets, EMI groups/global pointers
-across PEs and console input are **simulator-only** for now.  Time is
-wall-clock; runs are not deterministic.
+fault injection, reliable delivery, aggregation, the fault-tolerance
+layer, Cth threads/tasklets, EMI groups/global pointers across PEs and
+console input are **simulator-only** for now.  Time is wall-clock; runs
+are not deterministic.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ import struct
 import threading
 import time
 import traceback
+from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.errors import SimulationError
@@ -48,6 +63,12 @@ from repro.machine.base import MachineLayer, resolve_speed_knobs
 from repro.sim.console import ConsoleRecord
 from repro.sim.models import MachineModel
 from repro.sim.node import Node
+from repro.tracing.tracer import (
+    CountingTracer,
+    JsonlTracer,
+    LockingTracer,
+    Tracer,
+)
 
 __all__ = ["MpMachine", "MP_MODEL", "MP_START_METHOD_ENV_VAR"]
 
@@ -57,6 +78,13 @@ MP_START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
 #: how often a parked worker re-checks for shutdown and re-reports idle
 #: state that changed without a wakeup (seconds).
 _IDLE_RECHECK = 0.05
+
+#: default cadence of worker health snapshots (seconds).
+_HEALTH_INTERVAL = 0.25
+
+#: flight-recorder depth: most recent health snapshots the hub retains
+#: for post-mortem attachment to timeout/crash errors.
+_FLIGHT_DEPTH = 64
 
 #: all-zero cost model: on a real machine layer the costs are real, so
 #: the virtual accounting terms must not add phantom time to ``charge``.
@@ -243,6 +271,9 @@ class _MpNode(Node):
     def __init__(self, machine: "_WorkerMachine", pe: int) -> None:
         super().__init__(machine, pe)
         self._cond = threading.Condition()
+        #: True while the main thread is parked in :meth:`wait_until`
+        #: (read lock-free by the health thread — a stale value is fine).
+        self._parked = False
 
     # -- CPU time -------------------------------------------------------
     def charge(self, dt: float) -> None:
@@ -264,6 +295,9 @@ class _MpNode(Node):
             stats = self.stats
             stats.msgs_received += 1
             stats.bytes_received += getattr(payload, "size", 0) or 0
+            if self._mx_recvs is not None:
+                self._mx_recvs.inc(self.pe)
+                self._mx_recv_bytes.inc(self.pe, getattr(payload, "size", 0) or 0)
             for hook in self._delivery_hooks:
                 hook(payload)
             self._cond.notify_all()
@@ -274,6 +308,9 @@ class _MpNode(Node):
         # handler must be short and thread-safe, as on a real machine.
         self.stats.msgs_received += 1
         self.stats.bytes_received += getattr(payload, "size", 0) or 0
+        if self._mx_recvs is not None:
+            self._mx_recvs.inc(self.pe)
+            self._mx_recv_bytes.inc(self.pe, getattr(payload, "size", 0) or 0)
         for hook in self._delivery_hooks:
             hook(payload)
         rt = self.runtime
@@ -292,11 +329,15 @@ class _MpNode(Node):
     def wait_until(self, predicate: Callable[[], bool]) -> None:
         link = self.machine.worker
         with self._cond:
-            while not predicate():
-                if link.stop.is_set():
-                    raise _WorkerStop()
-                link.report_idle(self)
-                self._cond.wait(_IDLE_RECHECK)
+            try:
+                while not predicate():
+                    if link.stop.is_set():
+                        raise _WorkerStop()
+                    self._parked = True
+                    link.report_idle(self)
+                    self._cond.wait(_IDLE_RECHECK)
+            finally:
+                self._parked = False
 
     def wait_for_message(self) -> Any:
         self.wait_until(lambda: bool(self.inbox))
@@ -442,18 +483,68 @@ class _WorkerMachine:
         link.engine = self.engine
         self.worker = link
         self.console = _WorkerConsole(link, self.engine)
-        self.tracer = None
+        self.tracer = self._make_tracer(pe, options.get("trace"))
         self.metrics = None
+        if options.get("metrics"):
+            from repro.metrics.registry import MetricsRegistry
+
+            # Locking: immediate handlers (and Ccd timers) update metrics
+            # from threads other than the main thread.
+            self.metrics = MetricsRegistry(locking=True)
         self.topology = None
         self.rng = random.Random(options.get("seed", 0) * 1_000_003 + pe)
         # Raw-speed knobs, forwarded from the driver-side MpMachine so
         # the worker's ConverseRuntime picks them up at construction.
         self.msg_pooling = options.get("pool", False)
         self.csd_batch = options.get("csd_batch", 1)
+        #: trace correlation ids minted from a per-process residue class
+        #: (PE p issues {p + k*N}), globally unique with no coordination.
+        self._msg_id_seq = pe
+        self._msg_id_stride = num_pes
         self.node_obj = _MpNode(self, pe)
         #: only the local node is addressable in-process; cross-PE peeks
         #: (an FT-layer shortcut) have no meaning here.
         self.nodes = {pe: self.node_obj}
+        if self.tracer is not None:
+            self.node_obj.add_delivery_hook(self._trace_delivery(self.node_obj))
+        if self.metrics is not None:
+            self.node_obj.attach_metrics(self.metrics)
+
+    @staticmethod
+    def _make_tracer(pe: int, spec: Any) -> Optional[Tracer]:
+        """Build this worker's in-process trace sink from the hub's
+        shipped spec: ``("jsonl", base)`` spools full events to this PE's
+        sibling file; ``("count",)`` keeps per-kind counters that travel
+        to the hub as one frame at shutdown.  Wrapped in a
+        :class:`LockingTracer` because immediate handlers record from the
+        receiver thread concurrently with the main thread."""
+        if spec is None:
+            return None
+        if spec[0] == "jsonl":
+            from repro.tracing.merge import spool_path
+
+            return LockingTracer(JsonlTracer(spool_path(spec[1], pe)))
+        if spec[0] == "count":
+            return LockingTracer(CountingTracer())
+        raise SimulationError(f"unknown worker trace spec {spec!r}")
+
+    def _trace_delivery(self, node: _MpNode) -> Callable[[Any], None]:
+        # Same receive-event shape as the simulator machine's hook, so
+        # merged traces are indistinguishable to the analysis layer.
+        def hook(payload: Any) -> None:
+            self.tracer.record(
+                node.pe,
+                self.engine.now,
+                "receive",
+                {
+                    "handler": getattr(payload, "handler", None),
+                    "size": getattr(payload, "size", 0),
+                    "src": getattr(payload, "src_pe", None),
+                    "msg": getattr(payload, "msg_id", None),
+                },
+            )
+
+        return hook
 
 
 def _worker_receive_loop(link: _WorkerLink, node: _MpNode) -> None:
@@ -474,6 +565,18 @@ def _worker_receive_loop(link: _WorkerLink, node: _MpNode) -> None:
             with node._cond:
                 node._cond.notify_all()
             return
+        if frame[0] == "clock_probe":
+            # Clock-alignment echo: bounce the hub's timestamp back with
+            # this worker's engine clock.  Bypasses the quiescence
+            # counters entirely (not a forwarded message) and is answered
+            # on the receiver thread, so the round trip measures socket
+            # latency, not scheduler occupancy.
+            _, probe_id, hub_now = frame
+            try:
+                link.send(("clock", probe_id, hub_now, link.engine.now))
+            except OSError:
+                pass
+            continue
         if frame[0] == "msg":
             _, payload, immediate = frame
             try:
@@ -496,6 +599,29 @@ def _worker_receive_loop(link: _WorkerLink, node: _MpNode) -> None:
             with node._cond:
                 link.net_recv += 1
                 node._cond.notify_all()
+
+
+def _worker_health_loop(link: _WorkerLink, machine: "_WorkerMachine",
+                        node: _MpNode, interval: float) -> None:
+    """Health thread in a worker: periodically snapshot progress counters
+    and stream them to the hub.  Reads are lock-free (ints and deque
+    length under the GIL) — a snapshot is a statistical observation, not
+    a synchronized one — so the thread never perturbs the hot path."""
+    stats = node.stats
+    while not link.stop.wait(interval):
+        snap = {
+            "delivered": link.net_recv,
+            "inbox": len(node.inbox),
+            "idle": node._parked,
+            "timers": machine.engine.pending_timers,
+            "handlers": stats.handlers_run,
+            "sent": stats.msgs_sent,
+            "cpu": time.process_time(),
+        }
+        try:
+            link.send(("health", node.pe, snap))
+        except OSError:
+            return
 
 
 def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -> None:
@@ -531,6 +657,13 @@ def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -
             name=f"mp-recv-pe{pe}", daemon=True,
         )
         receiver.start()
+        health = threading.Thread(
+            target=_worker_health_loop,
+            args=(link, machine, node,
+                  options.get("health_interval", _HEALTH_INTERVAL)),
+            name=f"mp-health-pe{pe}", daemon=True,
+        )
+        health.start()
         for idx, kind, fn, args, _name in specs:
             try:
                 if kind == "scheduler":
@@ -566,6 +699,27 @@ def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -
             pass
     finally:
         machine.engine.shutdown()
+        # Ship the observability payloads before the cpu frame (the
+        # hub's reader drains everything up to EOF): the metrics
+        # snapshot, and — for count-mode tracing — the event counters.
+        # Jsonl spools just need a flush; the hub reads the files.
+        if machine.metrics is not None:
+            try:
+                link.send(("metrics", pe, machine.metrics.snapshot()))
+            except OSError:
+                pass
+        tracer = machine.tracer
+        if tracer is not None:
+            inner = getattr(tracer, "inner", tracer)
+            if isinstance(inner, CountingTracer):
+                try:
+                    link.send(("trace_counts", pe, dict(inner.counts)))
+                except OSError:
+                    pass
+            try:
+                tracer.close()
+            except OSError:
+                pass
         try:
             link.send(("cpu", time.process_time()))
         except OSError:
@@ -645,9 +799,10 @@ class MpConsole:
 
 #: machine arguments that configure simulator-only subsystems, with the
 #: neutral values the mp layer accepts (and ignores / rejects beyond).
+#: (``trace``/``metrics`` used to live here; they are first-class mp
+#: arguments now — see the distributed-observability section of the
+#: module docstring.)
 _SIM_ONLY_OFF = {
-    "trace": False,
-    "metrics": False,
     "faults": None,
     "reliable": False,
     "aggregation": False,
@@ -684,10 +839,38 @@ class MpMachine(MachineLayer):
         simulator layer (``REPRO_MSG_POOL`` / ``REPRO_CSD_BATCH``):
         per-PE pooled wire-copy allocation (default on) and the Csd
         dispatch batch size, applied inside every worker process.
+    trace:
+        Distributed tracing spec.  ``False`` (default) — off, zero
+        instrumentation in the workers.  ``True``/``"memory"`` — workers
+        spool to a temporary directory; after :meth:`shutdown` the merged
+        single-timeline trace is on ``machine.tracer`` (a
+        :class:`~repro.tracing.tracer.MemoryTracer`).  ``"count"`` —
+        per-kind counters only; merged into a ``CountingTracer``.
+        ``"jsonl:<path>"`` (or a path) — workers spool to per-PE sibling
+        files (``trace.pe0.jsonl``, ...); shutdown writes the merged
+        trace at ``<path>`` plus a ``<path minus ext>.clock.json`` offset
+        sidecar, and keeps the spools for re-merging with
+        ``repro.trace merge``.  Live :class:`Tracer` objects are
+        rejected: a tracer cannot be shared across process boundaries.
+    metrics:
+        ``True`` runs a locking per-worker
+        :class:`~repro.metrics.registry.MetricsRegistry` in every PE
+        process; snapshots ship to the hub at shutdown and
+        :meth:`metrics_snapshot` returns their machine-wide merge.
+        Registry *instances* are rejected (same cross-process reason).
+    watch:
+        Live-health ticker: ``True`` (1 s) or a float interval in
+        seconds.  While :meth:`run` waits, a line of per-PE progress
+        (delivered counts, idle states, CPU time) is printed to stderr
+        each tick — the hub's view of the same snapshots
+        :meth:`health` serves.
+    health_interval:
+        Cadence of worker health snapshots (default 0.25 s); also the
+        resolution of the flight recorder attached to timeout errors.
     model / machine_backend:
         Accepted for signature compatibility with the simulator layer;
         cost models are meaningless here (costs are real).
-    trace, metrics, faults, reliable, aggregation, ft, backend:
+    faults, reliable, aggregation, ft, backend:
         Simulator-only subsystems: accepted at their "off" defaults,
         rejected otherwise with a clear error.
     """
@@ -697,6 +880,8 @@ class MpMachine(MachineLayer):
                  ldb: str = "direct", echo: bool = False, seed: int = 0,
                  timeout: float = 60.0, start_method: Optional[str] = None,
                  pool: Any = None, csd_batch: Any = None, inline: Any = None,
+                 trace: Any = False, metrics: Any = False,
+                 watch: Any = False, health_interval: float = _HEALTH_INTERVAL,
                  **kwargs: Any) -> None:
         if args:
             raise SimulationError(
@@ -722,6 +907,23 @@ class MpMachine(MachineLayer):
         self.num_pes = num_pes
         self.model = MP_MODEL
         self.console = MpConsole(echo=echo)
+        # -- observability configuration --------------------------------
+        self._trace_mode, self._trace_base = self._resolve_trace_spec(trace)
+        self._metrics_on = self._resolve_metrics_spec(metrics)
+        self._watch_interval = (
+            1.0 if watch is True else float(watch) if watch else 0.0
+        )
+        self._health_interval = max(0.01, float(health_interval))
+        #: merged trace sink; populated by :meth:`shutdown` when tracing
+        #: (``None`` before then, and always ``None`` with tracing off —
+        #: the same attribute surface the simulator machine exposes).
+        self.tracer: Optional[Tracer] = None
+        self.metrics = None  # registries live in the workers; see metrics_snapshot()
+        self._spool_dir: Optional[str] = None
+        self._merged_metrics: Optional[dict] = None
+        #: non-fatal trace-merge failure from a crashy teardown, kept for
+        #: inspection instead of masking the primary error in shutdown().
+        self.trace_merge_error: Optional[str] = None
         # Raw-speed knobs, shared with the simulator layer and shipped
         # to every worker in its options dict (each worker's runtime
         # reads them at construction, exactly like the sim machine).
@@ -748,12 +950,64 @@ class MpMachine(MachineLayer):
         self._quiescent = False
         self._worker_error: Optional[tuple] = None
         self._worker_cpu: Dict[int, float] = {}
+        # -- observability state (guarded by _state) --------------------
+        self._health: Dict[int, dict] = {}
+        self._flight: deque = deque(maxlen=_FLIGHT_DEPTH)
+        self._clock: Dict[int, tuple] = {}  # pe -> (rtt, offset) best sample
+        self._next_probe = 0
+        self._worker_metrics: Dict[int, dict] = {}
+        self._worker_trace_counts: Dict[int, dict] = {}
         # -- plumbing ---------------------------------------------------
         self._procs: List[Any] = []
         self._conns: Dict[int, socket.socket] = {}
         self._conn_wlocks: Dict[int, threading.Lock] = {}
         self._readers: List[threading.Thread] = []
         self._listener: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    # observability spec validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_trace_spec(trace: Any) -> tuple:
+        """Map the ``trace=`` argument to ``(mode, jsonl_base)`` —
+        the distributed spelling of :func:`make_tracer`'s contract."""
+        if trace in (None, False):
+            return None, None
+        if trace is True or trace == "memory":
+            return "memory", None
+        if trace == "count":
+            return "count", None
+        if isinstance(trace, Tracer) or hasattr(trace, "write"):
+            raise SimulationError(
+                "the mp machine layer cannot share a live tracer or file "
+                "object across process boundaries; pass True, 'count' or "
+                "'jsonl:<path>' and read machine.tracer (or the merged "
+                "file) after shutdown()"
+            )
+        if isinstance(trace, os.PathLike):
+            return "jsonl", os.fspath(trace)
+        if isinstance(trace, str):
+            if trace.startswith("jsonl:"):
+                return "jsonl", trace[len("jsonl:"):]
+            if os.sep in trace or "/" in trace or trace.endswith(".jsonl"):
+                return "jsonl", trace
+        raise SimulationError(
+            f"unknown tracer spec {trace!r}: use False, True, 'memory', "
+            "'count', 'jsonl:<path>' or a path"
+        )
+
+    @staticmethod
+    def _resolve_metrics_spec(metrics: Any) -> bool:
+        if metrics in (None, False):
+            return False
+        if metrics is True:
+            return True
+        raise SimulationError(
+            "the mp machine layer runs one metrics registry per worker "
+            "process; pass metrics=True and read "
+            "machine.metrics_snapshot() after the run (registry instances "
+            "cannot cross process boundaries)"
+        )
 
     # ------------------------------------------------------------------
     # identity
@@ -894,6 +1148,30 @@ class MpMachine(MachineLayer):
             elif kind == "cpu":
                 with self._state:
                     self._worker_cpu[pe] = frame[1]
+            elif kind == "health":
+                _, wpe, snap = frame
+                with self._state:
+                    self._health[wpe] = snap
+                    self._flight.append((time.monotonic(), wpe, snap))
+            elif kind == "clock":
+                # Echo reply: frame carries our original send timestamp
+                # and the worker's engine clock at the bounce.  Midpoint
+                # estimation; the minimum-RTT sample per PE wins (its
+                # asymmetry error is the smallest).
+                _, _probe_id, t_send, worker_now = frame
+                t_recv = time.monotonic()
+                rtt = t_recv - t_send
+                offset = (t_send + t_recv) / 2.0 - worker_now
+                with self._state:
+                    best = self._clock.get(pe)
+                    if best is None or rtt < best[0]:
+                        self._clock[pe] = (rtt, offset)
+            elif kind == "metrics":
+                with self._state:
+                    self._worker_metrics[frame[1]] = frame[2]
+            elif kind == "trace_counts":
+                with self._state:
+                    self._worker_trace_counts[frame[1]] = frame[2]
             elif kind == "fatal":
                 with self._state:
                     self._fail_locked(pe, frame[1])
@@ -911,8 +1189,24 @@ class MpMachine(MachineLayer):
         listener.settimeout(min(30.0, self._timeout))
         self._listener = listener
         port = listener.getsockname()[1]
+        worker_trace = None
+        if self._trace_mode == "count":
+            worker_trace = ("count",)
+        elif self._trace_mode in ("memory", "jsonl"):
+            base = self._trace_base
+            if base is None:
+                # memory mode: spool to a temp dir the hub reads back and
+                # removes at shutdown.
+                import tempfile
+
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-mp-trace-")
+                base = os.path.join(self._spool_dir, "trace.jsonl")
+                self._trace_base = base
+            worker_trace = ("jsonl", base)
         options = {"queue": self._queue, "ldb": self._ldb, "seed": self._seed,
-                   "pool": self.msg_pooling, "csd_batch": self.csd_batch}
+                   "pool": self.msg_pooling, "csd_batch": self.csd_batch,
+                   "trace": worker_trace, "metrics": self._metrics_on,
+                   "health_interval": self._health_interval}
         # Spawn every worker before starting any hub thread: with the
         # fork start method, forking a multi-threaded parent is the
         # classic deadlock, so the parent stays single-threaded here.
@@ -950,6 +1244,24 @@ class MpMachine(MachineLayer):
             )
             reader.start()
             self._readers.append(reader)
+        if self._trace_mode in ("memory", "jsonl"):
+            # Startup clock probes: sample each worker's monotonic offset
+            # while the sockets are quiet (the mains are still booting).
+            self._send_clock_probes()
+
+    def _send_clock_probes(self) -> None:
+        """One echo probe per worker (replies land in ``_hub_reader``).
+        Probes ride the ordinary frame sockets but bypass the forwarded
+        counters, so quiescence accounting never sees them."""
+        for pe, conn in self._conns.items():
+            with self._state:
+                probe_id = self._next_probe
+                self._next_probe += 1
+            try:
+                _send_frame(conn, self._conn_wlocks[pe],
+                            ("clock_probe", probe_id, time.monotonic()))
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # running
@@ -975,30 +1287,114 @@ class MpMachine(MachineLayer):
         except BaseException:
             self.shutdown()
             raise
+        watch_stop: Optional[threading.Event] = None
+        if self._watch_interval > 0:
+            watch_stop = threading.Event()
+            ticker = threading.Thread(
+                target=self._watch_loop, args=(watch_stop,),
+                name="mp-watch", daemon=True,
+            )
+            ticker.start()
         deadline = time.monotonic() + self._timeout
-        with self._state:
-            while True:
-                if self._worker_error is not None:
-                    pe, why = self._worker_error
-                    break
-                if self._quiescent:
-                    pe, why = -1, None
-                    break
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    pe, why = -1, "timeout"
-                    break
-                self._state.wait(min(remaining, 0.1))
+        try:
+            with self._state:
+                while True:
+                    if self._worker_error is not None:
+                        pe, why = self._worker_error
+                        break
+                    if self._quiescent:
+                        pe, why = -1, None
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        pe, why = -1, "timeout"
+                        break
+                    self._state.wait(min(remaining, 0.1))
+        finally:
+            if watch_stop is not None:
+                watch_stop.set()
         if why == "timeout":
+            evidence = self._flight_summary()
             self.shutdown()
             raise SimulationError(
                 f"mp machine run timed out after {self._timeout:.0f}s "
-                "(deadlocked or hung worker?)"
+                "(deadlocked or hung worker?)" + evidence
             )
         if why is not None:
+            evidence = self._flight_summary()
             self.shutdown()
-            raise SimulationError(f"mp machine worker on PE {pe} failed:\n{why}")
+            raise SimulationError(
+                f"mp machine worker on PE {pe} failed:\n{why}" + evidence
+            )
         return "quiescent"
+
+    # ------------------------------------------------------------------
+    # live health
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[int, Dict[str, Any]]:
+        """The hub's latest view of every PE: the most recent worker
+        health snapshot (delivered/inbox/idle/timers/handlers/sent/cpu)
+        plus the hub's own forwarded counter — the two sides of the
+        quiescence ledger, readable while the run is still in flight."""
+        with self._state:
+            out: Dict[int, Dict[str, Any]] = {}
+            for pe in range(self.num_pes):
+                snap = dict(self._health.get(pe, ()))
+                snap["forwarded"] = self._forwarded[pe]
+                idle = self._idle.get(pe)
+                if idle is not None and "delivered" not in snap:
+                    snap["delivered"] = idle[0]
+                out[pe] = snap
+            return out
+
+    def flight_recorder(self) -> List[tuple]:
+        """The bounded ring of recent ``(hub_time, pe, snapshot)`` health
+        reports — the raw evidence :meth:`run` attaches to timeout and
+        crash errors."""
+        with self._state:
+            return list(self._flight)
+
+    def _flight_summary(self) -> str:
+        """Render the last-known per-PE state for attachment to an error
+        message (empty string when no report of any kind ever arrived)."""
+        with self._state:
+            reported = set(self._health) | set(self._idle)
+        if not reported:
+            return ""
+        health = self.health()
+        parts = []
+        for pe in sorted(health):
+            snap = health[pe]
+            if pe not in reported:
+                parts.append(f"pe{pe}: <no report> "
+                             f"forwarded={snap.get('forwarded', '?')}")
+                continue
+            parts.append(
+                f"pe{pe}: delivered={snap.get('delivered', '?')}"
+                f"/{snap.get('forwarded', '?')}"
+                f" inbox={snap.get('inbox', '?')}"
+                f" idle={str(snap.get('idle', '?')).lower()}"
+                f" handlers={snap.get('handlers', '?')}"
+                f" cpu={snap.get('cpu', 0.0):.2f}s"
+            )
+        return ("\nlast health snapshots (flight recorder):\n  "
+                + "\n  ".join(parts))
+
+    def _watch_loop(self, stop: threading.Event) -> None:
+        import sys
+
+        while not stop.wait(self._watch_interval):
+            health = self.health()
+            cells = []
+            for pe in sorted(health):
+                snap = health[pe]
+                mark = "idle" if snap.get("idle") else "busy"
+                cells.append(
+                    f"pe{pe} {mark}"
+                    f" d={snap.get('delivered', '?')}/{snap.get('forwarded', '?')}"
+                    f" h={snap.get('handlers', '?')}"
+                )
+            sys.stderr.write("[mp health] " + " | ".join(cells) + "\n")
 
     # ------------------------------------------------------------------
     # results & teardown
@@ -1033,6 +1429,12 @@ class MpMachine(MachineLayer):
         self._shut_down = True
         with self._state:
             self._shutting_down = True
+        if self._trace_mode in ("memory", "jsonl"):
+            # Close-time clock probes: a second offset sample at the end
+            # of the run bounds drift over its span.  Same-socket FIFO
+            # means every worker answers the probe *before* it sees the
+            # shutdown frame, so the replies always drain.
+            self._send_clock_probes()
         for pe, conn in self._conns.items():
             try:
                 _send_frame(conn, self._conn_wlocks[pe], ("shutdown",))
@@ -1062,6 +1464,85 @@ class MpMachine(MachineLayer):
             except OSError:
                 pass
             self._listener = None
+        # Readers are drained: every final frame (clock echoes, metrics
+        # snapshots, trace counters, cpu) has been absorbed.  Merge.
+        if self._trace_mode is not None and self._started and self.tracer is None:
+            try:
+                self._finalize_trace()
+            except Exception:
+                # shutdown() also runs on the failure path (timeout,
+                # worker crash); a merge problem there must not mask the
+                # primary error — keep it inspectable instead.
+                self.trace_merge_error = traceback.format_exc()
+
+    def _finalize_trace(self) -> None:
+        """Combine the workers' trace output into ``self.tracer`` (and,
+        for jsonl mode, the merged on-disk trace + clock sidecar)."""
+        if self._trace_mode == "count":
+            merged = CountingTracer()
+            with self._state:
+                per_pe = list(self._worker_trace_counts.values())
+            for counts in per_pe:
+                for key, n in counts.items():
+                    merged.counts[key] += n
+            self.tracer = merged
+            return
+        from repro.tracing.merge import (
+            load_spool,
+            merge_tracers,
+            save_clock_file,
+            spool_path,
+        )
+
+        with self._state:
+            offsets = {pe: off for pe, (_rtt, off) in self._clock.items()}
+        tracers = []
+        spools = []
+        for pe in range(self.num_pes):
+            path = spool_path(self._trace_base, pe)
+            if os.path.exists(path):
+                spools.append(path)
+                tracers.append(load_spool(path))
+        self.tracer = merge_tracers(tracers, offsets=offsets)
+        if self._trace_mode == "jsonl":
+            from repro.tracing.merge import write_jsonl
+
+            write_jsonl(self.tracer, self._trace_base)
+            root, _ext = os.path.splitext(self._trace_base)
+            save_clock_file(f"{root}.clock.json", offsets)
+        elif self._spool_dir is not None:
+            # memory mode spooled to a temp dir: nothing outlives the
+            # merged in-RAM tracer.
+            import shutil
+
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """The machine-wide metrics snapshot: every worker's per-process
+        registry snapshot, merged (same shape the simulator's single
+        registry produces, so reports and assertions port unchanged).
+
+        Workers ship their snapshots as they exit, so on this single-run
+        layer asking for the snapshot finalizes the machine: if the run
+        is still live, :meth:`shutdown` is invoked first.
+        """
+        if not self._metrics_on:
+            raise SimulationError(
+                "machine was built without metrics; pass metrics=True"
+            )
+        if self._merged_metrics is None:
+            self.shutdown()
+            from repro.metrics.registry import merge_snapshots
+
+            with self._state:
+                snaps = [self._worker_metrics[pe]
+                         for pe in sorted(self._worker_metrics)]
+            self._merged_metrics = merge_snapshots(snaps)
+        return self._merged_metrics
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "shut down" if self._shut_down else (

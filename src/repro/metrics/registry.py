@@ -31,6 +31,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "make_registry",
+    "merge_snapshots",
+    "save_snapshot",
     "TIME_BUCKETS",
     "SIZE_BUCKETS",
     "DEPTH_BUCKETS",
@@ -215,6 +217,49 @@ class Histogram:
         }
 
 
+class _LockedCounter(Counter):
+    """A :class:`Counter` whose updates hold a shared registry lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, help: str = "", lock: Any = None) -> None:
+        super().__init__(name, help)
+        self._lock = lock
+
+    def inc(self, pe: int, n: float = 1.0) -> None:
+        with self._lock:
+            Counter.inc(self, pe, n)
+
+
+class _LockedGauge(Gauge):
+    """A :class:`Gauge` whose updates hold a shared registry lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, help: str = "", lock: Any = None) -> None:
+        super().__init__(name, help)
+        self._lock = lock
+
+    def set(self, pe: int, v: float) -> None:
+        with self._lock:
+            Gauge.set(self, pe, v)
+
+
+class _LockedHistogram(Histogram):
+    """A :class:`Histogram` whose updates hold a shared registry lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, bounds: Sequence[float] = TIME_BUCKETS,
+                 help: str = "", lock: Any = None) -> None:
+        super().__init__(name, bounds, help)
+        self._lock = lock
+
+    def observe(self, pe: int, v: float) -> None:
+        with self._lock:
+            Histogram.observe(self, pe, v)
+
+
 class MetricsRegistry:
     """Named metrics for one machine.
 
@@ -222,10 +267,22 @@ class MetricsRegistry:
     code calls them once at construction and caches the returned handle;
     re-requesting an existing name returns the same object (a kind
     mismatch raises).
+
+    ``locking=True`` hands out lock-protected metric handles sharing one
+    registry lock.  The deterministic simulator never needs it (one
+    thread runs all PEs); an mp *worker* does, because its instrumented
+    paths run on the main thread, the socket receiver thread (immediate
+    handlers) and Ccd timer threads concurrently — and a lost
+    read-modify-write update would silently undercount.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, locking: bool = False) -> None:
         self._metrics: Dict[str, Any] = {}
+        self._lock: Any = None
+        if locking:
+            import threading
+
+            self._lock = threading.Lock()
 
     def _get(self, name: str, factory: Any, kind: str) -> Any:
         m = self._metrics.get(name)
@@ -240,15 +297,26 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create a :class:`Counter`."""
+        if self._lock is not None:
+            return self._get(
+                name, lambda: _LockedCounter(name, help, self._lock), "counter")
         return self._get(name, lambda: Counter(name, help), "counter")
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         """Get or create a :class:`Gauge`."""
+        if self._lock is not None:
+            return self._get(
+                name, lambda: _LockedGauge(name, help, self._lock), "gauge")
         return self._get(name, lambda: Gauge(name, help), "gauge")
 
     def histogram(self, name: str, bounds: Sequence[float] = TIME_BUCKETS,
                   help: str = "") -> Histogram:
         """Get or create a :class:`Histogram` (bounds fixed at creation)."""
+        if self._lock is not None:
+            return self._get(
+                name,
+                lambda: _LockedHistogram(name, bounds, help, self._lock),
+                "histogram")
         return self._get(name, lambda: Histogram(name, bounds, help), "histogram")
 
     def get(self, name: str) -> Optional[Any]:
@@ -317,6 +385,103 @@ def _per_pe_brief(per_pe: Mapping[str, Any]) -> str:
     if len(items) > 6:
         body += f" … ({len(items)} PEs)"
     return body
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge per-process :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The mp machine layer runs one registry per worker process; at
+    shutdown each worker ships its snapshot to the hub, and this function
+    recombines them into the same shape a single machine-wide registry
+    would have produced — so :func:`render_metrics_report`, the CLI and
+    every analysis consumer work unchanged on distributed runs.
+
+    Per-PE maps are unioned (summing on collisions, which only occur if
+    two snapshots claim the same PE); counter totals, gauge maxima and
+    histogram aggregates are recomputed from the merged per-PE data.
+    Histograms must agree on bucket bounds (they do, by construction:
+    bounds are fixed in the wiring code) — a mismatch raises
+    ``ValueError`` rather than merging incomparable distributions.
+    """
+    merged: Dict[str, Any] = {}
+    for snap in snapshots:
+        for name, m in snap.items():
+            cur = merged.get(name)
+            if cur is None:
+                cur = merged[name] = json.loads(json.dumps(m))  # deep copy
+                if cur.get("kind") == "histogram" and cur.get("count"):
+                    # Mark populated extrema so later snapshots combine
+                    # with them instead of replacing them.
+                    cur["_seen_any"] = True
+                continue
+            if cur.get("kind") != m.get("kind"):
+                raise ValueError(
+                    f"metric {name!r} has kind {m.get('kind')!r} in one "
+                    f"snapshot and {cur.get('kind')!r} in another"
+                )
+            kind = cur.get("kind")
+            if kind == "counter":
+                per = cur["per_pe"]
+                for pe, v in m.get("per_pe", {}).items():
+                    per[pe] = per.get(pe, 0.0) + v
+                cur["total"] = sum(per.values())
+            elif kind == "gauge":
+                for key in ("per_pe", "max_per_pe"):
+                    dst = cur.setdefault(key, {})
+                    for pe, v in m.get(key, {}).items():
+                        dst[pe] = max(dst.get(pe, float("-inf")), v)
+                cur["max"] = max(cur["max_per_pe"].values(), default=0.0)
+            elif kind == "histogram":
+                if list(cur.get("bounds", [])) != list(m.get("bounds", [])):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ between "
+                        "snapshots; cannot merge"
+                    )
+                per = cur.setdefault("per_pe", {})
+                for pe, row in m.get("per_pe", {}).items():
+                    dst = per.get(pe)
+                    if dst is None:
+                        per[pe] = json.loads(json.dumps(row))
+                    else:
+                        dst["count"] += row.get("count", 0)
+                        dst["sum"] += row.get("sum", 0.0)
+                        dst["buckets"] = [
+                            a + b for a, b in
+                            zip(dst["buckets"], row.get("buckets", []))
+                        ]
+                cur["count"] = sum(r["count"] for r in per.values())
+                cur["sum"] = sum(r["sum"] for r in per.values())
+                cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else 0.0
+                nbuckets = len(cur.get("bounds", [])) + 1
+                buckets = [0] * nbuckets
+                for r in per.values():
+                    for i, c in enumerate(r.get("buckets", [])):
+                        buckets[i] += c
+                cur["buckets"] = buckets
+                # min/max: the per-snapshot extrema, ignoring empty sides
+                # (an empty histogram snapshots min=max=0.0, which must
+                # not clamp a populated one).
+                if m.get("count"):
+                    if cur.get("_seen_any"):
+                        cur["min"] = min(cur["min"], m.get("min", 0.0))
+                        cur["max"] = max(cur["max"], m.get("max", 0.0))
+                    else:
+                        cur["min"], cur["max"] = m.get("min", 0.0), m.get("max", 0.0)
+                    cur["_seen_any"] = True
+            if not cur.get("help") and m.get("help"):
+                cur["help"] = m["help"]
+    for m in merged.values():
+        m.pop("_seen_any", None)
+    return merged
+
+
+def save_snapshot(snapshot: Mapping[str, Any], path: Any) -> None:
+    """Write a snapshot dict to ``path`` as indented JSON — the
+    module-level twin of :meth:`MetricsRegistry.save` for snapshots that
+    never lived in a local registry (e.g. merged mp worker snapshots)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(dict(snapshot), fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def make_registry(spec: Any) -> Optional[MetricsRegistry]:

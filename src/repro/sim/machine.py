@@ -198,8 +198,10 @@ class Machine(MachineLayer):
         self.network.tracer = self.tracer
         self.metrics = make_registry(metrics)
         #: machine-wide trace correlation id allocator (see
-        #: ``CMI._next_msg_id``); advanced only when tracing is on.
+        #: ``CMI._next_msg_id``); advanced only when tracing is on.  The
+        #: simulator owns every PE, so it mints densely from one counter.
         self._msg_id_seq = 0
+        self._msg_id_stride = 1
         if faults is not None:
             if not isinstance(faults, FaultPlan):
                 raise SimulationError(

@@ -6,14 +6,19 @@ Subcommands::
     python -m repro.trace export run.jsonl -o run.chrome.json
     python -m repro.trace critpath run.jsonl         # critical path only
     python -m repro.trace metrics run.metrics.json   # metrics table
+    python -m repro.trace merge run.pe*.jsonl -o run.jsonl   # mp spools
     python -m repro.trace demo -o demo               # generate demo artifacts
 
 ``summarize``/``export``/``critpath`` read JSONL traces produced by
 ``Machine(trace="jsonl:<path>")``; ``metrics`` reads a JSON snapshot
-produced by ``MetricsRegistry.save``.  ``demo`` runs a small traced and
-metered workload and writes ``<prefix>.jsonl``, ``<prefix>.chrome.json``
-and ``<prefix>.metrics.json`` — the artifact set CI validates and
-uploads.
+produced by ``MetricsRegistry.save``.  ``merge`` recombines the per-PE
+spool files an mp-backend run leaves next to its merged trace (useful to
+re-merge after a crash, or with different clock/causality options; pass
+``--clock <base>.clock.json`` to reuse the measured offsets).  ``demo``
+runs a small traced and metered workload and writes ``<prefix>.jsonl``,
+``<prefix>.chrome.json`` and ``<prefix>.metrics.json`` — the artifact
+set CI validates and uploads; ``--machine-backend mp`` runs it on the
+multiprocess layer end to end.
 """
 
 from __future__ import annotations
@@ -89,11 +94,28 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_main() -> None:
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.tracing.merge import merge_spools, write_jsonl
+
+    merged = merge_spools(
+        args.spools,
+        clock_file=args.clock,
+        causal=not args.no_causal,
+        rebase=not args.no_rebase,
+    )
+    count = write_jsonl(merged, args.output)
+    pes = sorted({e.pe for e in merged.events})
+    print(f"wrote {args.output}: {count} events from {len(args.spools)} "
+          f"spools ({len(pes)} PEs)")
+    return 0
+
+
+def _demo_main(threads: bool = True) -> None:
     """The demo workload, launched SPMD on every PE: a multi-round token
     ring (point-to-point sends and scheduler turnaround on each PE) ending
-    in a broadcast shutdown, plus a threaded phase on PE 0 so the trace
-    contains Cth events."""
+    in a broadcast shutdown, plus — with ``threads`` — a threaded phase on
+    PE 0 so the trace contains Cth events (Cth is simulator-only, so the
+    mp demo runs the ring alone)."""
     from repro.core import api
 
     me, num = api.CmiMyPe(), api.CmiNumPes()
@@ -115,17 +137,18 @@ def _demo_main() -> None:
     h_done = api.CmiRegisterHandler(on_done, "demo.done")
 
     if me == 0:
-        # A short Cth phase interleaved with the ring: two threads on the
-        # scheduler strategy, so their yields flow through the Csd queue
-        # as generalized resume-messages.
-        def worker(tag: Any) -> None:
-            for _ in range(3):
-                api.CmiCharge(1e-6)
-                api.CthYield()
+        if threads:
+            # A short Cth phase interleaved with the ring: two threads on
+            # the scheduler strategy, so their yields flow through the
+            # Csd queue as generalized resume-messages.
+            def worker(tag: Any) -> None:
+                for _ in range(3):
+                    api.CmiCharge(1e-6)
+                    api.CthYield()
 
-        for t in (api.CthCreate(worker, "a"), api.CthCreate(worker, "b")):
-            api.CthUseSchedulerStrategy(t)
-            api.CthAwaken(t)
+            for t in (api.CthCreate(worker, "a"), api.CthCreate(worker, "b")):
+                api.CthUseSchedulerStrategy(t)
+                api.CthAwaken(t)
         # Kick off the ring: rounds * num hops, then a broadcast stops
         # every PE's scheduler.
         api.CmiSyncSend(1 % num, api.CmiNew(h_token, rounds * num, size=64))
@@ -133,7 +156,7 @@ def _demo_main() -> None:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro.metrics.registry import MetricsRegistry
+    from repro.metrics.registry import save_snapshot
     from repro.sim.machine import Machine
     from repro.sim.models import MYRINET_FM
 
@@ -141,13 +164,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     trace_path = f"{prefix}.jsonl"
     chrome_path = f"{prefix}.chrome.json"
     metrics_path = f"{prefix}.metrics.json"
+    backend = args.machine_backend
 
-    registry = MetricsRegistry()
-    with Machine(args.pes, model=MYRINET_FM, trace=f"jsonl:{trace_path}",
-                 metrics=registry) as machine:
-        machine.launch(_demo_main)
-        machine.run()
-    registry.save(metrics_path)
+    if backend == "mp":
+        # The distributed path: per-worker registries and spools, merged
+        # at shutdown (the trace file below IS the merged timeline; the
+        # per-PE spools and clock sidecar stay next to it).  Cth threads
+        # are simulator-only, so the demo runs the ring phase alone.
+        machine = Machine(args.pes, machine_backend="mp",
+                          trace=f"jsonl:{trace_path}", metrics=True,
+                          watch=0.5 if args.watch else False)
+        try:
+            machine.launch(_demo_main, False)
+            machine.run()
+        finally:
+            machine.shutdown()
+        snapshot = machine.metrics_snapshot()
+    else:
+        from repro.metrics.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with Machine(args.pes, model=MYRINET_FM, trace=f"jsonl:{trace_path}",
+                     metrics=registry) as machine:
+            machine.launch(_demo_main)
+            machine.run()
+        snapshot = registry.snapshot()
+    save_snapshot(snapshot, metrics_path)
 
     # Reload the on-disk trace (exercising the same path external tools
     # take) and derive the report + Chrome export from it.
@@ -158,11 +200,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         for p in problems:
             print(f"invalid chrome trace: {p}", file=sys.stderr)
         return 1
-    print(text_report(tracer, metrics_snapshot=registry.snapshot()))
+    print(text_report(tracer, metrics_snapshot=snapshot))
     print()
     print(f"wrote {trace_path} ({len(tracer.events)} events), "
           f"{chrome_path} ({len(doc['traceEvents'])} chrome events), "
-          f"{metrics_path} ({len(registry)} metrics)")
+          f"{metrics_path} ({len(snapshot)} metrics)")
     return 0
 
 
@@ -205,10 +247,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("snapshot", help="metrics JSON written by MetricsRegistry.save")
     p.set_defaults(fn=_cmd_metrics)
 
+    p = sub.add_parser("merge", help="merge per-PE mp spool files")
+    p.add_argument("spools", nargs="+",
+                   help="per-PE JSONL spool files (e.g. run.pe*.jsonl)")
+    p.add_argument("-o", "--output", required=True,
+                   help="merged JSONL trace to write")
+    p.add_argument("--clock",
+                   help="clock-offset sidecar (<base>.clock.json) from "
+                        "the run; omit for zero offsets")
+    p.add_argument("--no-causal", action="store_true",
+                   help="skip cause-before-effect clamping")
+    p.add_argument("--no-rebase", action="store_true",
+                   help="keep original timestamps (no shift to t=0)")
+    p.set_defaults(fn=_cmd_merge)
+
     p = sub.add_parser("demo", help="run a traced+metered demo workload")
     p.add_argument("-o", "--output", default="trace-demo",
                    help="artifact prefix (default: trace-demo)")
     p.add_argument("--pes", type=int, default=4, help="number of PEs")
+    p.add_argument("--machine-backend", choices=("sim", "mp"), default="sim",
+                   help="machine layer to run the demo on (default: sim)")
+    p.add_argument("--watch", action="store_true",
+                   help="mp only: print a live per-PE health ticker to "
+                        "stderr while the run is in flight")
     p.set_defaults(fn=_cmd_demo)
     return parser
 

@@ -16,6 +16,13 @@ from repro.tracing.analysis import (
 )
 from repro.tracing.critpath import CriticalPath, critical_path
 from repro.tracing.events import SchemaDeclaration, TraceEvent
+from repro.tracing.merge import (
+    load_spool,
+    merge_spools,
+    merge_tracers,
+    spool_path,
+    write_jsonl,
+)
 from repro.tracing.export import (
     chrome_trace,
     save_chrome_trace,
@@ -25,6 +32,7 @@ from repro.tracing.export import (
 from repro.tracing.tracer import (
     CountingTracer,
     JsonlTracer,
+    LockingTracer,
     MemoryTracer,
     Tracer,
     load_jsonl,
@@ -38,8 +46,14 @@ __all__ = [
     "MemoryTracer",
     "CountingTracer",
     "JsonlTracer",
+    "LockingTracer",
     "make_tracer",
     "load_jsonl",
+    "load_spool",
+    "merge_tracers",
+    "merge_spools",
+    "write_jsonl",
+    "spool_path",
     "TraceSummary",
     "HandlerProfile",
     "PeBreakdown",

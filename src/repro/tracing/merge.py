@@ -1,0 +1,268 @@
+"""Merging per-PE trace spools into one machine-wide timeline.
+
+The mp machine layer cannot stream every worker's events through one
+tracer: workers are separate OS processes, and shipping each event over
+the hub socket would perturb the very behaviour being traced.  Instead
+each worker spools its own events locally (one JSONL file per PE, on the
+worker's monotonic clock) and the hub merges the spools *after* the run.
+
+Merging has three concerns, each handled here:
+
+* **Clock alignment** — every worker clock is a private
+  ``time.monotonic()`` origin.  The hub estimates each worker's offset to
+  the hub clock with echo probes at startup and shutdown (see
+  ``MpMachine``); :func:`merge_tracers` applies ``hub = worker + offset``
+  per PE so all events land on one timeline.
+* **Causal consistency** — offset estimation has error on the order of a
+  socket round trip, so a receive can appear *before* its send.  The
+  analysis and critical-path layers assume causal order (a message's
+  latency must be >= 0), so the merge clamps every cross-PE effect to be
+  no earlier than its cause, using the ``msg`` correlation ids the CMI
+  stamps on traced sends, then restores per-PE monotonicity and iterates
+  to a fixpoint.
+* **Presentation** — events are stably sorted by adjusted time and
+  rebased so the merged trace starts at zero, matching what a
+  single-machine tracer would have produced; schema declarations are
+  deduplicated across PEs.
+
+The output is a plain :class:`~repro.tracing.tracer.MemoryTracer`, so the
+*unchanged* ``summarize``/``critical_path``/``chrome_trace`` pipelines —
+and the ``repro.trace`` CLI — consume merged mp traces exactly as they
+consume simulator traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.tracing.events import SchemaDeclaration, TraceEvent
+from repro.tracing.tracer import MemoryTracer
+
+__all__ = [
+    "load_spool",
+    "merge_tracers",
+    "merge_spools",
+    "write_jsonl",
+    "load_clock_file",
+    "save_clock_file",
+    "spool_path",
+]
+
+#: cap on causal-fixup sweeps.  Each sweep only moves events later, and
+#: chains longer than this are pathological (offsets off by >> RTT); the
+#: merge still terminates with a monotone, near-causal trace.
+_CAUSAL_SWEEPS = 8
+
+# -- spool loading ------------------------------------------------------
+
+
+def load_spool(path: Any, strict: bool = False) -> MemoryTracer:
+    """Load one per-PE JSONL spool, tolerating a torn final line.
+
+    A worker that was killed mid-write (timeout, crash teardown) leaves a
+    truncated last line; post-mortem merging must still recover every
+    complete event, so a malformed *final* line is dropped silently.
+    Malformed lines elsewhere — or any malformed line with
+    ``strict=True`` — raise ``ValueError`` as :func:`load_jsonl` would.
+    """
+    tracer = MemoryTracer()
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        last = lineno == len(lines)
+        try:
+            payload = json.loads(stripped)
+            kind = payload.pop("kind")
+            if kind == "__schema__":
+                tracer.schemas.append(
+                    SchemaDeclaration(
+                        language=payload.get("language", "?"),
+                        event_name=payload.get("event", "?"),
+                        fields=tuple(
+                            (str(n), str(t)) for n, t in payload.get("fields", [])
+                        ),
+                    )
+                )
+                continue
+            event = TraceEvent(
+                int(payload.pop("pe")), float(payload.pop("time")),
+                str(kind), payload,
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            if last and not strict:
+                break  # torn tail from a killed worker: salvage the rest
+            raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from None
+        tracer.events.append(event)
+    return tracer
+
+
+# -- clock files --------------------------------------------------------
+
+
+def save_clock_file(path: Any, offsets: Mapping[int, float]) -> None:
+    """Persist per-PE clock offsets next to the spools, so a trace can be
+    merged (or re-merged with different options) after the run ended."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({str(pe): off for pe, off in offsets.items()},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_clock_file(path: Any) -> Dict[int, float]:
+    """Read a clock-offset sidecar written by :func:`save_clock_file`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    return {int(pe): float(off) for pe, off in raw.items()}
+
+
+# -- the merge ----------------------------------------------------------
+
+
+def _send_times(events: Sequence[TraceEvent]) -> Dict[Any, Tuple[float, int]]:
+    """Map msg correlation id -> (send time, sender pe), from both
+    point-to-point sends and broadcast fanouts."""
+    out: Dict[Any, Tuple[float, int]] = {}
+    for ev in events:
+        if ev.kind == "send":
+            mid = ev.fields.get("msg")
+            if mid is not None:
+                out[mid] = (ev.time, ev.pe)
+        elif ev.kind == "broadcast":
+            for mid in ev.fields.get("msg_ids", ()) or ():
+                out[mid] = (ev.time, ev.pe)
+            mids = ev.fields.get("msg")
+            if isinstance(mids, dict):  # {dst: id} map form
+                for mid in mids.values():
+                    out[mid] = (ev.time, ev.pe)
+    return out
+
+
+def _causal_sweep(events: List[TraceEvent]) -> Tuple[List[TraceEvent], bool]:
+    """One pass of cause-before-effect clamping plus per-PE monotone
+    repair.  Returns (possibly replaced events, whether anything moved)."""
+    sends = _send_times(events)
+    moved = False
+    out: List[TraceEvent] = []
+    for ev in events:
+        t = ev.time
+        mid = ev.fields.get("msg")
+        if mid is not None and ev.kind not in ("send", "broadcast"):
+            src = sends.get(mid)
+            if src is not None and src[1] != ev.pe and t < src[0]:
+                t = src[0]
+        out.append(ev if t == ev.time else
+                   TraceEvent(ev.pe, t, ev.kind, ev.fields))
+        moved = moved or t != ev.time
+    # Per-PE monotone repair: clamping one event forward must drag the
+    # rest of that PE's (originally ordered) stream with it, or paired
+    # begin/end events would invert.
+    last: Dict[int, float] = {}
+    for i, ev in enumerate(out):
+        floor = last.get(ev.pe)
+        if floor is not None and ev.time < floor:
+            out[i] = TraceEvent(ev.pe, floor, ev.kind, ev.fields)
+            moved = True
+        last[ev.pe] = out[i].time
+    return out, moved
+
+
+def merge_tracers(
+    tracers: Iterable[MemoryTracer],
+    offsets: Optional[Mapping[int, float]] = None,
+    causal: bool = True,
+    rebase: bool = True,
+) -> MemoryTracer:
+    """Merge per-PE tracers into one machine-wide :class:`MemoryTracer`.
+
+    ``offsets`` maps PE -> seconds to *add* to that PE's timestamps to
+    land on the shared (hub) clock; missing PEs get offset 0.  With
+    ``causal`` the cross-PE cause-before-effect clamp described in the
+    module docstring runs to a fixpoint (bounded sweeps).  With
+    ``rebase`` the merged timeline is shifted so its earliest event is at
+    time 0, like a fresh single-machine trace.
+
+    Events from different PEs are interleaved by a stable sort on
+    adjusted time, so each PE's own event order — which *is* trustworthy,
+    it came from one monotonic clock — is never permuted.
+    """
+    offsets = offsets or {}
+    events: List[TraceEvent] = []
+    schemas: List[SchemaDeclaration] = []
+    seen_schemas: set = set()
+    for tracer in tracers:
+        for ev in tracer.events:
+            off = offsets.get(ev.pe, 0.0)
+            events.append(
+                ev if off == 0.0 else
+                TraceEvent(ev.pe, ev.time + off, ev.kind, ev.fields)
+            )
+        for schema in tracer.schemas:
+            key = (schema.language, schema.event_name, schema.fields)
+            if key not in seen_schemas:
+                seen_schemas.add(key)
+                schemas.append(schema)
+    # Stable sort keyed on time only: ties keep per-tracer (per-PE) order.
+    events.sort(key=lambda ev: ev.time)
+    if causal:
+        for _ in range(_CAUSAL_SWEEPS):
+            events, moved = _causal_sweep(events)
+            if not moved:
+                break
+            events.sort(key=lambda ev: ev.time)
+    if rebase and events:
+        t0 = events[0].time
+        if t0 != 0.0:
+            events = [TraceEvent(ev.pe, ev.time - t0, ev.kind, ev.fields)
+                      for ev in events]
+    merged = MemoryTracer()
+    merged.events = events
+    merged.schemas = schemas
+    return merged
+
+
+def merge_spools(
+    paths: Sequence[Any],
+    offsets: Optional[Mapping[int, float]] = None,
+    clock_file: Optional[Any] = None,
+    causal: bool = True,
+    rebase: bool = True,
+) -> MemoryTracer:
+    """Load per-PE spool files and merge them (the CLI entry point).
+
+    ``clock_file`` names a :func:`save_clock_file` sidecar; explicit
+    ``offsets`` win over it when both are given.
+    """
+    if offsets is None and clock_file is not None:
+        offsets = load_clock_file(clock_file)
+    return merge_tracers([load_spool(p) for p in paths],
+                         offsets=offsets, causal=causal, rebase=rebase)
+
+
+def write_jsonl(tracer: MemoryTracer, path: Any) -> int:
+    """Write a merged tracer back out as a single JSONL trace file (the
+    same format :class:`~repro.tracing.tracer.JsonlTracer` streams, so
+    ``load_jsonl`` and the CLI round-trip it).  Returns the event count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for schema in tracer.schemas:
+            fh.write(json.dumps({
+                "kind": "__schema__",
+                "language": schema.language,
+                "event": schema.event_name,
+                "fields": [list(f) for f in schema.fields],
+            }) + "\n")
+        for ev in tracer.events:
+            fh.write(json.dumps(ev.as_dict(), default=str) + "\n")
+    return len(tracer.events)
+
+
+def spool_path(base: Any, pe: int) -> str:
+    """The per-PE spool filename convention: ``trace.jsonl`` spools to
+    ``trace.pe0.jsonl``, ``trace.pe1.jsonl``, ...  Shared between the mp
+    machine layer (writing) and the CLI (globbing)."""
+    root, ext = os.path.splitext(os.fspath(base))
+    return f"{root}.pe{pe}{ext or '.jsonl'}"

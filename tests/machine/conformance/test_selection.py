@@ -143,8 +143,6 @@ def test_machine_env_dispatches_to_mp(monkeypatch):
 @pytest.mark.parametrize(
     "kwargs",
     [
-        {"trace": True},
-        {"metrics": True},
         {"faults": object()},
         {"reliable": True},
         {"aggregation": True},
@@ -154,6 +152,9 @@ def test_machine_env_dispatches_to_mp(monkeypatch):
     ids=lambda kw: next(iter(kw)),
 )
 def test_mp_rejects_simulator_only_features(kwargs):
+    # trace= and metrics= are *not* in this list: the mp layer supports
+    # them first-class (per-PE spools / per-worker registries, merged at
+    # shutdown) — see tests/machine/conformance/test_observability.py.
     with pytest.raises(SimulationError, match="simulator-only"):
         Machine(2, machine_backend="mp", **kwargs)
 

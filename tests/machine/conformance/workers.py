@@ -443,3 +443,35 @@ def w_set_handler_retarget():
         return None
     api.CsdScheduler(-1)
     return ran
+
+
+def w_obs_ring(laps):
+    """Deterministic observability workload: a token circles the ring
+    ``laps`` full times, then its final holder broadcasts a stop to all
+    PEs.  Every PE runs exactly ``laps`` token handlers plus one stop
+    handler regardless of machine layer, so traced/metered runs on
+    different layers must agree on the handler-invocation multiset."""
+    me = api.CmiMyPe()
+    n = api.CmiNumPes()
+    state = {"tokens": 0}
+
+    def on_token(msg):
+        state["tokens"] += 1
+        remaining = msg.payload
+        if remaining > 0:
+            api.CmiSyncSend((me + 1) % n,
+                            api.CmiNew(h_token, remaining - 1, size=32))
+        else:
+            api.CmiSyncBroadcastAll(api.CmiNew(h_stop, None, size=16))
+
+    def on_stop(_msg):
+        api.CsdExitScheduler()
+
+    h_token = api.CmiRegisterHandler(on_token, "obs.token")
+    h_stop = api.CmiRegisterHandler(on_stop, "obs.stop")
+    if me == 0:
+        # laps*n hops in total, landing the last token back where the
+        # count divides evenly: every PE sees exactly ``laps`` tokens.
+        api.CmiSyncSend(1 % n, api.CmiNew(h_token, laps * n - 1, size=32))
+    api.CsdScheduler(-1)
+    return state["tokens"]

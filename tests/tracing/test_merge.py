@@ -1,0 +1,198 @@
+"""Unit tests for the per-PE spool merge layer (repro.tracing.merge).
+
+These run entirely on hand-built tracers and temp files — no mp
+processes — so every clock/causality edge case is exercised
+deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tracing.events import SchemaDeclaration, TraceEvent
+from repro.tracing.merge import (
+    _send_times,
+    load_clock_file,
+    load_spool,
+    merge_spools,
+    merge_tracers,
+    save_clock_file,
+    spool_path,
+    write_jsonl,
+)
+from repro.tracing.tracer import MemoryTracer, load_jsonl
+
+
+def _tracer(pe, *events):
+    """Build a single-PE MemoryTracer from (time, kind, fields) tuples."""
+    t = MemoryTracer()
+    for time, kind, fields in events:
+        t.record(pe, time, kind, fields)
+    return t
+
+
+# -- spool_path convention ---------------------------------------------
+
+
+def test_spool_path_convention(tmp_path):
+    assert spool_path("run.jsonl", 0) == "run.pe0.jsonl"
+    assert spool_path("run.jsonl", 12) == "run.pe12.jsonl"
+    assert spool_path("noext", 1) == "noext.pe1.jsonl"
+    assert spool_path(tmp_path / "a.jsonl", 2) == str(tmp_path / "a.pe2.jsonl")
+
+
+# -- clock sidecar ------------------------------------------------------
+
+
+def test_clock_file_round_trip(tmp_path):
+    path = tmp_path / "run.clock.json"
+    offsets = {0: 0.0, 1: -3.25, 2: 1e-4}
+    save_clock_file(path, offsets)
+    assert load_clock_file(path) == offsets
+    # On-disk form is plain string-keyed JSON (greppable, diffable).
+    raw = json.loads(path.read_text())
+    assert sorted(raw) == ["0", "1", "2"]
+
+
+# -- offsets and rebase -------------------------------------------------
+
+
+def test_offsets_shift_onto_one_timeline():
+    a = _tracer(0, (10.0, "idle_begin", {}))
+    b = _tracer(1, (2.0, "idle_begin", {}))
+    merged = merge_tracers([a, b], offsets={1: 8.5}, rebase=False)
+    times = {e.pe: e.time for e in merged.events}
+    assert times == {0: 10.0, 1: 10.5}
+
+
+def test_rebase_shifts_earliest_event_to_zero():
+    a = _tracer(0, (100.0, "send", {"msg": 1}), (101.0, "idle_begin", {}))
+    merged = merge_tracers([a])
+    assert merged.events[0].time == 0.0
+    assert merged.events[1].time == pytest.approx(1.0)
+    raw = merge_tracers([a], rebase=False)
+    assert raw.events[0].time == 100.0
+
+
+def test_stable_sort_preserves_per_pe_order_on_ties():
+    a = _tracer(0, (1.0, "handler_begin", {}), (1.0, "handler_end", {}))
+    b = _tracer(1, (1.0, "handler_begin", {}), (1.0, "handler_end", {}))
+    merged = merge_tracers([a, b], rebase=False)
+    for pe in (0, 1):
+        kinds = [e.kind for e in merged.events if e.pe == pe]
+        assert kinds == ["handler_begin", "handler_end"]
+
+
+# -- causal clamping ----------------------------------------------------
+
+
+def test_causal_clamp_moves_receive_after_send():
+    # Clock error makes PE 1 see the message 2ms before PE 0 sent it.
+    sender = _tracer(0, (1.000, "send", {"msg": 7, "dst": 1}))
+    receiver = _tracer(1, (0.998, "receive", {"msg": 7, "src": 0}))
+    merged = merge_tracers([sender, receiver], rebase=False)
+    recv = next(e for e in merged.events if e.kind == "receive")
+    send = next(e for e in merged.events if e.kind == "send")
+    assert recv.time >= send.time  # latency clamped to >= 0
+
+
+def test_causal_clamp_drags_pe_stream_monotone():
+    # The clamped receive must pull the *later* same-PE events with it,
+    # or its handler_begin/end pair would invert.
+    sender = _tracer(0, (5.0, "send", {"msg": 3, "dst": 1}))
+    receiver = _tracer(
+        1,
+        (4.0, "receive", {"msg": 3, "src": 0}),
+        (4.1, "handler_begin", {"msg": 3}),
+        (4.2, "handler_end", {}),
+    )
+    merged = merge_tracers([sender, receiver], rebase=False)
+    pe1 = [e for e in merged.events if e.pe == 1]
+    assert [e.kind for e in pe1] == ["receive", "handler_begin", "handler_end"]
+    assert all(pe1[i].time <= pe1[i + 1].time for i in range(len(pe1) - 1))
+    assert pe1[0].time >= 5.0
+
+
+def test_causal_clamp_ignores_same_pe_and_respects_no_causal():
+    # A local (same-PE) msg reference is never clamped — one monotonic
+    # clock is already trustworthy.
+    local = _tracer(
+        0, (2.0, "send", {"msg": 1, "dst": 0}),
+        (1.0, "receive", {"msg": 1, "src": 0}),
+    )
+    merged = merge_tracers([local], causal=False, rebase=False)
+    assert [e.time for e in merged.events] == [1.0, 2.0]
+
+
+def test_send_times_covers_broadcast_forms():
+    events = [
+        TraceEvent(0, 1.0, "send", {"msg": 10}),
+        TraceEvent(1, 2.0, "broadcast", {"msg_ids": (11, 12)}),
+        TraceEvent(2, 3.0, "broadcast", {"msg": {0: 13, 1: 14}}),
+    ]
+    sends = _send_times(events)
+    assert sends[10] == (1.0, 0)
+    assert sends[11] == sends[12] == (2.0, 1)
+    assert sends[13] == sends[14] == (3.0, 2)
+
+
+def test_schema_dedup_across_pes():
+    schema = SchemaDeclaration("converse", "send", (("dst", "int"),))
+    a, b = MemoryTracer(), MemoryTracer()
+    a.declare_schema(schema)
+    b.declare_schema(schema)
+    b.declare_schema(SchemaDeclaration("converse", "receive", ()))
+    merged = merge_tracers([a, b])
+    assert len(merged.schemas) == 2
+
+
+# -- spool files --------------------------------------------------------
+
+
+def _write_spool(path, tracer):
+    write_jsonl(tracer, path)
+    return path
+
+
+def test_load_spool_tolerates_torn_tail(tmp_path):
+    path = _write_spool(
+        tmp_path / "t.pe0.jsonl",
+        _tracer(0, (1.0, "send", {"msg": 1}), (2.0, "idle_begin", {})),
+    )
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"pe": 0, "time": 3.0, "kind": "id')  # killed mid-write
+    tracer = load_spool(path)
+    assert [e.kind for e in tracer.events] == ["send", "idle_begin"]
+    with pytest.raises(ValueError, match="bad trace line"):
+        load_spool(path, strict=True)
+
+
+def test_load_spool_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "t.pe0.jsonl"
+    path.write_text('garbage\n{"pe": 0, "time": 1.0, "kind": "send"}\n')
+    with pytest.raises(ValueError, match="bad trace line"):
+        load_spool(path)
+
+
+def test_merge_spools_with_clock_file_round_trips(tmp_path):
+    base = tmp_path / "run.jsonl"
+    _write_spool(spool_path(base, 0),
+                 _tracer(0, (1.0, "send", {"msg": 5, "dst": 1})))
+    _write_spool(spool_path(base, 1),
+                 _tracer(1, (0.5, "receive", {"msg": 5, "src": 0})))
+    clock = tmp_path / "run.clock.json"
+    save_clock_file(clock, {0: 0.0, 1: 0.2})
+    merged = merge_spools([spool_path(base, 0), spool_path(base, 1)],
+                          clock_file=clock)
+    recv = next(e for e in merged.events if e.kind == "receive")
+    send = next(e for e in merged.events if e.kind == "send")
+    assert recv.time >= send.time  # offset applied, then clamped causal
+    # write_jsonl output is a normal trace file: load_jsonl reads it.
+    out = tmp_path / "merged.jsonl"
+    count = write_jsonl(merged, out)
+    reloaded = load_jsonl(out)
+    assert count == len(reloaded.events) == 2
+    assert [(e.pe, e.kind) for e in reloaded.events] == \
+        [(e.pe, e.kind) for e in merged.events]
