@@ -7,7 +7,13 @@ PERF_REPEATS ?= 3
 # BENCH_throughput.json before `make perf` fails.
 PERF_MAX_REGRESSION ?= 5
 
-.PHONY: test conformance fuzz ft bench perf trace-demo trace-demo-mp
+# Imbalance ceiling for the feedback-driven Cld strategies on the
+# hot-key workload (`make lb`), plus the required makespan speedup over
+# the do-nothing baseline.
+LB_MAX_IMBALANCE ?= 1.5
+LB_MIN_SPEEDUP   ?= 1.5
+
+.PHONY: test conformance fuzz ft bench perf lb trace-demo trace-demo-mp
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -38,6 +44,20 @@ ft:
 
 bench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Load-balancing gate: the skewed hot-key workload (everything created
+# on PE 0) under every headline Cld strategy.  Fails unless the
+# feedback-driven strategies (adaptive, steal) hold busy-time imbalance
+# at or below $(LB_MAX_IMBALANCE) and beat direct's makespan by at
+# least $(LB_MIN_SPEEDUP)x — on a run where direct really is
+# pathological (imbalance > 3).  Then the Cld strategy ablation and
+# the cross-backend Cld conformance slice.
+lb:
+	PYTHONPATH=src $(PY) -m repro.bench throughput --lb \
+		--max-imbalance $(LB_MAX_IMBALANCE) \
+		--min-lb-speedup $(LB_MIN_SPEEDUP)
+	PYTHONPATH=src $(PY) -m pytest -q tests/loadbalance \
+		tests/machine/conformance/test_cld.py
 
 # Wall-clock simulator throughput per switch backend (thread baseline,
 # greenlet when installed via `pip install -e .[fast]`).  Writes the

@@ -9,7 +9,10 @@ The workload spawns a complete task tree entirely from PE 0 via
 ``CldEnqueue``.  Expected shape: with ``direct`` (no balancing) PE 0 does
 everything and the makespan is about the serial time; the distributing
 strategies (random / spray / neighbor / central) cut the makespan by
-several-fold on 8 PEs and roughly equalize per-PE busy time.
+several-fold on 8 PEs and roughly equalize per-PE busy time; the
+feedback-driven strategies (adaptive rebalancing / work stealing) do
+the same *without* a placement-time policy — they move already-rooted
+seeds, driven by gossip telemetry and idle-time steal requests.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ from __future__ import annotations
 from repro.bench.reporting import banner, comparison_rows, emit_report, expectation_block
 from repro.bench.workloads import SeedTreeWorkload
 
-STRATEGIES = ("direct", "random", "spray", "neighbor", "central")
+STRATEGIES = ("direct", "random", "spray", "neighbor", "central",
+              "adaptive", "steal")
 
 
 def _regenerate():
@@ -57,7 +61,7 @@ def test_ablation_loadbalance(benchmark):
     # Without balancing, PE0 runs everything.
     assert direct.rooted[0] == wl.total_tasks
     assert direct.imbalance > wl.num_pes * 0.9
-    for s in ("random", "spray", "neighbor", "central"):
+    for s in ("random", "spray", "neighbor", "central", "adaptive", "steal"):
         r = results[s]
         assert sum(r.rooted) == wl.total_tasks, f"{s}: seeds lost"
         # Distribution beats no-balancing by at least 2x makespan.
@@ -69,3 +73,9 @@ def test_ablation_loadbalance(benchmark):
     # Spray (round robin) equalizes seed *counts* essentially perfectly.
     spray = results["spray"]
     assert max(spray.rooted) - min(spray.rooted) <= max(2, wl.total_tasks // 50)
+    # The feedback-driven pair must not just beat direct — they must
+    # actually equalize busy time on a workload born 100% on one PE.
+    for s in ("adaptive", "steal"):
+        assert results[s].imbalance <= 1.5, (
+            f"{s} left the machine imbalanced: {results[s].imbalance:.2f}"
+        )

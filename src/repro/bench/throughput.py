@@ -650,6 +650,109 @@ def check_recovery(rows: Sequence[Dict[str, float]],
 
 
 # ======================================================================
+# load-balancing imbalance benchmark
+# ======================================================================
+
+#: strategies the lb suite measures by default: the do-nothing baseline,
+#: the static spreader, and the two feedback-driven rebalancers.
+LB_STRATEGIES = ("direct", "spray", "adaptive", "steal")
+
+
+def measure_loadbalance(strategies: Sequence[str] = LB_STRATEGIES,
+                        workload: str = "hotkey", num_pes: int = 8,
+                        tasks: int = 512,
+                        repeats: int = 1) -> List[Dict[str, Any]]:
+    """Run one skewed seed workload under each Cld strategy and report
+    makespan, busy-time imbalance ratio (max PE busy / mean PE busy) and
+    parallel efficiency.  Virtual-time metrics: deterministic per seed,
+    so a single repeat is exact (``repeats`` kept for symmetry)."""
+    from repro.bench.workloads import HotKeyWorkload, PowerLawTreeWorkload
+
+    def build():
+        if workload == "hotkey":
+            return HotKeyWorkload(num_pes=num_pes, tasks=tasks)
+        if workload == "powerlaw":
+            return PowerLawTreeWorkload(num_pes=num_pes, tasks=tasks)
+        raise ValueError(f"unknown lb workload {workload!r} "
+                         f"(choose hotkey or powerlaw)")
+
+    rows: List[Dict[str, Any]] = []
+    for strategy in strategies:
+        result = build().run(strategy)
+        rows.append({
+            "workload": workload,
+            "strategy": strategy,
+            "makespan_us": round(result.makespan_us, 1),
+            "imbalance": round(result.imbalance, 3),
+            "efficiency": round(result.efficiency, 3),
+            "rooted": result.rooted,
+        })
+    return rows
+
+
+def render_loadbalance_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Text table for :func:`measure_loadbalance` output."""
+    lines = [f"{'strategy':>10} {'makespan':>12} {'imbalance':>10} "
+             f"{'efficiency':>11}  rooted"]
+    for r in rows:
+        lines.append(
+            f"{r['strategy']:>10} {r['makespan_us']:>9,.1f} us "
+            f"{r['imbalance']:>10.2f} {r['efficiency']:>11.2f}  "
+            f"{r['rooted']}"
+        )
+    return "\n".join(lines)
+
+
+def check_loadbalance(rows: Sequence[Dict[str, Any]],
+                      max_imbalance: float,
+                      min_speedup: float) -> List[str]:
+    """CI gate for the feedback-driven strategies.
+
+    On a workload where ``direct`` is genuinely pathological (imbalance
+    above 3 — otherwise there is nothing to fix and the gate reports a
+    setup error), every adaptive/steal row must hold its busy-time
+    imbalance at or below ``max_imbalance`` AND beat direct's makespan
+    by at least ``min_speedup`` x.  Returns failure strings.
+    """
+    failures: List[str] = []
+    by_name = {r["strategy"]: r for r in rows}
+    direct = by_name.get("direct")
+    if direct is None:
+        return ["lb gate needs a 'direct' row to compare against"]
+    if direct["imbalance"] <= 3.0:
+        return [
+            f"lb gate setup error: direct imbalance {direct['imbalance']:.2f} "
+            f"is not pathological (need > 3); the workload is not skewed "
+            f"enough to prove anything"
+        ]
+    for name in ("adaptive", "steal"):
+        row = by_name.get(name)
+        if row is None:
+            failures.append(f"lb gate: strategy {name!r} was not measured")
+            continue
+        speedup = direct["makespan_us"] / row["makespan_us"] \
+            if row["makespan_us"] else float("inf")
+        imb = row["imbalance"]
+        ok = imb <= max_imbalance and speedup >= min_speedup
+        print(f"  lb {name:9s}: imbalance {imb:.2f} "
+              f"(ceiling {max_imbalance}) speedup over direct "
+              f"{speedup:.2f}x (floor {min_speedup}x) "
+              f"{'OK' if ok else 'FAIL'}")
+        if imb > max_imbalance:
+            failures.append(
+                f"{name}: imbalance {imb:.2f} above ceiling {max_imbalance} "
+                f"(direct ran at {direct['imbalance']:.2f})"
+            )
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: only {speedup:.2f}x over direct "
+                f"({row['makespan_us']:,.0f} vs {direct['makespan_us']:,.0f} "
+                f"us), floor {min_speedup}x"
+            )
+    return failures
+
+
+# ======================================================================
 # harness
 # ======================================================================
 
@@ -1173,6 +1276,39 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(e.g. all2all_fine_agg/all2all_fine:2.0); exit 1 when violated",
     )
     parser.add_argument(
+        "--lb", action="store_true",
+        help="instead of the throughput suite: run the skewed seed "
+             "workloads under each Cld strategy and print the "
+             "makespan/imbalance table",
+    )
+    parser.add_argument(
+        "--lb-workload", default="hotkey", choices=("hotkey", "powerlaw"),
+        help="skewed workload for --lb (default: hotkey)",
+    )
+    parser.add_argument(
+        "--lb-pes", type=int, default=8, metavar="N",
+        help="PEs for --lb (default 8)",
+    )
+    parser.add_argument(
+        "--lb-tasks", type=int, default=512, metavar="N",
+        help="seed count for --lb (default 512)",
+    )
+    parser.add_argument(
+        "--lb-strategies", nargs="+", default=None, metavar="NAME",
+        help=f"strategies for --lb (default: {' '.join(LB_STRATEGIES)})",
+    )
+    parser.add_argument(
+        "--max-imbalance", type=float, default=None, metavar="RATIO",
+        help="with --lb: fail (exit 1) when adaptive/steal exceed this "
+             "busy-time imbalance ratio on a workload where direct is "
+             "pathological (> 3)",
+    )
+    parser.add_argument(
+        "--min-lb-speedup", type=float, default=1.5, metavar="X",
+        help="with --lb and --max-imbalance: adaptive/steal must also "
+             "beat direct's makespan by this factor (default 1.5)",
+    )
+    parser.add_argument(
         "--ft-recovery", action="store_true",
         help="instead of the throughput suite: sweep the checkpoint "
              "interval on the crash-surviving ping-pong and print virtual "
@@ -1242,6 +1378,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_regression=args.max_regression,
                 backend=args.machine_backend,
             )
+            if failures:
+                for f in failures:
+                    print(f"FAIL: {f}", file=sys.stderr)
+                return 1
+        return 0
+    if args.lb:
+        strategies = tuple(args.lb_strategies or LB_STRATEGIES)
+        print(f"seed load balancing ({args.lb_workload}, "
+              f"pes={args.lb_pes}, tasks={args.lb_tasks})")
+        rows = measure_loadbalance(strategies=strategies,
+                                   workload=args.lb_workload,
+                                   num_pes=args.lb_pes,
+                                   tasks=args.lb_tasks)
+        print(render_loadbalance_table(rows))
+        if args.out:
+            write_report({"meta": {"suite": "loadbalance",
+                                   "workload": args.lb_workload,
+                                   "num_pes": args.lb_pes,
+                                   "tasks": args.lb_tasks},
+                          "rows": rows}, args.out)
+            print(f"wrote {args.out}")
+        if args.max_imbalance is not None:
+            failures = check_loadbalance(rows, args.max_imbalance,
+                                         args.min_lb_speedup)
             if failures:
                 for f in failures:
                     print(f"FAIL: {f}", file=sys.stderr)

@@ -36,6 +36,8 @@ __all__ = [
     "BnBResult",
     "SeedTreeWorkload",
     "SeedTreeResult",
+    "HotKeyWorkload",
+    "PowerLawTreeWorkload",
     "InteropWorkload",
     "InteropResult",
 ]
@@ -239,6 +241,208 @@ class SeedTreeWorkload:
             )
             m.launch_schedulers()
             m.launch_on(0, insts[0].kickoff, name="kickoff")
+            m.run()
+            total_run = sum(i.tasks_run for i in insts)
+            assert total_run == self.total_tasks, (
+                f"lost tasks: ran {total_run} of {self.total_tasks}"
+            )
+            return SeedTreeResult(
+                strategy=strategy,
+                makespan_us=m.now * 1e6,
+                busy_us=[n.stats.busy_time * 1e6 for n in m.nodes],
+                rooted=[rt.cld.stats.rooted for rt in m.runtimes],
+            )
+
+
+# ======================================================================
+# 2b. skewed seed workloads (the load-imbalance report)
+#
+# The seed tree above is *uniformly* imbalanced (everything starts on
+# PE 0 but the spawn tree is regular).  Real skew is nastier, and is
+# what the adaptive/steal strategies exist for; these two workloads
+# model its classic shapes:
+#
+# * hot key  — one PE owns the hot partition and receives the whole
+#   burst of independent tasks (think: all requests hash to one shard).
+#   No spawn structure to exploit; balance must come from moving queued
+#   seeds after the fact.
+# * power law — a spawn tree whose fanout is drawn from a truncated
+#   power law: most tasks are leaves, a few are huge spawners, so load
+#   concentrates wherever a heavy spawner happened to root.
+# ======================================================================
+
+class _FlatSeedLang(LanguageRuntime):
+    """One handler that burns a fixed grain; no spawning."""
+
+    lang_name = "flatseed"
+
+    def __init__(self, runtime: Any, grain_us: float) -> None:
+        super().__init__(runtime)
+        self.grain_us = grain_us
+        self.handler_id = runtime.register_handler(self._on_task, "flatseed.task")
+        self.tasks_run = 0
+
+    def _on_task(self, msg: Message) -> None:
+        self.runtime.node.charge(self.grain_us * US)
+        self.tasks_run += 1
+
+
+class HotKeyWorkload:
+    """A burst of independent equal-grain seeds, all created on PE 0.
+
+    Under ``direct`` every seed runs on PE 0 and the busy-time imbalance
+    equals the PE count; strategies that move queued work (``adaptive``,
+    ``steal``) should push it toward 1.  ``spray``/``random`` also do
+    well here — the interesting comparison is the *migrating* strategies
+    against them, because hot-key skew is the case where the creation-
+    time-only strategies got lucky (creation PE == hot PE).
+    """
+
+    def __init__(self, num_pes: int = 8, tasks: int = 512,
+                 grain_us: float = 50.0, model: MachineModel = GENERIC,
+                 seed: int = 1) -> None:
+        self.num_pes = num_pes
+        self.tasks = tasks
+        self.grain_us = grain_us
+        self.model = model
+        self.seed = seed
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of tasks the burst creates."""
+        return self.tasks
+
+    def run(self, strategy: str) -> SeedTreeResult:
+        """Execute the workload under one Cld strategy."""
+        with Machine(self.num_pes, model=self.model, ldb=strategy,
+                     seed=self.seed) as m:
+            insts = _FlatSeedLang.attach(m, grain_us=self.grain_us)
+            m.launch_schedulers()
+
+            def kickoff() -> None:
+                inst = insts[0]
+                for _ in range(self.tasks):
+                    inst.runtime.cld.enqueue(
+                        Message(inst.handler_id, None, size=16))
+
+            m.launch_on(0, kickoff, name="kickoff")
+            m.run()
+            total_run = sum(i.tasks_run for i in insts)
+            assert total_run == self.tasks, (
+                f"lost tasks: ran {total_run} of {self.tasks}"
+            )
+            return SeedTreeResult(
+                strategy=strategy,
+                makespan_us=m.now * 1e6,
+                busy_us=[n.stats.busy_time * 1e6 for n in m.nodes],
+                rooted=[rt.cld.stats.rooted for rt in m.runtimes],
+            )
+
+
+class _PowerLawLang(LanguageRuntime):
+    """One handler that burns a grain and spawns its precomputed
+    children (the tree shape is fixed per workload seed, so every
+    strategy runs the identical task set)."""
+
+    lang_name = "powerlaw"
+
+    def __init__(self, runtime: Any, children: Dict[int, List[int]],
+                 grain_us: float) -> None:
+        super().__init__(runtime)
+        self.children = children
+        self.grain_us = grain_us
+        self.handler_id = runtime.register_handler(self._on_task, "powerlaw.task")
+        self.tasks_run = 0
+
+    def _on_task(self, msg: Message) -> None:
+        nid = msg.payload
+        self.runtime.node.charge(self.grain_us * US)
+        self.tasks_run += 1
+        for child in self.children[nid]:
+            self.runtime.cld.enqueue(
+                Message(self.handler_id, child, size=16))
+
+
+class PowerLawTreeWorkload:
+    """A spawn tree with power-law fanout, kicked off on PE 0.
+
+    The tree is generated once at construction (seeded, breadth-first,
+    capped at ``tasks`` nodes): each node's child count is drawn from
+    ``P(k) ∝ (k+1)^-alpha`` truncated at ``max_children``.  Most nodes
+    are leaves, a few fan out hard — so wherever a heavy spawner roots,
+    a load spike follows, and creation-time placement alone cannot
+    predict it.
+    """
+
+    def __init__(self, num_pes: int = 8, tasks: int = 600,
+                 alpha: float = 1.5, max_children: int = 8,
+                 grain_us: float = 40.0, model: MachineModel = GENERIC,
+                 seed: int = 7) -> None:
+        self.num_pes = num_pes
+        self.alpha = alpha
+        self.max_children = max_children
+        self.grain_us = grain_us
+        self.model = model
+        self.seed = seed
+        # Precompute the tree: deterministic for a given seed, identical
+        # across strategies and machine backends.
+        rng = random.Random(seed)
+        weights = [(k + 1) ** -alpha for k in range(max_children + 1)]
+        total_w = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total_w
+            cdf.append(acc)
+
+        def draw() -> int:
+            r = rng.random()
+            for k, edge in enumerate(cdf):
+                if r <= edge:
+                    return k
+            return max_children
+
+        self.children: Dict[int, List[int]] = {0: []}
+        frontier = [0]
+        next_id = 1
+        while frontier and next_id < tasks:
+            nid = frontier.pop(0)
+            k = draw()
+            if k == 0 and not frontier:
+                # P(0) dominates under alpha>1, so an unconditioned
+                # branching process usually goes extinct within a few
+                # nodes.  Condition on survival: the last frontier node
+                # always spawns, so the tree reaches its ``tasks`` size
+                # while the fanout *distribution* keeps its heavy tail.
+                k = 1
+            kids = []
+            for _ in range(k):
+                if next_id >= tasks:
+                    break
+                kids.append(next_id)
+                self.children[next_id] = []
+                frontier.append(next_id)
+                next_id += 1
+            self.children[nid] = kids
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of nodes in the generated tree."""
+        return len(self.children)
+
+    def run(self, strategy: str) -> SeedTreeResult:
+        """Execute the workload under one Cld strategy."""
+        with Machine(self.num_pes, model=self.model, ldb=strategy,
+                     seed=self.seed) as m:
+            insts = _PowerLawLang.attach(
+                m, children=self.children, grain_us=self.grain_us)
+            m.launch_schedulers()
+
+            def kickoff() -> None:
+                insts[0].runtime.cld.enqueue(
+                    Message(insts[0].handler_id, 0, size=16))
+
+            m.launch_on(0, kickoff, name="kickoff")
             m.run()
             total_run = sum(i.tasks_run for i in insts)
             assert total_run == self.total_tasks, (

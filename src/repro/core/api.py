@@ -69,7 +69,7 @@ __all__ = [
     # message manager
     "CmmNew", "CMM_WILDCARD", "MessageManager",
     # load balancing
-    "CldEnqueue",
+    "CldEnqueue", "CldGetStats",
     # timed callbacks
     "CcdCallFnAfter",
     # fault tolerance
@@ -506,6 +506,14 @@ def CmmNew() -> MessageManager:
 def CldEnqueue(msg: Message, prio: Priority = None) -> None:
     """Hand a seed to the configured load balancer (paper section 3.3.1)."""
     _rt().cld.enqueue(msg, prio)
+
+
+def CldGetStats() -> tuple:
+    """This PE's seed accounting as a plain ``(created, forwarded,
+    rooted, received)`` tuple — picklable, so SPMD workers can return it
+    across the process boundary of the multiprocess machine layer."""
+    s = _rt().cld.stats
+    return (s.created, s.forwarded, s.rooted, s.received)
 
 
 # ----------------------------------------------------------------------

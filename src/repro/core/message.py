@@ -187,7 +187,7 @@ class Message:
     __slots__ = (
         "handler", "_payload", "size", "prio", "src_pe",
         "_cmi_owned", "_valid", "corrupted", "msg_id", "enq_time",
-        "_pooled",
+        "_pooled", "steal_ok",
     )
 
     def __init__(self, handler: int, payload: Any = None, size: Optional[int] = None,
@@ -221,6 +221,13 @@ class Message:
         #: returned to the pool (still poisoned) after the CMI recycles
         #: them.  User-constructed messages are never pooled.
         self._pooled = False
+        #: True only for queued *seeds* rooted by a Cld strategy that
+        #: permits later migration (``adaptive``/``steal``): such
+        #: messages may be pulled back out of the Csd queue by
+        #: :meth:`CsdScheduler.take_stealable` and re-forwarded.
+        #: Ordinary messages — including seeds under non-migrating
+        #: strategies — are never touched once enqueued.
+        self.steal_ok = False
         #: set by the simulated network's fault injector when this wire
         #: copy was damaged in flight.  The raw (unreliable) machine layer
         #: delivers the message anyway — exactly like real hardware

@@ -86,6 +86,7 @@ class MessagePool:
         msg.msg_id = None
         msg.enq_time = None
         msg.corrupted = False
+        msg.steal_ok = False
         msg._pooled = True
         return msg
 

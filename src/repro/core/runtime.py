@@ -127,6 +127,12 @@ class ConverseRuntime:
         #: when disabled): the Csd scheduler calls it before parking so
         #: buffered batches flush instead of stalling behind an idle PE.
         self.idle_flush: Any = None
+        #: idle hook installed by a work-stealing Cld strategy (``None``
+        #: otherwise): the Csd scheduler calls it when it is about to
+        #: park with an empty queue, so an idle PE can ask a random
+        #: victim for work.  Need-based cost: without stealing this is a
+        #: single ``is None`` test per idle transition, zero per message.
+        self.idle_steal: Any = None
         #: the fault-tolerance agent (``None`` unless ``Machine(ft=...)``).
         self.ft: Any = None
         # Need-based cost, hoisted to construction time: with tracing or

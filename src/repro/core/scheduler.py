@@ -204,6 +204,44 @@ class CsdScheduler:
         self._mx_depth_dist.observe(pe, depth)
         msg.enq_time = self.runtime.node.now
 
+    def take_stealable(self, max_n: int) -> list:
+        """Remove and return up to ``max_n`` queued seeds marked
+        ``steal_ok``, oldest first, leaving everything else queued.
+
+        This is the Cld migration/stealing entry point: only messages a
+        migrating strategy explicitly marked at root time
+        (``Message.steal_ok``) are candidates, so ordinary queued work —
+        thread resumes, bookkeeping messages, seeds under non-migrating
+        strategies — never moves between PEs.  The queue is drained and
+        rebuilt through its own ``pop``/``push``, which preserves the
+        kept messages' relative order under FIFO and priority queues
+        (LIFO order inverts; migrating strategies assume no LIFO
+        discipline).  Taking the *oldest* stealable seeds mirrors Cilk's
+        steal-from-the-tail rule: in a tree spawn the oldest seeds sit
+        closest to the root and carry the largest subtrees, which is
+        what makes one steal pay for its network latency.
+        """
+        queue = self.queue
+        if max_n <= 0 or not queue:
+            return []
+        stolen: list = []
+        kept: list = []
+        pop = queue.pop
+        while True:
+            msg = pop()
+            if msg is None:
+                break
+            if msg.steal_ok and len(stolen) < max_n:
+                stolen.append(msg)
+            else:
+                kept.append(msg)
+        push = queue.push
+        for msg in kept:
+            push(msg, msg.prio)
+        if self.runtime.metering:
+            self._mx_depth.set(self.runtime.node.pe, len(queue))
+        return stolen
+
     # ------------------------------------------------------------------
     # control
     # ------------------------------------------------------------------
@@ -418,6 +456,11 @@ class CsdScheduler:
                 flush = rt.idle_flush
                 if flush is not None and flush() > 0:
                     continue
+                # Same pre-park steal shot as run(): the reply delivery
+                # re-enters this drain through _dg_deliver.
+                steal = rt.idle_steal
+                if steal is not None:
+                    steal()
                 # Idle again: stay delegated, tasklet stays parked.  Any
                 # *other* waiter that blocked mid-delegation (a receive
                 # primitive on a sibling tasklet) gets a courtesy kick —
@@ -508,6 +551,16 @@ class CsdScheduler:
                 flush = self.runtime.idle_flush
                 if flush is not None and flush() > 0:
                     continue
+                # Still idle: a work-stealing Cld strategy (when
+                # installed) gets one shot at requesting work from a
+                # victim before this loop parks — the victim's reply
+                # arrives as network input and wakes the wait below.
+                # Only the blocking loop steals: a non-blocking donor
+                # (run_until_idle / poll) could return before the reply
+                # lands and strand the stolen seeds in the inbox.
+                steal = self.runtime.idle_steal
+                if steal is not None:
+                    steal()
                 # Idle: block until something arrives, is enqueued, or an
                 # exit request lands (one hoisted predicate — no closure
                 # allocation per idle cycle).  Inline-dispatch loops

@@ -11,11 +11,18 @@ balancing modules [are] supported ... the user is able to link in a
 different load balancing strategy" — concrete strategies live in
 :mod:`repro.loadbalance.strategies`.
 
-Modelling note: strategies read peer queue lengths directly as their load
-telemetry.  A real implementation piggybacks load gossip on application
-messages; reading the live value is the zero-lag idealization of that and
-keeps the comparison between strategies about *placement policy*, which is
-what the ablation benchmark studies.
+Telemetry model: strategies that read *remote* load declare
+``needs_remote_load = True`` and get a per-PE
+:class:`~repro.loadbalance.gossip.LoadGossip` table — a local,
+possibly-stale view of every peer's load, fed by piggybacked samples on
+seed wrappers plus a low-rate periodic broadcast.  :meth:`load_of` is
+the only way a strategy may ask about a peer, and it reads that table —
+never the peer's live objects — so every strategy works unchanged on
+machine layers where PEs are separate OS processes (``mp``).  Strategies
+that migrate already-rooted seeds (``adaptive``/``steal``) additionally
+declare ``allows_stealing = True``, which marks their rooted seeds
+stealable (:attr:`Message.steal_ok`) so the scheduler can hand them back
+out through :meth:`CsdScheduler.take_stealable`.
 """
 
 from __future__ import annotations
@@ -38,7 +45,8 @@ class CldStats:
 
     created: int = 0     # seeds handed to this PE's CldEnqueue
     forwarded: int = 0   # seeds this PE pushed to another PE
-    rooted: int = 0      # seeds that took root (entered the Csd queue) here
+    rooted: int = 0      # seeds currently/finally rooted here (migration
+                         # decrements: a migrated seed re-roots elsewhere)
     received: int = 0    # seed wrappers that arrived from the network
 
 
@@ -50,12 +58,32 @@ class CldBalancer:
     #: strategy name, set by subclasses (used in reports and registry).
     name = "abstract"
 
+    #: True for strategies whose policy reads peer load (:meth:`load_of`
+    #: on a remote PE).  Buys a :class:`LoadGossip` table at construction;
+    #: strategies that never look sideways pay nothing (need-based cost).
+    needs_remote_load = False
+
+    #: True for strategies that may migrate seeds *after* rooting
+    #: (adaptive rebalancing, work stealing).  Rooted seeds are marked
+    #: ``steal_ok`` so :meth:`CsdScheduler.take_stealable` can reclaim
+    #: them; other queued work is never touched.
+    allows_stealing = False
+
     def __init__(self, runtime: Any) -> None:
         self.runtime = runtime
         self.stats = CldStats()
         self.handler_id = runtime.register_handler(
             self._on_seed_arrival, f"cld.{self.name}"
         )
+        #: the load-gossip table (None unless the strategy reads remote
+        #: load).  Built right after the seed handler so the gossip
+        #: handler index lines up across PEs.
+        if self.needs_remote_load:
+            from repro.loadbalance.gossip import LoadGossip
+
+            self._gossip: Any = LoadGossip(self)
+        else:
+            self._gossip = None
         # Metric handles, cached once (flag-guarded on the seed path).
         if runtime.metering:
             metrics = runtime.metrics
@@ -66,8 +94,8 @@ class CldBalancer:
                 "cld.seeds_forwarded", help="seeds pushed to another PE"
             )
             self._mx_rooted = metrics.counter(
-                "cld.seeds_rooted", help="seeds that took root (entered the "
-                                         "Csd queue)"
+                "cld.seeds_rooted", help="seed root events (a migrated "
+                                         "seed roots again elsewhere)"
             )
         else:
             self._mx_created = None
@@ -82,9 +110,44 @@ class CldBalancer:
         rt = self.runtime
         return len(rt.scheduler.queue) + len(rt.node.inbox)
 
+    def advertised_load(self) -> int:
+        """The load value this PE *tells peers about* (piggybacked
+        stamps, gossip broadcasts, steal replies): queued work only.
+
+        Deliberately narrower than :meth:`local_load`: the inbox also
+        holds gossip and steal-protocol messages, and advertising those
+        lets idle PEs chase phantom load made of each other's steal
+        requests — a self-sustaining request storm (observed: thieves
+        hammering a PE whose only "load" was their own queued requests).
+        Queue depth is exactly the work a peer could actually receive.
+        """
+        return len(self.runtime.scheduler.queue)
+
     def load_of(self, pe: int) -> int:
-        """A peer's load (idealized zero-lag telemetry; see module doc)."""
-        return self.runtime.peer(pe).cld.local_load()
+        """A PE's load: live for the local PE, the gossip table's last
+        heard (possibly stale) value for a peer.
+
+        Strategies without a gossip table have no remote telemetry at
+        all — asking is a programming error, reported loudly instead of
+        the opaque ``AttributeError`` the old reach-through produced on
+        process-per-PE machine layers."""
+        if pe == self.runtime.my_pe:
+            return self.local_load()
+        gossip = self._gossip
+        if gossip is None:
+            raise LoadBalanceError(
+                f"Cld strategy {self.name!r} asked for PE {pe}'s load but "
+                f"declared no remote-load telemetry; set "
+                f"`needs_remote_load = True` on the strategy class to get "
+                f"a gossip-fed load table (live peer access does not "
+                f"exist: PEs may be separate processes)"
+            )
+        return gossip.table[pe]
+
+    def on_gossip_tick(self, load: int) -> None:
+        """Periodic strategy hook, called from the gossip timer with this
+        PE's just-sampled load.  Default: nothing.  ``CldAdaptive`` runs
+        its rebalance pass here."""
 
     # ------------------------------------------------------------------
     # policy hooks
@@ -118,11 +181,16 @@ class CldBalancer:
 
     def _root(self, msg: Message) -> None:
         self.stats.rooted += 1
+        if self.allows_stealing:
+            msg.steal_ok = True
         if self.runtime.tracing:
             self.runtime.trace_event("user", event="seed_root", handler=msg.handler)
         if self.runtime.metering:
             self._mx_rooted.inc(self.runtime.my_pe)
         self.runtime.scheduler.enqueue(msg)
+        gossip = self._gossip
+        if gossip is not None:
+            gossip.kick()
 
     def _forward(self, msg: Message, dest: int, hops: int) -> None:
         if dest == self.runtime.my_pe:
@@ -137,17 +205,40 @@ class CldBalancer:
             )
         if self.runtime.metering:
             self._mx_forwarded.inc(self.runtime.my_pe)
+        # Piggybacked telemetry: a gossip-carrying balancer stamps its
+        # current load on every wrapper, so heavy seed traffic keeps the
+        # receivers' tables fresh without any extra messages.
+        gossip = self._gossip
         wrapper = Message(
             handler=self.handler_id,
-            payload=(msg, hops),
+            payload=(msg, hops,
+                     None if gossip is None else self.advertised_load()),
             size=msg.size,
             prio=msg.prio,
         )
         self.runtime.cmi.sync_send(dest, wrapper)
+        if gossip is not None:
+            gossip.kick()
+
+    def _migrate(self, msg: Message, dest: int) -> None:
+        """Move an already-rooted queued seed (reclaimed via
+        ``take_stealable``) to ``dest``, where it roots on arrival.
+
+        The hop count is pre-spent (``MAX_HOPS``) so a migrated seed can
+        never ping-pong: the receiving balancer roots it unconditionally.
+        The local root count is decremented first — the seed's *final*
+        root is at ``dest`` — keeping the machine-wide
+        ``created == rooted`` conservation invariant exact."""
+        self.stats.rooted -= 1
+        msg.steal_ok = False
+        self._forward(msg, dest, hops=MAX_HOPS)
 
     def _on_seed_arrival(self, wrapper: Message) -> None:
-        inner, hops = wrapper.payload
+        inner, hops, load = wrapper.payload
         self.stats.received += 1
+        gossip = self._gossip
+        if gossip is not None and load is not None:
+            gossip.note(wrapper.src_pe, load)
         if hops >= MAX_HOPS:
             self._root(inner)
             return

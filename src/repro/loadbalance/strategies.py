@@ -18,6 +18,19 @@ imbalanced tree workload.
 * ``central``  — a manager on PE 0 places every seed on the currently
   least-loaded PE.  Best information, but the manager is a bottleneck and
   every seed pays an extra network hop.
+* ``adaptive`` — Charm++-style periodic measurement-based rebalancing:
+  seeds root where created, and a per-PE timer pass migrates queued
+  seeds off overloaded PEs toward the lightest peers in its gossip
+  table.
+* ``steal``    — Cilk-style randomized work stealing: an *idle* PE asks a
+  uniformly random loaded victim for work; the victim replies with up to
+  half of its stealable seed queue.
+
+``neighbor``/``central``/``adaptive``/``steal`` read remote load, so they
+carry a :class:`~repro.loadbalance.gossip.LoadGossip` table
+(``needs_remote_load``) — possibly-stale telemetry, the honest kind —
+and work unchanged on every machine layer, including process-per-PE
+``mp``.
 """
 
 from __future__ import annotations
@@ -34,6 +47,8 @@ __all__ = [
     "CldSpray",
     "CldNeighbor",
     "CldCentral",
+    "CldAdaptive",
+    "CldSteal",
     "BALANCERS",
     "make_balancer",
 ]
@@ -78,12 +93,14 @@ class CldNeighbor(CldBalancer):
     """Push excess work to the least-loaded neighbour.
 
     A seed stays local while this PE's load is at or below
-    ``threshold``; otherwise it moves to the lightest neighbour, provided
-    that neighbour is strictly lighter.  Arriving seeds re-run the test,
-    so a seed can ride a load gradient several hops before rooting.
+    ``threshold``; otherwise it moves to the lightest neighbour (by the
+    gossip table's last-heard load), provided that neighbour looks
+    strictly lighter.  Arriving seeds re-run the test, so a seed can
+    ride a load gradient several hops before rooting.
     """
 
     name = "neighbor"
+    needs_remote_load = True
 
     #: local queue length above which we try to shed seeds.
     threshold = 2
@@ -95,7 +112,8 @@ class CldNeighbor(CldBalancer):
             return []
         if hasattr(topo, "neighbors"):
             return topo.neighbors(pe)
-        # Default: ring neighbours.
+        # Default: ring neighbours (also the mp layer, which has no
+        # simulated topology object).
         left, right = (pe - 1) % num, (pe + 1) % num
         return [left] if left == right else [left, right]
 
@@ -128,19 +146,32 @@ class CldCentral(CldBalancer):
     """A central manager on PE 0 assigns every seed.
 
     Creation PEs ship seeds to the manager; the manager places each on
-    the PE minimizing (current load + seeds already assigned there but
-    possibly still in flight), then the seed roots at its destination
-    with no further hops.
+    the PE minimizing (last-heard load + seeds already assigned there
+    but possibly still in flight), then the seed roots at its
+    destination with no further hops.
+
+    The in-flight estimate is *decayed by root acknowledgements*: every
+    PE sends the manager a zero-byte ack when a centrally placed seed
+    actually roots (the manager's own roots decay directly, no
+    message).  Increments happen only in :meth:`_place` and decrements
+    only at root, so the estimate tracks true in-flight count exactly
+    and drains to zero at quiescence — without the acks it only ever
+    grew, and after enough seeds the stale totals drowned out the real
+    loads, degrading placement to round-robin-by-history.
     """
 
     name = "central"
+    needs_remote_load = True
     MANAGER = 0
 
     def __init__(self, runtime: Any) -> None:
         super().__init__(runtime)
-        # Only meaningful on the manager PE: seeds routed but maybe not
-        # yet rooted, so rapid-fire seeds do not all hit one PE.
+        # Only meaningful on the manager PE: seeds routed but not yet
+        # rooted, so rapid-fire seeds do not all hit one PE.
         self._pending: Dict[int, int] = {}
+        self._h_root_ack = runtime.register_handler(
+            self._on_root_ack, "cld.central.ack"
+        )
 
     def choose_initial(self, msg: Message) -> int:
         """Placement policy hook: destination PE for a new seed."""
@@ -156,12 +187,223 @@ class CldCentral(CldBalancer):
         return self._place()
 
     def _place(self) -> int:
-        best = min(
-            range(self.runtime.num_pes),
-            key=lambda pe: (self.load_of(pe) + self._pending.get(pe, 0), pe),
-        )
+        # Apples-to-apples: peers' table entries are *advertised* loads
+        # (queued work only), so the manager scores itself the same way.
+        # Its live inbox is dominated by this protocol's own root acks —
+        # counting those would push every placement away from PE 0.
+        me = self.runtime.my_pe
+        mine = self.advertised_load()
+
+        def key(pe: int):
+            base = mine if pe == me else self.load_of(pe)
+            return (base + self._pending.get(pe, 0), pe)
+
+        best = min(range(self.runtime.num_pes), key=key)
         self._pending[best] = self._pending.get(best, 0) + 1
         return best
+
+    def _root(self, msg: Message) -> None:
+        super()._root(msg)
+        rt = self.runtime
+        if rt.my_pe == self.MANAGER:
+            self._decay(rt.my_pe)
+        else:
+            # Latency-critical control traffic: direct send, so the ack
+            # is never parked in an aggregation buffer behind user data.
+            rt.cmi.sync_send(
+                self.MANAGER, Message(self._h_root_ack, rt.my_pe, size=0),
+                direct=True,
+            )
+
+    def _on_root_ack(self, msg: Message) -> None:
+        self._decay(msg.payload)
+
+    def _decay(self, pe: int) -> None:
+        left = self._pending.get(pe, 0) - 1
+        if left > 0:
+            self._pending[pe] = left
+        else:
+            self._pending.pop(pe, None)
+
+
+class CldAdaptive(CldBalancer):
+    """Charm++-style periodic, measurement-based rebalancing.
+
+    Seeds root where created (zero placement cost on the fast path, like
+    ``direct``); the balancing happens in :meth:`on_gossip_tick`, which
+    the gossip timer runs every interval while this PE has load.  The
+    pass compares this PE's sampled queue depth with the mean of its
+    gossip table and, when overloaded, reclaims queued seeds through
+    :meth:`CsdScheduler.take_stealable` and migrates them to the
+    lightest peers (each migration optimistically bumps the table so one
+    pass does not dump everything on a single target).
+
+    With the metrics registry enabled, the pass also samples the
+    ``csd.idle_time`` counter over the window (the Charm++-style
+    busy/idle measurement): a PE that was idle for most of the window is
+    draining its backlog just fine, and shedding it would only pay
+    migration latency — so the pass stands down.
+    """
+
+    name = "adaptive"
+    needs_remote_load = True
+    allows_stealing = True
+
+    #: overload slack: shed only when local load exceeds the table mean
+    #: by more than this many seeds.
+    slack = 1
+    #: migration burst bound per tick (keeps one tick's network cost and
+    #: the receivers' intake bounded; diffusion handles the rest).  Sized
+    #: so a single-PE burst drains in a handful of ticks — a bound tight
+    #: enough to trickle lets the overloaded PE burn through a big slice
+    #: of the backlog itself before the shedding catches up.
+    max_migrate = 128
+    #: with metering on: skip shedding when the PE idled away more than
+    #: this fraction of the last window.
+    idle_veto_fraction = 0.5
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        if runtime.metering:
+            self._mx_idle_window = runtime.metrics.counter(
+                "csd.idle_time", help="virtual time the PE sat idle in "
+                                      "the scheduler loop (s)"
+            )
+        else:
+            self._mx_idle_window = None
+        #: (time, idle-counter) at the previous tick, for the window.
+        self._window = (None, 0.0)
+        #: seeds migrated off this PE by rebalance passes (reporting).
+        self.migrated = 0
+
+    def on_gossip_tick(self, load: int) -> None:
+        """One rebalance pass (runs on the gossip clock)."""
+        rt = self.runtime
+        me = rt.my_pe
+        num = rt.num_pes
+        table = self._gossip.table
+        mean = (load + sum(table[pe] for pe in range(num) if pe != me)) / num
+        if load <= mean + self.slack:
+            return
+        if self._mx_idle_window is not None and self._idle_window_veto():
+            return
+        targets = sorted(
+            (pe for pe in range(num) if pe != me and table[pe] < mean),
+            key=lambda pe: (table[pe], pe),
+        )
+        if not targets:
+            return
+        excess = min(int(load - mean), self.max_migrate)
+        seeds = rt.scheduler.take_stealable(excess)
+        for i, seed in enumerate(seeds):
+            dest = targets[i % len(targets)]
+            table[dest] += 1
+            self._migrate(seed, dest)
+        self.migrated += len(seeds)
+
+    def _idle_window_veto(self) -> bool:
+        """True when the metrics registry says this PE was idle for most
+        of the window since the previous tick."""
+        now = self.runtime.node.now
+        idle = self._mx_idle_window.value(self.runtime.my_pe)
+        last_now, last_idle = self._window
+        self._window = (now, idle)
+        if last_now is None or now <= last_now:
+            return False
+        return (idle - last_idle) / (now - last_now) > self.idle_veto_fraction
+
+
+class CldSteal(CldBalancer):
+    """Cilk-style randomized work stealing.
+
+    Seeds root where created; balance is *pull*-driven.  When the Csd
+    scheduler is about to park idle it calls this strategy's hook
+    (``runtime.idle_steal``): the thief picks a uniformly random victim
+    among the PEs whose last-heard load reaches ``min_victim_load`` and
+    sends a steal request.  The victim replies with up to half of its
+    stealable seed queue — oldest seeds first, which in a tree spawn are
+    the ones carrying whole subtrees — plus its current load, so even an
+    empty-handed reply refreshes the thief's table and steal traffic
+    dies out as the system drains.  One request may be outstanding at a
+    time per thief.
+    """
+
+    name = "steal"
+    needs_remote_load = True
+    allows_stealing = True
+
+    #: last-heard victim load below which stealing is not worth a round
+    #: trip (never steal a lone seed).
+    min_victim_load = 2
+
+    def __init__(self, runtime: Any) -> None:
+        super().__init__(runtime)
+        self._h_request = runtime.register_handler(
+            self._on_steal_request, "cld.steal.req"
+        )
+        self._h_reply = runtime.register_handler(
+            self._on_steal_reply, "cld.steal.rep"
+        )
+        self._outstanding = False
+        #: reporting counters (requests sent / non-empty replies / seeds).
+        self.steals_attempted = 0
+        self.steals_won = 0
+        self.seeds_stolen = 0
+        # The scheduler's pre-park hook; one attribute test per idle
+        # transition on machines that never install it.
+        runtime.idle_steal = self._maybe_steal
+
+    def _maybe_steal(self) -> None:
+        """Idle hook: fire one steal request at a random loaded victim."""
+        if self._outstanding:
+            return
+        rt = self.runtime
+        table = self._gossip.table
+        me = rt.my_pe
+        floor = self.min_victim_load
+        candidates = [pe for pe in range(rt.num_pes)
+                      if pe != me and table[pe] >= floor]
+        if not candidates:
+            return
+        victim = (candidates[0] if len(candidates) == 1
+                  else rt.machine.rng.choice(candidates))
+        self._outstanding = True
+        self.steals_attempted += 1
+        # Control protocol: direct (never aggregated) sends both ways.
+        rt.cmi.sync_send(
+            victim, Message(self._h_request, me, size=8), direct=True
+        )
+
+    def _on_steal_request(self, msg: Message) -> None:
+        thief = msg.payload
+        rt = self.runtime
+        scheduler = rt.scheduler
+        stolen = scheduler.take_stealable(max(1, len(scheduler.queue) // 2))
+        # The stolen seeds' final roots are at the thief: un-count them
+        # here (conservation: machine-wide created == rooted) and count
+        # the transfer as forwards.
+        self.stats.rooted -= len(stolen)
+        self.stats.forwarded += len(stolen)
+        for seed in stolen:
+            seed.steal_ok = False
+        reply = Message(
+            self._h_reply,
+            (rt.my_pe, self.advertised_load(), stolen),
+            size=16 + sum(seed.size for seed in stolen),
+        )
+        rt.cmi.sync_send(thief, reply, direct=True)
+
+    def _on_steal_reply(self, msg: Message) -> None:
+        victim, load, seeds = msg.payload
+        self._outstanding = False
+        # Even an empty reply is fresh telemetry: a drained victim's slot
+        # drops to its true load, so the thief stops asking it.
+        self._gossip.note(victim, load)
+        if seeds:
+            self.steals_won += 1
+            self.seeds_stolen += len(seeds)
+            for seed in seeds:
+                self._root(seed)
 
 
 BALANCERS: Dict[str, Callable[[Any], CldBalancer]] = {
@@ -170,6 +412,8 @@ BALANCERS: Dict[str, Callable[[Any], CldBalancer]] = {
     "spray": CldSpray,
     "neighbor": CldNeighbor,
     "central": CldCentral,
+    "adaptive": CldAdaptive,
+    "steal": CldSteal,
 }
 
 

@@ -493,6 +493,12 @@ class _WorkerMachine:
             self.metrics = MetricsRegistry(locking=True)
         self.topology = None
         self.rng = random.Random(options.get("seed", 0) * 1_000_003 + pe)
+        #: wall-clock gossip period for Cld strategies carrying a
+        #: remote-load table.  Coarser than the simulator's virtual-time
+        #: default: mp Ccd timers are real ``threading.Timer`` objects
+        #: and each pending one holds hub quiescence for up to a period
+        #: after the load drains.
+        self.cld_gossip_interval = 0.02
         # Raw-speed knobs, forwarded from the driver-side MpMachine so
         # the worker's ConverseRuntime picks them up at construction.
         self.msg_pooling = options.get("pool", False)

@@ -329,6 +329,66 @@ def test_seeded_fuzz_parity_pool_on_vs_off():
         assert on == off, f"pooling changed delivery for seed {seed}"
 
 
+# ----------------------------------------------------------------------
+# seed forwarding: the Cld wrapper rides pooled wire buffers
+# ----------------------------------------------------------------------
+def _run_seed_forwarding(ldb, seeds=64, num_pes=4, seed=9, **machine_kwargs):
+    """PE 0 CldEnqueues tagged seeds that charge time wherever they
+    root; returns (per-PE payload logs, per-PE pool stats)."""
+    logs = [[] for _ in range(num_pes)]
+    with Machine(num_pes, model=GENERIC, ldb=ldb, seed=seed,
+                 **machine_kwargs) as m:
+        def main():
+            me = api.CmiMyPe()
+
+            def work(msg):
+                logs[me].append(msg.payload)
+                api.CmiCharge(40e-6)
+
+            hid = api.CmiRegisterHandler(work, "seedwork")
+            if me == 0:
+                for i in range(seeds):
+                    api.CldEnqueue(Message(hid, ("seed", i, "x" * 8),
+                                           size=16))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        # ``if rt.pool`` would misread an *empty* free list as "no pool"
+        # (MessagePool defines __len__): test None explicitly.
+        stats = [rt.pool.stats() if rt.pool is not None else None
+                 for rt in m.runtimes]
+    return logs, stats
+
+
+@pytest.mark.parametrize("ldb", ["random", "neighbor", "steal", "adaptive"])
+def test_forwarded_seeds_survive_pool_recycling(ldb):
+    """Seed wrappers travel as pooled wire copies, and forwarding /
+    stealing re-wraps the *inner* seed for another hop.  Recycling a
+    wrapper buffer must never poison the seed riding in it: every tag
+    arrives exactly once with its payload intact, no matter how many
+    hops (forward chains, steal replies, migration pushes) it took."""
+    logs, stats = _run_seed_forwarding(ldb, pool=True)
+    all_payloads = sorted(p for log in logs for p in log)
+    assert all_payloads == [("seed", i, "x" * 8) for i in range(64)], (
+        f"[{ldb}] seed payload lost or corrupted through pooled hops"
+    )
+    # The run really exercised the free lists.
+    total = {k: sum(s[k] for s in stats) for k in stats[0]}
+    assert total["released"] > 0
+
+
+@pytest.mark.parametrize("ldb", ["random", "steal"])
+def test_seed_placement_parity_pool_on_vs_off(ldb):
+    """Pooling must be observationally invisible to the balancer: the
+    same machine seed gives the identical per-PE seed placement with the
+    free list on and off."""
+    on, _ = _run_seed_forwarding(ldb, pool=True)
+    off, off_stats = _run_seed_forwarding(ldb, pool=False)
+    assert on == off
+    assert all(s is None for s in off_stats)
+
+
 def test_pool_forced_on_under_hostile_faults_with_reliable():
     """Pooling defaults off under an unreliable fault plan, but forcing
     it on with the reliability layer must still deliver every logical

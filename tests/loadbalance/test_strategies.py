@@ -39,7 +39,10 @@ def _run_seed_burst(ldb: str, num_pes: int = 4, seeds: int = 32, seed: int = 3):
 
 
 def test_registry_names():
-    assert set(BALANCERS) == {"direct", "random", "spray", "neighbor", "central"}
+    assert set(BALANCERS) == {
+        "direct", "random", "spray", "neighbor", "central",
+        "adaptive", "steal",
+    }
 
 
 def test_unknown_strategy_rejected():
@@ -146,3 +149,134 @@ def test_stats_conservation_invariant():
         assert sum(created) == 20
         assert sum(rooted) == 20
         assert sum(ran.values()) == 20
+
+
+# ----------------------------------------------------------------------
+# telemetry: the gossip table and its failure modes
+# ----------------------------------------------------------------------
+
+def test_remote_load_without_telemetry_raises_clear_error():
+    """A strategy that never declared ``needs_remote_load`` has no
+    gossip table; asking for a peer's load must fail loudly with a
+    LoadBalanceError that names the fix — not the opaque AttributeError
+    the old live reach-through produced on process-per-PE layers."""
+    with Machine(2, ldb="direct") as m:
+        m.launch(lambda: api.CsdScheduler(-1))
+        m.run()
+        cld = m.runtime(0).cld
+        assert cld._gossip is None
+        with pytest.raises(LoadBalanceError) as err:
+            cld.load_of(1)
+        assert "needs_remote_load" in str(err.value)
+        assert "direct" in str(err.value)
+
+
+def test_zero_cost_when_balancing_off():
+    """Need-based cost audit: with a non-migrating strategy there is no
+    gossip object, no gossip handler, and no idle-steal hook — the fast
+    paths pay nothing for telemetry nobody reads."""
+    with Machine(2, ldb="direct") as m:
+        m.launch(lambda: api.CsdScheduler(-1))
+        m.run()
+        for rt in m.runtimes:
+            assert rt.cld._gossip is None
+            assert rt.idle_steal is None
+            assert "cld.gossip" not in rt.handlers._names
+            assert "cld.steal.req" not in rt.handlers._names
+
+
+def test_migrating_strategies_install_their_hooks():
+    with Machine(2, ldb="steal") as m:
+        m.launch(lambda: api.CsdScheduler(-1))
+        m.run()
+        for rt in m.runtimes:
+            assert rt.cld._gossip is not None
+            assert rt.idle_steal is not None
+            assert "cld.gossip" in rt.handlers._names
+
+
+def _run_charged_burst(ldb: str, num_pes: int = 4, seeds: int = 128,
+                       grain_s: float = 50e-6, seed: int = 5):
+    """Like ``_run_seed_burst`` but each seed charges virtual time, so
+    PE 0 stays visibly loaded long enough for periodic rebalancing and
+    idle-driven stealing to engage."""
+    with Machine(num_pes, model=GENERIC, ldb=ldb, seed=seed) as m:
+        ran = {pe: 0 for pe in range(num_pes)}
+
+        def main():
+            def work(msg):
+                ran[api.CmiMyPe()] += 1
+                api.CmiCharge(grain_s)
+
+            hid = api.CmiRegisterHandler(work, "hotwork")
+            if api.CmiMyPe() == 0:
+                for _ in range(seeds):
+                    api.CldEnqueue(Message(hid, None, size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        rooted = [rt.cld.stats.rooted for rt in m.runtimes]
+        created = [rt.cld.stats.created for rt in m.runtimes]
+        return m, ran, rooted, created
+
+
+def test_adaptive_sheds_hot_pe():
+    """A single-PE burst must not stay put: the periodic rebalance pass
+    migrates queued seeds off the overloaded PE, conservation holds, and
+    every PE ends up with real work."""
+    m, ran, rooted, created = _run_charged_burst("adaptive")
+    assert sum(created) == 128 and sum(rooted) == 128
+    assert sum(ran.values()) == 128
+    assert rooted[0] < 128, "adaptive never migrated anything"
+    assert all(v > 0 for v in ran.values()), f"idle PEs left: {ran}"
+    assert sum(rt.cld.migrated for rt in m.runtimes) > 0
+
+
+def test_steal_pulls_work_to_idle_pes():
+    """Idle PEs must actually steal: non-zero wins, stolen-seed count
+    matches the migration the stats recorded, conservation holds."""
+    m, ran, rooted, created = _run_charged_burst("steal")
+    assert sum(created) == 128 and sum(rooted) == 128
+    assert sum(ran.values()) == 128
+    won = sum(rt.cld.steals_won for rt in m.runtimes)
+    stolen = sum(rt.cld.seeds_stolen for rt in m.runtimes)
+    assert won > 0 and stolen > 0
+    assert rooted[0] < 128, "no seed ever left the hot PE"
+    assert sum(1 for v in ran.values() if v > 0) >= 2
+
+
+def test_gossip_stays_low_rate():
+    """Telemetry must cost a small fraction of the seed traffic: the
+    periodic broadcast count stays well below the seed count, and every
+    timer disarms at quiescence (the run terminating proves that)."""
+    m, ran, _, _ = _run_charged_burst("adaptive", seeds=128)
+    broadcasts = sum(rt.cld._gossip.broadcasts for rt in m.runtimes)
+    assert 0 < broadcasts < 128
+
+
+def test_central_pending_drains_to_zero_at_quiescence():
+    """Regression for the only-ever-increments in-flight estimate: after
+    a 10k-seed burst the manager's pending table must have drained to
+    zero via root acks (before the fix it still held all 10 000, and
+    placement quality decayed with every seed)."""
+    with Machine(4, model=GENERIC, ldb="central", seed=3) as m:
+        def main():
+            hid = api.CmiRegisterHandler(lambda msg: None, "w")
+            if api.CmiMyPe() == 0:
+                for _ in range(10_000):
+                    api.CldEnqueue(Message(hid, None, size=8))
+            api.CsdScheduler(-1)
+
+        m.launch(main)
+        m.run()
+        pending = m.runtime(0).cld._pending
+        assert pending == {}, (
+            f"manager estimate did not decay: {sum(pending.values())} "
+            f"seeds still 'in flight' at quiescence"
+        )
+        rooted = [rt.cld.stats.rooted for rt in m.runtimes]
+        assert sum(rooted) == 10_000
+        # With an honest estimate the manager spreads the burst instead
+        # of letting stale history drive placement to one victim.
+        assert max(rooted) - min(rooted) <= 10_000 // 4

@@ -1,0 +1,82 @@
+"""Cld (seed load balancing) conformance: every strategy must honour the
+same seed contract on every machine layer.
+
+The contract, per strategy and backend:
+
+* **No seed lost or duplicated** — the multiset of seed tags that ran,
+  unioned over all PEs, equals the created tag set exactly once each.
+* **Conservation** — machine-wide ``sum(created) == sum(rooted)`` at
+  quiescence, even for strategies that migrate already-rooted seeds
+  (adaptive rebalancing, work stealing) — a migrated seed's final root
+  is counted exactly once, on its final PE.
+* **Per-PE consistency** — each PE's rooted count equals the number of
+  seeds that actually ran there.
+
+Placement itself is *not* part of the cross-backend contract: the mp
+layer schedules against wall-clock timers, so where a seed lands can
+legitimately differ from the simulator.  Determinism of placement is
+asserted on the simulator only, where the whole machine is a
+deterministic discrete-event program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadbalance.strategies import BALANCERS
+
+from tests.machine.conformance import workers as w
+
+pytestmark = pytest.mark.conformance
+
+SEEDS = 48
+GRAIN_S = 20e-6
+
+# Every registered strategy must pass; new strategies are covered the
+# moment they are registered.
+STRATEGIES = sorted(BALANCERS)
+
+
+@pytest.mark.parametrize("ldb", STRATEGIES)
+def test_seed_multiset_and_conservation(spmd, ldb):
+    results = spmd(4, w.w_cld_seed_burst, SEEDS, GRAIN_S, ldb=ldb)
+    ran_per_pe = [tags for tags, _stats in results]
+    stats = [s for _tags, s in results]
+
+    all_ran = sorted(tag for tags in ran_per_pe for tag in tags)
+    assert all_ran == list(range(SEEDS)), (
+        f"[{ldb}] seed loss/duplication: ran {all_ran}"
+    )
+
+    created = sum(s[0] for s in stats)
+    rooted = sum(s[2] for s in stats)
+    assert created == SEEDS
+    assert rooted == SEEDS, (
+        f"[{ldb}] conservation broken: created={created} rooted={rooted} "
+        f"(per-PE stats {stats})"
+    )
+
+    for pe, (tags, s) in enumerate(results):
+        assert s[2] == len(tags), (
+            f"[{ldb}] PE {pe} rooted {s[2]} seeds but ran {len(tags)}"
+        )
+
+
+@pytest.mark.parametrize("ldb", STRATEGIES)
+def test_sim_placement_is_deterministic(spmd, machine_backend, ldb):
+    if machine_backend != "sim":
+        pytest.skip("placement determinism is a simulator-only guarantee")
+    a = spmd(4, w.w_cld_seed_burst, SEEDS, GRAIN_S, ldb=ldb, seed=11)
+    b = spmd(4, w.w_cld_seed_burst, SEEDS, GRAIN_S, ldb=ldb, seed=11)
+    assert [tags for tags, _ in a] == [tags for tags, _ in b], (
+        f"[{ldb}] same machine seed produced different placements"
+    )
+
+
+def test_distributing_strategies_spread_on_every_backend(spmd):
+    """Not a placement assertion, a *liveness* one: under spray the
+    burst must not all sit on PE 0 (the point of the module), and that
+    must hold on every layer."""
+    results = spmd(4, w.w_cld_seed_burst, SEEDS, GRAIN_S, ldb="spray")
+    occupied = sum(1 for tags, _ in results if tags)
+    assert occupied >= 2, f"spray left everything on one PE: {results}"

@@ -445,6 +445,43 @@ def w_set_handler_retarget():
     return ran
 
 
+def w_cld_seed_burst(seeds_n, grain_s):
+    """Cld conformance workload: PE 0 CldEnqueues ``seeds_n`` tagged
+    seeds; each seed burns ``grain_s`` of charged time wherever it
+    roots, then acks PE 0, which broadcasts a stop once every tag has
+    been accounted for.
+
+    Every PE returns ``(sorted tags that ran here, CldGetStats())`` so
+    the test can check — identically on every machine layer — that the
+    rooted multiset equals the created set (no seed lost, duplicated,
+    or stuck in flight) and that ``sum(created) == sum(rooted)``."""
+    me = api.CmiMyPe()
+    ran = []
+    acked = {"n": 0}
+
+    def on_seed(msg):
+        ran.append(msg.payload)
+        api.CmiCharge(grain_s)
+        api.CmiSyncSend(0, api.CmiNew(h_ack, None, size=8))
+
+    def on_ack(_msg):
+        acked["n"] += 1
+        if acked["n"] >= seeds_n:
+            api.CmiSyncBroadcastAll(api.CmiNew(h_stop, None, size=8))
+
+    def on_stop(_msg):
+        api.CsdExitScheduler()
+
+    h_seed = api.CmiRegisterHandler(on_seed, "conf.cld.seed")
+    h_ack = api.CmiRegisterHandler(on_ack, "conf.cld.ack")
+    h_stop = api.CmiRegisterHandler(on_stop, "conf.cld.stop")
+    if me == 0:
+        for tag in range(seeds_n):
+            api.CldEnqueue(api.CmiNew(h_seed, tag, size=32))
+    api.CsdScheduler(-1)
+    return (sorted(ran), api.CldGetStats())
+
+
 def w_obs_ring(laps):
     """Deterministic observability workload: a token circles the ring
     ``laps`` full times, then its final holder broadcasts a stop to all
