@@ -13,7 +13,7 @@ PERF_MAX_REGRESSION ?= 5
 LB_MAX_IMBALANCE ?= 1.5
 LB_MIN_SPEEDUP   ?= 1.5
 
-.PHONY: test conformance fuzz ft bench perf lb trace-demo trace-demo-mp
+.PHONY: test conformance fuzz ft ft-mp bench perf lb trace-demo trace-demo-mp
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q
@@ -41,6 +41,19 @@ ft:
 		tests/faults/test_crash_validation.py
 	PYTHONPATH=src $(PY) -m repro.bench throughput --ft-recovery \
 		--scale 0.3 --repeats 2 --max-recovery-us 2000
+
+# Real-process fault-tolerance gate: the same crash sweep's mp legs
+# (reduced seed count — each run SIGKILLs a real worker process and
+# recovers over sockets), the mp-only robustness tests (structured
+# WorkerDied, permanent-crash drain, pool defaults), and the measured
+# respawn-to-recovered latency under a generous wall-clock ceiling.
+ft-mp:
+	PYTHONPATH=src $(PY) -m pytest -q --seeds=5 -k mp \
+		tests/faults/test_ft_crash.py \
+		tests/faults/test_fuzz_workloads.py \
+		tests/faults/test_mp_faults.py
+	PYTHONPATH=src $(PY) -m repro.bench throughput --ft-recovery \
+		--machine-backend mp --repeats 2 --max-recovery-us 500000
 
 bench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only

@@ -76,7 +76,10 @@ __all__ = [
     "annotate_baseline_speedups",
     "check_baseline",
     "measure_recovery",
+    "measure_recovery_mp",
     "render_recovery_table",
+    "render_recovery_mp_table",
+    "recovery_mp_report",
     "check_recovery",
     "write_report",
     "merge_report",
@@ -464,6 +467,45 @@ def portable_all2all_main(num_pes: int, rounds: int) -> int:
     return state["count"]
 
 
+def portable_ft_pingpong_main(rounds: int, checkpoint_every: int,
+                              sleep_s: float) -> int:
+    """Crash-surviving ping-pong main (module-level: the mp layer ships
+    launch specs by picklable reference).  ``sleep_s`` stretches each
+    handler so a wall-clock CrashSpec lands mid-run."""
+    me = api.CmiMyPe()
+    other = 1 - me
+    mine: List[int] = []
+
+    def on_ball(msg: Any) -> None:
+        n = msg.payload
+        mine.append(n)
+        if sleep_s:
+            time.sleep(sleep_s)
+        if n + 1 < 2 * rounds:
+            api.CmiSyncSend(other, api.CmiNew(h, n + 1))
+        if checkpoint_every and len(mine) % checkpoint_every == 0:
+            api.CftCheckpoint()
+        if len(mine) == rounds:
+            api.CsdExitScheduler()
+
+    h = api.CmiRegisterHandler(on_ball, "tp.mft")
+    api.CftInit(lambda: list(mine),
+                lambda s: mine.__setitem__(slice(None), s))
+
+    def init_sends() -> None:
+        if me == 0:
+            api.CmiSyncSend(1, api.CmiNew(h, 0))
+
+    if api.CftRestarting():
+        if not api.CftRecover():
+            mine.clear()
+            init_sends()
+    else:
+        init_sends()
+    api.CsdScheduler(-1)
+    return len(mine)
+
+
 def _mwl_pingpong(machine_backend: str, scale: float,
                   machine_kwargs: Optional[Dict[str, Any]] = None) -> int:
     rounds = max(1, int(2000 * scale))
@@ -647,6 +689,80 @@ def check_recovery(rows: Sequence[Dict[str, float]],
                 f"{iv:,.0f} us outside (0, {max_latency_us:,.0f}] us"
             )
     return failures
+
+
+def measure_recovery_mp(repeats: int = 3, machine_backend: str = "mp",
+                        rounds: int = 60) -> List[Dict[str, float]]:
+    """Real-process crash recovery on a machine layer: each repeat runs
+    the crash-surviving ping-pong with one mid-run SIGKILL + respawn and
+    reports the worker-measured *wall-clock* respawn-to-recovered
+    latency (the ``ft.recovery_latency`` histogram: fresh-process engine
+    start through checkpoint restore and replay) beside the whole run's
+    wall time — the measured twin of the simulator's virtual-latency
+    sweep in :func:`measure_recovery`."""
+    from repro import CrashSpec, FaultPlan, FTConfig
+
+    rows: List[Dict[str, float]] = []
+    for rep in range(max(1, repeats)):
+        plan = FaultPlan(rep, crashes=[CrashSpec(1, 0.1, 0.05)])
+        t0 = time.perf_counter()
+        with Machine(2, machine_backend=machine_backend, faults=plan,
+                     reliable=True, ft=FTConfig(), metrics=True,
+                     timeout=120.0) as m:
+            m.launch(portable_ft_pingpong_main, rounds, 8, 0.002)
+            m.run()
+            received = sum(m.results())
+            wall = time.perf_counter() - t0
+        snap = m.metrics_snapshot()  # workers ship metrics at shutdown
+        assert received == 2 * rounds, f"ft pingpong diverged: {received}"
+        hist = snap["ft.recovery_latency"]
+        rows.append({
+            "repeat": rep,
+            "recovery_latency_us": (hist["mean"] or 0.0) * 1e6,
+            "recoveries": snap["ft.recoveries"]["total"],
+            "messages": 2 * rounds,
+            "wall_seconds": round(wall, 4),
+        })
+    return rows
+
+
+def render_recovery_mp_table(rows: Sequence[Dict[str, float]]) -> str:
+    """Text table for :func:`measure_recovery_mp` output."""
+    lines = [f"{'repeat':>6} {'recovery (wall)':>16} {'recoveries':>11} "
+             f"{'messages':>9} {'run wall':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r['repeat']:>6,.0f} "
+            f"{r['recovery_latency_us'] / 1000.0:>13,.1f} ms "
+            f"{r['recoveries']:>11,.0f} "
+            f"{r['messages']:>9,.0f} "
+            f"{r['wall_seconds']:>8.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def recovery_mp_report(rows: Sequence[Dict[str, float]],
+                       machine_backend: str = "mp") -> Dict[str, Any]:
+    """Wrap mp recovery rows as a mergeable report: one ``ft_recovery``
+    workload cell keyed by layer, so :func:`merge_report` lands it next
+    to the simulator rows without touching their baselines."""
+    best = min(rows, key=lambda r: r["recovery_latency_us"])
+    return {
+        "meta": {"machine_backend": machine_backend},
+        "workloads": {
+            "ft_recovery": {
+                machine_backend: {
+                    "recovery_latency_us": best["recovery_latency_us"],
+                    "recovery_latency_us_mean": sum(
+                        r["recovery_latency_us"] for r in rows) / len(rows),
+                    "recoveries_per_run": best["recoveries"],
+                    "messages": best["messages"],
+                    "seconds": best["wall_seconds"],
+                    "repeats": len(rows),
+                }
+            }
+        },
+    }
 
 
 # ======================================================================
@@ -1339,13 +1455,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"here, skipping: "
                   f"{machine_backend_unavailable_reason(args.machine_backend)}")
             return 0
-        if args.ft_recovery or args.trace != "off" \
-                or args.metrics or args.backends:
+        if args.trace != "off" or args.metrics or args.backends:
             parser.error(
                 "--machine-backend is exclusive with --backends/--trace/"
-                "--metrics/--ft-recovery (simulator-only axes); the "
-                "observability sweep is --modes"
+                "--metrics (simulator-only axes); the observability sweep "
+                "is --modes"
             )
+        if args.ft_recovery:
+            print(f"real-process crash recovery "
+                  f"(layer={args.machine_backend}, repeats={args.repeats})")
+            rows = measure_recovery_mp(repeats=args.repeats,
+                                       machine_backend=args.machine_backend)
+            print(render_recovery_mp_table(rows))
+            report = recovery_mp_report(rows,
+                                        machine_backend=args.machine_backend)
+            if args.merge_out:
+                merge_report(report, args.merge_out)
+                print(f"merged into {args.merge_out}")
+            elif args.out:
+                write_report(report, args.out)
+                print(f"wrote {args.out}")
+            if args.max_recovery_us is not None:
+                failures = [
+                    f"recovery latency {r['recovery_latency_us']:,.0f} us "
+                    f"(repeat {r['repeat']:.0f}) outside "
+                    f"(0, {args.max_recovery_us:,.0f}] us"
+                    for r in rows
+                    if not 0 < r["recovery_latency_us"]
+                    <= args.max_recovery_us
+                ]
+                if failures:
+                    for f in failures:
+                        print(f"FAIL: {f}", file=sys.stderr)
+                    return 1
+            return 0
         if args.modes:
             print(f"observability overhead (scale={args.scale}, "
                   f"repeats={args.repeats}, layer={args.machine_backend}, "

@@ -15,6 +15,29 @@ class SimulationError(ConverseError):
     """Raised for misuse of the discrete-event simulation kernel."""
 
 
+class WorkerDied(SimulationError):
+    """A machine-layer worker process died unexpectedly.
+
+    Raised by the mp machine layer when a worker's hub socket tears
+    (EOF / partial frame) outside any scheduled crash: a SIGKILL from
+    the outside, an OOM kill, a segfaulting extension.  Subclasses
+    :class:`SimulationError` so existing ``except SimulationError``
+    handlers keep working; carries the structured evidence a post-mortem
+    needs: ``pe`` names the dead worker and ``last_health`` is the hub's
+    final health snapshot for it (``None`` when it never reported).
+    """
+
+    def __init__(self, pe: int = -1, last_health: object = None,
+                 evidence: str = "") -> None:
+        self.pe = pe
+        self.last_health = last_health
+        super().__init__(
+            f"mp machine worker on PE {pe} died unexpectedly "
+            f"(socket EOF / torn frame); last health snapshot: "
+            f"{last_health!r}" + evidence
+        )
+
+
 class TaskletKilled(BaseException):
     """Injected into a parked tasklet to unwind it during shutdown.
 

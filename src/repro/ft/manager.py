@@ -125,10 +125,23 @@ class FTCoordinator:
     (A real machine would heartbeat forever; a simulation that must
     terminate cannot.  Explicit ``CftCheckpoint()`` calls work at any
     time regardless.)
+
+    ``distributed=True`` marks a *replica* of the coordinator: on the
+    mp machine layer every worker process builds its own instance from
+    the shipped crash schedule, and window resolutions reach the
+    replicas through the protocol itself (a survivor resolves a
+    recovery window when the restarted owner's reliable ``replay``
+    request arrives).  Replicas skip the ``crash_at <= now`` sanity
+    guard — worker clocks are per-process and not comparable to the
+    schedule's timeline — and rely on the protocol ordering instead.
     """
 
-    def __init__(self, num_pes: int, schedule: List[Any]) -> None:
+    def __init__(self, num_pes: int, schedule: List[Any],
+                 distributed: bool = False) -> None:
         self.num_pes = num_pes
+        #: True when this instance is a per-process replica (mp layer)
+        #: rather than the single machine-wide authority (simulator).
+        self.distributed = distributed
         #: live agent per PE; a restarted PE re-registers, replacing its
         #: dead incarnation's entry.
         self.agents: Dict[int, FTAgent] = {}
@@ -153,7 +166,9 @@ class FTCoordinator:
 
     def _resolve(self, pe: int, mode: str, now: float) -> None:
         entries = self._outstanding.get(pe)
-        if not entries or entries[0][1] != mode or entries[0][0] > now:
+        if not entries or entries[0][1] != mode:
+            return
+        if entries[0][0] > now and not self.distributed:
             return
         entries.pop(0)
         if not self.active:
@@ -197,6 +212,16 @@ class FTAgent:
                 "(build the machine with reliable=True as well as ft=)"
             )
         self.rel = rel
+        #: guards agent state against concurrent entry on machine layers
+        #: with real threads (mp: send path, receiver thread, timer
+        #: threads).  Adopted from the reliable layer so both protocol
+        #: layers share one lock — it must be reentrant there (the mp
+        #: worker installs an RLock on ``rel`` *before* enabling ft) to
+        #: cover the ft<->rel call cycles; on the simulator it is the
+        #: free no-op :data:`~repro.machine.cmi._NULL_LOCK`.  Adopting at
+        #: construction matters: ``coordinator.register`` below may arm
+        #: timers immediately, so the lock must already be real.
+        self._lock: Any = rel._lock
         # Arm sender-based message logging and take over retry give-ups
         # as failure evidence.
         if rel._ft_log is None:
@@ -224,6 +249,10 @@ class FTAgent:
         self._store: Dict[int, Tuple[Tuple[int, int], Any, Dict[str, Any]]] = {}
         self._ctl_seq = self.node.epoch * _EPOCH_SEQ_STRIDE
         self._ctl_pending: Dict[int, _CtlPending] = {}
+        #: True when buddy custody of our latest state was lost (the
+        #: buddy died with our checkpoint, or a checkpoint was deferred
+        #: while it was down) and must be re-established when it returns.
+        self._ckpt_owed = False
         self.active = False
         self._hb_timer: Any = None
         self._monitor_timer: Any = None
@@ -273,107 +302,135 @@ class FTAgent:
     # ------------------------------------------------------------------
     def activate(self) -> None:
         """Arm heartbeat / monitor / interval-checkpoint timers."""
-        if self.active:
-            return
-        self.active = True
-        now = self.engine.now
-        for p in range(self.num_pes):
-            self._last_heard.setdefault(p, now)
-        period = self.config.heartbeat_period
-        self._hb_timer = self.engine.schedule(period, self._hb_tick)
-        self._monitor_timer = self.engine.schedule(period, self._monitor_tick)
-        if self.config.checkpoint_interval > 0:
-            self._ckpt_timer = self.engine.schedule(
-                self.config.checkpoint_interval, self._ckpt_tick
+        with self._lock:
+            if self.active:
+                return
+            self.active = True
+            now = self.engine.now
+            for p in range(self.num_pes):
+                self._last_heard.setdefault(p, now)
+            period = self.config.heartbeat_period
+            self._hb_timer = self.engine.schedule(period, self._hb_tick)
+            self._monitor_timer = self.engine.schedule(
+                period, self._monitor_tick
             )
+            if self.config.checkpoint_interval > 0:
+                self._ckpt_timer = self.engine.schedule(
+                    self.config.checkpoint_interval, self._ckpt_tick
+                )
 
     def deactivate(self) -> None:
         """Cancel the periodic timers (window closed; outstanding
         control exchanges still finish on their own retry timers)."""
-        if not self.active:
-            return
-        self.active = False
-        for attr in ("_hb_timer", "_monitor_timer", "_ckpt_timer"):
-            ev = getattr(self, attr)
-            if ev is not None:
-                ev.cancel()
-                setattr(self, attr, None)
+        with self._lock:
+            if not self.active:
+                return
+            self.active = False
+            for attr in ("_hb_timer", "_monitor_timer", "_ckpt_timer"):
+                ev = getattr(self, attr)
+                if ev is not None:
+                    ev.cancel()
+                    setattr(self, attr, None)
 
     def close(self) -> None:
         """Cancel every timer this agent owns — machine shutdown, or the
         owning PE crashing.  Idempotent."""
         self.deactivate()
-        for entry in self._ctl_pending.values():
-            if entry.timer is not None:
-                entry.timer.cancel()
-                entry.timer = None
-        self._ctl_pending.clear()
+        with self._lock:
+            for entry in self._ctl_pending.values():
+                if entry.timer is not None:
+                    entry.timer.cancel()
+                    entry.timer = None
+            self._ctl_pending.clear()
 
     def _hb_tick(self) -> None:
-        if not self.active:
-            return
-        if self.buddy != self.node.pe:
-            self._best_effort(self.buddy, "hb", None, self.config.heartbeat_bytes)
-            if self._mx_hbs is not None:
-                self._mx_hbs.inc(self.node.pe)
-        self._hb_timer = self.engine.schedule(
-            self.config.heartbeat_period, self._hb_tick
-        )
+        with self._lock:
+            if not self.active:
+                return
+            if self.buddy != self.node.pe:
+                self._best_effort(self.buddy, "hb", None,
+                                  self.config.heartbeat_bytes)
+                if self._mx_hbs is not None:
+                    self._mx_hbs.inc(self.node.pe)
+            self._hb_timer = self.engine.schedule(
+                self.config.heartbeat_period, self._hb_tick
+            )
 
     def _monitor_tick(self) -> None:
-        if not self.active:
-            return
-        cfg = self.config
-        pe = self.pred
-        if pe != self.node.pe:
-            now = self.engine.now
-            silence = now - self._last_heard.get(pe, now)
-            state = self.membership.get(pe, "up")
-            if silence >= cfg.down_after * cfg.heartbeat_period:
-                if state != "down":
-                    self._declare_down(pe, "silence")
-            elif silence >= cfg.suspect_after * cfg.heartbeat_period:
-                if state == "up":
-                    self.membership[pe] = "suspect"
-                    if self.runtime.tracing:
-                        self.runtime.trace_event(
-                            "ft_failure", phase="suspect", target=pe
-                        )
-            elif state != "up":
-                # Fresh evidence clears a suspicion (or a false down).
-                self.membership[pe] = "up"
-        self._monitor_timer = self.engine.schedule(
-            cfg.heartbeat_period, self._monitor_tick
-        )
+        with self._lock:
+            if not self.active:
+                return
+            cfg = self.config
+            pe = self.pred
+            if pe != self.node.pe:
+                now = self.engine.now
+                silence = now - self._last_heard.get(pe, now)
+                state = self.membership.get(pe, "up")
+                if silence >= cfg.down_after * cfg.heartbeat_period:
+                    if state != "down":
+                        self._declare_down(pe, "silence")
+                elif silence >= cfg.suspect_after * cfg.heartbeat_period:
+                    if state == "up":
+                        self.membership[pe] = "suspect"
+                        if self.runtime.tracing:
+                            self.runtime.trace_event(
+                                "ft_failure", phase="suspect", target=pe
+                            )
+                elif state != "up":
+                    # Fresh evidence clears a suspicion (or a false down).
+                    self.membership[pe] = "up"
+            self._monitor_timer = self.engine.schedule(
+                cfg.heartbeat_period, self._monitor_tick
+            )
 
     def _ckpt_tick(self) -> None:
-        if not self.active:
-            return
-        if (self._pack is not None and self.recovered
-                and not self._ckpt_msg_out):
-            # Engine-callback context: a handler (or the main tasklet)
-            # may be mid-execution right now, with its state mutations
-            # and sends only partially applied — snapshotting here could
-            # tear that atomic step.  Queue a marker message instead;
-            # the scheduler dispatches it between handlers, where the
-            # boundary invariant holds by construction.
-            self._ckpt_msg_out = True
-            self.node.deliver(Message(self._h_ckpt, None, size=0))
-        self._ckpt_timer = self.engine.schedule(
-            self.config.checkpoint_interval, self._ckpt_tick
-        )
+        with self._lock:
+            if not self.active:
+                return
+            if (self._pack is not None and self.recovered
+                    and not self._ckpt_msg_out):
+                # Engine-callback context: a handler (or the main tasklet)
+                # may be mid-execution right now, with its state mutations
+                # and sends only partially applied — snapshotting here could
+                # tear that atomic step.  Queue a marker message instead;
+                # the scheduler dispatches it between handlers, where the
+                # boundary invariant holds by construction.
+                self._ckpt_msg_out = True
+                self.node.deliver(Message(self._h_ckpt, None, size=0))
+            self._ckpt_timer = self.engine.schedule(
+                self.config.checkpoint_interval, self._ckpt_tick
+            )
 
     def _on_ckpt_msg(self, _msg: Message) -> None:
         """Handler of the interval-checkpoint marker message."""
         self._ckpt_msg_out = False
         if self._pack is not None and self.recovered:
-            self.checkpoint(reason="interval")
+            self.checkpoint(
+                reason="custody" if self._ckpt_owed else "interval"
+            )
 
     # ------------------------------------------------------------------
     # detection
     # ------------------------------------------------------------------
     def _declare_down(self, pe: int, reason: str) -> None:
         self.membership[pe] = "down"
+        # Abandon in-flight control exchanges addressed to the dead PE:
+        # retransmitting into a corpse either blocks quiescence on the
+        # retry timer or ends in a spurious "unacknowledged after N
+        # retransmissions" error racing the verdict we just reached.  A
+        # cancelled 'ckpt' loses buddy custody, so it is owed again the
+        # moment the buddy's next incarnation announces itself (its
+        # replay request).  A 'recover' pull is kept: a restarting buddy
+        # can still answer it, and its retry budget bounds the wait.
+        for seq, entry in list(self._ctl_pending.items()):
+            if entry.dst != pe or entry.kind == "recover":
+                continue
+            if entry.timer is not None:
+                entry.timer.cancel()
+                entry.timer = None
+            del self._ctl_pending[seq]
+            if entry.kind == "ckpt":
+                self._ckpt_owed = True
         if self._mx_failures is not None:
             self._mx_failures.inc(self.node.pe)
         if self.runtime.tracing:
@@ -425,61 +482,71 @@ class FTAgent:
         buddy over the reliable control channel.  Returns the checkpoint
         epoch.  The application snapshot is deep-copied at call time, so
         later mutation cannot bleed into the stored checkpoint."""
-        if self._pack is None:
-            raise FaultToleranceError(
-                "no pack/unpack registered on this PE (call CftInit first)"
-            )
-        if not self.recovered:
-            raise FaultToleranceError("cannot checkpoint before recovery completes")
-        self._ckpt_epoch += 1
-        epoch = self._ckpt_epoch
-        app_blob = copy.deepcopy(self._pack())
-        rel_state = self.rel.export_state()
-        me = self.node.pe
-        # Messages the reliable layer already *released* into the inbox
-        # but no handler has consumed yet are invisible to the app
-        # snapshot — roll the expected map back over them so the
-        # post-restore replay re-delivers exactly that gap.  Per-sender
-        # FIFO (release order == processing order) makes the unprocessed
-        # set the tail of the released run, so a per-source count is an
-        # exact rollback.
-        expected_map = rel_state["expected"]
-        for payload in self.node.inbox:
-            src = getattr(payload, "src_pe", -1)
-            if src is not None and 0 <= src != me and src in expected_map:
-                expected_map[src] -= 1
-        nbytes = self._ckpt_size(app_blob, rel_state)
-        expected = dict(expected_map)
+        with self._lock:
+            if self._pack is None:
+                raise FaultToleranceError(
+                    "no pack/unpack registered on this PE (call CftInit first)"
+                )
+            if not self.recovered:
+                raise FaultToleranceError(
+                    "cannot checkpoint before recovery completes"
+                )
+            if self.membership.get(self.buddy) == "down":
+                # No custodian to ship to: defer.  The snapshot taken
+                # when the buddy returns covers strictly more state
+                # than this one would, so nothing is lost by waiting.
+                self._ckpt_owed = True
+                return self._ckpt_epoch
+            self._ckpt_epoch += 1
+            epoch = self._ckpt_epoch
+            app_blob = copy.deepcopy(self._pack())
+            rel_state = self.rel.export_state()
+            me = self.node.pe
+            # Messages the reliable layer already *released* into the inbox
+            # but no handler has consumed yet are invisible to the app
+            # snapshot — roll the expected map back over them so the
+            # post-restore replay re-delivers exactly that gap.  Per-sender
+            # FIFO (release order == processing order) makes the unprocessed
+            # set the tail of the released run, so a per-source count is an
+            # exact rollback.
+            expected_map = rel_state["expected"]
+            for payload in self.node.inbox_snapshot():
+                src = getattr(payload, "src_pe", -1)
+                if src is not None and 0 <= src != me and src in expected_map:
+                    expected_map[src] -= 1
+            nbytes = self._ckpt_size(app_blob, rel_state)
+            expected = dict(expected_map)
 
-        def custody_confirmed() -> None:
-            # The buddy holds the snapshot: peers may discard log
-            # entries this checkpoint already covers.
-            for other in range(self.num_pes):
-                if other != me:
-                    self._best_effort(
-                        other, "prune",
-                        {"owner": me, "below": expected.get(other, 0)}, 16,
-                    )
+            def custody_confirmed() -> None:
+                # The buddy holds the snapshot: peers may discard log
+                # entries this checkpoint already covers.
+                for other in range(self.num_pes):
+                    if other != me:
+                        self._best_effort(
+                            other, "prune",
+                            {"owner": me, "below": expected.get(other, 0)}, 16,
+                        )
 
-        self._ctl_send(
-            self.buddy, "ckpt",
-            {
-                "owner": me,
-                "epoch": epoch,
-                "node_epoch": self.node.epoch,
-                "app": app_blob,
-                "rel": rel_state,
-            },
-            nbytes, on_acked=custody_confirmed,
-        )
-        if self._mx_ckpts is not None:
-            self._mx_ckpts.inc(me)
-            self._mx_ckpt_bytes.inc(me, nbytes)
-        if self.runtime.tracing:
-            self.runtime.trace_event(
-                "ft_checkpoint", epoch=epoch, bytes=nbytes, reason=reason
+            self._ckpt_owed = False
+            self._ctl_send(
+                self.buddy, "ckpt",
+                {
+                    "owner": me,
+                    "epoch": epoch,
+                    "node_epoch": self.node.epoch,
+                    "app": app_blob,
+                    "rel": rel_state,
+                },
+                nbytes, on_acked=custody_confirmed,
             )
-        return epoch
+            if self._mx_ckpts is not None:
+                self._mx_ckpts.inc(me)
+                self._mx_ckpt_bytes.inc(me, nbytes)
+            if self.runtime.tracing:
+                self.runtime.trace_event(
+                    "ft_checkpoint", epoch=epoch, bytes=nbytes, reason=reason
+                )
+            return epoch
 
     def _ckpt_size(self, app_blob: Any, rel_state: Dict[str, Any]) -> int:
         """Deterministic modelled size of a checkpoint on the wire."""
@@ -498,11 +565,14 @@ class FTAgent:
         from the buddy, restore it, and ask peers to replay.  Returns
         True when a checkpoint was restored, False on a cold start (the
         caller should then redo its fault-free initialization)."""
-        if self._pack is None:
-            raise FaultToleranceError("call CftInit before CftRecover")
-        if self.recovered:
-            return self._restored
-        self._ctl_send(self.buddy, "recover", {"owner": self.node.pe}, 16)
+        with self._lock:
+            if self._pack is None:
+                raise FaultToleranceError("call CftInit before CftRecover")
+            if self.recovered:
+                return self._restored
+            self._ctl_send(self.buddy, "recover", {"owner": self.node.pe}, 16)
+        # Block *outside* the lock: the arrival path needs it to deliver
+        # the buddy's checkpoint response.
         self.node.wait_until(lambda: self.recovered)
         return self._restored
 
@@ -548,18 +618,19 @@ class FTAgent:
         )
 
     def _ctl_timeout(self, seq: int) -> None:
-        entry = self._ctl_pending.get(seq)
-        if entry is None:
-            return
-        entry.retries += 1
-        if entry.retries > self.config.ctl_retries:
-            del self._ctl_pending[seq]
-            raise FaultToleranceError(
-                f"PE {self.node.pe}: ft control packet {entry.kind!r} to "
-                f"PE {entry.dst} unacknowledged after "
-                f"{self.config.ctl_retries} retransmissions"
-            )
-        self._ctl_transmit(seq, entry)
+        with self._lock:
+            entry = self._ctl_pending.get(seq)
+            if entry is None:
+                return
+            entry.retries += 1
+            if entry.retries > self.config.ctl_retries:
+                del self._ctl_pending[seq]
+                raise FaultToleranceError(
+                    f"PE {self.node.pe}: ft control packet {entry.kind!r} to "
+                    f"PE {entry.dst} unacknowledged after "
+                    f"{self.config.ctl_retries} retransmissions"
+                )
+            self._ctl_transmit(seq, entry)
 
     # ------------------------------------------------------------------
     # arrivals
@@ -567,15 +638,16 @@ class FTAgent:
     def _on_arrival(self, payload: Any) -> bool:
         """Front-of-chain interceptor: every delivery is liveness
         evidence; FT protocol packets are consumed here."""
-        src = getattr(payload, "src", None)
-        if src is None:
-            src = getattr(payload, "src_pe", None)
-        if src is not None and src >= 0:
-            self._last_heard[src] = self.engine.now
-        if type(payload) is FTPacket:
-            self._handle(payload)
-            return True
-        return False
+        with self._lock:
+            src = getattr(payload, "src", None)
+            if src is None:
+                src = getattr(payload, "src_pe", None)
+            if src is not None and src >= 0:
+                self._last_heard[src] = self.engine.now
+            if type(payload) is FTPacket:
+                self._handle(payload)
+                return True
+            return False
 
     def _handle(self, pkt: FTPacket) -> None:
         if pkt.corrupted:
@@ -667,6 +739,20 @@ class FTAgent:
         self.membership[owner] = "up"
         self.rel.reset_peer(owner)
         self.rel.resend_logged(owner, pkt.data["from_seq"])
+        if (owner == self.buddy and self._ckpt_owed
+                and self._pack is not None and self.recovered
+                and not self._ckpt_msg_out):
+            # Our custodian is back — fresh, with amnesia, holding
+            # nothing of ours.  Queue a checkpoint at the next message
+            # boundary (the interval-marker mechanism) to re-establish
+            # custody of our latest state.
+            self._ckpt_msg_out = True
+            self.node.deliver(Message(self._h_ckpt, None, size=0))
+        if self.coordinator.distributed:
+            # Per-process coordinator replicas (mp layer) learn of the
+            # owner's completed recovery through this reliable, sent-to-
+            # every-peer request; _resolve is duplicate-tolerant.
+            self.coordinator.on_recovered(owner, self.engine.now)
 
     def _on_down_notice(self, pkt: FTPacket) -> None:
         target = pkt.data["target"]

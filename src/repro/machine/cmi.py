@@ -28,6 +28,32 @@ from repro.sim.network import SendHandle
 __all__ = ["CMI", "ReliableConfig", "RelStats", "RelPacket", "ReliableDelivery"]
 
 
+class _NullLock:
+    """A free no-op stand-in for a lock.
+
+    The protocol layers (reliable delivery, fault tolerance) run
+    single-threaded on the simulator but are entered concurrently on the
+    mp machine layer — send path on the main thread, arrivals on the
+    receiver thread, retransmissions on timer threads.  Each instance
+    carries ``self._lock = _NULL_LOCK`` by default; the mp worker swaps
+    in one shared :class:`threading.RLock` per PE (reentrancy covers the
+    ft->rel call cycles).  On the simulator the with-blocks cost two
+    no-op calls and the schedules stay byte-identical.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+#: the shared no-op lock instance (stateless, safe to share globally).
+_NULL_LOCK = _NullLock()
+
+
 # ----------------------------------------------------------------------
 # reliable delivery (off by default — need-based cost)
 # ----------------------------------------------------------------------
@@ -150,6 +176,9 @@ class ReliableDelivery:
         self.engine = runtime.machine.engine
         self.config = config or ReliableConfig()
         self.stats = RelStats()
+        #: guards protocol state against concurrent entry on machine
+        #: layers with real threads (see :class:`_NullLock`).
+        self._lock: Any = _NULL_LOCK
         self._next_seq: Dict[int, int] = {}
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._expected: Dict[int, int] = {}
@@ -196,89 +225,92 @@ class ReliableDelivery:
         """Transmit ``msg`` reliably.  ``msg`` must already be the wire
         copy (the reliable layer keeps a reference for retransmission).
         Returns a completion handle for asynchronous sends."""
-        seq = self._next_seq.get(dest_pe, 0)
-        self._next_seq[dest_pe] = seq + 1
-        nbytes = msg.size + self.config.header_bytes
-        pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto,
-                           sent_at=self.node.now)
-        self._pending[(dest_pe, seq)] = pending
-        if self._ft_log is not None:
-            # Sender-based message logging: keep a pristine clone so the
-            # destination can be replayed after a crash (the wire object
-            # itself gets delivered and recycled at the receiver).
-            self._ft_log.setdefault(dest_pe, {})[seq] = (
-                self._clone(msg), msg.size
-            )
-        self.stats.data_sent += 1
-        if self.runtime.tracing:
-            self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
-        if self.runtime.metering:
-            self._mx_data_sent.inc(self.node.pe)
-        pkt = RelPacket("data", self.node.pe, dest_pe, seq, msg, nbytes)
-        handle: Optional[SendHandle] = None
-        if asynchronous:
-            handle = self.network.async_send(
-                self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
-            )
-        else:
-            self.network.sync_send(
-                self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
-            )
-        self._arm_timer(pending)
-        return handle
+        with self._lock:
+            seq = self._next_seq.get(dest_pe, 0)
+            self._next_seq[dest_pe] = seq + 1
+            nbytes = msg.size + self.config.header_bytes
+            pending = _Pending(dest_pe, seq, msg, nbytes, self.config.rto,
+                               sent_at=self.node.now)
+            self._pending[(dest_pe, seq)] = pending
+            if self._ft_log is not None:
+                # Sender-based message logging: keep a pristine clone so the
+                # destination can be replayed after a crash (the wire object
+                # itself gets delivered and recycled at the receiver).
+                self._ft_log.setdefault(dest_pe, {})[seq] = (
+                    self._clone(msg), msg.size
+                )
+            self.stats.data_sent += 1
+            if self.runtime.tracing:
+                self.runtime.trace_event("rel_data", dest=dest_pe, seq=seq, size=msg.size)
+            if self.runtime.metering:
+                self._mx_data_sent.inc(self.node.pe)
+            pkt = RelPacket("data", self.node.pe, dest_pe, seq, msg, nbytes)
+            handle: Optional[SendHandle] = None
+            if asynchronous:
+                handle = self.network.async_send(
+                    self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
+                )
+            else:
+                self.network.sync_send(
+                    self.node, dest_pe, nbytes, pkt, extra_send_cost=extra_send_cost
+                )
+            self._arm_timer(pending)
+            return handle
 
     def _arm_timer(self, pending: _Pending) -> None:
         pending.timer = self.engine.schedule(pending.rto, self._on_timeout, pending)
 
     def _on_timeout(self, pending: _Pending) -> None:
-        key = (pending.dst, pending.seq)
-        if key not in self._pending:  # acked in the meantime
-            return
-        if pending.retries >= self.config.max_retries:
-            del self._pending[key]
+        with self._lock:
+            key = (pending.dst, pending.seq)
+            if key not in self._pending:  # acked in the meantime
+                return
+            if pending.retries >= self.config.max_retries:
+                del self._pending[key]
+                if self.runtime.tracing:
+                    self.runtime.trace_event(
+                        "rel_giveup", dest=pending.dst, seq=pending.seq,
+                        retries=pending.retries,
+                    )
+                err = RetryExhaustedError(
+                    self.node.pe, pending.dst, pending.seq, pending.retries,
+                    self.node.now - pending.sent_at, stats=replace(self.stats),
+                )
+                if self._ft_giveup is not None:
+                    # With a failure detector attached, a dead link is
+                    # evidence of a dead peer, not a fatal error.
+                    self._ft_giveup(err)
+                    return
+                raise err
+            pending.retries += 1
+            self.stats.retransmits += 1
             if self.runtime.tracing:
                 self.runtime.trace_event(
-                    "rel_giveup", dest=pending.dst, seq=pending.seq,
-                    retries=pending.retries,
+                    "rel_retransmit", dest=pending.dst, seq=pending.seq,
+                    attempt=pending.retries,
                 )
-            err = RetryExhaustedError(
-                self.node.pe, pending.dst, pending.seq, pending.retries,
-                self.node.now - pending.sent_at, stats=replace(self.stats),
-            )
-            if self._ft_giveup is not None:
-                # With a failure detector attached, a dead link is
-                # evidence of a dead peer, not a fatal error.
-                self._ft_giveup(err)
-                return
-            raise err
-        pending.retries += 1
-        self.stats.retransmits += 1
-        if self.runtime.tracing:
-            self.runtime.trace_event(
-                "rel_retransmit", dest=pending.dst, seq=pending.seq,
-                attempt=pending.retries,
-            )
-        if self.runtime.metering:
-            self._mx_retransmits.inc(self.node.pe)
-        # A fresh wire object per transmission: fault corruption flags one
-        # copy without poisoning the packet for later attempts.
-        inner = pending.inner
-        if self._ft_log is not None:
-            # With crash recovery armed, a peer's expected sequences can
-            # roll back to its checkpoint — a retransmission may then be
-            # *released* a second time, so never re-wire an object the
-            # receiver may already have consumed and recycled.  Clone
-            # from the pristine log entry (the first delivery nulled the
-            # wire object's payload when the handler returned).
-            entries = self._ft_log.get(pending.dst)
-            logged = None if entries is None else entries.get(pending.seq)
-            if logged is not None:
-                inner = self._clone(logged[0])
-        pkt = RelPacket("data", self.node.pe, pending.dst, pending.seq,
-                        inner, pending.nbytes)
-        self.network.inject(self.node.pe, pending.dst, pending.nbytes, pkt)
-        pending.rto = min(pending.rto * self.config.backoff, self.config.max_rto)
-        self._arm_timer(pending)
+            if self.runtime.metering:
+                self._mx_retransmits.inc(self.node.pe)
+            # A fresh wire object per transmission: fault corruption flags one
+            # copy without poisoning the packet for later attempts.
+            inner = pending.inner
+            if self._ft_log is not None:
+                # With crash recovery armed, a peer's expected sequences can
+                # roll back to its checkpoint — a retransmission may then be
+                # *released* a second time, so never re-wire an object the
+                # receiver may already have consumed and recycled.  Clone
+                # from the pristine log entry (the first delivery nulled the
+                # wire object's payload when the handler returned).
+                entries = self._ft_log.get(pending.dst)
+                logged = None if entries is None else entries.get(pending.seq)
+                if logged is not None:
+                    inner = self._clone(logged[0])
+            pkt = RelPacket("data", self.node.pe, pending.dst, pending.seq,
+                            inner, pending.nbytes)
+            self.network.inject(self.node.pe, pending.dst, pending.nbytes, pkt)
+            pending.rto = min(pending.rto * self.config.backoff,
+                              self.config.max_rto)
+            self._arm_timer(pending)
 
     # ------------------------------------------------------------------
     # receiver side (arrival interceptor: engine-callback context)
@@ -286,16 +318,22 @@ class ReliableDelivery:
     def _on_arrival(self, payload: Any) -> bool:
         if not isinstance(payload, RelPacket):
             return False
-        if self._paused:
-            # Mid-recovery: consume silently with no acks and no state
-            # changes — senders keep retransmitting, and the post-restore
-            # replay covers anything that arrived too early.
+        with self._lock:
+            if self._paused:
+                # Mid-recovery: consume silently with no acks and no state
+                # changes — senders keep retransmitting, and the post-restore
+                # replay covers anything that arrived too early.
+                if self.runtime.tracing:
+                    self.runtime.trace_event(
+                        "rel_paused_drop", src=payload.src, seq=payload.seq,
+                        ack=payload.kind == "ack",
+                    )
+                return True
+            if payload.kind == "ack":
+                self._on_ack(payload)
+            else:
+                self._on_data(payload)
             return True
-        if payload.kind == "ack":
-            self._on_ack(payload)
-        else:
-            self._on_data(payload)
-        return True
 
     def _on_ack(self, pkt: RelPacket) -> None:
         if pkt.corrupted:
@@ -305,6 +343,9 @@ class ReliableDelivery:
                                          seq=pkt.seq, ack=True)
             return
         pending = self._pending.pop((pkt.src, pkt.seq), None)
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_ack", src=pkt.src, seq=pkt.seq,
+                                     stale=pending is None)
         if pending is None:
             # An ack for a packet already acked (the receiver re-acks
             # duplicates); harmless.
@@ -360,6 +401,8 @@ class ReliableDelivery:
 
     def _send_ack(self, dest: int, seq: int) -> None:
         self.stats.acks_sent += 1
+        if self.runtime.tracing:
+            self.runtime.trace_event("rel_ack_out", dest=dest, seq=seq)
         pkt = RelPacket("ack", self.node.pe, dest, seq, None,
                         self.config.ack_bytes)
         self.network.inject(self.node.pe, dest, self.config.ack_bytes, pkt)
@@ -404,19 +447,21 @@ class ReliableDelivery:
         still-unacknowledged packets, and the recovery message log.  The
         snapshot shares (pristine, never-delivered) message clones with
         the live log; both sides only ever copy them, never mutate."""
-        log: Dict[int, Dict[int, Tuple[Message, int]]] = {}
-        if self._ft_log is not None:
-            log = {dst: dict(entries) for dst, entries in self._ft_log.items()}
-        pend = sorted(
-            (p.dst, p.seq) for p in self._pending.values()
-            if p.seq in log.get(p.dst, {})
-        )
-        return {
-            "next_seq": dict(self._next_seq),
-            "expected": dict(self._expected),
-            "pending": pend,
-            "log": log,
-        }
+        with self._lock:
+            log: Dict[int, Dict[int, Tuple[Message, int]]] = {}
+            ft_log = self._ft_log
+            if ft_log is not None:
+                log = {dst: dict(entries) for dst, entries in ft_log.items()}
+            pend = sorted(
+                (p.dst, p.seq) for p in self._pending.values()
+                if p.seq in log.get(p.dst, {})
+            )
+            return {
+                "next_seq": dict(self._next_seq),
+                "expected": dict(self._expected),
+                "pending": pend,
+                "log": log,
+            }
 
     def import_state(self, state: Dict[str, Any]) -> None:
         """Restore a checkpoint snapshot onto this (freshly restarted)
@@ -424,17 +469,18 @@ class ReliableDelivery:
         checkpoint time back on the wire.  Out-of-order holdings gathered
         before the restore are discarded — the peers' replay resends
         them, and the restored ``expected`` map dedups."""
-        self._next_seq = dict(state["next_seq"])
-        self._expected = dict(state["expected"])
-        self._held.clear()
-        if self._ft_log is not None:
-            self._ft_log = {
-                dst: dict(entries) for dst, entries in state["log"].items()
-            }
-        for dst, seq in state["pending"]:
-            entry = state["log"].get(dst, {}).get(seq)
-            if entry is not None:
-                self._resend(dst, seq, entry[0], entry[1])
+        with self._lock:
+            self._next_seq = dict(state["next_seq"])
+            self._expected = dict(state["expected"])
+            self._held.clear()
+            if self._ft_log is not None:
+                self._ft_log = {
+                    dst: dict(entries) for dst, entries in state["log"].items()
+                }
+            for dst, seq in state["pending"]:
+                entry = state["log"].get(dst, {}).get(seq)
+                if entry is not None:
+                    self._resend(dst, seq, entry[0], entry[1])
 
     def _resend(self, dst: int, seq: int, msg: Message, size: int) -> None:
         """(Re)create sender state for a logged packet and transmit a
@@ -462,53 +508,57 @@ class ReliableDelivery:
         restored ``expected`` value).  Already-delivered packets among
         them are dup-dropped and re-acked by the peer; genuinely lost
         ones fill the gap.  Returns the number of packets resent."""
-        entries = None if self._ft_log is None else self._ft_log.get(dst)
-        if not entries:
-            return 0
-        n = 0
-        for seq in sorted(entries):
-            if seq >= from_seq:
-                msg, size = entries[seq]
-                self._resend(dst, seq, msg, size)
-                n += 1
-        return n
+        with self._lock:
+            entries = None if self._ft_log is None else self._ft_log.get(dst)
+            if not entries:
+                return 0
+            n = 0
+            for seq in sorted(entries):
+                if seq >= from_seq:
+                    msg, size = entries[seq]
+                    self._resend(dst, seq, msg, size)
+                    n += 1
+            return n
 
     def prune_log(self, dst: int, below: int) -> int:
         """Drop log entries to ``dst`` below sequence ``below`` (the
         destination checkpointed them: replay will never need them).
         Still-pending packets are kept regardless, preserving the
         checkpoint invariant that every pending packet has a log entry."""
-        entries = None if self._ft_log is None else self._ft_log.get(dst)
-        if not entries:
-            return 0
-        stale = [s for s in entries
-                 if s < below and (dst, s) not in self._pending]
-        for s in stale:
-            del entries[s]
-        return len(stale)
+        with self._lock:
+            entries = None if self._ft_log is None else self._ft_log.get(dst)
+            if not entries:
+                return 0
+            stale = [s for s in entries
+                     if s < below and (dst, s) not in self._pending]
+            for s in stale:
+                del entries[s]
+            return len(stale)
 
     def reset_peer(self, dst: int) -> None:
         """Reconcile retransmission state after ``dst`` recovered: give
         every packet still pending to it a fresh retry budget and timeout
         (the backed-off timers were measuring a dead PE)."""
-        cfg = self.config
-        for (d, _seq), p in self._pending.items():
-            if d == dst:
-                p.retries = 1
-                p.rto = cfg.rto
-                if p.timer is not None:
-                    p.timer.cancel()
-                self._arm_timer(p)
+        with self._lock:
+            cfg = self.config
+            for (d, _seq), p in self._pending.items():
+                if d == dst:
+                    p.retries = 1
+                    p.rto = cfg.rto
+                    if p.timer is not None:
+                        p.timer.cancel()
+                    self._arm_timer(p)
 
     def close(self) -> None:
         """Cancel every outstanding retransmission timer and forget the
         pending set.  Called on machine shutdown and when this PE
         crashes — a dead (or torn-down) PE must not retransmit."""
-        for p in self._pending.values():
-            if p.timer is not None:
-                p.timer.cancel()
-                p.timer = None
-        self._pending.clear()
+        with self._lock:
+            for p in self._pending.values():
+                if p.timer is not None:
+                    p.timer.cancel()
+                    p.timer = None
+            self._pending.clear()
 
     def expected_seq(self, src: int) -> int:
         """The next sequence number expected from ``src`` (what a

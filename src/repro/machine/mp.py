@@ -38,11 +38,31 @@ health snapshots; the hub keeps a bounded flight-recorder ring of them,
 serves :meth:`MpMachine.health`, and attaches the last snapshots to
 timeout/crash errors so hung runs die with evidence.
 
+**Faults and fault tolerance** are real on this layer: with
+``faults=FaultPlan(...)`` the hub applies the unchanged seeded plan to
+every frame in flight between processes (per-link drop / duplicate /
+delay / reorder / corrupt, decided by the same RNG stream as the
+simulator), and ``CrashSpec`` entries drive the hub to **SIGKILL**
+worker processes at their appointed wall-clock times — respawning a
+fresh incarnation (epoch bump, restart-with-amnesia) when the spec has
+a ``restart_after``.  The CMI reliable-delivery layer
+(``reliable=True``) and the fault-tolerance layer (``ft=FTConfig()``)
+run *inside each worker* unmodified, entered concurrently from the
+main, receiver and timer threads under one per-PE reentrant lock; each
+worker carries its own distributed :class:`~repro.ft.manager.
+FTCoordinator` replica fed by the shipped crash schedule.  Protocol
+timeouts are floored to socket scale at construction (the simulator's
+microsecond RTOs would retransmit thousands of times per real RTT).
+An *unscheduled* worker death (an outside SIGKILL, an OOM kill) is
+classified from the torn socket and surfaces as a structured
+:class:`~repro.core.errors.WorkerDied` carrying the PE id and the
+flight-recorder's last health snapshot.
+
 Scope (documented in the README machine-layer matrix): cost models,
-fault injection, reliable delivery, aggregation, the fault-tolerance
-layer, Cth threads/tasklets, EMI groups/global pointers across PEs and
-console input are **simulator-only** for now.  Time is wall-clock; runs
-are not deterministic.
+aggregation, Cth threads/tasklets, EMI groups/global pointers across
+PEs and console input are **simulator-only** for now.  Time is
+wall-clock; runs are not deterministic (mp fault tests assert
+invariants, not byte-identical traces).
 """
 
 from __future__ import annotations
@@ -58,7 +78,7 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.core.errors import SimulationError
+from repro.core.errors import SimulationError, WorkerDied
 from repro.machine.base import MachineLayer, resolve_speed_knobs
 from repro.sim.console import ConsoleRecord
 from repro.sim.models import MachineModel
@@ -85,6 +105,21 @@ _HEALTH_INTERVAL = 0.25
 #: flight-recorder depth: most recent health snapshots the hub retains
 #: for post-mortem attachment to timeout/crash errors.
 _FLIGHT_DEPTH = 64
+
+#: protocol-timeout floors for real sockets (seconds).  The simulator's
+#: defaults are microsecond-scale virtual times; on a wall-clock layer
+#: with ~100 us frame hops they would retransmit pathologically, so
+#: reliable/ft configs are floored to these values at construction.
+_MP_REL_RTO_FLOOR = 0.02
+_MP_REL_MAX_RTO_FLOOR = 0.25
+_MP_FT_HB_FLOOR = 0.025
+_MP_FT_CTL_RTO_FLOOR = 0.05
+_MP_FT_CTL_RETRIES_FLOOR = 100
+_MP_FT_CKPT_FLOOR = 0.05
+
+#: worker -> hub connect retry schedule (transport hardening).
+_CONNECT_ATTEMPTS = 5
+_CONNECT_BACKOFF = 0.05
 
 #: all-zero cost model: on a real machine layer the costs are real, so
 #: the virtual accounting terms must not add phantom time to ``charge``.
@@ -182,6 +217,17 @@ class _MpEngine:
         self._lock = threading.Lock()
         self._timers: Dict[int, threading.Timer] = {}
         self._next_tid = 0
+        #: timer callbacks currently executing.  A fired timer leaves
+        #: ``_timers`` before its callback runs, so ``pending_timers``
+        #: alone would read 0 mid-callback — an idle report in that
+        #: window lets the hub declare quiescence while (say) a reliable
+        #: retransmit is still in flight on the timer thread.
+        self._firing = 0
+        #: failure sink for timer-thread callbacks: a protocol layer
+        #: raising in a ``threading.Timer`` would otherwise die silently
+        #: on that thread and wedge the job until the hub timeout.  The
+        #: worker main wires this to ship a structured fatal frame.
+        self.on_error: Optional[Callable[[str], None]] = None
 
     @property
     def now(self) -> float:
@@ -201,7 +247,19 @@ class _MpEngine:
         with self._lock:
             if self._timers.pop(tid, None) is None:
                 return  # cancelled after firing was already scheduled
-        fn(*args)
+            self._firing += 1
+        try:
+            fn(*args)
+        except BaseException:
+            if self.on_error is None:
+                raise
+            self.on_error(traceback.format_exc())
+        finally:
+            # A callback that re-arms (retransmit backoff) inserts the
+            # new timer before this decrement, so the count never dips
+            # to zero while protocol work is still pending.
+            with self._lock:
+                self._firing -= 1
 
     def cancel(self, tid: int) -> None:
         with self._lock:
@@ -212,7 +270,7 @@ class _MpEngine:
     @property
     def pending_timers(self) -> int:
         with self._lock:
-            return len(self._timers)
+            return len(self._timers) + self._firing
 
     def shutdown(self) -> None:
         with self._lock:
@@ -326,6 +384,12 @@ class _MpNode(Node):
                 return self.inbox.popleft()
             return None
 
+    def inbox_snapshot(self) -> Any:
+        # The receiver thread appends concurrently; checkpointing walks a
+        # consistent copy taken under the delivery condition instead.
+        with self._cond:
+            return list(self.inbox)
+
     def wait_until(self, predicate: Callable[[], bool]) -> None:
         link = self.machine.worker
         with self._cond:
@@ -438,10 +502,25 @@ class _MpNetwork:
         return _MpSendHandle() if asynchronous else None
 
     def inject(self, src_pe: int, dst: int, nbytes: int, payload: Any) -> None:
-        raise SimulationError(
-            "network.inject is used by simulator-only protocol layers; "
-            "not supported on the mp machine layer"
-        )
+        """NIC-level transmit with no CPU charge — the path the protocol
+        layers use for retransmissions, acks, heartbeats and control
+        traffic.  Protocol packets are never pooled, so there is nothing
+        to reclaim after the frame is pickled onto the wire."""
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += nbytes
+        key = (src_pe, dst)
+        stats.per_channel[key] = stats.per_channel.get(key, 0) + 1
+        if dst == src_pe:
+            self.machine.node_obj.deliver(payload)
+            return
+        try:
+            self.link.send(("send", dst, payload, False))
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise SimulationError(
+                f"the mp machine layer could not pickle a protocol packet "
+                f"for PE {dst}: {exc}"
+            ) from exc
 
 
 class _WorkerConsole:
@@ -642,17 +721,71 @@ def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -
     from repro.loadbalance.strategies import make_balancer
     from repro.sim import context
 
-    sock = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+    # Bounded connect retry: a respawned worker can race the hub's
+    # accept loop, and loopback connects occasionally bounce under load.
+    sock = None
+    delay = _CONNECT_BACKOFF
+    for attempt in range(_CONNECT_ATTEMPTS):
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+            break
+        except OSError:
+            if attempt == _CONNECT_ATTEMPTS - 1:
+                raise
+            time.sleep(delay)
+            delay *= 2
+    # The connect timeout must not linger: a parked worker's receiver
+    # can legitimately see no frame for longer than any fixed timeout.
+    sock.settimeout(None)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     link = _WorkerLink(sock, pe)
     machine = _WorkerMachine(pe, num_pes, link, options)
     machine.network = _MpNetwork(machine, link)
     node = machine.node_obj
+    epoch = options.get("epoch", 0)
+    if epoch > 0:
+        # A respawned incarnation: restart-with-amnesia.  The epoch bump
+        # strides the ft control sequences past the previous life's, and
+        # crashed_at = 0.0 on the fresh engine clock makes the reported
+        # recovery latency "respawn to recovered" in wall seconds.
+        node.epoch = epoch
+        node.crashed_at = 0.0
     rt = ConverseRuntime(node, machine, queue=options.get("queue", "fifo"))
     rt.cld = make_balancer(options.get("ldb", "direct"), rt)
     # Same registration point as the simulator machine: the EMI group
     # handlers must occupy identical table indices on every PE.
     rt.cmi.groups
+    # Protocol layers, in the simulator machine's construction order so
+    # handler-table indices match across incarnations.  They are entered
+    # concurrently here (main thread sends, receiver thread arrivals,
+    # timer threads retransmissions): one shared reentrant lock guards
+    # both layers — reentrancy covers the ft<->rel call cycles.
+    rel_cfg = options.get("reliable")
+    if rel_cfg is not None:
+        rel = rt.enable_reliability(rel_cfg)
+        # Installed before enable_ft: the ft agent adopts this lock at
+        # construction (its timers can arm immediately).
+        rel._lock = threading.RLock()
+        ft_cfg = options.get("ft")
+        if ft_cfg is not None:
+            from repro.ft.manager import FTCoordinator
+
+            coord = FTCoordinator(
+                num_pes, list(options.get("crash_schedule") or ()),
+                distributed=True,
+            )
+            rt.enable_ft(ft_cfg, coord, restarting=epoch > 0)
+
+    def _timer_fatal(tb: str) -> None:
+        try:
+            link.send(("fatal", tb))
+        except OSError:
+            pass
+        link.stop.set()
+        with node._cond:
+            node._cond.notify_all()
+
+    machine.engine.on_error = _timer_fatal
     # One user thread runs Converse code in this process, so the
     # simulator's module-global current-context slot works unchanged.
     context._set_current(_WorkerTasklet(node))
@@ -712,7 +845,9 @@ def _worker_main(pe: int, num_pes: int, port: int, specs: list, options: dict) -
         if machine.metrics is not None:
             try:
                 link.send(("metrics", pe, machine.metrics.snapshot()))
-            except OSError:
+            except Exception:
+                # A snapshot/serialization failure must not cost the cpu
+                # frame and the orderly close below.
                 pass
         tracer = machine.tracer
         if tracer is not None:
@@ -805,14 +940,11 @@ class MpConsole:
 
 #: machine arguments that configure simulator-only subsystems, with the
 #: neutral values the mp layer accepts (and ignores / rejects beyond).
-#: (``trace``/``metrics`` used to live here; they are first-class mp
-#: arguments now — see the distributed-observability section of the
-#: module docstring.)
+#: (``trace``/``metrics`` and now ``faults``/``reliable``/``ft`` used to
+#: live here; they are first-class mp arguments — see the module
+#: docstring's fault-injection section.)
 _SIM_ONLY_OFF = {
-    "faults": None,
-    "reliable": False,
     "aggregation": False,
-    "ft": False,
     "backend": None,
 }
 
@@ -873,10 +1005,34 @@ class MpMachine(MachineLayer):
     health_interval:
         Cadence of worker health snapshots (default 0.25 s); also the
         resolution of the flight recorder attached to timeout errors.
+    faults:
+        A seeded :class:`~repro.sim.network.FaultPlan`, applied **by the
+        hub** to every frame in flight between worker processes (per-link
+        drop/duplicate/delay/reorder/corrupt, same RNG stream as the
+        simulator; delays/reorders ride real timer threads).  Its
+        ``CrashSpec`` entries become real **SIGKILLs**: ``at`` /
+        ``restart_after`` are interpreted as wall-clock seconds from the
+        start of :meth:`run`, and a spec with ``restart_after`` makes the
+        hub respawn a fresh worker incarnation (epoch bump) and re-wire
+        its sockets.  Self-sends never cross the hub, so (as with the
+        simulator's in-PE deliveries) faults do not apply to them.
+    reliable:
+        ``True`` (or a :class:`~repro.machine.cmi.ReliableConfig`) runs
+        the unmodified CMI reliable-delivery layer inside every worker.
+        RTOs are floored to socket scale (rto >= 20 ms, max_rto >=
+        250 ms) — the simulator's microsecond defaults would retransmit
+        thousands of times per real round trip.
+    ft:
+        ``True`` (or an :class:`~repro.ft.config.FTConfig`) enables the
+        fault-tolerance layer in every worker (requires ``reliable``).
+        Heartbeat/control periods are floored to socket scale; each
+        worker runs a distributed coordinator replica fed by the shipped
+        crash schedule.  Recovery latency on this layer measures respawn
+        to recovery-complete in wall seconds.
     model / machine_backend:
         Accepted for signature compatibility with the simulator layer;
         cost models are meaningless here (costs are real).
-    faults, reliable, aggregation, ft, backend:
+    aggregation, backend:
         Simulator-only subsystems: accepted at their "off" defaults,
         rejected otherwise with a clear error.
     """
@@ -888,6 +1044,7 @@ class MpMachine(MachineLayer):
                  pool: Any = None, csd_batch: Any = None, inline: Any = None,
                  trace: Any = False, metrics: Any = False,
                  watch: Any = False, health_interval: float = _HEALTH_INTERVAL,
+                 faults: Any = None, reliable: Any = False, ft: Any = False,
                  **kwargs: Any) -> None:
         if args:
             raise SimulationError(
@@ -913,6 +1070,54 @@ class MpMachine(MachineLayer):
         self.num_pes = num_pes
         self.model = MP_MODEL
         self.console = MpConsole(echo=echo)
+        # -- faults / reliability / fault tolerance ----------------------
+        if faults is not None:
+            from repro.sim.network import FaultPlan
+
+            if not isinstance(faults, FaultPlan):
+                raise SimulationError(
+                    f"faults must be a FaultPlan or None, got "
+                    f"{type(faults).__name__}"
+                )
+        self.fault_plan = faults
+        self._crash_schedule = (
+            faults.crash_schedule(num_pes) if faults is not None else []
+        )
+        self._rel_config = None
+        if reliable:
+            from dataclasses import replace as _dc_replace
+
+            from repro.machine.cmi import ReliableConfig
+
+            cfg = (reliable if isinstance(reliable, ReliableConfig)
+                   else ReliableConfig())
+            self._rel_config = _dc_replace(
+                cfg,
+                rto=max(cfg.rto, _MP_REL_RTO_FLOOR),
+                max_rto=max(cfg.max_rto, _MP_REL_MAX_RTO_FLOOR),
+            )
+        self._ft_config = None
+        if ft:
+            from dataclasses import replace as _dc_replace
+
+            from repro.ft.config import FTConfig
+
+            if self._rel_config is None:
+                raise SimulationError(
+                    "ft= requires the reliable-delivery layer; build the "
+                    "machine with reliable=True as well"
+                )
+            cfg = (ft if isinstance(ft, FTConfig) else FTConfig()).validate()
+            self._ft_config = _dc_replace(
+                cfg,
+                heartbeat_period=max(cfg.heartbeat_period, _MP_FT_HB_FLOOR),
+                ctl_rto=max(cfg.ctl_rto, _MP_FT_CTL_RTO_FLOOR),
+                ctl_retries=max(cfg.ctl_retries, _MP_FT_CTL_RETRIES_FLOOR),
+                checkpoint_interval=(
+                    max(cfg.checkpoint_interval, _MP_FT_CKPT_FLOOR)
+                    if cfg.checkpoint_interval > 0 else 0.0
+                ),
+            )
         # -- observability configuration --------------------------------
         self._trace_mode, self._trace_base = self._resolve_trace_spec(trace)
         self._metrics_on = self._resolve_metrics_spec(metrics)
@@ -936,8 +1141,12 @@ class MpMachine(MachineLayer):
         # (inline dispatch is a simulator-only optimisation — a worker's
         # scheduler loop already runs handlers with no context switch —
         # so the resolved flag is accepted for kwarg parity and dropped.)
+        # Pooling follows the simulator's resolution rule: default off
+        # under an unreliable fault plan, where duplicate faults re-wire
+        # the same payload object twice.
         self.msg_pooling, self.csd_batch, _ = resolve_speed_knobs(
-            pool, csd_batch, inline)
+            pool, csd_batch, inline,
+            default_pool=not (faults is not None and self._rel_config is None))
         self._queue = queue
         self._ldb = ldb
         self._seed = seed
@@ -963,6 +1172,35 @@ class MpMachine(MachineLayer):
         self._next_probe = 0
         self._worker_metrics: Dict[int, dict] = {}
         self._worker_trace_counts: Dict[int, dict] = {}
+        # -- crash / fault state (guarded by _state where noted) --------
+        #: PEs currently dead (scheduled kill until respawn completes).
+        self._down: set = set()
+        #: PEs whose CrashSpec promises a respawn that has not completed
+        #: yet.  Quiescence must wait for them: the surviving PEs can
+        #: drain to a balanced ledger during the crash window, but the
+        #: run is not over until the fresh incarnation rejoins and the
+        #: FT layer replays into it.
+        self._respawn_owed: set = set()
+        #: PEs whose reader EOF is expected (hub killed them itself).
+        self._killed: Dict[int, bool] = {}
+        #: per-PE incarnation counter (bumped by every respawn); readers
+        #: and delayed frames carry the epoch they were born under.
+        self._epochs = [0] * num_pes
+        #: fault-delayed frames currently parked on timer threads (their
+        #: forwarded count lands at delivery, so quiescence must wait).
+        self._delayed = 0
+        #: serializes FaultPlan.decide across hub reader threads (the
+        #: plan's RNG stream is shared machine-wide, as on the simulator).
+        self._fault_lock = threading.Lock()
+        self._crash_timers: List[threading.Timer] = []
+        self._respawn_timers: List[threading.Timer] = []
+        self._dead_procs: List[Any] = []
+        #: per-frame routing entry, bound once: the plain counted forward
+        #: with no fault plan (zero new per-frame work), the fault-
+        #: injecting variant otherwise.
+        self._route = self._forward if faults is None else self._forward_faulty
+        self._port: Optional[int] = None
+        self._worker_options: Optional[dict] = None
         # -- plumbing ---------------------------------------------------
         self._procs: List[Any] = []
         self._conns: Dict[int, socket.socket] = {}
@@ -1091,26 +1329,39 @@ class MpMachine(MachineLayer):
         return "fork" if "fork" in methods else methods[0]
 
     def _check_quiescent_locked(self) -> None:
-        if len(self._idle) < self.num_pes:
+        if self._delayed:
+            return  # fault-delayed frames still parked on timers
+        if self._respawn_owed:
+            return  # a killed PE is promised back; the run is not over
+        down = self._down
+        if len(self._idle) < self.num_pes - len(down):
             return
         for pe in range(self.num_pes):
-            recv, timers = self._idle[pe]
+            if pe in down:
+                continue  # a dead PE neither receives nor reports
+            entry = self._idle.get(pe)
+            if entry is None:
+                return
+            recv, timers = entry
             if timers != 0 or recv != self._forwarded[pe]:
                 return
         self._quiescent = True
         self._state.notify_all()
 
-    def _fail_locked(self, pe: int, why: str) -> None:
+    def _fail_locked(self, pe: int, why: str, died: bool = False) -> None:
         if self._worker_error is None:
-            self._worker_error = (pe, why)
+            self._worker_error = (pe, why, died)
         self._state.notify_all()
 
-    def _forward(self, dst: int, payload: Any, immediate: bool) -> None:
+    def _forward(self, src: int, dst: int, payload: Any, immediate: bool) -> None:
         with self._state:
             if not 0 <= dst < self.num_pes:
                 self._fail_locked(-1, f"routing frame addressed to PE {dst}")
                 return
             self._forwarded[dst] += 1
+        self._push_frame(dst, payload, immediate)
+
+    def _push_frame(self, dst: int, payload: Any, immediate: bool) -> None:
         conn = self._conns.get(dst)
         lock = self._conn_wlocks.get(dst)
         if conn is None or lock is None:
@@ -1119,20 +1370,220 @@ class MpMachine(MachineLayer):
             _send_frame(conn, lock, ("msg", payload, immediate))
         except OSError:
             with self._state:
+                down = dst in self._down
+                cur = self._conns.get(dst)
+                cur_lock = self._conn_wlocks.get(dst)
+            if down:
+                # The destination crashed mid-flight: the frame is lost
+                # exactly like a packet to a dead host.  Any ledger count
+                # it carried is wiped by the respawn reset (or the PE is
+                # skipped by the quiescence check if it stays down).
+                return
+            if cur is not None and cur is not conn:
+                # The worker was respawned under us; retry once on the
+                # fresh socket before declaring the link dead.
+                try:
+                    _send_frame(cur, cur_lock, ("msg", payload, immediate))
+                    return
+                except OSError:
+                    pass
+            with self._state:
                 self._fail_locked(dst, "worker connection lost while forwarding")
 
-    def _hub_reader(self, pe: int, conn: socket.socket) -> None:
+    # ------------------------------------------------------------------
+    # hub-level fault injection (bound as _route only with a fault plan)
+    # ------------------------------------------------------------------
+    def _forward_faulty(self, src: int, dst: int, payload: Any,
+                        immediate: bool) -> None:
+        with self._state:
+            if dst in self._down:
+                return  # packets to a dead host vanish, uncounted
+        with self._fault_lock:
+            dropped, corrupted, copies = self.fault_plan.decide(src, dst)
+        if dropped:
+            return
+        if corrupted:
+            try:
+                # Flagged on the hub-side unpickled object; the flag
+                # rides the re-pickle to the receiver, whose protocol
+                # layers treat it as a checksum failure.
+                payload.corrupted = True
+            except AttributeError:
+                pass  # payload type carries no corruption slot
+        for extra_delay, _keep_fifo, _action in copies:
+            if extra_delay <= 0.0:
+                self._forward(src, dst, payload, immediate)
+            else:
+                with self._state:
+                    self._delayed += 1
+                    epoch = self._epochs[dst]
+                timer = threading.Timer(
+                    extra_delay, self._deliver_delayed,
+                    (src, dst, payload, immediate, epoch),
+                )
+                timer.daemon = True
+                timer.start()
+
+    def _deliver_delayed(self, src: int, dst: int, payload: Any,
+                         immediate: bool, epoch: int) -> None:
+        with self._state:
+            self._delayed -= 1
+            if dst in self._down or self._epochs[dst] != epoch:
+                # The destination died (or was reborn) while the frame
+                # was parked: drop it, and re-check quiescence in the
+                # same lock hold — this decrement may have been the last
+                # thing the ledger was waiting on.
+                self._check_quiescent_locked()
+                return
+            # Count inside the same hold as the decrement so there is no
+            # window where neither the delayed counter nor the forwarded
+            # ledger covers this frame (a false-quiescence race).
+            self._forwarded[dst] += 1
+        self._push_frame(dst, payload, immediate)
+
+    # ------------------------------------------------------------------
+    # scheduled crashes: SIGKILL + respawn (CrashSpec entries)
+    # ------------------------------------------------------------------
+    def _crash_worker(self, spec: Any) -> None:
+        """Timer callback: SIGKILL the worker named by ``spec`` — a real
+        process death, not a simulation of one."""
+        pe = spec.pe
+        with self._state:
+            # A crash landing after quiescence is a no-op: the run is
+            # over, the workers are only awaiting collection.
+            if self._shutting_down or self._quiescent or pe in self._down:
+                return
+            self._down.add(pe)
+            self._killed[pe] = True
+            self._idle.pop(pe, None)
+            if spec.restart_after is not None:
+                # Block quiescence until the promised respawn lands —
+                # the survivors going idle mid-crash-window is not the
+                # end of the run.
+                self._respawn_owed.add(pe)
+            self._state.notify_all()
+        proc = self._procs[pe]
+        try:
+            proc.kill()
+        except Exception:
+            pass
+        self._dead_procs.append(proc)
+        proc.join(timeout=5.0)
+        # Close the hub side of the socket too: the reader unblocks
+        # immediately instead of waiting for the kernel to tear the
+        # connection down.
+        conn = self._conns.get(pe)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if spec.restart_after is not None:
+            timer = threading.Timer(
+                max(0.0, spec.restart_after), self._respawn_worker, (pe,)
+            )
+            timer.daemon = True
+            self._respawn_timers.append(timer)
+            timer.start()
+
+    def _respawn_worker(self, pe: int) -> None:
+        """Timer callback: boot a fresh incarnation of PE ``pe`` (epoch
+        bump), re-accept its socket on the still-open listener and wire
+        a new reader — restart-with-amnesia over real processes."""
+        import multiprocessing
+
+        try:
+            with self._state:
+                if self._shutting_down or self._quiescent:
+                    self._respawn_owed.discard(pe)
+                    self._state.notify_all()
+                    return  # the run drained while the PE was down
+                epoch = self._epochs[pe] + 1
+            options = dict(self._worker_options)
+            options["epoch"] = epoch
+            # Spawn, never fork: the hub is heavily multi-threaded by
+            # now and a forked child could inherit a mid-acquire lock
+            # (the import lock being the classic one).
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "spawn" if "spawn" in methods else methods[0]
+            )
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(pe, self.num_pes, self._port,
+                      self._specs.get(pe, []), options),
+                name=f"repro-mp-pe{pe}e{epoch}",
+                daemon=True,
+            )
+            proc.start()
+            conn = self._accept_worker(pe)
+            with self._state:
+                self._procs[pe] = proc
+                self._conns[pe] = conn
+                self._conn_wlocks[pe] = threading.Lock()
+                # Fresh ledger on both sides: the incarnation starts at
+                # net_recv == 0, so the hub's count restarts with it.
+                self._forwarded[pe] = 0
+                self._epochs[pe] = epoch
+                self._killed.pop(pe, None)
+                self._down.discard(pe)
+                self._respawn_owed.discard(pe)
+                self._state.notify_all()
+            reader = threading.Thread(
+                target=self._hub_reader, args=(pe, conn, epoch),
+                name=f"mp-hub-pe{pe}e{epoch}", daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+        except BaseException as exc:
+            with self._state:
+                self._respawn_owed.discard(pe)
+                if not self._shutting_down:
+                    self._fail_locked(pe, f"worker respawn failed: {exc}")
+
+    def _accept_worker(self, pe: int) -> socket.socket:
+        """Accept a (re)connecting worker on the listener until the one
+        identifying as ``pe`` arrives; bounded by the machine timeout."""
+        deadline = time.monotonic() + min(30.0, self._timeout)
+        while True:
+            if time.monotonic() > deadline:
+                raise SimulationError(
+                    f"respawned mp worker for PE {pe} did not connect "
+                    f"within {min(30.0, self._timeout):.0f}s"
+                )
+            listener = self._listener
+            if listener is None:
+                raise SimulationError("listener closed during respawn")
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = _recv_frame(conn)
+            if hello and hello[0] == "hello" and hello[1] == pe:
+                return conn
+            # Not our worker (stray or mismatched connect): drop it.
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _hub_reader(self, pe: int, conn: socket.socket, epoch: int = 0) -> None:
         while True:
             try:
                 frame = _recv_frame(conn)
             except OSError:
+                frame = None
+            except pickle.UnpicklingError:
+                # A torn frame mid-pickle: the worker died mid-write.
+                # Treated exactly like EOF — classified below.
                 frame = None
             if frame is None:
                 break
             kind = frame[0]
             if kind == "send":
                 _, dst, payload, immediate = frame
-                self._forward(dst, payload, immediate)
+                self._route(pe, dst, payload, immediate)
             elif kind == "idle":
                 with self._state:
                     self._idle[pe] = (frame[1], frame[2])
@@ -1181,9 +1632,22 @@ class MpMachine(MachineLayer):
             elif kind == "fatal":
                 with self._state:
                     self._fail_locked(pe, frame[1])
+        # EOF / torn frame.  Classify: a shutdown, an already-quiescent
+        # run, a hub-scheduled kill, or a superseded incarnation are all
+        # expected; anything else is an *unscheduled* worker death and
+        # surfaces as a structured WorkerDied from run().
         with self._state:
-            if not self._shutting_down and not self._quiescent:
-                self._fail_locked(pe, "worker process exited unexpectedly")
+            expected = (
+                self._shutting_down or self._quiescent
+                or self._killed.get(pe) or self._epochs[pe] != epoch
+            )
+            if not expected:
+                self._fail_locked(
+                    pe,
+                    "worker process exited unexpectedly (socket EOF / "
+                    "torn frame)",
+                    died=True,
+                )
 
     def _start(self) -> None:
         import multiprocessing
@@ -1212,7 +1676,12 @@ class MpMachine(MachineLayer):
         options = {"queue": self._queue, "ldb": self._ldb, "seed": self._seed,
                    "pool": self.msg_pooling, "csd_batch": self.csd_batch,
                    "trace": worker_trace, "metrics": self._metrics_on,
-                   "health_interval": self._health_interval}
+                   "health_interval": self._health_interval,
+                   "reliable": self._rel_config, "ft": self._ft_config,
+                   "crash_schedule": list(self._crash_schedule),
+                   "epoch": 0}
+        self._port = port
+        self._worker_options = options
         # Spawn every worker before starting any hub thread: with the
         # fork start method, forking a multi-threaded parent is the
         # classic deadlock, so the parent stays single-threaded here.
@@ -1254,6 +1723,14 @@ class MpMachine(MachineLayer):
             # Startup clock probes: sample each worker's monotonic offset
             # while the sockets are quiet (the mains are still booting).
             self._send_clock_probes()
+        # Arm the crash schedule only after every worker is handshaken:
+        # spec.at counts wall-clock seconds from here (= run start).
+        for spec in self._crash_schedule:
+            timer = threading.Timer(max(0.0, spec.at),
+                                    self._crash_worker, (spec,))
+            timer.daemon = True
+            self._crash_timers.append(timer)
+            timer.start()
 
     def _send_clock_probes(self) -> None:
         """One echo probe per worker (replies land in ``_hub_reader``).
@@ -1306,14 +1783,14 @@ class MpMachine(MachineLayer):
             with self._state:
                 while True:
                     if self._worker_error is not None:
-                        pe, why = self._worker_error
+                        pe, why, died = self._worker_error
                         break
                     if self._quiescent:
-                        pe, why = -1, None
+                        pe, why, died = -1, None, False
                         break
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        pe, why = -1, "timeout"
+                        pe, why, died = -1, "timeout", False
                         break
                     self._state.wait(min(remaining, 0.1))
         finally:
@@ -1326,6 +1803,14 @@ class MpMachine(MachineLayer):
                 f"mp machine run timed out after {self._timeout:.0f}s "
                 "(deadlocked or hung worker?)" + evidence
             )
+        if died:
+            # Unscheduled process death (torn socket): structured
+            # node-down evidence instead of an opaque traceback race.
+            with self._state:
+                last = self._health.get(pe)
+            evidence = self._flight_summary()
+            self.shutdown()
+            raise WorkerDied(pe, last_health=last, evidence=evidence)
         if why is not None:
             evidence = self._flight_summary()
             self.shutdown()
@@ -1435,6 +1920,10 @@ class MpMachine(MachineLayer):
         self._shut_down = True
         with self._state:
             self._shutting_down = True
+        # Disarm the fault schedule first: no kill or respawn may land
+        # in the middle of the teardown below.
+        for timer in self._crash_timers + self._respawn_timers:
+            timer.cancel()
         if self._trace_mode in ("memory", "jsonl"):
             # Close-time clock probes: a second offset sample at the end
             # of the run bounds drift over its span.  Same-socket FIFO
@@ -1447,9 +1936,17 @@ class MpMachine(MachineLayer):
             except OSError:
                 pass
         # Workers answer shutdown with their cpu frame and close; readers
-        # drain those frames and exit on EOF.
+        # drain those frames and exit on EOF.  Killed-and-replaced
+        # incarnations are reaped too (their handles moved to
+        # _dead_procs at crash time).
+        for proc in self._dead_procs:
+            proc.join(timeout=1.0)
+        # Generous grace before escalating to SIGTERM: the worker's exit
+        # path ships its metrics snapshot and flushes trace spools, and a
+        # loaded host can stretch that well past a few seconds.  A
+        # premature terminate() silently costs those final frames.
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            proc.join(timeout=15.0)
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()

@@ -221,6 +221,14 @@ class Node:
             return self.inbox.popleft()
         return None
 
+    def inbox_snapshot(self) -> Any:
+        """The inbox contents as an iterable safe to walk while deliveries
+        may be happening.  On the single-threaded simulator that is the
+        inbox itself; machine layers with a concurrent receive path (mp)
+        override this to copy under their delivery lock.  Checkpointing
+        iterates this instead of touching :attr:`inbox` directly."""
+        return self.inbox
+
     def wait_for_message(self) -> Any:
         """Block the calling tasklet until a message is available, then
         pop and return it."""

@@ -10,13 +10,60 @@ Tests taking a ``sim_backend`` argument are additionally parametrized
 over every *installed* tasklet switch backend (always ``thread``; also
 ``greenlet`` when the ``repro[fast]`` extra is present), so the whole
 hostile sweep doubles as a cross-backend equivalence check.
+
+Tests taking a ``machine_backend`` argument run once per *registered*
+machine layer (unavailable layers appear as explicit skips, never as a
+silently shrinking matrix).  The mp legs run a reduced seed sweep
+(``MP_SWEEP_SEEDS`` — real processes per run) and assert delivery /
+conservation / recovery *invariants* rather than the simulator's
+byte-identical traces: real sockets and real SIGKILLs do not replay
+deterministically.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.machine.base import (
+    MACHINE_LAYERS,
+    machine_backend_unavailable_reason,
+)
 from repro.sim.switching import available_backends
+
+#: how many of the sweep's seeds the mp legs run (each is a full
+#: multi-process machine boot).
+MP_SWEEP_SEEDS = 3
+
+#: wall-clock ceiling per mp run — hitting it means a hang, not a slow
+#: machine.
+MP_TIMEOUT = 120.0
+
+
+def mp_sweep_guard(machine_backend, fault_seed, sim_backend="thread"):
+    """Skip the mp legs the reduced sweep does not cover: seeds past the
+    cap, and tasklet-backend variants (simulator-only inside a worker
+    the parametrization cannot reach)."""
+    if machine_backend != "mp":
+        return
+    if fault_seed >= MP_SWEEP_SEEDS:
+        pytest.skip(f"mp legs run a reduced {MP_SWEEP_SEEDS}-seed sweep "
+                    "(one real process per PE per run)")
+    if sim_backend != "thread":
+        pytest.skip("tasklet switch backends are per-worker on mp; the "
+                    "sweep pins the default")
+
+
+def _machine_backend_params():
+    params = []
+    for name in MACHINE_LAYERS:
+        reason = machine_backend_unavailable_reason(name)
+        marks = (
+            [pytest.mark.skip(
+                reason=f"machine layer {name!r} unavailable: {reason}")]
+            if reason else []
+        )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
 
 
 def pytest_generate_tests(metafunc):
@@ -25,6 +72,8 @@ def pytest_generate_tests(metafunc):
         metafunc.parametrize("fault_seed", range(n))
     if "sim_backend" in metafunc.fixturenames:
         metafunc.parametrize("sim_backend", available_backends())
+    if "machine_backend" in metafunc.fixturenames:
+        metafunc.parametrize("machine_backend", _machine_backend_params())
 
 
 def pytest_collection_modifyitems(items):

@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.sim.machine import Machine
+from tests.faults.conftest import MP_TIMEOUT, mp_sweep_guard
 from tests.faults.harness import (
     crashy_plan,
     run_ft_all2all,
     run_ft_pingpong,
     trace_bytes,
 )
+from tests.faults import workers_mp
 
 
 def _crash_at(seed: int) -> float:
@@ -28,11 +31,48 @@ def _crash_at(seed: int) -> float:
     return (80 + 97 * (seed % 13)) * 1e-6
 
 
+def _mp_crash_at(seed: int) -> float:
+    """The mp twin of :func:`_crash_at`: CrashSpec times on the mp layer
+    are wall-clock seconds from the start of run(), so the sweep spreads
+    real SIGKILLs over [60ms, 180ms] of a ~quarter-second workload."""
+    return 0.06 + 0.04 * (seed % 4)
+
+
 def _recoveries(metrics: dict) -> float:
     return metrics["ft.recoveries"]["total"]
 
 
-def test_ft_pingpong_survives_crash(fault_seed, sim_backend):
+def _run_mp_ft(num_pes, fn, *args, faults):
+    """One mp machine run with faults + reliable + ft; returns
+    ``(reason, results, metrics)`` (metrics merge at shutdown)."""
+    from repro.ft.config import FTConfig
+
+    m = Machine(num_pes, machine_backend="mp", faults=faults, reliable=True,
+                ft=FTConfig(), metrics=True, timeout=MP_TIMEOUT)
+    try:
+        m.launch(fn, *args)
+        reason = m.run()
+        results = m.results()
+    finally:
+        m.shutdown()
+    return reason, results, m.metrics_snapshot()
+
+
+def test_ft_pingpong_survives_crash(fault_seed, sim_backend, machine_backend):
+    if machine_backend == "mp":
+        mp_sweep_guard(machine_backend, fault_seed, sim_backend)
+        plan = crashy_plan(fault_seed, crash_pe=1,
+                           crash_at=_mp_crash_at(fault_seed),
+                           restart_after=0.05)
+        rounds = 30
+        reason, res, met = _run_mp_ft(
+            2, workers_mp.w_ft_pingpong, rounds, 8, 0.003, faults=plan)
+        assert reason == "quiescent"
+        # Fault-free-identical recovery: the exact fault-free sequences.
+        assert res[0] == list(range(1, 2 * rounds, 2))
+        assert res[1] == list(range(0, 2 * rounds, 2))
+        assert _recoveries(met) == 1
+        return
     plan = crashy_plan(fault_seed, crash_pe=1, crash_at=_crash_at(fault_seed))
     r = run_ft_pingpong(rounds=30, faults=plan, backend=sim_backend)
     assert r["reason"] == "quiescent"
@@ -40,7 +80,26 @@ def test_ft_pingpong_survives_crash(fault_seed, sim_backend):
     assert _recoveries(r["metrics"]) == 1
 
 
-def test_ft_all2all_survives_crash(fault_seed, sim_backend):
+def test_ft_all2all_survives_crash(fault_seed, sim_backend, machine_backend):
+    if machine_backend == "mp":
+        mp_sweep_guard(machine_backend, fault_seed, sim_backend)
+        crash_pe = fault_seed % 4
+        plan = crashy_plan(fault_seed, crash_pe=crash_pe,
+                           crash_at=_mp_crash_at(fault_seed),
+                           restart_after=0.05)
+        count = 8
+        reason, res, met = _run_mp_ft(
+            4, workers_mp.w_ft_all2all, count, 6, 0.004, faults=plan)
+        assert reason == "quiescent"
+        # Delivery multiset equality under reliable: every PE holds
+        # exactly 0..count-1 from every other PE, per-sender FIFO.
+        for pe in range(4):
+            expected = {src: list(range(count)) for src in range(4)
+                        if src != pe}
+            got = {int(src): v for src, v in res[pe].items()}
+            assert got == expected, f"PE {pe}: {got}"
+        assert _recoveries(met) == 1
+        return
     crash_pe = fault_seed % 4
     plan = crashy_plan(fault_seed, crash_pe=crash_pe,
                        crash_at=_crash_at(fault_seed))

@@ -143,18 +143,16 @@ def test_machine_env_dispatches_to_mp(monkeypatch):
 @pytest.mark.parametrize(
     "kwargs",
     [
-        {"faults": object()},
-        {"reliable": True},
         {"aggregation": True},
-        {"ft": True},
         {"backend": "greenlet"},
     ],
     ids=lambda kw: next(iter(kw)),
 )
 def test_mp_rejects_simulator_only_features(kwargs):
-    # trace= and metrics= are *not* in this list: the mp layer supports
-    # them first-class (per-PE spools / per-worker registries, merged at
-    # shutdown) — see tests/machine/conformance/test_observability.py.
+    # trace=/metrics= and faults=/reliable=/ft= are *not* in this list:
+    # the mp layer supports them first-class (per-PE spools and
+    # registries; hub-level fault injection, in-worker reliable/ft) —
+    # see test_observability.py and tests/faults/.
     with pytest.raises(SimulationError, match="simulator-only"):
         Machine(2, machine_backend="mp", **kwargs)
 
@@ -167,6 +165,34 @@ def test_mp_accepts_simulator_only_features_at_off_defaults():
         aggregation=False, ft=False, backend=None,
     )
     m.shutdown()
+
+
+@mp_only
+def test_mp_validates_fault_arguments():
+    # faults= takes a FaultPlan (same message as the simulator layer);
+    # ft= still requires the reliable-delivery layer underneath.
+    with pytest.raises(SimulationError, match="FaultPlan"):
+        Machine(2, machine_backend="mp", faults=object())
+    with pytest.raises(SimulationError, match="reliable"):
+        Machine(2, machine_backend="mp", ft=True)
+
+
+@mp_only
+def test_mp_constructs_with_faults_reliable_ft():
+    from repro.ft.config import FTConfig
+    from repro.sim.network import FaultPlan
+
+    m = Machine(
+        2, machine_backend="mp",
+        faults=FaultPlan(seed=3, drop=0.05), reliable=True, ft=FTConfig(),
+    )
+    try:
+        assert m.fault_plan is not None
+        # Socket-scale floors applied to the shipped configs.
+        assert m._rel_config.rto >= 0.02
+        assert m._ft_config.heartbeat_period >= 0.025
+    finally:
+        m.shutdown()
 
 
 @mp_only

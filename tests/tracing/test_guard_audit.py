@@ -216,3 +216,59 @@ def test_instrumented_variant_still_guards_every_site():
     for idx, line in enumerate(lines):
         if TRACE_CALL_RE.search(line) or METRIC_CALL_RE.search(line):
             assert _is_guarded(lines, idx), f"unguarded: {line.strip()}"
+
+
+# ----------------------------------------------------------------------
+# mp-hub extension: fault injection and crash/respawn ride the hub's
+# routing path via a *bound-at-construction* router (`_route`), the same
+# bind-the-variant discipline as the instrumented/fast runtime twins.
+# With faults off, the per-frame path is `_forward` — it must contain no
+# fault branch, no delayed-frame bookkeeping, and no allocation beyond
+# the frame itself.
+# ----------------------------------------------------------------------
+
+
+def test_mp_fault_free_forward_has_no_fault_hooks():
+    from repro.machine.mp import MpMachine
+
+    src = inspect.getsource(MpMachine._forward)
+    for marker in ("fault", "decide", "_delayed", "Timer", "corrupt",
+                   "_down"):
+        assert marker not in src, (
+            f"fault-machinery reference {marker!r} leaked into the "
+            f"fault-free per-frame router:\n{src}"
+        )
+    assert not _body_calls(MpMachine._forward)
+    # The faulty twin exists and is where that machinery lives.
+    faulty = inspect.getsource(MpMachine._forward_faulty)
+    assert "decide" in faulty and "_delayed" in faulty
+
+
+def test_mp_route_binding_picks_variant_at_construction():
+    import pytest
+
+    from repro.machine.base import (
+        machine_backend_available,
+        machine_backend_unavailable_reason,
+    )
+
+    if not machine_backend_available("mp"):
+        pytest.skip("mp layer unavailable: "
+                    + machine_backend_unavailable_reason("mp"))
+
+    from repro.machine.mp import MpMachine
+    from repro.sim.machine import Machine
+    from repro.sim.network import FaultPlan
+
+    m = Machine(2, machine_backend="mp")
+    try:
+        assert m._route.__func__ is MpMachine._forward
+    finally:
+        m.shutdown()
+
+    m = Machine(2, machine_backend="mp", faults=FaultPlan(seed=0, drop=0.1),
+                reliable=True)
+    try:
+        assert m._route.__func__ is MpMachine._forward_faulty
+    finally:
+        m.shutdown()
